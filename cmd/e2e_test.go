@@ -1,0 +1,120 @@
+// End-to-end tests for the command-line tools: each binary is built
+// once into a temp dir and exercised on real files, validating the
+// plumbing (flags, I/O formats, exit codes) that unit tests cannot see.
+package cmd_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTools compiles every command once per test binary invocation.
+func buildTools(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	for _, tool := range []string{"spmspv", "spmspv-bench", "graphgen", "graphalgo"} {
+		out := filepath.Join(dir, tool)
+		cmd := exec.Command("go", "build", "-o", out, "./"+tool)
+		cmd.Dir = mustSelfDir(t)
+		if b, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", tool, err, b)
+		}
+	}
+	return dir
+}
+
+// mustSelfDir returns the cmd/ directory containing this test file.
+func mustSelfDir(t *testing.T) string {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wd
+}
+
+func run(t *testing.T, bin string, args ...string) (string, string) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	var stdout, stderr strings.Builder
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("%s %v: %v\nstdout: %s\nstderr: %s",
+			filepath.Base(bin), args, err, stdout.String(), stderr.String())
+	}
+	return stdout.String(), stderr.String()
+}
+
+func TestEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e builds binaries; skipped in -short")
+	}
+	bins := buildTools(t)
+	work := t.TempDir()
+
+	// 1. graphgen -list names all 11 Table IV stand-ins.
+	out, _ := run(t, filepath.Join(bins, "graphgen"), "-list")
+	if !strings.Contains(out, "rmat-ljournal") || !strings.Contains(out, "rgg") {
+		t.Fatalf("graphgen -list output missing problems:\n%s", out)
+	}
+
+	// 2. graphgen writes a Matrix Market file with stats.
+	mtx := filepath.Join(work, "g.mtx")
+	out, _ = run(t, filepath.Join(bins, "graphgen"),
+		"-problem", "grid5-g3circuit", "-scale", "8", "-out", mtx)
+	if !strings.Contains(out, "pseudo-diameter") {
+		t.Fatalf("graphgen stats missing:\n%s", out)
+	}
+	if fi, err := os.Stat(mtx); err != nil || fi.Size() == 0 {
+		t.Fatalf("matrix file not written: %v", err)
+	}
+
+	// 3. spmspv multiplies the generated matrix by a vector.
+	vec := filepath.Join(work, "x.txt")
+	if err := os.WriteFile(vec, []byte("256 2\n0 1.0\n100 2.0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	yPath := filepath.Join(work, "y.txt")
+	_, stderr := run(t, filepath.Join(bins, "spmspv"),
+		"-matrix", mtx, "-vector", vec, "-out", yPath, "-algorithm", "bucket")
+	if !strings.Contains(stderr, "SpMSpV-bucket") {
+		t.Fatalf("spmspv summary missing:\n%s", stderr)
+	}
+	y, err := os.ReadFile(yPath)
+	if err != nil || len(y) == 0 {
+		t.Fatalf("result vector not written: %v", err)
+	}
+	// Engines must agree on the same input.
+	yPath2 := filepath.Join(work, "y2.txt")
+	run(t, filepath.Join(bins, "spmspv"),
+		"-matrix", mtx, "-vector", vec, "-out", yPath2, "-algorithm", "combblas-heap")
+	y2, err := os.ReadFile(yPath2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(y) != string(y2) {
+		t.Error("bucket and heap CLI runs disagree")
+	}
+
+	// 4. graphalgo runs BFS and components on the same file.
+	out, _ = run(t, filepath.Join(bins, "graphalgo"),
+		"-matrix", mtx, "-algo", "bfs", "-source", "0")
+	if !strings.Contains(out, "reached 256 of 256") {
+		t.Fatalf("graphalgo bfs output:\n%s", out)
+	}
+	out, _ = run(t, filepath.Join(bins, "graphalgo"), "-matrix", mtx, "-algo", "components")
+	if !strings.Contains(out, "1 components") {
+		t.Fatalf("graphalgo components output:\n%s", out)
+	}
+
+	// 5. spmspv-bench runs a small experiment end to end.
+	out, _ = run(t, filepath.Join(bins, "spmspv-bench"),
+		"-experiment", "table4", "-scale", "8", "-threads", "1,2", "-reps", "1")
+	if !strings.Contains(out, "Table IV") || !strings.Contains(out, "rmat-ljournal") {
+		t.Fatalf("spmspv-bench table4 output:\n%s", out)
+	}
+}

@@ -1,0 +1,87 @@
+// Command spmspv-bench regenerates the tables and figures of the
+// paper's evaluation section (§IV) on synthetic stand-ins for the
+// Table IV matrix suite.
+//
+// Usage:
+//
+//	spmspv-bench -experiment fig3 -scale 14 -threads 1,2,4,8 -reps 3
+//	spmspv-bench -experiment all
+//
+// Experiments: table3 (platform), table4 (test suite), tables12
+// (measured work classification), fig2 (sorted vs unsorted), fig3
+// (runtime vs nnz(x)), fig4 (BFS strong scaling, full suite), fig5
+// (KNL-analogue subset), fig6 (step breakdown), ablation (§III-A/B
+// design choices), masked and hybrid (§V extensions), or all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"spmspv/internal/bench"
+	"spmspv/internal/sparse"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "which experiment to run (table3, table4, tables12, fig2, fig3, fig4, fig5, fig6, ablation, masked, hybrid, all)")
+		scale      = flag.Int("scale", 14, "log2 of stand-in graph vertex counts")
+		threads    = flag.String("threads", "1,2,4,8", "comma-separated thread counts to sweep")
+		reps       = flag.Int("reps", 3, "timed repetitions per measurement")
+		source     = flag.Int("source", 0, "BFS source vertex")
+	)
+	flag.Parse()
+
+	cfg := bench.DefaultConfig()
+	cfg.Scale = *scale
+	cfg.Reps = *reps
+	cfg.Source = sparse.Index(*source)
+	cfg.Threads = cfg.Threads[:0]
+	for _, part := range strings.Split(*threads, ",") {
+		t, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || t < 1 {
+			fmt.Fprintf(os.Stderr, "spmspv-bench: bad thread count %q\n", part)
+			os.Exit(2)
+		}
+		cfg.Threads = append(cfg.Threads, t)
+	}
+
+	type runner struct {
+		name string
+		run  func()
+	}
+	w := os.Stdout
+	runners := []runner{
+		{"table3", func() { bench.Platform(w, cfg) }},
+		{"table4", func() { bench.Table4(w, cfg) }},
+		{"tables12", func() { bench.Tables12(w, cfg) }},
+		{"fig2", func() { bench.Fig2(w, cfg) }},
+		{"fig3", func() { bench.Fig3(w, cfg) }},
+		{"fig4", func() { bench.Fig4(w, cfg) }},
+		{"fig5", func() { bench.Fig5(w, cfg) }},
+		{"fig6", func() { bench.Fig6(w, cfg) }},
+		{"ablation", func() { bench.Ablation(w, cfg) }},
+		{"masked", func() { bench.Masked(w, cfg) }},
+		{"hybrid", func() { bench.Hybrid(w, cfg) }},
+		{"spmv", func() { bench.SpMVCrossover(w, cfg) }},
+	}
+
+	if *experiment == "all" {
+		for _, r := range runners {
+			fmt.Fprintf(w, "==== %s ====\n\n", r.name)
+			r.run()
+		}
+		return
+	}
+	for _, r := range runners {
+		if r.name == *experiment {
+			r.run()
+			return
+		}
+	}
+	fmt.Fprintf(os.Stderr, "spmspv-bench: unknown experiment %q\n", *experiment)
+	os.Exit(2)
+}

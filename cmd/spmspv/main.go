@@ -1,0 +1,104 @@
+// Command spmspv multiplies a Matrix Market matrix by a sparse vector
+// and writes the result: y ← A·x.
+//
+// Usage:
+//
+//	spmspv -matrix A.mtx -vector x.txt [-algorithm bucket] [-threads 4] \
+//	       [-semiring arithmetic] [-out y.txt]
+//
+// The vector file format is a "n nnz" header line followed by
+// "index value" lines (0-based). With -out omitted the result goes to
+// stdout.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	spmspv "spmspv"
+)
+
+func main() {
+	var (
+		matrixPath = flag.String("matrix", "", "Matrix Market file (required)")
+		vectorPath = flag.String("vector", "", "sparse vector file (required)")
+		outPath    = flag.String("out", "", "output path (default stdout)")
+		algName    = flag.String("algorithm", "bucket", "bucket, combblas-spa, combblas-heap, graphmat, sort")
+		srName     = flag.String("semiring", "arithmetic", "arithmetic, minplus, maxplus, boolean, bfs")
+		threads    = flag.Int("threads", 0, "worker threads (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+	if *matrixPath == "" || *vectorPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	alg, ok := map[string]spmspv.Algorithm{
+		"bucket":        spmspv.Bucket,
+		"combblas-spa":  spmspv.CombBLASSPA,
+		"combblas-heap": spmspv.CombBLASHeap,
+		"graphmat":      spmspv.GraphMat,
+		"sort":          spmspv.SortBased,
+	}[*algName]
+	if !ok {
+		fatal("unknown algorithm %q", *algName)
+	}
+	sr, ok := map[string]spmspv.Semiring{
+		"arithmetic": spmspv.Arithmetic,
+		"minplus":    spmspv.MinPlus,
+		"maxplus":    spmspv.MaxPlus,
+		"boolean":    spmspv.BoolOrAnd,
+		"bfs":        spmspv.MinSelect2nd,
+	}[*srName]
+	if !ok {
+		fatal("unknown semiring %q", *srName)
+	}
+
+	mf, err := os.Open(*matrixPath)
+	if err != nil {
+		fatal("%v", err)
+	}
+	defer mf.Close()
+	a, err := spmspv.ReadMatrixMarket(mf)
+	if err != nil {
+		fatal("reading matrix: %v", err)
+	}
+
+	vf, err := os.Open(*vectorPath)
+	if err != nil {
+		fatal("%v", err)
+	}
+	defer vf.Close()
+	x, err := spmspv.ReadVector(vf)
+	if err != nil {
+		fatal("reading vector: %v", err)
+	}
+	if x.N != a.NumCols {
+		fatal("dimension mismatch: matrix is %dx%d, vector has dimension %d",
+			a.NumRows, a.NumCols, x.N)
+	}
+
+	mu := spmspv.NewWithAlgorithm(a, alg, spmspv.Options{Threads: *threads, SortOutput: true})
+	y := mu.Multiply(x, sr)
+
+	out := os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fatal("%v", err)
+		}
+		defer f.Close()
+		out = f
+	}
+	if err := spmspv.WriteVector(out, y); err != nil {
+		fatal("writing result: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "spmspv: %s × x (nnz=%d) → y (nnz=%d) using %s over %s\n",
+		a.String(), x.NNZ(), y.NNZ(), alg, sr.Name)
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "spmspv: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,33 @@
+// Package algorithms implements the graph algorithms the paper cites as
+// the consumers of SpMSpV (§I): breadth-first search, connected
+// components, maximal independent set, data-driven PageRank, and
+// single-source shortest paths. Each is written in the GraphBLAS style
+// — a loop of SpMSpV calls over an appropriate semiring — and each is
+// validated against a classical sequential implementation in the tests.
+//
+// All algorithms accept any SpMSpV engine through the Multiplier
+// interface, so the benchmark harness can run the same BFS over
+// SpMSpV-bucket, CombBLAS-SPA, CombBLAS-heap and GraphMat, exactly as
+// the paper's Figs. 4 and 5 do.
+package algorithms
+
+import (
+	"spmspv/internal/semiring"
+	"spmspv/internal/sparse"
+)
+
+// Multiplier is the engine contract: compute y ← A·x over sr, where A
+// was bound at construction time. All implementations in this
+// repository (internal/core.Multiplier and the internal/baselines
+// engines) satisfy it.
+type Multiplier interface {
+	Multiply(x, y *sparse.SpVec, sr semiring.Semiring)
+}
+
+// MaskedMultiplier is the optional extension contract for engines that
+// support mask pushdown (paper §V future work); internal/core.Multiplier
+// implements it.
+type MaskedMultiplier interface {
+	Multiplier
+	MultiplyMasked(x, y *sparse.SpVec, sr semiring.Semiring, mask *sparse.BitVec, complement bool)
+}

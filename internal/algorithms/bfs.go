@@ -1,0 +1,137 @@
+package algorithms
+
+import (
+	"spmspv/internal/semiring"
+	"spmspv/internal/sparse"
+)
+
+// BFSResult carries the output of a matrix-based breadth-first search.
+type BFSResult struct {
+	// Parents[v] is the BFS parent of v (itself for the source), or -1
+	// when v is unreached.
+	Parents []sparse.Index
+	// Levels[v] is the BFS distance from the source, or -1.
+	Levels []int32
+	// FrontierSizes records nnz(x) for every SpMSpV call, the quantity
+	// Fig. 3 sweeps.
+	FrontierSizes []int
+	// Frontiers holds a clone of every input frontier when capture was
+	// requested — the replay workload for the Fig. 3 benchmark.
+	Frontiers []*sparse.SpVec
+}
+
+// BFS runs a breadth-first search from source using the
+// (min, select2nd) semiring: the frontier vector x holds x(v) = v for
+// every frontier vertex v, so y = A·x assigns each newly reached vertex
+// its minimum parent id ("the current frontier is represented with the
+// input vector x, the graph is represented by the matrix A and the next
+// frontier is represented by y", paper §I). A(i,j) ≠ 0 is interpreted
+// as an edge j→i, i.e. column j lists the out-neighbors of j.
+//
+// With capture set, every frontier vector is cloned into the result for
+// benchmark replay.
+func BFS(mult Multiplier, n sparse.Index, source sparse.Index, capture bool) *BFSResult {
+	res := &BFSResult{
+		Parents: make([]sparse.Index, n),
+		Levels:  make([]int32, n),
+	}
+	for i := range res.Parents {
+		res.Parents[i] = -1
+		res.Levels[i] = -1
+	}
+	if source < 0 || source >= n {
+		return res
+	}
+	res.Parents[source] = source
+	res.Levels[source] = 0
+
+	x := sparse.NewSpVec(n, 1)
+	x.Append(source, float64(source))
+	y := sparse.NewSpVec(n, 0)
+
+	for level := int32(1); x.NNZ() > 0; level++ {
+		res.FrontierSizes = append(res.FrontierSizes, x.NNZ())
+		if capture {
+			res.Frontiers = append(res.Frontiers, x.Clone())
+		}
+		mult.Multiply(x, y, semiring.MinSelect2nd)
+		// The next frontier is the unvisited portion of y; the frontier
+		// values become the vertices' own ids for the next expansion.
+		x.Reset(n)
+		for k, i := range y.Ind {
+			if res.Levels[i] < 0 {
+				res.Levels[i] = level
+				res.Parents[i] = sparse.Index(y.Val[k])
+				x.Append(i, float64(i))
+			}
+		}
+	}
+	return res
+}
+
+// BFSMasked is BFS with the visited-set filter pushed into the multiply
+// (mask complement semantics: visited vertices are excluded during the
+// merge step instead of being filtered afterwards). It requires an
+// engine with mask support and demonstrates the §V GraphBLAS masking
+// extension.
+func BFSMasked(mult MaskedMultiplier, n sparse.Index, source sparse.Index) *BFSResult {
+	res := &BFSResult{
+		Parents: make([]sparse.Index, n),
+		Levels:  make([]int32, n),
+	}
+	for i := range res.Parents {
+		res.Parents[i] = -1
+		res.Levels[i] = -1
+	}
+	if source < 0 || source >= n {
+		return res
+	}
+	res.Parents[source] = source
+	res.Levels[source] = 0
+
+	visited := sparse.NewBitVec(n)
+	x := sparse.NewSpVec(n, 1)
+	x.Append(source, float64(source))
+	visited.SetFrom(x)
+	y := sparse.NewSpVec(n, 0)
+
+	for level := int32(1); x.NNZ() > 0; level++ {
+		res.FrontierSizes = append(res.FrontierSizes, x.NNZ())
+		mult.MultiplyMasked(x, y, semiring.MinSelect2nd, visited, true)
+		// Every entry of y is unvisited by construction.
+		x.Reset(n)
+		for k, i := range y.Ind {
+			res.Levels[i] = level
+			res.Parents[i] = sparse.Index(y.Val[k])
+			x.Append(i, float64(i))
+		}
+		visited.SetFrom(x)
+	}
+	return res
+}
+
+// ValidateBFS checks a BFS result against the graph: parents form a
+// tree rooted at source whose edges exist in the graph, levels are
+// consistent along tree edges, and the reached set matches reachability.
+// It returns a non-nil error description on the first inconsistency.
+func ValidateBFS(a *sparse.CSC, source sparse.Index, res *BFSResult) string {
+	want, _, _ := sparse.BFSLevels(a, source)
+	for v := sparse.Index(0); v < a.NumCols; v++ {
+		if want[v] != res.Levels[v] {
+			return "level mismatch"
+		}
+		if res.Levels[v] > 0 {
+			p := res.Parents[v]
+			if p < 0 {
+				return "reached vertex without parent"
+			}
+			if res.Levels[p] != res.Levels[v]-1 {
+				return "parent level not one less"
+			}
+			if a.At(v, p) == 0 {
+				return "parent edge not in graph"
+			}
+		}
+	}
+	return ""
+}

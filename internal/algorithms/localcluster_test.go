@@ -1,0 +1,123 @@
+package algorithms
+
+import (
+	"math"
+	"testing"
+
+	"spmspv/internal/core"
+	"spmspv/internal/graphgen"
+	"spmspv/internal/sparse"
+)
+
+// twoCliques builds two k-cliques joined by a single bridge edge — the
+// canonical low-conductance structure a local clustering algorithm must
+// find.
+func twoCliques(t *testing.T, k int) *sparse.CSC {
+	t.Helper()
+	n := sparse.Index(2 * k)
+	tr := sparse.NewTriples(n, n, 2*k*k)
+	for a := 0; a < k; a++ {
+		for b := a + 1; b < k; b++ {
+			tr.AppendSymmetric(sparse.Index(a), sparse.Index(b), 1)
+			tr.AppendSymmetric(sparse.Index(k+a), sparse.Index(k+b), 1)
+		}
+	}
+	tr.AppendSymmetric(0, sparse.Index(k), 1) // the bridge
+	g, err := sparse.NewCSCFromTriples(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestACLFindsPlantedCluster(t *testing.T) {
+	const k = 20
+	g := twoCliques(t, k)
+	eng := core.NewMultiplier(g, core.Options{Threads: 4, SortOutput: true})
+	res := ACL(eng, Degrees(g), 5, ACLOptions{Epsilon: 1e-7})
+
+	if len(res.Cluster) == 0 {
+		t.Fatal("no cluster found")
+	}
+	// The sweep cut must recover (a superset-free portion of) the
+	// seed's clique: all members on the seed side, conductance equal to
+	// the single bridge edge over the clique volume.
+	inFirst := 0
+	for _, v := range res.Cluster {
+		if v < k {
+			inFirst++
+		}
+	}
+	if inFirst != len(res.Cluster) {
+		t.Errorf("cluster crossed the bridge: %d of %d members in seed clique",
+			inFirst, len(res.Cluster))
+	}
+	if len(res.Cluster) < k/2 {
+		t.Errorf("cluster too small: %d of %d clique members", len(res.Cluster), k)
+	}
+	if res.Conductance > 0.2 {
+		t.Errorf("conductance %.3f too high for a planted clique", res.Conductance)
+	}
+}
+
+func TestACLMassConservation(t *testing.T) {
+	g := graphgen.TriangularMesh(15, 15, 3)
+	eng := core.NewMultiplier(g, core.Options{Threads: 2, SortOutput: true})
+	res := ACL(eng, Degrees(g), 7, ACLOptions{Epsilon: 1e-9})
+	// With a tiny epsilon nearly all mass converts to PPR: the total
+	// must approach 1 and never exceed it (residuals are nonnegative).
+	var total float64
+	for _, mass := range res.PPR {
+		if mass < 0 {
+			t.Fatal("negative PPR mass")
+		}
+		total += mass
+	}
+	if total > 1+1e-9 {
+		t.Errorf("PPR mass %g exceeds 1", total)
+	}
+	if total < 0.95 {
+		t.Errorf("PPR mass %g too low for epsilon=1e-9", total)
+	}
+	if res.Rounds == 0 || len(res.ActiveCounts) != res.Rounds {
+		t.Errorf("round bookkeeping: %d rounds, %d counts", res.Rounds, len(res.ActiveCounts))
+	}
+}
+
+func TestACLSeedOutOfRange(t *testing.T) {
+	g := graphgen.Grid2D(4, 4)
+	eng := core.NewMultiplier(g, core.Options{})
+	res := ACL(eng, Degrees(g), -1, ACLOptions{})
+	if len(res.PPR) != 0 || len(res.Cluster) != 0 {
+		t.Error("out-of-range seed should produce empty result")
+	}
+	if !math.IsInf(res.Conductance, 1) {
+		t.Error("empty result should have infinite conductance")
+	}
+}
+
+func TestACLIsolatedSeed(t *testing.T) {
+	tr := sparse.NewTriples(5, 5, 2)
+	tr.AppendSymmetric(0, 1, 1)
+	g, err := sparse.NewCSCFromTriples(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := core.NewMultiplier(g, core.Options{})
+	// Vertex 4 is isolated: all mass should settle on it as PPR.
+	res := ACL(eng, Degrees(g), 4, ACLOptions{})
+	if math.Abs(res.PPR[4]-1) > 1e-12 {
+		t.Errorf("isolated seed PPR = %g, want 1", res.PPR[4])
+	}
+}
+
+func TestDegrees(t *testing.T) {
+	g := twoCliques(t, 4)
+	d := Degrees(g)
+	if d[0] != 4 { // 3 clique edges + bridge
+		t.Errorf("deg(0) = %d, want 4", d[0])
+	}
+	if d[1] != 3 {
+		t.Errorf("deg(1) = %d, want 3", d[1])
+	}
+}

@@ -1,0 +1,180 @@
+package baselines
+
+import (
+	"spmspv/internal/par"
+	"spmspv/internal/perf"
+	"spmspv/internal/radix"
+	"spmspv/internal/semiring"
+	"spmspv/internal/sparse"
+)
+
+// CombBLASSPA reimplements the CombBLAS-SPA algorithm of Table I: the
+// matrix is split row-wise into t DCSC pieces ahead of time; each thread
+// scans the entire input vector, pulls its piece's fragment of every
+// selected column, and accumulates into a private SPA covering its own
+// row range.
+//
+// Two properties make it work-inefficient, and both are reproduced
+// here: every thread reads all f input nonzeros (O(t·f) total — the
+// term that kills scalability once t exceeds the average degree d), and
+// the SPA is fully initialized on every call (O(m) total — the term
+// that dominates for very sparse inputs, paper §IV-C). Set FullInit to
+// false for the ablation that removes the second cost.
+type CombBLASSPA struct {
+	pieces []*sparse.DCSC
+	m, n   sparse.Index
+	t      int
+
+	spaVal  [][]float64
+	spaTag  [][]uint32
+	epochs  []uint32
+	touched [][]sparse.Index
+	scratch [][]sparse.Index
+	outOff  []int64
+
+	// FullInit selects the paper-faithful full SPA initialization
+	// (default true).
+	FullInit bool
+
+	// PerWorker holds one work counter per thread.
+	PerWorker []perf.Counters
+}
+
+// NewCombBLASSPA builds the row-split structure for t threads (≤ 0
+// means GOMAXPROCS).
+func NewCombBLASSPA(a *sparse.CSC, t int) *CombBLASSPA {
+	t = par.Threads(t)
+	c := &CombBLASSPA{
+		pieces:    sparse.RowSplit(a, t),
+		m:         a.NumRows,
+		n:         a.NumCols,
+		t:         t,
+		spaVal:    make([][]float64, t),
+		spaTag:    make([][]uint32, t),
+		epochs:    make([]uint32, t),
+		touched:   make([][]sparse.Index, t),
+		scratch:   make([][]sparse.Index, t),
+		outOff:    make([]int64, t+1),
+		FullInit:  true,
+		PerWorker: make([]perf.Counters, t),
+	}
+	for w, d := range c.pieces {
+		c.spaVal[w] = make([]float64, d.NumRows)
+		c.spaTag[w] = make([]uint32, d.NumRows)
+	}
+	return c
+}
+
+// Multiply computes y ← A·x. The output is sorted (CombBLAS keeps its
+// vectors ordered, paper §IV-B).
+func (c *CombBLASSPA) Multiply(x, y *sparse.SpVec, sr semiring.Semiring) {
+	y.Reset(c.m)
+	par.ForStatic(c.t, c.t, func(_, lo, hi int) {
+		for w := lo; w < hi; w++ {
+			c.multiplyPiece(w, x, sr)
+		}
+	})
+
+	var total int64
+	for w := 0; w < c.t; w++ {
+		c.outOff[w] = total
+		total += int64(len(c.touched[w]))
+	}
+	c.outOff[c.t] = total
+	if int64(cap(y.Ind)) < total {
+		y.Ind = make([]sparse.Index, total)
+		y.Val = make([]float64, total)
+	} else {
+		y.Ind = y.Ind[:total]
+		y.Val = y.Val[:total]
+	}
+	par.ForStatic(c.t, c.t, func(_, lo, hi int) {
+		for w := lo; w < hi; w++ {
+			off := c.outOff[w]
+			rowOff := c.pieces[w].RowOffset
+			vals := c.spaVal[w]
+			for i, li := range c.touched[w] {
+				y.Ind[off+int64(i)] = li + rowOff
+				y.Val[off+int64(i)] = vals[li]
+			}
+			c.PerWorker[w].OutputWritten += int64(len(c.touched[w]))
+		}
+	})
+	// Pieces cover increasing row ranges and each piece's indices are
+	// sorted, so the concatenation is globally sorted.
+	y.Sorted = true
+}
+
+func (c *CombBLASSPA) multiplyPiece(w int, x *sparse.SpVec, sr semiring.Semiring) {
+	d := c.pieces[w]
+	ctr := &c.PerWorker[w]
+	vals := c.spaVal[w]
+	tags := c.spaTag[w]
+
+	if c.FullInit {
+		// The CombBLAS-SPA discipline: wipe the whole private SPA.
+		for i := range vals {
+			vals[i] = sr.Zero
+		}
+		for i := range tags {
+			tags[i] = 0
+		}
+		c.epochs[w] = 1
+		ctr.SPAInit += int64(len(vals)) * 2
+	} else {
+		c.epochs[w]++
+		if c.epochs[w] == 0 {
+			for i := range tags {
+				tags[i] = 0
+			}
+			c.epochs[w] = 1
+		}
+	}
+	epoch := c.epochs[w]
+	touched := c.touched[w][:0]
+
+	add, mul := sr.Add, sr.Mul
+	// Every thread scans the entire input vector — the O(t·f) term.
+	for k, j := range x.Ind {
+		pos, ok := d.FindCol(j)
+		if !ok {
+			continue
+		}
+		rows, mvals := d.ColAt(pos)
+		xv := x.Val[k]
+		for e, i := range rows {
+			v := mul(mvals[e], xv)
+			if tags[i] != epoch {
+				tags[i] = epoch
+				vals[i] = v
+				touched = append(touched, i)
+				if !c.FullInit {
+					ctr.SPAInit++
+				}
+			} else {
+				vals[i] = add(vals[i], v)
+				ctr.SPAUpdates++
+			}
+		}
+		ctr.MatrixTouched += int64(len(rows))
+	}
+	ctr.XScanned += int64(len(x.Ind))
+	ctr.ColumnsProbed += int64(len(x.Ind))
+
+	c.scratch[w] = radix.SortIndices(touched, c.scratch[w])
+	ctr.SortedElems += int64(len(touched))
+	c.touched[w] = touched
+}
+
+// Counters aggregates per-worker work since the last reset.
+func (c *CombBLASSPA) Counters() perf.Counters { return perf.MergeAll(c.PerWorker) }
+
+// ResetCounters zeroes the work counters.
+func (c *CombBLASSPA) ResetCounters() {
+	for i := range c.PerWorker {
+		c.PerWorker[i].Reset()
+	}
+}
+
+// Name identifies the algorithm in benchmark tables.
+func (c *CombBLASSPA) Name() string { return "CombBLAS-SPA" }

@@ -1,0 +1,159 @@
+package baselines
+
+import (
+	"spmspv/internal/par"
+	"spmspv/internal/perf"
+	"spmspv/internal/radix"
+	"spmspv/internal/semiring"
+	"spmspv/internal/sparse"
+)
+
+// SortBased reimplements the SpMSpV-sort algorithm of Yang et al.
+// (Table I: "concatenate, sort and prune"): all df scaled entries of the
+// selected columns are gathered into one array, sorted by row index with
+// a parallel radix sort, and adjacent duplicates are reduced. The
+// O(df·lg df) sorting work is its handicap; its upside is a naturally
+// sorted output and no per-thread matrix partitioning.
+type SortBased struct {
+	a *sparse.CSC
+	t int
+
+	entries []sparse.Entry
+	scratch []sparse.Entry
+	xcum    []int64
+	offs    []int64
+
+	outInd [][]sparse.Index
+	outVal [][]float64
+	outOff []int64
+
+	// PerWorker holds one work counter per thread.
+	PerWorker []perf.Counters
+}
+
+// NewSortBased returns a sort-based multiplier for t threads (≤ 0 means
+// GOMAXPROCS).
+func NewSortBased(a *sparse.CSC, t int) *SortBased {
+	t = par.Threads(t)
+	return &SortBased{
+		a:         a,
+		t:         t,
+		offs:      make([]int64, t+1),
+		outInd:    make([][]sparse.Index, t),
+		outVal:    make([][]float64, t),
+		outOff:    make([]int64, t+1),
+		PerWorker: make([]perf.Counters, t),
+	}
+}
+
+// Multiply computes y ← A·x; the output is sorted.
+func (s *SortBased) Multiply(x, y *sparse.SpVec, sr semiring.Semiring) {
+	y.Reset(s.a.NumRows)
+	f := len(x.Ind)
+	if f == 0 {
+		return
+	}
+	t := s.t
+	if t > f {
+		t = f
+	}
+
+	// Concatenate: gather all scaled entries, each worker writing a
+	// contiguous region sized by the cumulative column weights.
+	s.xcum = s.a.CumulativeColWeights(x.Ind, s.xcum)
+	total := s.xcum[f]
+	ranges := par.SplitByWeight(s.xcum, t)
+	if int64(cap(s.entries)) < total {
+		s.entries = make([]sparse.Entry, total)
+	}
+	ents := s.entries[:total]
+	mul := sr.Mul
+	par.ForRanges(ranges, func(w, lo, hi int) {
+		ctr := &s.PerWorker[w]
+		pos := s.xcum[lo]
+		for k := lo; k < hi; k++ {
+			j, xv := x.Ind[k], x.Val[k]
+			rows, vals := s.a.Col(j)
+			for e, i := range rows {
+				ents[pos] = sparse.Entry{Ind: i, Val: mul(vals[e], xv)}
+				pos++
+			}
+			ctr.MatrixTouched += int64(len(rows))
+		}
+		ctr.XScanned += int64(hi - lo)
+	})
+
+	// Sort by row index.
+	s.scratch = radix.ParallelSortEntries(ents, s.scratch, t)
+	s.PerWorker[0].SortedElems += total
+
+	// Prune: segmented reduction over runs of equal row ids. Worker
+	// boundaries are pushed forward to run starts so every run belongs
+	// to exactly one worker.
+	bounds := make([]int64, t+1)
+	for w := 0; w <= t; w++ {
+		b := int64(w) * total / int64(t)
+		for b > 0 && b < total && ents[b].Ind == ents[b-1].Ind {
+			b++
+		}
+		bounds[w] = b
+	}
+	par.ForStatic(t, t, func(_, wlo, whi int) {
+		for w := wlo; w < whi; w++ {
+			ctr := &s.PerWorker[w]
+			outInd := s.outInd[w][:0]
+			outVal := s.outVal[w][:0]
+			lo, hi := bounds[w], bounds[w+1]
+			for k := lo; k < hi; {
+				row := ents[k].Ind
+				acc := ents[k].Val
+				k++
+				for k < hi && ents[k].Ind == row {
+					acc = sr.Add(acc, ents[k].Val)
+					k++
+					ctr.SPAUpdates++
+				}
+				outInd = append(outInd, row)
+				outVal = append(outVal, acc)
+			}
+			s.outInd[w] = outInd
+			s.outVal[w] = outVal
+		}
+	})
+
+	var outTotal int64
+	for w := 0; w < t; w++ {
+		s.outOff[w] = outTotal
+		outTotal += int64(len(s.outInd[w]))
+	}
+	s.outOff[t] = outTotal
+	if int64(cap(y.Ind)) < outTotal {
+		y.Ind = make([]sparse.Index, outTotal)
+		y.Val = make([]float64, outTotal)
+	} else {
+		y.Ind = y.Ind[:outTotal]
+		y.Val = y.Val[:outTotal]
+	}
+	par.ForStatic(t, t, func(_, wlo, whi int) {
+		for w := wlo; w < whi; w++ {
+			off := s.outOff[w]
+			copy(y.Ind[off:], s.outInd[w])
+			copy(y.Val[off:], s.outVal[w])
+			s.PerWorker[w].OutputWritten += int64(len(s.outInd[w]))
+		}
+	})
+	y.Sorted = true
+}
+
+// Counters aggregates per-worker work since the last reset.
+func (s *SortBased) Counters() perf.Counters { return perf.MergeAll(s.PerWorker) }
+
+// ResetCounters zeroes the work counters.
+func (s *SortBased) ResetCounters() {
+	for i := range s.PerWorker {
+		s.PerWorker[i].Reset()
+	}
+}
+
+// Name identifies the algorithm in benchmark tables.
+func (s *SortBased) Name() string { return "SpMSpV-sort" }

@@ -1,0 +1,156 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"spmspv/internal/baselines"
+	"spmspv/internal/core"
+	"spmspv/internal/graphgen"
+	"spmspv/internal/perf"
+	"spmspv/internal/semiring"
+	"spmspv/internal/sparse"
+)
+
+// Ablation sweeps the design choices the paper calls out in §III-A:
+// buckets per thread (load balancing), the thread-private staging
+// buffer (cache efficiency), dynamic versus static merge scheduling,
+// the ∞-sentinel versus epoch-tag merge, and the even versus
+// nonzero-weighted Step-1 split (§III-B). Each variant is timed on the
+// ljournal stand-in at a sparse and a dense frontier.
+func Ablation(w io.Writer, cfg Config) {
+	a := ljournal(cfg.Scale)
+	n := int(a.NumCols)
+	frontiers := CaptureFrontiers(a, cfg.Source)
+	tmax := cfg.Threads[len(cfg.Threads)-1]
+
+	variants := []struct {
+		name string
+		opt  core.Options
+	}{
+		{"default (4 buckets/thread)", core.Options{SortOutput: true}},
+		{"1 bucket/thread", core.Options{SortOutput: true, BucketsPerThread: 1}},
+		{"2 buckets/thread", core.Options{SortOutput: true, BucketsPerThread: 2}},
+		{"8 buckets/thread", core.Options{SortOutput: true, BucketsPerThread: 8}},
+		{"16 buckets/thread", core.Options{SortOutput: true, BucketsPerThread: 16}},
+		{"staging buffer 32", core.Options{SortOutput: true, StagingEntries: 32}},
+		{"staging buffer 256", core.Options{SortOutput: true, StagingEntries: 256}},
+		{"static merge sched", core.Options{SortOutput: true, MergeSched: core.SchedStatic}},
+		{"∞-sentinel merge", core.Options{SortOutput: true, UseInfSentinel: true}},
+		{"even x split", core.Options{SortOutput: true, SplitEvenly: true}},
+		{"unsorted output", core.Options{SortOutput: false}},
+	}
+
+	for _, target := range []int{n / 500, n * 47 / 100} {
+		x := FrontierWithNNZ(frontiers, target)
+		if x == nil {
+			continue
+		}
+		tbl := NewTable(
+			fmt.Sprintf("Ablation (§III-A/B design choices): ljournal stand-in, nnz(x)=%d, t=%d",
+				x.NNZ(), tmax),
+			"variant", "time(ms)", "vs default", "sync events")
+		var base Measurement
+		for i, v := range variants {
+			m := TimeMultiply(BucketEngine(v.opt), a, x, tmax, cfg.Reps)
+			if i == 0 {
+				base = m
+			}
+			tbl.AddRow(v.name, Ms(m.Elapsed), Speedup(base.Elapsed, m.Elapsed),
+				fmt.Sprint(m.Work.SyncEvents))
+		}
+		tbl.Render(w)
+		fmt.Fprintln(w)
+	}
+}
+
+// HybridEngine picks per call between the vector-driven bucket
+// algorithm and the matrix-driven GraphMat algorithm based on input
+// density — the switch the paper names as future work in §V ("we will
+// investigate when and if it is beneficial to switch to a matrix-driven
+// algorithm"). The threshold is the fraction of columns that must be
+// active before the matrix-driven side is used.
+type HybridEngine struct {
+	bucket    *core.Multiplier
+	matrix    *baselines.GraphMat
+	threshold float64
+	n         sparse.Index
+	switches  int64
+}
+
+// NewHybridEngine builds both sides; threshold is the nnz(x)/n fraction
+// above which the matrix-driven algorithm runs.
+func NewHybridEngine(a *sparse.CSC, threads int, threshold float64) *HybridEngine {
+	return &HybridEngine{
+		bucket:    core.NewMultiplier(a, core.Options{Threads: threads, SortOutput: true}),
+		matrix:    baselines.NewGraphMat(a, threads),
+		threshold: threshold,
+		n:         a.NumCols,
+	}
+}
+
+// Multiply dispatches on input density.
+func (h *HybridEngine) Multiply(x, y *sparse.SpVec, sr semiring.Semiring) {
+	if float64(x.NNZ()) >= h.threshold*float64(h.n) {
+		h.switches++
+		h.matrix.Multiply(x, y, sr)
+		return
+	}
+	h.bucket.Multiply(x, y, sr)
+}
+
+// Counters merges both sides' work.
+func (h *HybridEngine) Counters() perf.Counters {
+	c := h.bucket.Counters()
+	mc := h.matrix.Counters()
+	c.Merge(&mc)
+	return c
+}
+
+// ResetCounters zeroes both sides.
+func (h *HybridEngine) ResetCounters() {
+	h.bucket.ResetCounters()
+	h.matrix.ResetCounters()
+	h.switches = 0
+}
+
+// Switches reports how many calls took the matrix-driven path.
+func (h *HybridEngine) Switches() int64 { return h.switches }
+
+// Name identifies the engine in tables.
+func (h *HybridEngine) Name() string { return "Hybrid" }
+
+// Hybrid evaluates the §V direction-switch extension: BFS SpMSpV time
+// for bucket-only, GraphMat-only and the hybrid at several thresholds.
+func Hybrid(w io.Writer, cfg Config) {
+	p, _ := graphgen.FindProblem("rmat-ljournal")
+	a := p.Build(cfg.Scale)
+	frontiers := CaptureFrontiers(a, cfg.Source)
+	tmax := cfg.Threads[len(cfg.Threads)-1]
+
+	tbl := NewTable(
+		fmt.Sprintf("Extension (§V): hybrid vector/matrix-driven switch, BFS on ljournal stand-in, t=%d", tmax),
+		"engine", "threshold", "BFS SpMSpV(ms)", "matrix-driven calls")
+	bucketSpec := AllEngines()[0]
+	m := TimeBFS(bucketSpec, a, frontiers, tmax, cfg.Reps)
+	tbl.AddRow("bucket only", "-", Ms(m.Elapsed), "0")
+	gm := AllEngines()[3]
+	m = TimeBFS(gm, a, frontiers, tmax, cfg.Reps)
+	tbl.AddRow("GraphMat only", "-", Ms(m.Elapsed), fmt.Sprint(len(frontiers)))
+
+	for _, th := range []float64{0.01, 0.05, 0.1, 0.25} {
+		spec := EngineSpec{Name: "Hybrid", Build: func(a *sparse.CSC, t int) Engine {
+			return NewHybridEngine(a, t, th)
+		}}
+		eng := spec.Build(a, tmax).(*HybridEngine)
+		y := sparse.NewSpVec(0, 0)
+		for _, x := range frontiers {
+			eng.Multiply(x, y, semiring.MinSelect2nd)
+		}
+		switches := eng.Switches()
+		m := TimeBFS(spec, a, frontiers, tmax, cfg.Reps)
+		tbl.AddRow("hybrid", fmt.Sprintf("%.2f", th), Ms(m.Elapsed), fmt.Sprint(switches))
+	}
+	tbl.Render(w)
+	fmt.Fprintln(w)
+}

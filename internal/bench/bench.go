@@ -1,0 +1,265 @@
+// Package bench is the experiment harness that regenerates every table
+// and figure of the paper's evaluation section (§IV). It provides the
+// engine registry, BFS frontier capture for vector-sparsity sweeps,
+// strong-scaling runners, and plain-text table/series formatters whose
+// rows mirror what the paper plots.
+//
+// Wall-clock numbers depend on the host; the harness therefore reports,
+// next to every timing, the aggregated work counters of perf.Counters,
+// which reproduce the paper's work-efficiency comparisons exactly on
+// any machine (see DESIGN.md §2 for the substitution rationale).
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"spmspv/internal/algorithms"
+	"spmspv/internal/baselines"
+	"spmspv/internal/core"
+	"spmspv/internal/perf"
+	"spmspv/internal/semiring"
+	"spmspv/internal/sparse"
+)
+
+// Engine is the uniform handle the harness drives: a named SpMSpV
+// implementation with work counters.
+type Engine interface {
+	Multiply(x, y *sparse.SpVec, sr semiring.Semiring)
+	Counters() perf.Counters
+	ResetCounters()
+	Name() string
+}
+
+// EngineSpec names an algorithm and builds an instance bound to a
+// matrix and thread count. Construction cost (row-splitting, workspace
+// allocation) is setup, excluded from timings — as in the paper, which
+// pre-splits matrices for CombBLAS/GraphMat and preallocates buckets for
+// SpMSpV-bucket (§III-A).
+type EngineSpec struct {
+	Name  string
+	Build func(a *sparse.CSC, threads int) Engine
+}
+
+// AllEngines returns the four algorithms of the paper's comparison
+// (Fig. 3/4), bucket first.
+func AllEngines() []EngineSpec {
+	return []EngineSpec{
+		{Name: "SpMSpV-bucket", Build: func(a *sparse.CSC, t int) Engine {
+			return core.NewMultiplier(a, core.Options{Threads: t, SortOutput: true})
+		}},
+		{Name: "CombBLAS-SPA", Build: func(a *sparse.CSC, t int) Engine {
+			return baselines.NewCombBLASSPA(a, t)
+		}},
+		{Name: "CombBLAS-heap", Build: func(a *sparse.CSC, t int) Engine {
+			return baselines.NewCombBLASHeap(a, t)
+		}},
+		{Name: "GraphMat", Build: func(a *sparse.CSC, t int) Engine {
+			return baselines.NewGraphMat(a, t)
+		}},
+	}
+}
+
+// BucketEngine returns just the paper's algorithm (for Figs. 2 and 6).
+func BucketEngine(opt core.Options) EngineSpec {
+	name := "SpMSpV-bucket"
+	if !opt.SortOutput {
+		name += "-unsorted"
+	}
+	return EngineSpec{Name: name, Build: func(a *sparse.CSC, t int) Engine {
+		o := opt
+		o.Threads = t
+		return core.NewMultiplier(a, o)
+	}}
+}
+
+// CaptureFrontiers runs a BFS from source with the bucket engine and
+// returns every frontier vector — the replay workload of Fig. 3, whose
+// sparse vectors "represent frontiers in a BFS" (paper §IV-C).
+func CaptureFrontiers(a *sparse.CSC, source sparse.Index) []*sparse.SpVec {
+	eng := core.NewMultiplier(a, core.Options{SortOutput: true})
+	res := algorithms.BFS(eng, a.NumCols, source, true)
+	return res.Frontiers
+}
+
+// FrontierWithNNZ picks from frontiers the one whose nnz is closest to
+// the target (for the paper's "nnz(x) = 10K / 2.5M" selections).
+func FrontierWithNNZ(frontiers []*sparse.SpVec, target int) *sparse.SpVec {
+	var best *sparse.SpVec
+	bestDiff := int(^uint(0) >> 1)
+	for _, fr := range frontiers {
+		diff := fr.NNZ() - target
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff < bestDiff {
+			bestDiff = diff
+			best = fr
+		}
+	}
+	return best
+}
+
+// Measurement is one timed SpMSpV configuration.
+type Measurement struct {
+	Engine   string
+	Threads  int
+	NNZX     int
+	NNZY     int
+	Elapsed  time.Duration // per multiply (averaged over reps)
+	Work     perf.Counters // per multiply (averaged over reps)
+	Steps    perf.StepTimes
+	HasSteps bool
+}
+
+// TimeMultiply measures one engine on one vector: reps repetitions
+// after one untimed warmup, reporting average latency and per-call work.
+func TimeMultiply(spec EngineSpec, a *sparse.CSC, x *sparse.SpVec, threads, reps int) Measurement {
+	eng := spec.Build(a, threads)
+	y := sparse.NewSpVec(0, 0)
+	eng.Multiply(x, y, semiring.Arithmetic) // warmup; also sizes buffers
+	eng.ResetCounters()
+	start := time.Now()
+	for r := 0; r < reps; r++ {
+		eng.Multiply(x, y, semiring.Arithmetic)
+	}
+	elapsed := time.Since(start) / time.Duration(reps)
+	work := eng.Counters()
+	divideCounters(&work, int64(reps))
+
+	m := Measurement{
+		Engine:  spec.Name,
+		Threads: threads,
+		NNZX:    x.NNZ(),
+		NNZY:    y.NNZ(),
+		Elapsed: elapsed,
+		Work:    work,
+	}
+	if bm, ok := eng.(*core.Multiplier); ok {
+		m.Steps = bm.Steps()
+		m.HasSteps = true
+	}
+	return m
+}
+
+// TimeBFS measures the total SpMSpV time of a full BFS ("we only report
+// the runtime of SpMSpVs in all iterations omitting other costs of the
+// BFS", paper §IV-D): the frontiers are captured once, then replayed
+// against the engine under timing.
+func TimeBFS(spec EngineSpec, a *sparse.CSC, frontiers []*sparse.SpVec, threads, reps int) Measurement {
+	eng := spec.Build(a, threads)
+	y := sparse.NewSpVec(0, 0)
+	// Warmup pass over all frontiers.
+	for _, x := range frontiers {
+		eng.Multiply(x, y, semiring.MinSelect2nd)
+	}
+	eng.ResetCounters()
+	start := time.Now()
+	for r := 0; r < reps; r++ {
+		for _, x := range frontiers {
+			eng.Multiply(x, y, semiring.MinSelect2nd)
+		}
+	}
+	elapsed := time.Since(start) / time.Duration(reps)
+	work := eng.Counters()
+	divideCounters(&work, int64(reps))
+	var nnzx int
+	for _, x := range frontiers {
+		nnzx += x.NNZ()
+	}
+	return Measurement{
+		Engine:  spec.Name,
+		Threads: threads,
+		NNZX:    nnzx,
+		Elapsed: elapsed,
+		Work:    work,
+	}
+}
+
+func divideCounters(c *perf.Counters, n int64) {
+	if n <= 1 {
+		return
+	}
+	c.XScanned /= n
+	c.ColumnsProbed /= n
+	c.MatrixTouched /= n
+	c.SPAInit /= n
+	c.SPAUpdates /= n
+	c.BucketWrites /= n
+	c.HeapOps /= n
+	c.SortedElems /= n
+	c.OutputWritten /= n
+	c.SyncEvents /= n
+}
+
+// Table accumulates rows and renders fixed-width plain text.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable returns a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends one formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Render writes the table with aligned columns.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintf(w, "  %s\n", strings.Join(parts, "  "))
+	}
+	line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Ms formats a duration in fractional milliseconds, the unit of every
+// figure in the paper.
+func Ms(d time.Duration) string {
+	return fmt.Sprintf("%.3f", float64(d.Nanoseconds())/1e6)
+}
+
+// Speedup formats base/cur as "N.NNx".
+func Speedup(base, cur time.Duration) string {
+	if cur <= 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.2fx", float64(base)/float64(cur))
+}

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"spmspv/internal/baselines"
+	"spmspv/internal/semiring"
+	"spmspv/internal/sparse"
+	"spmspv/internal/testutil"
+)
+
+// FuzzMultiplyMatchesReference drives the bucket algorithm with
+// fuzzer-chosen shapes, densities, thread counts and option bits, and
+// checks the result against the sequential oracle. The fuzzer explores
+// the configuration space (bucket-count rounding, range splitting,
+// staging flushes) far beyond the hand-picked test matrix.
+func FuzzMultiplyMatchesReference(f *testing.F) {
+	f.Add(int64(1), uint16(100), uint16(100), uint8(4), uint8(2), uint8(0))
+	f.Add(int64(2), uint16(1), uint16(1), uint8(1), uint8(1), uint8(7))
+	f.Add(int64(3), uint16(3000), uint16(17), uint8(30), uint8(8), uint8(3))
+	f.Add(int64(4), uint16(17), uint16(3000), uint8(2), uint8(16), uint8(5))
+	f.Fuzz(func(t *testing.T, seed int64, m16, n16 uint16, deg, threads, bits uint8) {
+		m := sparse.Index(m16%4000 + 1)
+		n := sparse.Index(n16%4000 + 1)
+		d := float64(deg%32) + 0.5
+		tcount := int(threads%16) + 1
+
+		rng := rand.New(rand.NewSource(seed))
+		a := testutil.RandomCSC(rng, m, n, d)
+		f64 := rng.Intn(int(n) + 1)
+		x := testutil.RandomVector(rng, n, f64, bits&1 != 0)
+
+		opt := Options{
+			Threads:        tcount,
+			SortOutput:     bits&2 != 0,
+			UseInfSentinel: bits&4 != 0,
+			SplitEvenly:    bits&8 != 0,
+		}
+		if bits&16 != 0 {
+			opt.StagingEntries = 8
+		}
+		if bits&32 != 0 {
+			opt.BucketsPerThread = 1
+		}
+		if bits&64 != 0 {
+			opt.MergeSched = SchedStatic
+		}
+
+		ws := NewWorkspace(0, 0)
+		y := sparse.NewSpVec(0, 0)
+		Multiply(a, x, y, semiring.Arithmetic, ws, opt)
+		want := baselines.Reference(a, x, semiring.Arithmetic)
+		if !y.EqualValues(want, 1e-9) {
+			t.Fatalf("mismatch: m=%d n=%d d=%g f=%d opts=%+v", m, n, d, f64, opt)
+		}
+		if opt.SortOutput {
+			if err := y.Validate(); err != nil {
+				t.Fatalf("invalid sorted output: %v", err)
+			}
+		}
+		// Reuse the same workspace once more to catch state leaks.
+		Multiply(a, x, y, semiring.Arithmetic, ws, opt)
+		if !y.EqualValues(want, 1e-9) {
+			t.Fatal("second call with reused workspace diverged")
+		}
+	})
+}

@@ -1,0 +1,49 @@
+package core
+
+import (
+	"spmspv/internal/perf"
+	"spmspv/internal/semiring"
+	"spmspv/internal/sparse"
+)
+
+// Multiplier binds a matrix, a reusable workspace and options into the
+// uniform Multiply(x, y, sr) shape that the baselines also implement, so
+// graph algorithms and the benchmark harness can treat all SpMSpV
+// engines interchangeably.
+type Multiplier struct {
+	A   *sparse.CSC
+	WS  *Workspace
+	Opt Options
+}
+
+// NewMultiplier returns a bucket-algorithm multiplier for a with a fresh
+// workspace pre-sized for the matrix.
+func NewMultiplier(a *sparse.CSC, opt Options) *Multiplier {
+	return &Multiplier{
+		A:   a,
+		WS:  NewWorkspace(a.NumRows, 0),
+		Opt: opt,
+	}
+}
+
+// Multiply computes y ← A·x over sr with the SpMSpV-bucket algorithm.
+func (mu *Multiplier) Multiply(x, y *sparse.SpVec, sr semiring.Semiring) {
+	Multiply(mu.A, x, y, sr, mu.WS, mu.Opt)
+}
+
+// MultiplyMasked computes the masked product (see MultiplyMasked).
+func (mu *Multiplier) MultiplyMasked(x, y *sparse.SpVec, sr semiring.Semiring, mask *sparse.BitVec, complement bool) {
+	MultiplyMasked(mu.A, x, y, sr, mask, complement, mu.WS, mu.Opt)
+}
+
+// Counters aggregates the work performed since the last ResetCounters.
+func (mu *Multiplier) Counters() perf.Counters { return mu.WS.TotalCounters() }
+
+// ResetCounters zeroes the accumulated work counters.
+func (mu *Multiplier) ResetCounters() { mu.WS.ResetCounters() }
+
+// Steps returns the per-phase timing breakdown of the most recent call.
+func (mu *Multiplier) Steps() perf.StepTimes { return mu.WS.Steps }
+
+// Name identifies the algorithm in benchmark tables.
+func (mu *Multiplier) Name() string { return "SpMSpV-bucket" }

@@ -1,0 +1,355 @@
+package core
+
+import (
+	"math"
+
+	"spmspv/internal/par"
+	"spmspv/internal/perf"
+	"spmspv/internal/radix"
+	"spmspv/internal/semiring"
+	"spmspv/internal/sparse"
+)
+
+// Multiply computes y ← A·x over the semiring sr using the
+// SpMSpV-bucket algorithm (Algorithms 1 and 2 of the paper). x may be
+// sorted or unsorted; duplicate indices in x contribute additively. y is
+// reset and filled; it comes out sorted iff opt.SortOutput is set. ws
+// must not be shared with concurrent calls.
+func Multiply(a *sparse.CSC, x *sparse.SpVec, y *sparse.SpVec, sr semiring.Semiring, ws *Workspace, opt Options) {
+	multiply(a, x, y, sr, ws, opt, nil, false)
+}
+
+// MultiplyMasked computes y ← ⟨A·x, mask⟩: entries of A·x whose row is
+// not admitted by the mask are dropped during the merge step rather than
+// after the fact. With complement set, rows present in the mask are the
+// ones dropped — the pattern BFS uses to exclude already-visited
+// vertices. Masked SpMSpV is listed as upcoming GraphBLAS work in the
+// paper's §V; this implements the mask-pushdown the paper anticipates.
+func MultiplyMasked(a *sparse.CSC, x *sparse.SpVec, y *sparse.SpVec, sr semiring.Semiring, mask *sparse.BitVec, complement bool, ws *Workspace, opt Options) {
+	multiply(a, x, y, sr, ws, opt, mask, complement)
+}
+
+func multiply(a *sparse.CSC, x *sparse.SpVec, y *sparse.SpVec, sr semiring.Semiring, ws *Workspace, opt Options, mask *sparse.BitVec, maskComplement bool) {
+	opt = opt.withDefaults()
+	m := a.NumRows
+	y.Reset(m)
+	y.Sorted = true
+	f := x.NNZ()
+	if f == 0 || m == 0 {
+		ws.Steps = perf.StepTimes{}
+		return
+	}
+
+	// The paper's parallel analysis assumes t ≤ f; more threads than
+	// input nonzeros cannot be given distinct Step-1 work.
+	t := opt.Threads
+	if t > f {
+		t = f
+	}
+	// Bucket mapping: the paper assigns row i to bucket ⌊i·nb/m⌋. We
+	// round the rows-per-bucket up to a power of two so the mapping is
+	// a shift (i >> bucketShift) instead of two 64-bit divisions per
+	// matrix nonzero — same contiguous row ranges, ≤ the requested
+	// bucket count, measurably faster Steps 1 and 2.
+	nbReq := opt.BucketsPerThread * t
+	shift := uint(0)
+	for int64(m) > int64(nbReq)<<shift {
+		shift++
+	}
+	nb := int((int64(m) + (int64(1) << shift) - 1) >> shift)
+	if nb < 1 {
+		nb = 1
+	}
+	ws.ensure(m, t, nb)
+
+	var timer perf.Timer
+	timer.Start()
+
+	// Partition the f input nonzeros among t workers. The default
+	// weights each x entry by its column's nonzero count — the §III-B
+	// fix that keeps the span low when a few columns are huge.
+	if opt.SplitEvenly {
+		ws.ranges = par.EvenRangesInto(f, t, ws.ranges)
+	} else {
+		ws.xcum = a.CumulativeColWeights(x.Ind, ws.xcum)
+		ws.ranges = par.SplitByWeightInto(ws.xcum, t, ws.ranges)
+	}
+
+	// Preprocessing (Algorithm 2, ESTIMATE-BUCKETS): count per
+	// (worker, bucket) insertions.
+	estimateBuckets(a, x, ws, t, nb, shift)
+
+	// Two-level exclusive prefix turns counts into private write
+	// cursors: bucket-major, worker-minor, so entries of one bucket are
+	// contiguous and each worker's slice of each bucket is disjoint.
+	var total int64
+	for b := 0; b < nb; b++ {
+		ws.bucketStart[b] = total
+		for w := 0; w < t; w++ {
+			idx := w*nb + b
+			c := ws.boffset[idx]
+			ws.boffset[idx] = total
+			total += c
+		}
+	}
+	ws.bucketStart[nb] = total
+	ws.ensureEntries(total)
+	ws.Steps.Estimate = timer.Lap()
+
+	// Step 1: scatter scaled columns into buckets, lock-free.
+	if opt.StagingEntries > 0 {
+		bucketStepStaged(a, x, sr, ws, t, nb, shift, opt.StagingEntries)
+	} else {
+		bucketStep(a, x, sr, ws, t, nb, shift)
+	}
+	ws.Steps.Bucket = timer.Lap()
+
+	// Step 2: merge each bucket independently via the SPA.
+	mergeStep(sr, ws, t, nb, opt, mask, maskComplement)
+	ws.Steps.Merge = timer.Lap()
+	ws.Steps.Sort = 0 // folded into Merge; reported separately only by instrumented runs
+
+	// Step 3: concatenate buckets into y through a prefix sum of unique
+	// counts ("using prefix sum on the master thread", Algorithm 1).
+	outputStep(y, ws, t, nb, opt)
+	ws.Steps.Output = timer.Lap()
+}
+
+// estimateBuckets implements Algorithm 2: each worker scans its range of
+// x and counts how many entries of the selected columns fall into each
+// bucket.
+func estimateBuckets(a *sparse.CSC, x *sparse.SpVec, ws *Workspace, t, nb int, shift uint) {
+	// Zero every worker's counter row up front: workers whose x range is
+	// empty are never invoked, and a stale count from a previous call
+	// would reserve bucket slots that nobody fills.
+	clear(ws.boffset[:t*nb])
+	par.ForRanges(ws.ranges, func(w, lo, hi int) {
+		row := ws.boffset[w*nb : (w+1)*nb]
+		ctr := &ws.Counters[w]
+		var touched int64
+		for k := lo; k < hi; k++ {
+			rows, _ := a.Col(x.Ind[k])
+			for _, i := range rows {
+				row[i>>shift]++
+			}
+			touched += int64(len(rows))
+		}
+		ctr.XScanned += int64(hi - lo)
+		ctr.MatrixTouched += touched
+	})
+}
+
+// bucketStep implements Step 1 of Algorithm 1 with direct writes: every
+// worker re-scans its x range and scatters (row, MULT(x(j), A(i,j)))
+// pairs through its precomputed cursors. No synchronization is needed
+// because the cursor ranges are disjoint by construction.
+func bucketStep(a *sparse.CSC, x *sparse.SpVec, sr semiring.Semiring, ws *Workspace, t, nb int, shift uint) {
+	arith := sr.IsArithmetic()
+	mul := sr.Mul
+	par.ForRanges(ws.ranges, func(w, lo, hi int) {
+		cur := ws.boffset[w*nb : (w+1)*nb]
+		ctr := &ws.Counters[w]
+		var written int64
+		for k := lo; k < hi; k++ {
+			j, xv := x.Ind[k], x.Val[k]
+			rows, vals := a.Col(j)
+			if arith {
+				for e, i := range rows {
+					b := i >> shift
+					p := cur[b]
+					cur[b]++
+					ws.entries[p] = sparse.Entry{Ind: i, Val: vals[e] * xv}
+				}
+			} else {
+				for e, i := range rows {
+					b := i >> shift
+					p := cur[b]
+					cur[b]++
+					ws.entries[p] = sparse.Entry{Ind: i, Val: mul(vals[e], xv)}
+				}
+			}
+			written += int64(len(rows))
+		}
+		ctr.XScanned += int64(hi - lo)
+		ctr.MatrixTouched += written
+		ctr.BucketWrites += written
+	})
+}
+
+// bucketStepStaged is bucketStep with the paper's cache-locality
+// optimization: writes stream into a small per-(worker,bucket) staging
+// buffer (sized to stay L1/L2 resident) and are copied to the bucket
+// only when the buffer fills.
+func bucketStepStaged(a *sparse.CSC, x *sparse.SpVec, sr semiring.Semiring, ws *Workspace, t, nb int, shift uint, stage int) {
+	ws.ensureStaging(t, nb, stage)
+	mul := sr.Mul
+	par.ForRanges(ws.ranges, func(w, lo, hi int) {
+		cur := ws.boffset[w*nb : (w+1)*nb]
+		slab := ws.staging[w*nb*stage : (w+1)*nb*stage]
+		fill := ws.stagingCount[w*nb : (w+1)*nb]
+		for b := range fill {
+			fill[b] = 0
+		}
+		ctr := &ws.Counters[w]
+		var written int64
+		flush := func(b int64) {
+			n := int64(fill[b])
+			copy(ws.entries[cur[b]:cur[b]+n], slab[b*int64(stage):b*int64(stage)+n])
+			cur[b] += n
+			fill[b] = 0
+		}
+		for k := lo; k < hi; k++ {
+			j, xv := x.Ind[k], x.Val[k]
+			rows, vals := a.Col(j)
+			for e, i := range rows {
+				b := int64(i >> shift)
+				if int(fill[b]) == stage {
+					flush(b)
+				}
+				slab[b*int64(stage)+int64(fill[b])] = sparse.Entry{Ind: i, Val: mul(vals[e], xv)}
+				fill[b]++
+			}
+			written += int64(len(rows))
+		}
+		for b := int64(0); b < int64(nb); b++ {
+			if fill[b] > 0 {
+				flush(b)
+			}
+		}
+		ctr.XScanned += int64(hi - lo)
+		ctr.MatrixTouched += written
+		ctr.BucketWrites += written
+	})
+}
+
+// mergeStep implements Step 2 of Algorithm 1: every bucket is merged
+// independently through the SPA, producing the bucket's unique indices.
+// mask, when non-nil, drops entries whose row is excluded (masked
+// SpMSpV, the GraphBLAS extension of paper §V); maskComplement inverts
+// the test.
+func mergeStep(sr semiring.Semiring, ws *Workspace, t, nb int, opt Options, mask *sparse.BitVec, maskComplement bool) {
+	epoch := ws.nextEpoch()
+	add := sr.Add
+	body := func(w, b int) {
+		lo, hi := ws.bucketStart[b], ws.bucketStart[b+1]
+		if lo == hi {
+			ws.uindCount[b] = 0
+			return
+		}
+		ents := ws.entries[lo:hi]
+		u := ws.uind[lo:lo]
+		ctr := &ws.Counters[w]
+		switch {
+		case mask != nil:
+			for _, e := range ents {
+				keep := mask.Test(e.Ind)
+				if maskComplement {
+					keep = !keep
+				}
+				if !keep {
+					continue
+				}
+				if ws.spaTag[e.Ind] != epoch {
+					ws.spaTag[e.Ind] = epoch
+					ws.spaVal[e.Ind] = e.Val
+					u = append(u, e.Ind)
+				} else {
+					ws.spaVal[e.Ind] = add(ws.spaVal[e.Ind], e.Val)
+				}
+			}
+		case opt.UseInfSentinel:
+			// Paper-faithful two-pass merge (Algorithm 1 lines 11-18):
+			// mark first, then accumulate, using ∞ as the
+			// "uninitialized" sentinel.
+			inf := math.Inf(1)
+			for _, e := range ents {
+				ws.spaVal[e.Ind] = inf
+			}
+			ctr.SPAInit += int64(len(ents))
+			for _, e := range ents {
+				if ws.spaVal[e.Ind] == inf {
+					ws.spaVal[e.Ind] = e.Val
+					u = append(u, e.Ind)
+				} else {
+					ws.spaVal[e.Ind] = add(ws.spaVal[e.Ind], e.Val)
+				}
+			}
+		default:
+			// One-pass epoch-tag merge: a tag mismatch plays the role of
+			// the ∞ sentinel with no false positives.
+			for _, e := range ents {
+				if ws.spaTag[e.Ind] != epoch {
+					ws.spaTag[e.Ind] = epoch
+					ws.spaVal[e.Ind] = e.Val
+					u = append(u, e.Ind)
+				} else {
+					ws.spaVal[e.Ind] = add(ws.spaVal[e.Ind], e.Val)
+				}
+			}
+		}
+		ws.uindCount[b] = int64(len(u))
+		if !opt.UseInfSentinel {
+			ctr.SPAInit += int64(len(u))
+		}
+		ctr.SPAUpdates += int64(len(ents)) - int64(len(u))
+		if opt.SortOutput {
+			ws.scratch[w] = radix.SortIndices(u, ws.scratch[w])
+			ctr.SortedElems += int64(len(u))
+		}
+	}
+	if opt.MergeSched == SchedDynamic {
+		for w := 0; w < t; w++ {
+			ws.sync[w] = 0
+		}
+		par.ForDynamic(t, nb, 1, func(w, lo, hi int) {
+			for b := lo; b < hi; b++ {
+				body(w, b)
+			}
+		}, ws.sync)
+		for w := 0; w < t; w++ {
+			ws.Counters[w].SyncEvents += ws.sync[w]
+		}
+	} else {
+		par.ForStatic(t, nb, func(w, lo, hi int) {
+			for b := lo; b < hi; b++ {
+				body(w, b)
+			}
+		})
+	}
+}
+
+// outputStep implements Step 3 of Algorithm 1: per-bucket unique counts
+// are prefix-summed on the master thread, then every bucket copies its
+// (index, SPA value) pairs to its final offset in y in parallel.
+func outputStep(y *sparse.SpVec, ws *Workspace, t, nb int, opt Options) {
+	var nnzY int64
+	for b := 0; b < nb; b++ {
+		ws.uindOffset[b] = nnzY
+		nnzY += ws.uindCount[b]
+	}
+	ws.uindOffset[nb] = nnzY
+
+	if int64(cap(y.Ind)) < nnzY {
+		y.Ind = make([]sparse.Index, nnzY)
+		y.Val = make([]float64, nnzY)
+	} else {
+		y.Ind = y.Ind[:nnzY]
+		y.Val = y.Val[:nnzY]
+	}
+	par.ForStatic(t, nb, func(w, lo, hi int) {
+		ctr := &ws.Counters[w]
+		for b := lo; b < hi; b++ {
+			off := ws.uindOffset[b]
+			start := ws.bucketStart[b]
+			u := ws.uind[start : start+ws.uindCount[b]]
+			for i, ind := range u {
+				y.Ind[off+int64(i)] = ind
+				y.Val[off+int64(i)] = ws.spaVal[ind]
+			}
+			ctr.OutputWritten += int64(len(u))
+		}
+	})
+	// Buckets cover increasing row ranges; per-bucket sorted uind makes
+	// the concatenation globally sorted.
+	y.Sorted = opt.SortOutput
+}

@@ -1,0 +1,95 @@
+// Package core implements SpMSpV-bucket, the work-efficient parallel
+// sparse matrix–sparse vector multiplication algorithm of Azad & Buluç
+// (IPDPS 2017) — the primary contribution of the paper this repository
+// reproduces.
+//
+// The algorithm computes y ← A·x over a semiring in three steps plus a
+// preprocessing pass:
+//
+//	Estimate (Algorithm 2): each thread counts how many scaled matrix
+//	  entries it will write into each bucket, so that Step 1 can run
+//	  without any synchronization.
+//	Step 1 (bucketing): the columns A(:,j) with x(j) ≠ 0 are scaled by
+//	  x(j) and scattered into nb buckets by row id (bucket ⌊i·nb/m⌋),
+//	  each thread writing through private, precomputed cursors.
+//	Step 2 (merge): each bucket — a disjoint row range — is merged
+//	  independently with a partially-initialized sparse accumulator,
+//	  recording the unique row indices it produced.
+//	Step 3 (output): a prefix sum over per-bucket unique counts places
+//	  every bucket's results at its final offset in y without locks.
+//
+// Total work is O(df) for an Erdős–Rényi G(n, d/n) matrix and an input
+// with f nonzeros, matching the problem's lower bound; the parallel
+// depth is O(df/t) for t ≤ f threads.
+package core
+
+import "spmspv/internal/par"
+
+// Sched selects how Step 2 distributes buckets over threads.
+type Sched int
+
+const (
+	// SchedDynamic claims buckets via an atomic counter (OpenMP
+	// "schedule(dynamic)"), the paper's choice for load balance on
+	// skewed matrices (§III-A).
+	SchedDynamic Sched = iota
+	// SchedStatic assigns contiguous bucket ranges up front. Exposed for
+	// the scheduling ablation benchmark.
+	SchedStatic
+)
+
+// Options configures the SpMSpV-bucket algorithm. The zero value asks
+// for the paper's defaults: GOMAXPROCS threads, 4 buckets per thread,
+// epoch-tag merging, dynamic bucket scheduling, and the nonzero-balanced
+// Step-1 split.
+type Options struct {
+	// Threads is the number of worker threads t; ≤ 0 means GOMAXPROCS.
+	// Following the paper's analysis the effective t never exceeds
+	// nnz(x).
+	Threads int
+
+	// BucketsPerThread sets nb = BucketsPerThread·t. The paper uses 4
+	// ("we use 4t buckets when using t threads", §III-A); 0 means 4.
+	BucketsPerThread int
+
+	// SortOutput produces y with strictly increasing indices by radix
+	// sorting each bucket's unique indices. Because buckets partition
+	// the row space in order, per-bucket sorting yields a globally
+	// sorted vector (paper Fig. 1, "sorted uind").
+	SortOutput bool
+
+	// StagingEntries, when positive, routes Step-1 writes through a
+	// small per-(thread,bucket) staging buffer that is flushed to the
+	// bucket when full — the paper's cache-locality optimization ("a
+	// thread first fills its private buffer … and copies data from the
+	// private buffer to buckets when the local buffer is full",
+	// §III-A). Zero writes directly.
+	StagingEntries int
+
+	// UseInfSentinel switches Step 2 to the paper-faithful two-pass
+	// merge that marks first touches with ∞ (Algorithm 1, lines 11-18)
+	// instead of the default one-pass epoch-tag merge. The sentinel
+	// variant cannot distinguish a stored +Inf from an uninitialized
+	// slot, exactly as in the paper; it exists for fidelity comparisons.
+	UseInfSentinel bool
+
+	// MergeSched selects dynamic (default) or static scheduling of
+	// buckets in Step 2.
+	MergeSched Sched
+
+	// SplitEvenly disables the nonzero-weighted Step-1 work split. By
+	// default work is split "based on nonzeros, as opposed to [entries],
+	// of x" — the paper's §III-B fix that bounds the span on skewed
+	// matrices. Setting SplitEvenly gives each thread an equal count of
+	// x entries instead.
+	SplitEvenly bool
+}
+
+// withDefaults resolves zero values to the paper's defaults.
+func (o Options) withDefaults() Options {
+	o.Threads = par.Threads(o.Threads)
+	if o.BucketsPerThread <= 0 {
+		o.BucketsPerThread = 4
+	}
+	return o
+}

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"spmspv/internal/perf"
+	"spmspv/internal/sparse"
+)
+
+// Workspace holds every buffer the SpMSpV-bucket algorithm needs, so
+// that repeated multiplications — the common case in iterative graph
+// algorithms like BFS — allocate nothing ("we allocate enough memory for
+// all buckets and for the SPA in advance and pass them to the
+// SpMSpV-bucket algorithm", paper §III-A).
+//
+// A Workspace may be reused across calls with different matrices,
+// vectors, thread counts and options; every buffer grows on demand and
+// never shrinks. It must not be shared by concurrent Multiply calls.
+type Workspace struct {
+	// Per-(thread,bucket) write cursors: boffset[w·nb+b] is where worker
+	// w writes its next entry for bucket b (Algorithm 2's Boffset after
+	// the prefix-sum pass).
+	boffset []int64
+	// bucketStart[b] is the first entry slot of bucket b; length nb+1.
+	bucketStart []int64
+	// entries is the bucket storage: bucket b occupies
+	// entries[bucketStart[b]:bucketStart[b+1]]. Total size is at most
+	// nnz(A) (paper §III-A), reached only when x selects every column.
+	entries []sparse.Entry
+	// uind stores each bucket's unique indices in the bucket's own slot
+	// range (unique count ≤ entry count, so the same offsets fit).
+	uind []sparse.Index
+	// uindCount[b] / uindOffset[b]: per-bucket unique counts and their
+	// exclusive prefix (the Step-3 offsets of Algorithm 1, line 20).
+	uindCount  []int64
+	uindOffset []int64
+
+	// SPA: values plus epoch tags for O(1) partial initialization. Slot
+	// i is live iff spaTag[i] == epoch.
+	spaVal []float64
+	spaTag []uint32
+	epoch  uint32
+
+	// xcum holds cumulative column weights for the nonzero-balanced
+	// split; ranges the resulting per-worker x ranges.
+	xcum   []int64
+	ranges [][2]int
+
+	// staging is the optional per-worker Step-1 staging slab
+	// (StagingEntries × nb entries each) with fill counts.
+	staging      []sparse.Entry
+	stagingCount []int32
+
+	// scratch is per-worker radix-sort scratch for SortOutput.
+	scratch [][]sparse.Index
+
+	// sync collects per-worker dynamic-scheduling events before they are
+	// merged into Counters.
+	sync []int64
+
+	// Counters accumulates per-worker work counters across calls; reset
+	// with ResetCounters. Steps holds the per-phase wall-clock times of
+	// the most recent call (Fig. 6's breakdown).
+	Counters []perf.Counters
+	Steps    perf.StepTimes
+}
+
+// NewWorkspace returns an empty workspace; buffers are allocated on
+// first use. Providing m and nnz capacity hints up front avoids growth
+// reallocations during the first call.
+func NewWorkspace(m sparse.Index, nnzCap int64) *Workspace {
+	ws := &Workspace{}
+	if m > 0 {
+		ws.spaVal = make([]float64, m)
+		ws.spaTag = make([]uint32, m)
+	}
+	if nnzCap > 0 {
+		ws.entries = make([]sparse.Entry, nnzCap)
+		ws.uind = make([]sparse.Index, nnzCap)
+	}
+	return ws
+}
+
+// ResetCounters zeroes the accumulated per-worker counters.
+func (ws *Workspace) ResetCounters() {
+	for i := range ws.Counters {
+		ws.Counters[i].Reset()
+	}
+}
+
+// TotalCounters aggregates the per-worker counters.
+func (ws *Workspace) TotalCounters() perf.Counters {
+	return perf.MergeAll(ws.Counters)
+}
+
+// ensure grows the workspace for an m-row matrix, t workers and nb
+// buckets.
+func (ws *Workspace) ensure(m sparse.Index, t, nb int) {
+	if len(ws.spaVal) < int(m) {
+		ws.spaVal = make([]float64, m)
+		ws.spaTag = make([]uint32, m)
+		ws.epoch = 0
+	}
+	if len(ws.boffset) < t*nb {
+		ws.boffset = make([]int64, t*nb)
+	}
+	if len(ws.bucketStart) < nb+1 {
+		ws.bucketStart = make([]int64, nb+1)
+		ws.uindCount = make([]int64, nb)
+		ws.uindOffset = make([]int64, nb+1)
+	}
+	if len(ws.Counters) < t {
+		old := ws.Counters
+		ws.Counters = make([]perf.Counters, t)
+		copy(ws.Counters, old)
+	}
+	if len(ws.sync) < t {
+		ws.sync = make([]int64, t)
+	}
+	if len(ws.scratch) < t {
+		old := ws.scratch
+		ws.scratch = make([][]sparse.Index, t)
+		copy(ws.scratch, old)
+	}
+}
+
+// ensureEntries grows the bucket and uind storage to hold total entries.
+func (ws *Workspace) ensureEntries(total int64) {
+	if int64(len(ws.entries)) < total {
+		ws.entries = make([]sparse.Entry, total)
+		ws.uind = make([]sparse.Index, total)
+	}
+}
+
+// ensureStaging grows the staging slab for t workers × nb buckets × cap
+// entries each.
+func (ws *Workspace) ensureStaging(t, nb, capEntries int) {
+	need := t * nb * capEntries
+	if len(ws.staging) < need {
+		ws.staging = make([]sparse.Entry, need)
+	}
+	if len(ws.stagingCount) < t*nb {
+		ws.stagingCount = make([]int32, t*nb)
+	}
+}
+
+// nextEpoch advances the SPA epoch, handling 32-bit wraparound by wiping
+// the tags (amortized O(1) per call).
+func (ws *Workspace) nextEpoch() uint32 {
+	ws.epoch++
+	if ws.epoch == 0 {
+		for i := range ws.spaTag {
+			ws.spaTag[i] = 0
+		}
+		ws.epoch = 1
+	}
+	return ws.epoch
+}

@@ -1,0 +1,100 @@
+package graphgen
+
+import (
+	"math/rand"
+	"testing"
+
+	"spmspv/internal/sparse"
+)
+
+func TestRMATAsymmetric(t *testing.T) {
+	cfg := DefaultRMAT(10)
+	cfg.Symmetric = false
+	cfg.DropSelfLoops = false
+	a := RMAT(cfg, 9)
+	if a.Equal(a.Transpose()) {
+		t.Error("asymmetric R-MAT should (almost surely) not be symmetric")
+	}
+}
+
+func TestRMATSkewParameters(t *testing.T) {
+	// Heavier A-quadrant weight concentrates edges near vertex 0.
+	skewed := RMATConfig{Scale: 10, EdgeFactor: 8, A: 0.7, B: 0.1, C: 0.1,
+		Symmetric: true, DropSelfLoops: true}
+	a := RMAT(skewed, 4)
+	s := sparse.ComputeStats("skew", a, 0)
+	uniform := RMATConfig{Scale: 10, EdgeFactor: 8, A: 0.25, B: 0.25, C: 0.25,
+		Symmetric: true, DropSelfLoops: true}
+	b := RMAT(uniform, 4)
+	sb := sparse.ComputeStats("uniform", b, 0)
+	if s.MaxDegree <= sb.MaxDegree {
+		t.Errorf("skewed max degree %d not above uniform %d", s.MaxDegree, sb.MaxDegree)
+	}
+}
+
+func TestPoissonMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, lambda := range []float64{0.5, 4, 50, 200} { // small and normal-approx branches
+		const trials = 20000
+		var sum float64
+		for i := 0; i < trials; i++ {
+			sum += float64(poisson(rng, lambda))
+		}
+		mean := sum / trials
+		if mean < 0.9*lambda || mean > 1.1*lambda {
+			t.Errorf("poisson(%g) mean %.2f out of 10%% band", lambda, mean)
+		}
+	}
+	if poisson(rng, 0) != 0 || poisson(rng, -1) != 0 {
+		t.Error("nonpositive lambda should give 0")
+	}
+}
+
+func TestGridDims(t *testing.T) {
+	a := Grid2D(3, 5)
+	if a.NumCols != 15 {
+		t.Errorf("3x5 grid has %d vertices", a.NumCols)
+	}
+	// Corner vertex (0,0) has degree 2; center vertex has degree 4.
+	if a.ColLen(0) != 2 {
+		t.Errorf("corner degree %d", a.ColLen(0))
+	}
+	if a.ColLen(7) != 4 { // (1,2) interior
+		t.Errorf("interior degree %d", a.ColLen(7))
+	}
+}
+
+func TestRGGGridCellsEdgeCases(t *testing.T) {
+	// A radius larger than the square collapses to one cell and a
+	// complete-ish graph; must not panic and must stay symmetric.
+	a := RGG(64, 1.5, 3)
+	if !a.Equal(a.Transpose()) {
+		t.Error("huge-radius rgg not symmetric")
+	}
+	if a.NNZ() != int64(64*63) {
+		t.Errorf("radius > diagonal should give a complete graph, nnz=%d", a.NNZ())
+	}
+	// Tiny graph.
+	b := RGG(1, 0.1, 4)
+	if b.NNZ() != 0 {
+		t.Error("single-vertex rgg should have no edges")
+	}
+}
+
+func TestTriangularMeshDeterminism(t *testing.T) {
+	a := TriangularMesh(12, 9, 42)
+	b := TriangularMesh(12, 9, 42)
+	if !a.Equal(b) {
+		t.Error("same jitter seed should reproduce the mesh")
+	}
+}
+
+func TestProblemsDeterministicAcrossCalls(t *testing.T) {
+	for _, p := range Problems()[:3] {
+		a := p.Build(9)
+		b := p.Build(9)
+		if !a.Equal(b) {
+			t.Errorf("%s: Build is not deterministic", p.Name)
+		}
+	}
+}

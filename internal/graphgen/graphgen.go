@@ -1,0 +1,153 @@
+// Package graphgen generates the synthetic graph matrices used as
+// stand-ins for the paper's Table IV test problems.
+//
+// The paper distinguishes two matrix classes because they stress
+// SpMSpV differently:
+//
+//   - low-diameter scale-free graphs (amazon0312, web-Google,
+//     wikipedia, ljournal-2008, wb-edu): BFS reaches dense frontiers in
+//     a handful of steps, so matrix-driven algorithms get to amortize
+//     their O(nzc) scans;
+//   - high-diameter graphs (dielFilterV3real, G3_circuit, hugetric,
+//     hugetrace, delaunay_n24, rgg_n_2_24_s0): BFS runs thousands of
+//     levels with tiny frontiers, the regime where only vector-driven,
+//     partially-initializing algorithms stay fast.
+//
+// The generators here are deterministic (caller-supplied seed) and
+// reproduce the relevant structural features: degree distribution
+// (power-law via R-MAT vs near-uniform via meshes), average degree, and
+// diameter regime. Real Matrix Market files can be substituted through
+// sparse.ReadMatrixMarket wherever a generated matrix is used.
+package graphgen
+
+import (
+	"math"
+	"math/rand"
+
+	"spmspv/internal/sparse"
+)
+
+// ErdosRenyi samples the adjacency matrix of a directed G(n, d/n)
+// random graph: every column receives Binomial(n, d/n) ≈ Poisson(d)
+// entries with uniformly random rows — the model the paper uses for its
+// complexity analysis (§II-A). Duplicate (row, col) pairs are summed by
+// the CSC builder; self-loops are allowed, values are 1.
+func ErdosRenyi(n sparse.Index, d float64, seed int64) *sparse.CSC {
+	rng := rand.New(rand.NewSource(seed))
+	t := sparse.NewTriples(n, n, int(float64(n)*d))
+	for j := sparse.Index(0); j < n; j++ {
+		k := poisson(rng, d)
+		for e := 0; e < k; e++ {
+			t.Append(sparse.Index(rng.Intn(int(n))), j, 1)
+		}
+	}
+	a, err := sparse.NewCSCFromTriples(t)
+	if err != nil {
+		panic("graphgen: internal bounds error: " + err.Error())
+	}
+	return a
+}
+
+// poisson samples Poisson(lambda) by inversion for small lambda and a
+// normal approximation for large lambda.
+func poisson(rng *rand.Rand, lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	if lambda < 30 {
+		l := math.Exp(-lambda)
+		k, p := 0, 1.0
+		for {
+			p *= rng.Float64()
+			if p <= l {
+				return k
+			}
+			k++
+		}
+	}
+	k := int(math.Round(lambda + math.Sqrt(lambda)*rng.NormFloat64()))
+	if k < 0 {
+		k = 0
+	}
+	return k
+}
+
+// RMATConfig parameterizes the recursive matrix generator.
+type RMATConfig struct {
+	// Scale is log2 of the vertex count.
+	Scale int
+	// EdgeFactor is the number of (pre-deduplication) edges per vertex;
+	// Graph500 uses 16.
+	EdgeFactor int
+	// A, B, C are the recursive quadrant probabilities (D = 1-A-B-C).
+	// Graph500 uses 0.57, 0.19, 0.19.
+	A, B, C float64
+	// Symmetric mirrors every edge, producing an undirected graph.
+	Symmetric bool
+	// DropSelfLoops removes i==j edges.
+	DropSelfLoops bool
+}
+
+// DefaultRMAT returns the Graph500 parameterization at the given scale:
+// a low-diameter scale-free graph comparable to the paper's social/web
+// networks.
+func DefaultRMAT(scale int) RMATConfig {
+	return RMATConfig{Scale: scale, EdgeFactor: 16, A: 0.57, B: 0.19, C: 0.19,
+		Symmetric: true, DropSelfLoops: true}
+}
+
+// RMAT generates a scale-free graph with the recursive R-MAT process.
+// Duplicate edges are summed into a single unit-weight edge by keeping
+// the value at 1 (BFS-style semantics); the matrix is returned in CSC
+// form with sorted columns.
+func RMAT(cfg RMATConfig, seed int64) *sparse.CSC {
+	rng := rand.New(rand.NewSource(seed))
+	n := sparse.Index(1) << cfg.Scale
+	edges := int(n) * cfg.EdgeFactor
+	capHint := edges
+	if cfg.Symmetric {
+		capHint *= 2
+	}
+	t := sparse.NewTriples(n, n, capHint)
+	for e := 0; e < edges; e++ {
+		var i, j sparse.Index
+		for bit := cfg.Scale - 1; bit >= 0; bit-- {
+			r := rng.Float64()
+			switch {
+			case r < cfg.A:
+				// upper-left quadrant: no bits set
+			case r < cfg.A+cfg.B:
+				j |= 1 << bit
+			case r < cfg.A+cfg.B+cfg.C:
+				i |= 1 << bit
+			default:
+				i |= 1 << bit
+				j |= 1 << bit
+			}
+		}
+		if cfg.DropSelfLoops && i == j {
+			continue
+		}
+		if cfg.Symmetric {
+			t.AppendSymmetric(i, j, 1)
+		} else {
+			t.Append(i, j, 1)
+		}
+	}
+	clampValues(t, 1)
+	a, err := sparse.NewCSCFromTriples(t)
+	if err != nil {
+		panic("graphgen: internal bounds error: " + err.Error())
+	}
+	return a
+}
+
+// clampValues sets every triple's value to v so that duplicate summation
+// in the CSC builder yields unit weights. It relies on SumDuplicates
+// with a "keep" combiner.
+func clampValues(t *sparse.Triples, v float64) {
+	t.SumDuplicates(func(a, b float64) float64 { return v })
+	for k := range t.Val {
+		t.Val[k] = v
+	}
+}

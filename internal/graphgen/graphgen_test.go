@@ -1,0 +1,160 @@
+package graphgen
+
+import (
+	"testing"
+
+	"spmspv/internal/sparse"
+)
+
+func TestErdosRenyiShape(t *testing.T) {
+	n := sparse.Index(2000)
+	d := 8.0
+	a := ErdosRenyi(n, d, 1)
+	if a.NumRows != n || a.NumCols != n {
+		t.Fatalf("dims %dx%d", a.NumRows, a.NumCols)
+	}
+	avg := a.AverageDegree()
+	if avg < 0.8*d || avg > 1.2*d {
+		t.Errorf("average degree %g far from %g", avg, d)
+	}
+}
+
+func TestErdosRenyiDeterministic(t *testing.T) {
+	a := ErdosRenyi(500, 4, 7)
+	b := ErdosRenyi(500, 4, 7)
+	if !a.Equal(b) {
+		t.Error("same seed produced different graphs")
+	}
+	c := ErdosRenyi(500, 4, 8)
+	if a.Equal(c) {
+		t.Error("different seeds produced identical graphs")
+	}
+}
+
+func TestRMATProperties(t *testing.T) {
+	a := RMAT(DefaultRMAT(12), 3)
+	n := sparse.Index(1 << 12)
+	if a.NumRows != n || a.NumCols != n {
+		t.Fatalf("dims %dx%d", a.NumRows, a.NumCols)
+	}
+	// Symmetric: A == Aᵀ.
+	if !a.Equal(a.Transpose()) {
+		t.Error("symmetric R-MAT is not symmetric")
+	}
+	// No self loops.
+	for j := sparse.Index(0); j < n; j++ {
+		rows, _ := a.Col(j)
+		for _, i := range rows {
+			if i == j {
+				t.Fatalf("self loop at %d", i)
+			}
+		}
+	}
+	// Unit weights despite duplicate edges.
+	for _, v := range a.Val {
+		if v != 1 {
+			t.Fatalf("edge weight %g, want 1", v)
+		}
+	}
+	// Scale-free skew: max degree far above average.
+	s := sparse.ComputeStats("rmat", a, 0)
+	if float64(s.MaxDegree) < 5*s.AvgDegree {
+		t.Errorf("max degree %d not skewed vs avg %g — not scale-free-like",
+			s.MaxDegree, s.AvgDegree)
+	}
+}
+
+func TestGridDiameterRegimes(t *testing.T) {
+	// 32x32 grid: diameter 62; R-MAT at the same size: diameter ≤ ~15.
+	grid := Grid2D(32, 32)
+	gs := sparse.ComputeStats("grid", grid, 0)
+	if gs.PseudoDiameter != 62 {
+		t.Errorf("grid pseudo-diameter %d, want 62", gs.PseudoDiameter)
+	}
+	rmat := RMAT(DefaultRMAT(10), 5)
+	rs := sparse.ComputeStats("rmat", rmat, 0)
+	if rs.PseudoDiameter >= gs.PseudoDiameter/2 {
+		t.Errorf("R-MAT diameter %d not clearly below grid diameter %d",
+			rs.PseudoDiameter, gs.PseudoDiameter)
+	}
+}
+
+func TestGrid2D9DenserThanGrid2D(t *testing.T) {
+	g5 := Grid2D(20, 20)
+	g9 := Grid2D9(20, 20)
+	if g9.NNZ() <= g5.NNZ() {
+		t.Errorf("9-point (%d) not denser than 5-point (%d)", g9.NNZ(), g5.NNZ())
+	}
+	if !g9.Equal(g9.Transpose()) {
+		t.Error("9-point grid not symmetric")
+	}
+}
+
+func TestTriangularMeshDegree(t *testing.T) {
+	a := TriangularMesh(30, 30, 0)
+	if !a.Equal(a.Transpose()) {
+		t.Error("mesh not symmetric")
+	}
+	// Interior vertices of a triangulated grid have degree 6.
+	avg := a.AverageDegree()
+	if avg < 4.5 || avg > 6.5 {
+		t.Errorf("average degree %g not near 6", avg)
+	}
+	j := TriangularMesh(30, 30, 99)
+	if !j.Equal(j.Transpose()) {
+		t.Error("jittered mesh not symmetric")
+	}
+	if a.Equal(j) {
+		t.Error("jitter had no effect")
+	}
+}
+
+func TestRGGConnectivity(t *testing.T) {
+	a := RGG(2000, 0.05, 11)
+	if !a.Equal(a.Transpose()) {
+		t.Error("rgg not symmetric")
+	}
+	s := sparse.ComputeStats("rgg", a, 0)
+	if s.AvgDegree < 1 {
+		t.Errorf("rgg too sparse: avg degree %g", s.AvgDegree)
+	}
+	// Geometric graphs have high diameter relative to scale-free graphs.
+	if s.PseudoDiameter < 10 {
+		t.Errorf("rgg pseudo-diameter %d suspiciously small", s.PseudoDiameter)
+	}
+}
+
+func TestRegistryBuildsAllProblems(t *testing.T) {
+	const scale = 10
+	seen := map[string]bool{}
+	for _, p := range Problems() {
+		if seen[p.Name] {
+			t.Fatalf("duplicate problem name %s", p.Name)
+		}
+		seen[p.Name] = true
+		a := p.Build(scale)
+		if a.NNZ() == 0 {
+			t.Errorf("%s: empty matrix", p.Name)
+		}
+		if a.NumRows != a.NumCols {
+			t.Errorf("%s: adjacency matrix not square (%dx%d)", p.Name, a.NumRows, a.NumCols)
+		}
+		s := sparse.ComputeStats(p.Name, a, 0)
+		// Diameter regime must match the declared class.
+		if p.Class == HighDiameter && s.PseudoDiameter < 20 {
+			t.Errorf("%s: declared high-diameter but pseudo-diameter is %d", p.Name, s.PseudoDiameter)
+		}
+		if p.Class == LowDiameter && s.PseudoDiameter > 20 {
+			t.Errorf("%s: declared low-diameter but pseudo-diameter is %d", p.Name, s.PseudoDiameter)
+		}
+	}
+	if len(seen) != 11 {
+		t.Errorf("registry has %d problems, want 11 (Table IV)", len(seen))
+	}
+	if _, ok := FindProblem("rmat-ljournal"); !ok {
+		t.Error("FindProblem failed for known name")
+	}
+	if _, ok := FindProblem("nope"); ok {
+		t.Error("FindProblem found nonexistent name")
+	}
+}

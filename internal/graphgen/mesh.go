@@ -1,0 +1,167 @@
+package graphgen
+
+import (
+	"math/rand"
+
+	"spmspv/internal/sparse"
+)
+
+// Grid2D builds the adjacency matrix of a rows×cols lattice with the
+// 5-point stencil (von Neumann neighborhood). Its diameter is
+// rows+cols−2: the high-diameter regime of the paper's G3_circuit and
+// the circuit/FEM problems of Table IV. Weights are 1 and the matrix is
+// symmetric.
+func Grid2D(rows, cols int) *sparse.CSC {
+	n := sparse.Index(rows * cols)
+	t := sparse.NewTriples(n, n, 4*int(n))
+	id := func(r, c int) sparse.Index { return sparse.Index(r*cols + c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			v := id(r, c)
+			if c+1 < cols {
+				t.AppendSymmetric(v, id(r, c+1), 1)
+			}
+			if r+1 < rows {
+				t.AppendSymmetric(v, id(r+1, c), 1)
+			}
+		}
+	}
+	a, err := sparse.NewCSCFromTriples(t)
+	if err != nil {
+		panic("graphgen: internal bounds error: " + err.Error())
+	}
+	return a
+}
+
+// Grid2D9 builds the 9-point-stencil (Moore neighborhood) lattice —
+// denser rows at the same diameter, a stand-in for higher-order FEM
+// matrices such as dielFilterV3real (which averages ~81 nonzeros/row in
+// the paper; a 9-point mesh captures the "high diameter, heavier
+// columns" combination at laptop scale).
+func Grid2D9(rows, cols int) *sparse.CSC {
+	n := sparse.Index(rows * cols)
+	t := sparse.NewTriples(n, n, 8*int(n))
+	id := func(r, c int) sparse.Index { return sparse.Index(r*cols + c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			v := id(r, c)
+			if c+1 < cols {
+				t.AppendSymmetric(v, id(r, c+1), 1)
+			}
+			if r+1 < rows {
+				t.AppendSymmetric(v, id(r+1, c), 1)
+				if c+1 < cols {
+					t.AppendSymmetric(v, id(r+1, c+1), 1)
+				}
+				if c > 0 {
+					t.AppendSymmetric(v, id(r+1, c-1), 1)
+				}
+			}
+		}
+	}
+	a, err := sparse.NewCSCFromTriples(t)
+	if err != nil {
+		panic("graphgen: internal bounds error: " + err.Error())
+	}
+	return a
+}
+
+// TriangularMesh builds a rows×cols lattice where every unit cell gets
+// one diagonal, producing the ~degree-6 planar triangulations of the
+// paper's hugetric/hugetrace frame graphs. With jitterSeed != 0 the
+// diagonal orientation is randomized per cell (a cheap proxy for the
+// irregularity of a Delaunay triangulation of random points, standing
+// in for delaunay_n24); with jitterSeed == 0 all diagonals lean the
+// same way.
+func TriangularMesh(rows, cols int, jitterSeed int64) *sparse.CSC {
+	n := sparse.Index(rows * cols)
+	t := sparse.NewTriples(n, n, 6*int(n))
+	var rng *rand.Rand
+	if jitterSeed != 0 {
+		rng = rand.New(rand.NewSource(jitterSeed))
+	}
+	id := func(r, c int) sparse.Index { return sparse.Index(r*cols + c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			v := id(r, c)
+			if c+1 < cols {
+				t.AppendSymmetric(v, id(r, c+1), 1)
+			}
+			if r+1 < rows {
+				t.AppendSymmetric(v, id(r+1, c), 1)
+			}
+			if r+1 < rows && c+1 < cols {
+				// One diagonal per cell.
+				if rng != nil && rng.Intn(2) == 0 {
+					t.AppendSymmetric(id(r, c+1), id(r+1, c), 1)
+				} else {
+					t.AppendSymmetric(v, id(r+1, c+1), 1)
+				}
+			}
+		}
+	}
+	a, err := sparse.NewCSCFromTriples(t)
+	if err != nil {
+		panic("graphgen: internal bounds error: " + err.Error())
+	}
+	return a
+}
+
+// RGG builds a random geometric graph: n points uniform in the unit
+// square, connected when within the given radius — the model behind
+// rgg_n_2_24_s0 in Table IV. Neighbor search uses a uniform grid of
+// radius-sized cells, so generation is O(n + edges) in expectation. The
+// connectivity threshold is radius ≈ sqrt(ln n / (π n)); the paper's
+// rgg has average degree ~10 and pseudo-diameter in the thousands.
+func RGG(n sparse.Index, radius float64, seed int64) *sparse.CSC {
+	rng := rand.New(rand.NewSource(seed))
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.Float64()
+		ys[i] = rng.Float64()
+	}
+	cells := int(1 / radius)
+	if cells < 1 {
+		cells = 1
+	}
+	cellOf := func(x float64) int {
+		c := int(x * float64(cells))
+		if c >= cells {
+			c = cells - 1
+		}
+		return c
+	}
+	grid := make([][]sparse.Index, cells*cells)
+	for i := sparse.Index(0); i < n; i++ {
+		c := cellOf(ys[i])*cells + cellOf(xs[i])
+		grid[c] = append(grid[c], i)
+	}
+	t := sparse.NewTriples(n, n, int(n)*8)
+	r2 := radius * radius
+	for i := sparse.Index(0); i < n; i++ {
+		cx, cy := cellOf(xs[i]), cellOf(ys[i])
+		for dy := -1; dy <= 1; dy++ {
+			for dx := -1; dx <= 1; dx++ {
+				nx, ny := cx+dx, cy+dy
+				if nx < 0 || nx >= cells || ny < 0 || ny >= cells {
+					continue
+				}
+				for _, j := range grid[ny*cells+nx] {
+					if j <= i {
+						continue // handle each unordered pair once
+					}
+					ddx, ddy := xs[i]-xs[j], ys[i]-ys[j]
+					if ddx*ddx+ddy*ddy <= r2 {
+						t.AppendSymmetric(i, j, 1)
+					}
+				}
+			}
+		}
+	}
+	a, err := sparse.NewCSCFromTriples(t)
+	if err != nil {
+		panic("graphgen: internal bounds error: " + err.Error())
+	}
+	return a
+}

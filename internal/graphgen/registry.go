@@ -1,0 +1,155 @@
+package graphgen
+
+import (
+	"math"
+
+	"spmspv/internal/sparse"
+)
+
+// Class mirrors the two matrix classes of the paper's Table IV.
+type Class int
+
+const (
+	// LowDiameter marks scale-free graphs whose BFS saturates within a
+	// few levels.
+	LowDiameter Class = iota
+	// HighDiameter marks meshes, circuits and geometric graphs whose
+	// BFS runs hundreds to thousands of levels with sparse frontiers.
+	HighDiameter
+)
+
+func (c Class) String() string {
+	if c == LowDiameter {
+		return "low-diameter"
+	}
+	return "high-diameter"
+}
+
+// Problem is one Table IV stand-in: a named, deterministic generator
+// whose size is controlled by scale ≈ log2(vertex count), so the same
+// suite runs at laptop scale for tests and larger for benchmarks.
+type Problem struct {
+	// Name of the synthetic stand-in.
+	Name string
+	// PaperName is the University of Florida matrix it stands in for.
+	PaperName string
+	// Class is the diameter regime.
+	Class Class
+	// Description explains the correspondence.
+	Description string
+	// Build generates the adjacency matrix at the given scale.
+	Build func(scale int) *sparse.CSC
+}
+
+// Problems returns the Table IV stand-in registry, in the paper's
+// order. Scale-free graphs use R-MAT with edge factors matched to the
+// original's average degree; mesh/geometric graphs match stencil and
+// aspect ratio so the pseudo-diameter falls in the intended regime.
+func Problems() []Problem {
+	square := func(scale int) (rows, cols int) {
+		side := 1 << (scale / 2)
+		if scale%2 == 1 {
+			return side * 2, side
+		}
+		return side, side
+	}
+	elongated := func(scale, aspect int) (rows, cols int) {
+		n := 1 << scale
+		cols = int(math.Sqrt(float64(n / aspect)))
+		if cols < 2 {
+			cols = 2
+		}
+		return n / cols, cols
+	}
+	rmat := func(scale, ef int, seed int64) *sparse.CSC {
+		cfg := DefaultRMAT(scale)
+		cfg.EdgeFactor = ef
+		return RMAT(cfg, seed)
+	}
+	return []Problem{
+		{
+			Name: "rmat-amazon", PaperName: "amazon0312", Class: LowDiameter,
+			Description: "R-MAT ef=8: product co-purchasing network (d≈8, pseudo-diameter ~21)",
+			Build:       func(s int) *sparse.CSC { return rmat(s, 8, 101) },
+		},
+		{
+			Name: "rmat-webgoogle", PaperName: "web-Google", Class: LowDiameter,
+			Description: "R-MAT ef=6: web graph (d≈5.6, pseudo-diameter ~16)",
+			Build:       func(s int) *sparse.CSC { return rmat(s, 6, 102) },
+		},
+		{
+			Name: "rmat-wikipedia", PaperName: "wikipedia-20070206", Class: LowDiameter,
+			Description: "R-MAT ef=13: page-link graph (d≈12.6, pseudo-diameter ~14)",
+			Build:       func(s int) *sparse.CSC { return rmat(s, 13, 103) },
+		},
+		{
+			Name: "rmat-ljournal", PaperName: "ljournal-2008", Class: LowDiameter,
+			Description: "R-MAT ef=15: social network (d≈14.7, pseudo-diameter ~34)",
+			Build:       func(s int) *sparse.CSC { return rmat(s, 15, 104) },
+		},
+		{
+			Name: "rmat-wbedu", PaperName: "wb-edu", Class: LowDiameter,
+			Description: "R-MAT ef=6: .edu web crawl (d≈5.8, pseudo-diameter ~38)",
+			Build:       func(s int) *sparse.CSC { return rmat(s, 6, 105) },
+		},
+		{
+			Name: "mesh9-dielfilter", PaperName: "dielFilterV3real", Class: HighDiameter,
+			Description: "9-point mesh: high-order FEM discretization (heavy rows, pseudo-diameter ~84)",
+			Build: func(s int) *sparse.CSC {
+				r, c := square(s)
+				return Grid2D9(r, c)
+			},
+		},
+		{
+			Name: "grid5-g3circuit", PaperName: "G3_circuit", Class: HighDiameter,
+			Description: "5-point grid: circuit simulation (d≈4.9, pseudo-diameter ~514)",
+			Build: func(s int) *sparse.CSC {
+				r, c := square(s)
+				return Grid2D(r, c)
+			},
+		},
+		{
+			Name: "trimesh-hugetric", PaperName: "hugetric-00020", Class: HighDiameter,
+			Description: "triangular mesh, 4:1 aspect (d≈6, pseudo-diameter ~3662)",
+			Build: func(s int) *sparse.CSC {
+				r, c := elongated(s, 4)
+				return TriangularMesh(r, c, 0)
+			},
+		},
+		{
+			Name: "trimesh-hugetrace", PaperName: "hugetrace-00020", Class: HighDiameter,
+			Description: "triangular mesh, 16:1 aspect (d≈6, pseudo-diameter ~5633)",
+			Build: func(s int) *sparse.CSC {
+				r, c := elongated(s, 16)
+				return TriangularMesh(r, c, 0)
+			},
+		},
+		{
+			Name: "trimesh-delaunay", PaperName: "delaunay_n24", Class: HighDiameter,
+			Description: "jittered triangulation of random points (d≈6, pseudo-diameter ~1718)",
+			Build: func(s int) *sparse.CSC {
+				r, c := square(s)
+				return TriangularMesh(r, c, 106)
+			},
+		},
+		{
+			Name: "rgg", PaperName: "rgg_n_2_24_s0", Class: HighDiameter,
+			Description: "random geometric graph at connectivity radius (d≈10, pseudo-diameter ~3069)",
+			Build: func(s int) *sparse.CSC {
+				n := sparse.Index(1) << s
+				radius := math.Sqrt(2.2 * math.Log(float64(n)) / (math.Pi * float64(n)))
+				return RGG(n, radius, 107)
+			},
+		},
+	}
+}
+
+// FindProblem returns the registry entry with the given stand-in name.
+func FindProblem(name string) (Problem, bool) {
+	for _, p := range Problems() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Problem{}, false
+}

@@ -1,0 +1,236 @@
+// Package par provides the fork-join data-parallel primitives used by
+// every algorithm in this repository: static and dynamic parallel loops,
+// weighted range splitting, and prefix sums.
+//
+// The package plays the role OpenMP plays in the paper's implementation:
+// ForStatic corresponds to "#pragma omp parallel for schedule(static)",
+// ForDynamic to "schedule(dynamic, chunk)". Worker identities are stable
+// integers in [0, p), so callers can keep per-worker state (private SPA
+// pieces, counters) without synchronization.
+package par
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Threads resolves a requested thread count: values <= 0 mean "use
+// GOMAXPROCS".
+func Threads(p int) int {
+	if p <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return p
+}
+
+// ForStatic executes fn over [0, n) split into at most p contiguous,
+// near-equal chunks. fn receives the worker id and its half-open range.
+// Workers with an empty range are not spawned. When p == 1 the function
+// runs on the calling goroutine with no scheduling overhead.
+func ForStatic(p, n int, fn func(worker, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if p > n {
+		p = n
+	}
+	if p <= 1 {
+		fn(0, 0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 1; w < p; w++ {
+		lo, hi := w*n/p, (w+1)*n/p
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			fn(w, lo, hi)
+		}(w, lo, hi)
+	}
+	fn(0, 0, n/p)
+	wg.Wait()
+}
+
+// ForRanges executes fn once per pre-computed range. ranges[w] = {lo, hi}.
+// Empty ranges are skipped; worker ids follow the slice index.
+func ForRanges(ranges [][2]int, fn func(worker, lo, hi int)) {
+	live := 0
+	last := -1
+	for w, r := range ranges {
+		if r[0] < r[1] {
+			live++
+			last = w
+		}
+	}
+	if live == 0 {
+		return
+	}
+	if live == 1 {
+		fn(last, ranges[last][0], ranges[last][1])
+		return
+	}
+	var wg sync.WaitGroup
+	for w, r := range ranges {
+		if r[0] >= r[1] || w == last {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			fn(w, lo, hi)
+		}(w, r[0], r[1])
+	}
+	fn(last, ranges[last][0], ranges[last][1])
+	wg.Wait()
+}
+
+// ForDynamic executes fn over [0, n) in chunks of the given size claimed
+// via an atomic counter — the moral equivalent of OpenMP dynamic
+// scheduling. syncEvents, when non-nil, receives one increment per chunk
+// claim per worker (the paper counts these as the synchronization cost of
+// dynamic scheduling).
+func ForDynamic(p, n, chunk int, fn func(worker, lo, hi int), syncEvents []int64) {
+	if n <= 0 {
+		return
+	}
+	if chunk < 1 {
+		chunk = 1
+	}
+	if p > (n+chunk-1)/chunk {
+		p = (n + chunk - 1) / chunk
+	}
+	if p <= 1 {
+		fn(0, 0, n)
+		return
+	}
+	var next int64
+	body := func(w int) {
+		for {
+			hi := atomic.AddInt64(&next, int64(chunk))
+			lo := hi - int64(chunk)
+			if syncEvents != nil {
+				syncEvents[w]++
+			}
+			if lo >= int64(n) {
+				return
+			}
+			if hi > int64(n) {
+				hi = int64(n)
+			}
+			fn(w, int(lo), int(hi))
+		}
+	}
+	var wg sync.WaitGroup
+	for w := 1; w < p; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			body(w)
+		}(w)
+	}
+	body(0)
+	wg.Wait()
+}
+
+// ExclusivePrefixSum converts a in place into its exclusive prefix sum
+// and returns the grand total: out[i] = sum(a[0..i)), total = sum(a).
+func ExclusivePrefixSum(a []int64) int64 {
+	var sum int64
+	for i := range a {
+		v := a[i]
+		a[i] = sum
+		sum += v
+	}
+	return sum
+}
+
+// InclusivePrefixSum converts a in place into its inclusive prefix sum
+// and returns the grand total.
+func InclusivePrefixSum(a []int64) int64 {
+	var sum int64
+	for i := range a {
+		sum += a[i]
+		a[i] = sum
+	}
+	return sum
+}
+
+// SplitByWeight partitions the items [0, n) into at most p contiguous
+// ranges of near-equal total weight, where cum is the exclusive
+// cumulative weight array of length n+1 (cum[0] = 0, cum[n] = total).
+// This implements the paper's high-span fix (§III-B): work assignment
+// "based on nonzeros, as opposed to [entries], of x".
+//
+// The returned slice has exactly p entries; trailing ranges may be empty
+// when n < p or the weight is concentrated.
+func SplitByWeight(cum []int64, p int) [][2]int {
+	return SplitByWeightInto(cum, p, nil)
+}
+
+// SplitByWeightInto is SplitByWeight reusing dst's capacity, so
+// steady-state callers (the SpMSpV inner loop) allocate nothing.
+func SplitByWeightInto(cum []int64, p int, dst [][2]int) [][2]int {
+	ranges := rangesBuf(dst, p)
+	n := len(cum) - 1
+	if n <= 0 || p <= 0 {
+		return ranges
+	}
+	total := cum[n]
+	if total <= 0 {
+		// All weights zero: fall back to an even split by count.
+		for w := 0; w < p; w++ {
+			ranges[w] = [2]int{w * n / p, (w + 1) * n / p}
+		}
+		return ranges
+	}
+	prev := 0
+	for w := 0; w < p; w++ {
+		target := total * int64(w+1) / int64(p)
+		// First index whose cumulative weight reaches the target.
+		hi := prev + sort.Search(n-prev, func(i int) bool {
+			return cum[prev+i+1] >= target
+		}) + 1
+		if hi > n {
+			hi = n
+		}
+		if w == p-1 {
+			hi = n
+		}
+		ranges[w] = [2]int{prev, hi}
+		prev = hi
+	}
+	return ranges
+}
+
+// EvenRanges splits [0, n) into p contiguous near-equal ranges (the
+// unweighted analogue of SplitByWeight).
+func EvenRanges(n, p int) [][2]int {
+	return EvenRangesInto(n, p, nil)
+}
+
+// EvenRangesInto is EvenRanges reusing dst's capacity.
+func EvenRangesInto(n, p int, dst [][2]int) [][2]int {
+	ranges := rangesBuf(dst, p)
+	for w := 0; w < p; w++ {
+		ranges[w] = [2]int{w * n / p, (w + 1) * n / p}
+	}
+	return ranges
+}
+
+// rangesBuf returns a zeroed length-p range slice, reusing dst's
+// backing array when large enough.
+func rangesBuf(dst [][2]int, p int) [][2]int {
+	if cap(dst) < p {
+		return make([][2]int, p)
+	}
+	dst = dst[:p]
+	for i := range dst {
+		dst[i] = [2]int{}
+	}
+	return dst
+}

@@ -1,0 +1,207 @@
+package par
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestForStaticCoversRange(t *testing.T) {
+	for _, p := range []int{1, 2, 4, 9} {
+		for _, n := range []int{0, 1, 5, 100} {
+			covered := make([]int32, n)
+			ForStatic(p, n, func(_, lo, hi int) {
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&covered[i], 1)
+				}
+			})
+			for i, c := range covered {
+				if c != 1 {
+					t.Fatalf("p=%d n=%d: index %d covered %d times", p, n, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestForStaticWorkerIDsDistinct(t *testing.T) {
+	seen := make([]int32, 8)
+	ForStatic(8, 64, func(w, lo, hi int) {
+		atomic.AddInt32(&seen[w], 1)
+	})
+	for w, c := range seen {
+		if c > 1 {
+			t.Errorf("worker %d invoked %d times", w, c)
+		}
+	}
+}
+
+func TestForDynamicCoversRange(t *testing.T) {
+	for _, p := range []int{1, 3, 8} {
+		for _, chunk := range []int{1, 3, 100} {
+			n := 57
+			covered := make([]int32, n)
+			ForDynamic(p, n, chunk, func(_, lo, hi int) {
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&covered[i], 1)
+				}
+			}, nil)
+			for i, c := range covered {
+				if c != 1 {
+					t.Fatalf("p=%d chunk=%d: index %d covered %d times", p, chunk, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestForDynamicSyncEvents(t *testing.T) {
+	sync := make([]int64, 4)
+	ForDynamic(4, 40, 1, func(_, _, _ int) {}, sync)
+	var total int64
+	for _, s := range sync {
+		total += s
+	}
+	// Every chunk claim is a sync event; there are at least 40 claims.
+	if total < 40 {
+		t.Errorf("sync events %d < 40", total)
+	}
+}
+
+func TestForRanges(t *testing.T) {
+	ranges := [][2]int{{0, 3}, {3, 3}, {3, 10}} // middle range empty
+	covered := make([]int32, 10)
+	workers := make([]int32, 3)
+	ForRanges(ranges, func(w, lo, hi int) {
+		atomic.AddInt32(&workers[w], 1)
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&covered[i], 1)
+		}
+	})
+	for i, c := range covered {
+		if c != 1 {
+			t.Fatalf("index %d covered %d times", i, c)
+		}
+	}
+	if workers[1] != 0 {
+		t.Error("empty range invoked its worker")
+	}
+}
+
+func TestExclusivePrefixSum(t *testing.T) {
+	a := []int64{3, 0, 5, 2}
+	total := ExclusivePrefixSum(a)
+	want := []int64{0, 3, 3, 8}
+	if total != 10 {
+		t.Errorf("total = %d, want 10", total)
+	}
+	for i := range want {
+		if a[i] != want[i] {
+			t.Errorf("a[%d] = %d, want %d", i, a[i], want[i])
+		}
+	}
+	if got := ExclusivePrefixSum(nil); got != 0 {
+		t.Errorf("empty prefix sum = %d", got)
+	}
+}
+
+func TestInclusivePrefixSum(t *testing.T) {
+	a := []int64{3, 0, 5, 2}
+	total := InclusivePrefixSum(a)
+	want := []int64{3, 3, 8, 10}
+	if total != 10 {
+		t.Errorf("total = %d, want 10", total)
+	}
+	for i := range want {
+		if a[i] != want[i] {
+			t.Errorf("a[%d] = %d, want %d", i, a[i], want[i])
+		}
+	}
+}
+
+func TestSplitByWeightProperties(t *testing.T) {
+	property := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := r.Intn(200)
+		p := r.Intn(8) + 1
+		cum := make([]int64, n+1)
+		for i := 1; i <= n; i++ {
+			cum[i] = cum[i-1] + int64(r.Intn(100))
+		}
+		ranges := SplitByWeight(cum, p)
+		if len(ranges) != p {
+			return false
+		}
+		// Ranges are contiguous, ordered, and cover [0, n).
+		prev := 0
+		for _, rg := range ranges {
+			if rg[0] != prev || rg[1] < rg[0] {
+				return false
+			}
+			prev = rg[1]
+		}
+		return prev == n
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSplitByWeightBalance(t *testing.T) {
+	// Uniform weights must produce a near-even split.
+	n, p := 1000, 4
+	cum := make([]int64, n+1)
+	for i := 1; i <= n; i++ {
+		cum[i] = int64(i)
+	}
+	ranges := SplitByWeight(cum, p)
+	for _, rg := range ranges {
+		w := cum[rg[1]] - cum[rg[0]]
+		if w < 200 || w > 300 {
+			t.Errorf("range %v weight %d far from 250", rg, w)
+		}
+	}
+}
+
+func TestSplitByWeightSkew(t *testing.T) {
+	// One huge item: it must land alone in some range, and the others
+	// must still be covered.
+	cum := []int64{0, 1, 2, 1000, 1001}
+	ranges := SplitByWeight(cum, 3)
+	covered := 0
+	for _, rg := range ranges {
+		covered += rg[1] - rg[0]
+	}
+	if covered != 4 {
+		t.Errorf("covered %d items, want 4 (%v)", covered, ranges)
+	}
+}
+
+func TestSplitByWeightZeroWeights(t *testing.T) {
+	cum := []int64{0, 0, 0, 0} // three items, all weight zero
+	ranges := SplitByWeight(cum, 2)
+	covered := 0
+	for _, rg := range ranges {
+		covered += rg[1] - rg[0]
+	}
+	if covered != 3 {
+		t.Errorf("zero-weight items dropped: %v", ranges)
+	}
+}
+
+func TestEvenRanges(t *testing.T) {
+	ranges := EvenRanges(10, 3)
+	if ranges[0] != [2]int{0, 3} || ranges[1] != [2]int{3, 6} || ranges[2] != [2]int{6, 10} {
+		t.Errorf("ranges = %v", ranges)
+	}
+}
+
+func TestThreads(t *testing.T) {
+	if Threads(5) != 5 {
+		t.Error("explicit thread count not honored")
+	}
+	if Threads(0) < 1 || Threads(-1) < 1 {
+		t.Error("default thread count < 1")
+	}
+}

@@ -1,0 +1,76 @@
+package perf
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCountersMerge(t *testing.T) {
+	a := Counters{XScanned: 1, MatrixTouched: 2, SPAInit: 3}
+	b := Counters{XScanned: 10, SPAUpdates: 5, SyncEvents: 7}
+	a.Merge(&b)
+	if a.XScanned != 11 || a.MatrixTouched != 2 || a.SPAUpdates != 5 || a.SyncEvents != 7 {
+		t.Errorf("merge result: %+v", a)
+	}
+	if a.Work() != 11+2+3+5+7 {
+		t.Errorf("work = %d", a.Work())
+	}
+	a.Reset()
+	if a.Work() != 0 {
+		t.Error("reset did not zero counters")
+	}
+}
+
+func TestMergeAll(t *testing.T) {
+	per := []Counters{{XScanned: 1}, {XScanned: 2}, {XScanned: 4}}
+	if got := MergeAll(per); got.XScanned != 7 {
+		t.Errorf("MergeAll = %+v", got)
+	}
+	if got := MergeAll(nil); got.Work() != 0 {
+		t.Errorf("MergeAll(nil) = %+v", got)
+	}
+}
+
+func TestCountersString(t *testing.T) {
+	c := Counters{XScanned: 3}
+	if s := c.String(); !strings.Contains(s, "xscan=3") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestStepTimes(t *testing.T) {
+	s := StepTimes{Estimate: time.Millisecond, Merge: 3 * time.Millisecond}
+	if s.Total() != 4*time.Millisecond {
+		t.Errorf("total = %v", s.Total())
+	}
+	s.Add(StepTimes{Estimate: time.Millisecond, Output: 2 * time.Millisecond})
+	if s.Estimate != 2*time.Millisecond || s.Output != 2*time.Millisecond {
+		t.Errorf("add result: %+v", s)
+	}
+	s.Scale(2)
+	if s.Estimate != time.Millisecond || s.Output != time.Millisecond {
+		t.Errorf("scale result: %+v", s)
+	}
+	s.Scale(0) // no-op
+	if s.Estimate != time.Millisecond {
+		t.Error("Scale(0) should be a no-op")
+	}
+	if !strings.Contains(s.String(), "estimate=") {
+		t.Errorf("String() = %q", s.String())
+	}
+}
+
+func TestTimer(t *testing.T) {
+	var tm Timer
+	tm.Start()
+	time.Sleep(time.Millisecond)
+	d1 := tm.Lap()
+	if d1 <= 0 {
+		t.Error("lap duration not positive")
+	}
+	d2 := tm.Lap()
+	if d2 < 0 || d2 > d1+time.Second {
+		t.Errorf("second lap suspicious: %v", d2)
+	}
+}

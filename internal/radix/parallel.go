@@ -1,0 +1,75 @@
+package radix
+
+import (
+	"spmspv/internal/par"
+	"spmspv/internal/sparse"
+)
+
+// ParallelSortEntries sorts entries by ascending Ind using p workers.
+// Each LSD pass computes per-worker digit histograms over contiguous
+// chunks, takes a global (digit-major, worker-minor) exclusive prefix so
+// every worker owns disjoint output cursors, then scatters in parallel —
+// the same lock-free counting strategy the bucket algorithm uses for its
+// Step 1. The sort is stable. scratch is grown as needed and returned
+// for reuse.
+func ParallelSortEntries(a []sparse.Entry, scratch []sparse.Entry, p int) []sparse.Entry {
+	n := len(a)
+	if p <= 1 || n < 1<<12 {
+		return SortEntries(a, scratch)
+	}
+	if cap(scratch) < n {
+		scratch = make([]sparse.Entry, n)
+	}
+	scratch = scratch[:n]
+
+	var or, and sparse.Index
+	or, and = 0, -1
+	for i := range a {
+		or |= a[i].Ind
+		and &= a[i].Ind
+	}
+
+	ranges := par.EvenRanges(n, p)
+	counts := make([]int64, p*buckets)
+	src, dst := a, scratch
+	swapped := false
+	for shift := 0; shift < 32; shift += digitBits {
+		if (or>>shift)&digitMask == (and>>shift)&digitMask {
+			continue
+		}
+		for i := range counts {
+			counts[i] = 0
+		}
+		par.ForRanges(ranges, func(w, lo, hi int) {
+			c := counts[w*buckets : (w+1)*buckets]
+			for i := lo; i < hi; i++ {
+				c[(src[i].Ind>>shift)&digitMask]++
+			}
+		})
+		// Exclusive prefix in digit-major, worker-minor order: worker w's
+		// cursor for digit d starts after all smaller digits and after
+		// digit-d counts of workers < w.
+		var sum int64
+		for d := 0; d < buckets; d++ {
+			for w := 0; w < p; w++ {
+				c := counts[w*buckets+d]
+				counts[w*buckets+d] = sum
+				sum += c
+			}
+		}
+		par.ForRanges(ranges, func(w, lo, hi int) {
+			c := counts[w*buckets : (w+1)*buckets]
+			for i := lo; i < hi; i++ {
+				d := (src[i].Ind >> shift) & digitMask
+				dst[c[d]] = src[i]
+				c[d]++
+			}
+		})
+		src, dst = dst, src
+		swapped = !swapped
+	}
+	if swapped {
+		copy(a, src)
+	}
+	return scratch
+}

@@ -1,0 +1,151 @@
+// Package radix implements least-significant-digit radix sorts for
+// int32 keys and (int32, float64) entry pairs.
+//
+// The paper relies on integer sorting in two places: the optional
+// per-bucket sorting of unique indices in the SpMSpV-bucket algorithm
+// ("each thread can run a sequential integer sorting function on its
+// local indices using efficient sorting algorithms such as the radix
+// sort", §III-B), and the SpMSpV-sort baseline of Yang et al. which
+// sorts all df scaled entries by row index. Keys are assumed
+// non-negative (row indices), enabling unsigned byte digits.
+package radix
+
+import "spmspv/internal/sparse"
+
+const (
+	digitBits = 8
+	buckets   = 1 << digitBits
+	digitMask = buckets - 1
+)
+
+// SortIndices sorts a in place (ascending) using LSD radix sort with the
+// provided scratch slice (grown if too small) and returns the scratch
+// for reuse. Passes whose digit is constant across all keys are skipped,
+// so sorting keys drawn from a small range costs proportionally less.
+func SortIndices(a []sparse.Index, scratch []sparse.Index) []sparse.Index {
+	n := len(a)
+	if n < 2 {
+		return scratch
+	}
+	if n < 32 {
+		insertionSortIndices(a)
+		return scratch
+	}
+	if cap(scratch) < n {
+		scratch = make([]sparse.Index, n)
+	}
+	scratch = scratch[:n]
+
+	var or, and sparse.Index
+	or, and = 0, -1
+	for _, v := range a {
+		or |= v
+		and &= v
+	}
+	src, dst := a, scratch
+	swapped := false
+	for shift := 0; shift < 32; shift += digitBits {
+		// Skip passes where every key has the same digit.
+		if (or>>shift)&digitMask == (and>>shift)&digitMask {
+			continue
+		}
+		var count [buckets]int32
+		for _, v := range src {
+			count[(v>>shift)&digitMask]++
+		}
+		var sum int32
+		for d := 0; d < buckets; d++ {
+			c := count[d]
+			count[d] = sum
+			sum += c
+		}
+		for _, v := range src {
+			d := (v >> shift) & digitMask
+			dst[count[d]] = v
+			count[d]++
+		}
+		src, dst = dst, src
+		swapped = !swapped
+	}
+	if swapped {
+		copy(a, src)
+	}
+	return scratch
+}
+
+func insertionSortIndices(a []sparse.Index) {
+	for i := 1; i < len(a); i++ {
+		v := a[i]
+		j := i - 1
+		for j >= 0 && a[j] > v {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = v
+	}
+}
+
+// SortEntries sorts entries in place by ascending Ind using LSD radix
+// sort with the provided scratch slice, returning the scratch for reuse.
+// The sort is stable, which the segmented-reduce consumers rely on.
+func SortEntries(a []sparse.Entry, scratch []sparse.Entry) []sparse.Entry {
+	n := len(a)
+	if n < 2 {
+		return scratch
+	}
+	if n < 32 {
+		insertionSortEntries(a)
+		return scratch
+	}
+	if cap(scratch) < n {
+		scratch = make([]sparse.Entry, n)
+	}
+	scratch = scratch[:n]
+
+	var or, and sparse.Index
+	or, and = 0, -1
+	for i := range a {
+		or |= a[i].Ind
+		and &= a[i].Ind
+	}
+	src, dst := a, scratch
+	swapped := false
+	for shift := 0; shift < 32; shift += digitBits {
+		if (or>>shift)&digitMask == (and>>shift)&digitMask {
+			continue
+		}
+		var count [buckets]int32
+		for i := range src {
+			count[(src[i].Ind>>shift)&digitMask]++
+		}
+		var sum int32
+		for d := 0; d < buckets; d++ {
+			c := count[d]
+			count[d] = sum
+			sum += c
+		}
+		for i := range src {
+			d := (src[i].Ind >> shift) & digitMask
+			dst[count[d]] = src[i]
+			count[d]++
+		}
+		src, dst = dst, src
+		swapped = !swapped
+	}
+	if swapped {
+		copy(a, src)
+	}
+	return scratch
+}
+
+func insertionSortEntries(a []sparse.Entry) {
+	for i := 1; i < len(a); i++ {
+		v := a[i]
+		j := i - 1
+		for j >= 0 && a[j].Ind > v.Ind {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = v
+	}
+}

@@ -1,0 +1,126 @@
+package radix
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"spmspv/internal/sparse"
+)
+
+func TestSortIndicesMatchesStdlib(t *testing.T) {
+	property := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := r.Intn(2000)
+		a := make([]sparse.Index, n)
+		limit := []int{2, 100, 1 << 16, 1 << 30}[r.Intn(4)]
+		for i := range a {
+			a[i] = sparse.Index(r.Intn(limit))
+		}
+		want := append([]sparse.Index(nil), a...)
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		SortIndices(a, nil)
+		for i := range a {
+			if a[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSortIndicesEdges(t *testing.T) {
+	SortIndices(nil, nil) // must not panic
+	one := []sparse.Index{7}
+	SortIndices(one, nil)
+	if one[0] != 7 {
+		t.Error("singleton changed")
+	}
+	same := []sparse.Index{5, 5, 5, 5}
+	SortIndices(same, nil)
+	for _, v := range same {
+		if v != 5 {
+			t.Error("constant slice changed")
+		}
+	}
+}
+
+func TestSortIndicesScratchReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var scratch []sparse.Index
+	for trial := 0; trial < 10; trial++ {
+		n := rng.Intn(500) + 50
+		a := make([]sparse.Index, n)
+		for i := range a {
+			a[i] = sparse.Index(rng.Intn(1 << 20))
+		}
+		scratch = SortIndices(a, scratch)
+		for i := 1; i < n; i++ {
+			if a[i-1] > a[i] {
+				t.Fatalf("trial %d: not sorted at %d", trial, i)
+			}
+		}
+	}
+}
+
+func TestSortEntriesStable(t *testing.T) {
+	// Equal keys keep their relative order: tag values with sequence
+	// numbers and verify.
+	rng := rand.New(rand.NewSource(4))
+	n := 5000
+	a := make([]sparse.Entry, n)
+	for i := range a {
+		a[i] = sparse.Entry{Ind: sparse.Index(rng.Intn(50)), Val: float64(i)}
+	}
+	SortEntries(a, nil)
+	for i := 1; i < n; i++ {
+		if a[i-1].Ind > a[i].Ind {
+			t.Fatalf("not sorted at %d", i)
+		}
+		if a[i-1].Ind == a[i].Ind && a[i-1].Val > a[i].Val {
+			t.Fatalf("not stable at %d", i)
+		}
+	}
+}
+
+func TestParallelSortEntriesMatchesSerial(t *testing.T) {
+	property := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := r.Intn(20000)
+		a := make([]sparse.Entry, n)
+		for i := range a {
+			a[i] = sparse.Entry{Ind: sparse.Index(r.Intn(1 << 20)), Val: float64(i)}
+		}
+		b := append([]sparse.Entry(nil), a...)
+		SortEntries(a, nil)
+		ParallelSortEntries(b, nil, 4)
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParallelSortStability(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 1 << 14
+	a := make([]sparse.Entry, n)
+	for i := range a {
+		a[i] = sparse.Entry{Ind: sparse.Index(rng.Intn(8)), Val: float64(i)}
+	}
+	ParallelSortEntries(a, nil, 8)
+	for i := 1; i < n; i++ {
+		if a[i-1].Ind == a[i].Ind && a[i-1].Val > a[i].Val {
+			t.Fatalf("parallel sort not stable at %d", i)
+		}
+	}
+}

@@ -1,0 +1,128 @@
+// Package semiring defines the GraphBLAS-style algebraic semirings over
+// which SpMSpV is computed.
+//
+// The paper presents SpMSpV with generic ADD and MULT operations (lines 7
+// and 18 of Algorithm 1) because the GraphBLAS standard — for which
+// SpMSpV is a core primitive — parameterizes the multiplication by a
+// semiring. Graph algorithms pick semirings: BFS uses (min, select2nd),
+// shortest paths use (min, +), plain linear algebra uses (+, ×).
+//
+// Values are float64 throughout; vertex identifiers stored in values are
+// exact up to 2^53, far beyond the int32 index space of the matrices.
+package semiring
+
+import "math"
+
+// Semiring bundles the additive and multiplicative operations of a
+// GraphBLAS semiring together with the additive identity.
+type Semiring struct {
+	// Name identifies the semiring in logs and tables.
+	Name string
+	// Zero is the additive identity: Add(Zero, v) == v for all v in the
+	// semiring's domain. It is the initial value of a SPA slot.
+	Zero float64
+	// Add combines two partial results for the same output index.
+	Add func(a, b float64) float64
+	// Mul combines a matrix entry with an input-vector entry:
+	// Mul(A(i,j), x(j)).
+	Mul func(a, b float64) float64
+	// arithmetic marks the (+, ×) semiring so hot loops can use a
+	// specialized path without function-pointer calls.
+	arithmetic bool
+}
+
+// IsArithmetic reports whether s is the standard (+, ×) semiring over
+// float64, enabling specialized inner loops.
+func (s Semiring) IsArithmetic() bool { return s.arithmetic }
+
+// Arithmetic is the standard (+, ×) semiring: ordinary sparse
+// matrix-vector multiplication.
+var Arithmetic = Semiring{
+	Name:       "arithmetic(+,*)",
+	Zero:       0,
+	Add:        func(a, b float64) float64 { return a + b },
+	Mul:        func(a, b float64) float64 { return a * b },
+	arithmetic: true,
+}
+
+// MinPlus is the tropical semiring (min, +): one relaxation step of
+// single-source shortest paths per SpMSpV.
+var MinPlus = Semiring{
+	Name: "tropical(min,+)",
+	Zero: inf,
+	Add:  minf,
+	Mul:  func(a, b float64) float64 { return a + b },
+}
+
+// MaxPlus is the (max, +) semiring, used e.g. for critical-path lengths.
+var MaxPlus = Semiring{
+	Name: "maxplus(max,+)",
+	Zero: -inf,
+	Add:  maxf,
+	Mul:  func(a, b float64) float64 { return a + b },
+}
+
+// BoolOrAnd is the boolean semiring (∨, ∧) embedded in float64 with 0 =
+// false and nonzero = true: reachability without parent information.
+var BoolOrAnd = Semiring{
+	Name: "boolean(or,and)",
+	Zero: 0,
+	Add: func(a, b float64) float64 {
+		if a != 0 || b != 0 {
+			return 1
+		}
+		return 0
+	},
+	Mul: func(a, b float64) float64 {
+		if a != 0 && b != 0 {
+			return 1
+		}
+		return 0
+	},
+}
+
+// MinSelect2nd is the (min, select2nd) semiring: Mul ignores the matrix
+// value and propagates the input-vector value. With x(j) holding the
+// vertex id j, y = A·x computes for every discovered vertex the minimum
+// parent id — the BFS frontier-expansion semiring of the paper's §I.
+var MinSelect2nd = Semiring{
+	Name: "bfs(min,select2nd)",
+	Zero: inf,
+	Add:  minf,
+	Mul:  func(_, b float64) float64 { return b },
+}
+
+// MaxSelect2nd is (max, select2nd); used by label-propagation variants
+// that keep the largest label.
+var MaxSelect2nd = Semiring{
+	Name: "(max,select2nd)",
+	Zero: -inf,
+	Add:  maxf,
+	Mul:  func(_, b float64) float64 { return b },
+}
+
+// MinSelect1st is (min, select1st): Mul propagates the matrix value,
+// ignoring x. Used to pull edge attributes of the frontier's incident
+// edges.
+var MinSelect1st = Semiring{
+	Name: "(min,select1st)",
+	Zero: inf,
+	Add:  minf,
+	Mul:  func(a, _ float64) float64 { return a },
+}
+
+var inf = math.Inf(1)
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

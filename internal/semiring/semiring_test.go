@@ -1,0 +1,126 @@
+package semiring
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func all() []Semiring {
+	return []Semiring{
+		Arithmetic, MinPlus, MaxPlus, BoolOrAnd,
+		MinSelect2nd, MaxSelect2nd, MinSelect1st,
+	}
+}
+
+// sample draws a value from the semiring's natural domain.
+func sample(sr Semiring, r *rand.Rand) float64 {
+	if sr.Name == BoolOrAnd.Name {
+		return float64(r.Intn(2))
+	}
+	return r.NormFloat64()
+}
+
+func TestZeroIsAdditiveIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, sr := range all() {
+		for trial := 0; trial < 100; trial++ {
+			v := sample(sr, rng)
+			if got := sr.Add(sr.Zero, v); got != v {
+				t.Errorf("%s: Add(zero, %g) = %g", sr.Name, v, got)
+			}
+			if got := sr.Add(v, sr.Zero); got != v {
+				t.Errorf("%s: Add(%g, zero) = %g", sr.Name, v, got)
+			}
+		}
+	}
+}
+
+func TestAddAssociativeCommutative(t *testing.T) {
+	for _, sr := range all() {
+		sr := sr
+		property := func(a, b, c float64) bool {
+			if sr.Name == BoolOrAnd.Name {
+				a, b, c = boolify(a), boolify(b), boolify(c)
+			}
+			if math.IsNaN(a) || math.IsNaN(b) || math.IsNaN(c) {
+				return true
+			}
+			lhs := sr.Add(sr.Add(a, b), c)
+			rhs := sr.Add(a, sr.Add(b, c))
+			// Floating-point addition is not exactly associative; allow
+			// relative tolerance for the arithmetic semiring.
+			if !close(lhs, rhs) {
+				return false
+			}
+			return close(sr.Add(a, b), sr.Add(b, a))
+		}
+		if err := quick.Check(property, &quick.Config{MaxCount: 200}); err != nil {
+			t.Errorf("%s: %v", sr.Name, err)
+		}
+	}
+}
+
+func boolify(x float64) float64 {
+	if x > 0 {
+		return 1
+	}
+	return 0
+}
+
+func close(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= 1e-9*scale
+}
+
+func TestArithmeticFlag(t *testing.T) {
+	if !Arithmetic.IsArithmetic() {
+		t.Error("Arithmetic not flagged")
+	}
+	for _, sr := range all()[1:] {
+		if sr.IsArithmetic() {
+			t.Errorf("%s wrongly flagged arithmetic", sr.Name)
+		}
+	}
+}
+
+func TestSelectSemantics(t *testing.T) {
+	if got := MinSelect2nd.Mul(99, 7); got != 7 {
+		t.Errorf("select2nd took first arg: %g", got)
+	}
+	if got := MinSelect1st.Mul(99, 7); got != 99 {
+		t.Errorf("select1st took second arg: %g", got)
+	}
+	if got := MinPlus.Mul(2, 3); got != 5 {
+		t.Errorf("min-plus mul: %g", got)
+	}
+	if got := MinPlus.Add(2, 3); got != 2 {
+		t.Errorf("min-plus add: %g", got)
+	}
+	if got := MaxPlus.Add(2, 3); got != 3 {
+		t.Errorf("max-plus add: %g", got)
+	}
+}
+
+func TestBooleanSemiring(t *testing.T) {
+	cases := []struct{ a, b, or, and float64 }{
+		{0, 0, 0, 0},
+		{0, 1, 1, 0},
+		{1, 0, 1, 0},
+		{1, 1, 1, 1},
+		{2, 3, 1, 1}, // any nonzero is true
+	}
+	for _, c := range cases {
+		if got := BoolOrAnd.Add(c.a, c.b); got != c.or {
+			t.Errorf("or(%g,%g) = %g, want %g", c.a, c.b, got, c.or)
+		}
+		if got := BoolOrAnd.Mul(c.a, c.b); got != c.and {
+			t.Errorf("and(%g,%g) = %g, want %g", c.a, c.b, got, c.and)
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package spa
+
+import (
+	"spmspv/internal/semiring"
+	"spmspv/internal/sparse"
+)
+
+// segment is one scaled matrix column being merged: rows[pos:] remain,
+// every emitted value is Mul(vals[k], x) under the semiring.
+type segment struct {
+	rows []sparse.Index
+	vals []float64
+	x    float64
+	pos  int32
+}
+
+// KWayMerger merges f sorted column segments with a binary heap — the
+// CombBLAS-heap merging strategy of Table I, with O(df·lg f) sequential
+// complexity. The heap is keyed by the segment's current row id.
+type KWayMerger struct {
+	segs []segment
+	heap []int32 // indices into segs, heap-ordered by current row
+	ops  int64   // heap push/pop/sift operations performed
+}
+
+// NewKWayMerger returns a merger with capacity hints.
+func NewKWayMerger(segCap int) *KWayMerger {
+	return &KWayMerger{
+		segs: make([]segment, 0, segCap),
+		heap: make([]int32, 0, segCap),
+	}
+}
+
+// Reset discards all segments, keeping capacity.
+func (m *KWayMerger) Reset() {
+	m.segs = m.segs[:0]
+	m.heap = m.heap[:0]
+	m.ops = 0
+}
+
+// AddSegment registers one column's (sorted) rows and values, scaled by
+// the input-vector entry x. Empty segments are ignored.
+func (m *KWayMerger) AddSegment(rows []sparse.Index, vals []float64, x float64) {
+	if len(rows) == 0 {
+		return
+	}
+	m.segs = append(m.segs, segment{rows: rows, vals: vals, x: x})
+}
+
+// Ops returns the number of heap operations performed by the last Merge.
+func (m *KWayMerger) Ops() int64 { return m.ops }
+
+func (m *KWayMerger) rowOf(s int32) sparse.Index {
+	seg := &m.segs[s]
+	return seg.rows[seg.pos]
+}
+
+func (m *KWayMerger) less(a, b int32) bool { return m.rowOf(a) < m.rowOf(b) }
+
+func (m *KWayMerger) siftUp(i int) {
+	h := m.heap
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !m.less(h[i], h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+		m.ops++
+	}
+}
+
+func (m *KWayMerger) siftDown(i int) {
+	h := m.heap
+	n := len(h)
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && m.less(h[l], h[small]) {
+			small = l
+		}
+		if r < n && m.less(h[r], h[small]) {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		h[i], h[small] = h[small], h[i]
+		i = small
+		m.ops++
+	}
+}
+
+// Merge emits the merged, row-sorted stream: emit is called once per
+// unique row with the semiring-Add-combined value. The ops counter
+// accumulates heap work for the HeapOps perf counter.
+func (m *KWayMerger) Merge(sr semiring.Semiring, emit func(row sparse.Index, val float64)) {
+	m.heap = m.heap[:0]
+	for s := range m.segs {
+		m.heap = append(m.heap, int32(s))
+		m.siftUp(len(m.heap) - 1)
+		m.ops++
+	}
+	mul := sr.Mul
+	add := sr.Add
+	for len(m.heap) > 0 {
+		top := m.heap[0]
+		seg := &m.segs[top]
+		row := seg.rows[seg.pos]
+		acc := mul(seg.vals[seg.pos], seg.x)
+		m.advance()
+		// Drain every further occurrence of this row.
+		for len(m.heap) > 0 {
+			t := m.heap[0]
+			s := &m.segs[t]
+			if s.rows[s.pos] != row {
+				break
+			}
+			acc = add(acc, mul(s.vals[s.pos], s.x))
+			m.advance()
+		}
+		emit(row, acc)
+	}
+}
+
+// advance moves the top segment's cursor forward, removing it from the
+// heap when exhausted, and restores the heap invariant.
+func (m *KWayMerger) advance() {
+	top := m.heap[0]
+	seg := &m.segs[top]
+	seg.pos++
+	m.ops++
+	if int(seg.pos) >= len(seg.rows) {
+		last := len(m.heap) - 1
+		m.heap[0] = m.heap[last]
+		m.heap = m.heap[:last]
+	}
+	if len(m.heap) > 0 {
+		m.siftDown(0)
+	}
+}

@@ -1,0 +1,109 @@
+// Package spa implements sparse accumulators (SPAs) and the k-way heap
+// merger — the merging data structures classified in Tables I and II of
+// the paper.
+//
+// A SPA (Gilbert, Moler & Schreiber; paper ref [17]) is "a dense vector
+// of numerical values and a list of indices that refer to nonzero
+// entries in the dense vector". The paper distinguishes SPAs by their
+// initialization discipline: full initialization costs O(m) per multiply
+// and breaks the lower bound; partial initialization (only slots that
+// will be touched) costs O(nnz(y)) and is work-efficient. Epoch
+// implements partial initialization in O(1) amortized per call via
+// generation tags; Full models the CombBLAS-SPA discipline.
+package spa
+
+import (
+	"spmspv/internal/semiring"
+	"spmspv/internal/sparse"
+)
+
+// Epoch is a partially-initialized SPA: a slot is considered absent
+// unless its tag equals the current epoch, so "clearing" the SPA is a
+// single counter increment. Occupied slots record their index in Touched
+// for O(nnz) extraction.
+type Epoch struct {
+	Val     []float64
+	tag     []uint32
+	epoch   uint32
+	Touched []sparse.Index
+}
+
+// NewEpoch returns a SPA over index space [0, n).
+func NewEpoch(n sparse.Index) *Epoch {
+	return &Epoch{
+		Val: make([]float64, n),
+		tag: make([]uint32, n),
+	}
+}
+
+// Clear resets the SPA in O(1) (amortized: a full tag wipe happens only
+// on 32-bit epoch wraparound) and empties the touched list.
+func (s *Epoch) Clear() {
+	s.epoch++
+	if s.epoch == 0 {
+		for i := range s.tag {
+			s.tag[i] = 0
+		}
+		s.epoch = 1
+	}
+	s.Touched = s.Touched[:0]
+}
+
+// Accumulate folds v into slot i under the semiring's Add, initializing
+// the slot on first touch. It returns true when the touch was the first
+// for this epoch (a new output nonzero).
+func (s *Epoch) Accumulate(i sparse.Index, v float64, sr semiring.Semiring) bool {
+	if s.tag[i] != s.epoch {
+		s.tag[i] = s.epoch
+		s.Val[i] = v
+		s.Touched = append(s.Touched, i)
+		return true
+	}
+	s.Val[i] = sr.Add(s.Val[i], v)
+	return false
+}
+
+// Occupied reports whether slot i holds a value in the current epoch.
+func (s *Epoch) Occupied(i sparse.Index) bool { return s.tag[i] == s.epoch }
+
+// Full is a fully-initialized SPA modeling the CombBLAS-SPA discipline:
+// Init wipes every slot to the semiring zero, costing O(n) per multiply
+// regardless of how sparse the inputs are. This is deliberately
+// inefficient — it exists to reproduce the baseline's work profile.
+type Full struct {
+	Val      []float64
+	occupied []bool
+	Touched  []sparse.Index
+}
+
+// NewFull returns a full-initialization SPA over [0, n).
+func NewFull(n sparse.Index) *Full {
+	return &Full{
+		Val:      make([]float64, n),
+		occupied: make([]bool, n),
+	}
+}
+
+// Init wipes the entire SPA to zero. Returns the number of slots
+// initialized (= n), which callers feed into the SPAInit work counter.
+func (s *Full) Init(zero float64) int64 {
+	for i := range s.Val {
+		s.Val[i] = zero
+	}
+	for i := range s.occupied {
+		s.occupied[i] = false
+	}
+	s.Touched = s.Touched[:0]
+	return int64(len(s.Val)) * 2
+}
+
+// Accumulate folds v into slot i, returning true on first touch.
+func (s *Full) Accumulate(i sparse.Index, v float64, sr semiring.Semiring) bool {
+	first := !s.occupied[i]
+	if first {
+		s.occupied[i] = true
+		s.Touched = append(s.Touched, i)
+	}
+	s.Val[i] = sr.Add(s.Val[i], v)
+	return first
+}

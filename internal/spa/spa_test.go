@@ -1,0 +1,151 @@
+package spa
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"spmspv/internal/semiring"
+	"spmspv/internal/sparse"
+)
+
+func TestEpochAccumulate(t *testing.T) {
+	s := NewEpoch(10)
+	s.Clear()
+	if !s.Accumulate(3, 2, semiring.Arithmetic) {
+		t.Error("first touch should return true")
+	}
+	if s.Accumulate(3, 5, semiring.Arithmetic) {
+		t.Error("second touch should return false")
+	}
+	if s.Val[3] != 7 {
+		t.Errorf("Val[3] = %g, want 7", s.Val[3])
+	}
+	if len(s.Touched) != 1 || s.Touched[0] != 3 {
+		t.Errorf("Touched = %v", s.Touched)
+	}
+	if !s.Occupied(3) || s.Occupied(4) {
+		t.Error("occupancy wrong")
+	}
+}
+
+func TestEpochClearIsO1(t *testing.T) {
+	s := NewEpoch(10)
+	s.Clear()
+	s.Accumulate(5, 1, semiring.Arithmetic)
+	s.Clear()
+	if s.Occupied(5) {
+		t.Error("slot survived Clear")
+	}
+	if len(s.Touched) != 0 {
+		t.Error("touched list survived Clear")
+	}
+	// A fresh accumulate after Clear starts from scratch, not from the
+	// stale value.
+	s.Accumulate(5, 3, semiring.Arithmetic)
+	if s.Val[5] != 3 {
+		t.Errorf("Val[5] = %g, want 3 (stale value leaked)", s.Val[5])
+	}
+}
+
+func TestEpochWraparound(t *testing.T) {
+	s := NewEpoch(4)
+	// Force epoch to the brink of wraparound.
+	s.epoch = ^uint32(0) - 1
+	s.Clear() // epoch = max
+	s.Accumulate(1, 9, semiring.Arithmetic)
+	s.Clear() // wraps: tags wiped, epoch = 1
+	if s.Occupied(1) {
+		t.Error("slot survived wraparound Clear")
+	}
+}
+
+func TestFullInitCost(t *testing.T) {
+	s := NewFull(100)
+	if n := s.Init(0); n != 200 {
+		t.Errorf("Init reported %d slots, want 200 (values + flags)", n)
+	}
+	s.Accumulate(7, 3, semiring.Arithmetic)
+	s.Accumulate(7, 4, semiring.Arithmetic)
+	if s.Val[7] != 7 {
+		t.Errorf("Val[7] = %g", s.Val[7])
+	}
+	if len(s.Touched) != 1 {
+		t.Errorf("Touched = %v", s.Touched)
+	}
+	// Init with a MinPlus zero leaves slots at +Inf so Accumulate-by-Add
+	// still works.
+	s.Init(semiring.MinPlus.Zero)
+	s.Accumulate(2, 5, semiring.MinPlus)
+	if s.Val[2] != 5 {
+		t.Errorf("min-plus accumulate after init: %g", s.Val[2])
+	}
+}
+
+func TestKWayMergerAgainstMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		m := NewKWayMerger(8)
+		want := map[sparse.Index]float64{}
+		nseg := rng.Intn(10)
+		for s := 0; s < nseg; s++ {
+			segLen := rng.Intn(20)
+			rows := make([]sparse.Index, segLen)
+			vals := make([]float64, segLen)
+			prev := sparse.Index(0)
+			for k := 0; k < segLen; k++ {
+				prev += sparse.Index(rng.Intn(5) + 1)
+				rows[k] = prev
+				vals[k] = rng.Float64()
+			}
+			x := rng.Float64() + 0.5
+			m.AddSegment(rows, vals, x)
+			for k := range rows {
+				want[rows[k]] += vals[k] * x
+			}
+		}
+		var gotRows []sparse.Index
+		got := map[sparse.Index]float64{}
+		m.Merge(semiring.Arithmetic, func(row sparse.Index, val float64) {
+			gotRows = append(gotRows, row)
+			got[row] = val
+		})
+		if !sort.SliceIsSorted(gotRows, func(i, j int) bool { return gotRows[i] < gotRows[j] }) {
+			t.Fatalf("trial %d: merge output not sorted: %v", trial, gotRows)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d unique rows, want %d", trial, len(got), len(want))
+		}
+		for r, v := range want {
+			if diff := got[r] - v; diff > 1e-12 || diff < -1e-12 {
+				t.Fatalf("trial %d row %d: got %g want %g", trial, r, got[r], v)
+			}
+		}
+		if nseg > 0 && len(want) > 0 && m.Ops() == 0 {
+			t.Error("no heap ops recorded")
+		}
+	}
+}
+
+func TestKWayMergerReset(t *testing.T) {
+	m := NewKWayMerger(4)
+	m.AddSegment([]sparse.Index{1, 2}, []float64{1, 1}, 1)
+	m.Merge(semiring.Arithmetic, func(sparse.Index, float64) {})
+	m.Reset()
+	count := 0
+	m.Merge(semiring.Arithmetic, func(sparse.Index, float64) { count++ })
+	if count != 0 {
+		t.Error("segments survived Reset")
+	}
+}
+
+func TestKWayMergerEmptySegments(t *testing.T) {
+	m := NewKWayMerger(4)
+	m.AddSegment(nil, nil, 1)
+	m.AddSegment([]sparse.Index{}, []float64{}, 2)
+	count := 0
+	m.Merge(semiring.Arithmetic, func(sparse.Index, float64) { count++ })
+	if count != 0 {
+		t.Errorf("empty segments emitted %d rows", count)
+	}
+}

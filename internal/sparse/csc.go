@@ -1,0 +1,262 @@
+package sparse
+
+import "fmt"
+
+// CSC is a Compressed Sparse Columns matrix (paper §II-C): ColPtr holds
+// the start of every column's nonzeros (length NumCols+1), RowIdx the
+// row ids and Val the numerical values (length nnz each). Random access
+// to the start of a column is O(1), which is what makes vector-driven
+// SpMSpV possible.
+type CSC struct {
+	NumRows, NumCols Index
+	ColPtr           []int64
+	RowIdx           []Index
+	Val              []float64
+	// SortedCols records whether row ids within each column are sorted.
+	// CSC does not require it (paper §II-C); the heap-merge baseline and
+	// the sorted-output fast paths do.
+	SortedCols bool
+}
+
+// NewCSCFromTriples compiles a triple list into CSC form, summing
+// duplicate entries arithmetically. Row ids within each column come out
+// sorted (a by-product of the two counting-sort passes), so SortedCols
+// is always true for matrices built here.
+func NewCSCFromTriples(t *Triples) (*CSC, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	m, n := t.NumRows, t.NumCols
+	nnz := t.Len()
+
+	// Pass 1: counting sort by row so that the scatter-by-column pass
+	// below emits each column's entries in increasing row order.
+	rowCount := make([]int64, m+1)
+	for _, i := range t.Row {
+		rowCount[i+1]++
+	}
+	for i := Index(0); i < m; i++ {
+		rowCount[i+1] += rowCount[i]
+	}
+	byRowCol := make([]Index, nnz)
+	byRowRow := make([]Index, nnz)
+	byRowVal := make([]float64, nnz)
+	next := make([]int64, m)
+	copy(next, rowCount[:m])
+	for k := 0; k < nnz; k++ {
+		p := next[t.Row[k]]
+		next[t.Row[k]]++
+		byRowRow[p] = t.Row[k]
+		byRowCol[p] = t.Col[k]
+		byRowVal[p] = t.Val[k]
+	}
+
+	// Pass 2: scatter by column, preserving row order within columns.
+	a := &CSC{
+		NumRows:    m,
+		NumCols:    n,
+		ColPtr:     make([]int64, n+1),
+		RowIdx:     make([]Index, 0, nnz),
+		Val:        make([]float64, 0, nnz),
+		SortedCols: true,
+	}
+	colCount := make([]int64, n+1)
+	for _, j := range byRowCol {
+		colCount[j+1]++
+	}
+	for j := Index(0); j < n; j++ {
+		colCount[j+1] += colCount[j]
+	}
+	rowOut := make([]Index, nnz)
+	valOut := make([]float64, nnz)
+	nextC := make([]int64, n)
+	copy(nextC, colCount[:n])
+	for k := 0; k < nnz; k++ {
+		j := byRowCol[k]
+		p := nextC[j]
+		nextC[j]++
+		rowOut[p] = byRowRow[k]
+		valOut[p] = byRowVal[k]
+	}
+
+	// Compact duplicates (equal (row, col)) by summation; they are now
+	// adjacent within each column.
+	a.ColPtr[0] = 0
+	for j := Index(0); j < n; j++ {
+		lo, hi := colCount[j], colCount[j+1]
+		for k := lo; k < hi; k++ {
+			cur := int64(len(a.RowIdx))
+			if cur > a.ColPtr[j] && a.RowIdx[cur-1] == rowOut[k] {
+				a.Val[cur-1] += valOut[k]
+				continue
+			}
+			a.RowIdx = append(a.RowIdx, rowOut[k])
+			a.Val = append(a.Val, valOut[k])
+		}
+		a.ColPtr[j+1] = int64(len(a.RowIdx))
+	}
+	return a, nil
+}
+
+// NNZ returns the number of stored nonzeros.
+func (a *CSC) NNZ() int64 { return int64(len(a.RowIdx)) }
+
+// NZC returns the number of nonempty columns (the paper's nzc), the
+// quantity that dominates matrix-driven algorithms for sparse inputs.
+func (a *CSC) NZC() Index {
+	var c Index
+	for j := Index(0); j < a.NumCols; j++ {
+		if a.ColPtr[j+1] > a.ColPtr[j] {
+			c++
+		}
+	}
+	return c
+}
+
+// ColLen returns the number of nonzeros in column j.
+func (a *CSC) ColLen(j Index) int64 { return a.ColPtr[j+1] - a.ColPtr[j] }
+
+// Col returns the row ids and values of column j, aliasing the matrix
+// storage. Callers must not modify the returned slices.
+func (a *CSC) Col(j Index) ([]Index, []float64) {
+	lo, hi := a.ColPtr[j], a.ColPtr[j+1]
+	return a.RowIdx[lo:hi], a.Val[lo:hi]
+}
+
+// At returns the value at (i, j), or 0 when the entry is absent. It is
+// O(column length) and intended for tests and small examples only.
+func (a *CSC) At(i, j Index) float64 {
+	rows, vals := a.Col(j)
+	for k, r := range rows {
+		if r == i {
+			return vals[k]
+		}
+	}
+	return 0
+}
+
+// AverageDegree returns nnz/n, the d of the paper's Erdős–Rényi G(n, d/n)
+// analysis.
+func (a *CSC) AverageDegree() float64 {
+	if a.NumCols == 0 {
+		return 0
+	}
+	return float64(a.NNZ()) / float64(a.NumCols)
+}
+
+// Transpose returns Aᵀ in CSC form (equivalently, A in CSR form). Used
+// for the "left multiplication" x′A of paper §II-A and by graph
+// algorithms that need incoming rather than outgoing neighbors.
+func (a *CSC) Transpose() *CSC {
+	t := &CSC{
+		NumRows:    a.NumCols,
+		NumCols:    a.NumRows,
+		ColPtr:     make([]int64, a.NumRows+1),
+		RowIdx:     make([]Index, a.NNZ()),
+		Val:        make([]float64, a.NNZ()),
+		SortedCols: true,
+	}
+	for _, i := range a.RowIdx {
+		t.ColPtr[i+1]++
+	}
+	for i := Index(0); i < a.NumRows; i++ {
+		t.ColPtr[i+1] += t.ColPtr[i]
+	}
+	next := make([]int64, a.NumRows)
+	copy(next, t.ColPtr[:a.NumRows])
+	// Columns scanned in increasing order keep each transposed column's
+	// row ids (original column ids) sorted.
+	for j := Index(0); j < a.NumCols; j++ {
+		for k := a.ColPtr[j]; k < a.ColPtr[j+1]; k++ {
+			i := a.RowIdx[k]
+			p := next[i]
+			next[i]++
+			t.RowIdx[p] = j
+			t.Val[p] = a.Val[k]
+		}
+	}
+	return t
+}
+
+// HasSelfLoops reports whether any diagonal entry is present.
+func (a *CSC) HasSelfLoops() bool {
+	for j := Index(0); j < a.NumCols; j++ {
+		rows, _ := a.Col(j)
+		for _, i := range rows {
+			if i == j {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// StripSelfLoops returns a copy of a without diagonal entries, or a
+// itself when there are none. Algorithms defined on simple graphs
+// (maximal independent set in particular) use it to sanitize their
+// input.
+func StripSelfLoops(a *CSC) *CSC {
+	if !a.HasSelfLoops() {
+		return a
+	}
+	out := &CSC{
+		NumRows:    a.NumRows,
+		NumCols:    a.NumCols,
+		ColPtr:     make([]int64, a.NumCols+1),
+		RowIdx:     make([]Index, 0, a.NNZ()),
+		Val:        make([]float64, 0, a.NNZ()),
+		SortedCols: a.SortedCols,
+	}
+	for j := Index(0); j < a.NumCols; j++ {
+		rows, vals := a.Col(j)
+		for k, i := range rows {
+			if i == j {
+				continue
+			}
+			out.RowIdx = append(out.RowIdx, i)
+			out.Val = append(out.Val, vals[k])
+		}
+		out.ColPtr[j+1] = int64(len(out.RowIdx))
+	}
+	return out
+}
+
+// CumulativeColWeights returns the exclusive cumulative column lengths
+// restricted to the columns listed in cols: out[k] = total nonzeros in
+// cols[0..k). It drives the nonzero-balanced work split of the paper's
+// §III-B high-span fix.
+func (a *CSC) CumulativeColWeights(cols []Index, out []int64) []int64 {
+	if cap(out) < len(cols)+1 {
+		out = make([]int64, len(cols)+1)
+	}
+	out = out[:len(cols)+1]
+	out[0] = 0
+	for k, j := range cols {
+		out[k+1] = out[k] + a.ColLen(j)
+	}
+	return out
+}
+
+// Equal reports whether two matrices have identical dimensions and
+// entries (exact value comparison; both must have sorted columns).
+func (a *CSC) Equal(b *CSC) bool {
+	if a.NumRows != b.NumRows || a.NumCols != b.NumCols || a.NNZ() != b.NNZ() {
+		return false
+	}
+	for j := Index(0); j <= a.NumCols; j++ {
+		if a.ColPtr[j] != b.ColPtr[j] {
+			return false
+		}
+	}
+	for k := range a.RowIdx {
+		if a.RowIdx[k] != b.RowIdx[k] || a.Val[k] != b.Val[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// String summarizes the matrix shape for logs.
+func (a *CSC) String() string {
+	return fmt.Sprintf("CSC{%d×%d, nnz=%d, nzc=%d}", a.NumRows, a.NumCols, a.NNZ(), a.NZC())
+}

@@ -1,0 +1,81 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestDCSCAuxIndexFuzz checks the open-addressing column index against
+// a linear scan over JC for random hypersparse matrices — including
+// column ids that hash-collide under the Fibonacci multiplier.
+func TestDCSCAuxIndexFuzz(t *testing.T) {
+	property := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := Index(r.Intn(50) + 1)
+		n := Index(r.Intn(100000) + 1) // hypersparse column space
+		nnz := r.Intn(60)
+		tr := NewTriples(m, n, nnz)
+		for k := 0; k < nnz; k++ {
+			tr.Append(Index(r.Intn(int(m))), Index(r.Intn(int(n))), 1)
+		}
+		a, err := NewCSCFromTriples(tr)
+		if err != nil {
+			return false
+		}
+		d := NewDCSCFromCSC(a)
+		// Every stored column must be found at its JC position.
+		for want, j := range d.JC {
+			pos, ok := d.FindCol(j)
+			if !ok || pos != want {
+				return false
+			}
+		}
+		// Probing random absent columns must miss.
+		present := map[Index]bool{}
+		for _, j := range d.JC {
+			present[j] = true
+		}
+		for probe := 0; probe < 50; probe++ {
+			j := Index(r.Intn(int(n)))
+			if _, ok := d.FindCol(j); ok != present[j] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDCSCStatsMatchCSC(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := randomMatrix(rng, 100, 100, 300)
+	d := NewDCSCFromCSC(a)
+	if d.NNZ() != a.NNZ() {
+		t.Errorf("nnz %d vs %d", d.NNZ(), a.NNZ())
+	}
+	if d.NZC() != a.NZC() {
+		t.Errorf("nzc %d vs %d", d.NZC(), a.NZC())
+	}
+}
+
+func TestDCSCAllColumnsDense(t *testing.T) {
+	// A fully dense column space exercises high load on the aux table.
+	tr := NewTriples(4, 64, 64)
+	for j := Index(0); j < 64; j++ {
+		tr.Append(j%4, j, float64(j))
+	}
+	a, err := NewCSCFromTriples(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDCSCFromCSC(a)
+	for j := Index(0); j < 64; j++ {
+		rows, vals := d.Col(j)
+		if len(rows) != 1 || rows[0] != j%4 || vals[0] != float64(j) {
+			t.Fatalf("col %d: %v %v", j, rows, vals)
+		}
+	}
+}

@@ -1,0 +1,196 @@
+package sparse
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ReadMatrixMarket parses a Matrix Market coordinate file — the format
+// the University of Florida collection (paper Table IV) distributes —
+// into a triple list. Supported qualifiers: real/integer/pattern and
+// general/symmetric. Pattern entries get value 1; symmetric files are
+// expanded to both triangles.
+func ReadMatrixMarket(r io.Reader) (*Triples, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+
+	if !sc.Scan() {
+		return nil, fmt.Errorf("mmio: empty input")
+	}
+	banner := strings.Fields(strings.ToLower(sc.Text()))
+	if len(banner) < 5 || banner[0] != "%%matrixmarket" || banner[1] != "matrix" {
+		return nil, fmt.Errorf("mmio: bad banner %q", sc.Text())
+	}
+	if banner[2] != "coordinate" {
+		return nil, fmt.Errorf("mmio: unsupported format %q (only coordinate)", banner[2])
+	}
+	field, symmetry := banner[3], banner[4]
+	switch field {
+	case "real", "integer", "pattern":
+	default:
+		return nil, fmt.Errorf("mmio: unsupported field %q", field)
+	}
+	switch symmetry {
+	case "general", "symmetric":
+	default:
+		return nil, fmt.Errorf("mmio: unsupported symmetry %q", symmetry)
+	}
+
+	// Skip comments, read size line.
+	var m, n int64
+	var nnz int64
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) != 3 {
+			return nil, fmt.Errorf("mmio: bad size line %q", line)
+		}
+		var err error
+		if m, err = strconv.ParseInt(f[0], 10, 32); err != nil {
+			return nil, fmt.Errorf("mmio: bad row count: %w", err)
+		}
+		if n, err = strconv.ParseInt(f[1], 10, 32); err != nil {
+			return nil, fmt.Errorf("mmio: bad col count: %w", err)
+		}
+		if nnz, err = strconv.ParseInt(f[2], 10, 64); err != nil {
+			return nil, fmt.Errorf("mmio: bad nnz count: %w", err)
+		}
+		break
+	}
+
+	t := NewTriples(Index(m), Index(n), int(nnz))
+	read := int64(0)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		f := strings.Fields(line)
+		want := 3
+		if field == "pattern" {
+			want = 2
+		}
+		if len(f) < want {
+			return nil, fmt.Errorf("mmio: bad entry line %q", line)
+		}
+		i, err := strconv.ParseInt(f[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("mmio: bad row index: %w", err)
+		}
+		j, err := strconv.ParseInt(f[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("mmio: bad col index: %w", err)
+		}
+		v := 1.0
+		if field != "pattern" {
+			if v, err = strconv.ParseFloat(f[2], 64); err != nil {
+				return nil, fmt.Errorf("mmio: bad value: %w", err)
+			}
+		}
+		if i < 1 || i > m || j < 1 || j > n {
+			return nil, fmt.Errorf("mmio: entry (%d,%d) outside %d×%d", i, j, m, n)
+		}
+		// Matrix Market is 1-based.
+		if symmetry == "symmetric" {
+			t.AppendSymmetric(Index(i-1), Index(j-1), v)
+		} else {
+			t.Append(Index(i-1), Index(j-1), v)
+		}
+		read++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("mmio: %w", err)
+	}
+	if read != nnz {
+		return nil, fmt.Errorf("mmio: header promised %d entries, found %d", nnz, read)
+	}
+	return t, nil
+}
+
+// WriteMatrixMarket writes a CSC matrix as a general real coordinate
+// Matrix Market file (1-based indices).
+func WriteMatrixMarket(w io.Writer, a *CSC) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%%%%MatrixMarket matrix coordinate real general\n%d %d %d\n",
+		a.NumRows, a.NumCols, a.NNZ()); err != nil {
+		return err
+	}
+	for j := Index(0); j < a.NumCols; j++ {
+		rows, vals := a.Col(j)
+		for k, i := range rows {
+			if _, err := fmt.Fprintf(bw, "%d %d %.17g\n", i+1, j+1, vals[k]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadVector parses a sparse vector in a simple "index value" per line
+// text format with a leading "n nnz" header (0-based indices).
+func ReadVector(r io.Reader) (*SpVec, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var v *SpVec
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		f := strings.Fields(line)
+		if v == nil {
+			if len(f) != 2 {
+				return nil, fmt.Errorf("mmio: bad vector header %q", line)
+			}
+			n, err := strconv.ParseInt(f[0], 10, 32)
+			if err != nil {
+				return nil, err
+			}
+			nnz, err := strconv.ParseInt(f[1], 10, 64)
+			if err != nil {
+				return nil, err
+			}
+			v = NewSpVec(Index(n), int(nnz))
+			continue
+		}
+		if len(f) < 2 {
+			return nil, fmt.Errorf("mmio: bad vector entry %q", line)
+		}
+		i, err := strconv.ParseInt(f[0], 10, 32)
+		if err != nil {
+			return nil, err
+		}
+		x, err := strconv.ParseFloat(f[1], 64)
+		if err != nil {
+			return nil, err
+		}
+		v.Append(Index(i), x)
+	}
+	if v == nil {
+		return nil, fmt.Errorf("mmio: empty vector input")
+	}
+	if err := v.Validate(); err != nil {
+		return nil, err
+	}
+	return v, sc.Err()
+}
+
+// WriteVector writes a sparse vector in the format ReadVector accepts.
+func WriteVector(w io.Writer, v *SpVec) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%d %d\n", v.N, v.NNZ()); err != nil {
+		return err
+	}
+	for k, i := range v.Ind {
+		if _, err := fmt.Fprintf(bw, "%d %.17g\n", i, v.Val[k]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

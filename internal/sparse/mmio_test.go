@@ -1,0 +1,100 @@
+package sparse
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestMatrixMarketRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	tr := NewTriples(37, 23, 100)
+	for k := 0; k < 100; k++ {
+		tr.Append(Index(rng.Intn(37)), Index(rng.Intn(23)), rng.NormFloat64())
+	}
+	a, err := NewCSCFromTriples(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteMatrixMarket(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	tr2, err := ReadMatrixMarket(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewCSCFromTriples(tr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Error("round trip changed the matrix")
+	}
+}
+
+func TestMatrixMarketSymmetricPattern(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate pattern symmetric
+% a comment
+3 3 2
+2 1
+3 3
+`
+	tr, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewCSCFromTriples(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (2,1) expands to (1,0) and (0,1); (3,3) is diagonal → 3 entries.
+	if a.NNZ() != 3 {
+		t.Fatalf("nnz = %d, want 3", a.NNZ())
+	}
+	if a.At(1, 0) != 1 || a.At(0, 1) != 1 || a.At(2, 2) != 1 {
+		t.Error("symmetric pattern entries wrong")
+	}
+}
+
+func TestMatrixMarketErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":       "",
+		"bad banner":  "%%NotMatrixMarket matrix coordinate real general\n1 1 1\n1 1 1\n",
+		"bad format":  "%%MatrixMarket matrix array real general\n1 1\n1\n",
+		"bad field":   "%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 0\n",
+		"out of rng":  "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 5.0\n",
+		"wrong count": "%%MatrixMarket matrix coordinate real general\n2 2 3\n1 1 5.0\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadMatrixMarket(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: error expected", name)
+		}
+	}
+}
+
+func TestVectorRoundTrip(t *testing.T) {
+	v := NewSpVec(100, 3)
+	v.Append(3, 1.5)
+	v.Append(50, -2.25)
+	v.Append(99, 1e-17)
+
+	var buf bytes.Buffer
+	if err := WriteVector(&buf, v); err != nil {
+		t.Fatal(err)
+	}
+	w, err := ReadVector(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.N != v.N || w.NNZ() != v.NNZ() {
+		t.Fatalf("shape mismatch: %v vs %v", w, v)
+	}
+	for k := range v.Ind {
+		if w.Ind[k] != v.Ind[k] || w.Val[k] != v.Val[k] {
+			t.Errorf("entry %d mismatch", k)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package sparse
+
+import "sort"
+
+// Element-wise sparse vector operations in the GraphBLAS style. Graph
+// algorithms built on SpMSpV need a small set of vector combinators —
+// union-add of two frontiers, filtering by predicate or mask,
+// extraction — and keeping them here lets the algorithms stay purely
+// vector-algebraic.
+
+// EwiseAdd returns the element-wise union of a and b, combining
+// collisions with add (nil means arithmetic +). Both inputs may be
+// unsorted; the result is sorted.
+func EwiseAdd(a, b *SpVec, add func(x, y float64) float64) *SpVec {
+	if a.N != b.N {
+		panic("sparse: EwiseAdd dimension mismatch")
+	}
+	if add == nil {
+		add = func(x, y float64) float64 { return x + y }
+	}
+	acc := make(map[Index]float64, a.NNZ()+b.NNZ())
+	for k, i := range a.Ind {
+		if old, ok := acc[i]; ok {
+			acc[i] = add(old, a.Val[k])
+		} else {
+			acc[i] = a.Val[k]
+		}
+	}
+	for k, i := range b.Ind {
+		if old, ok := acc[i]; ok {
+			acc[i] = add(old, b.Val[k])
+		} else {
+			acc[i] = b.Val[k]
+		}
+	}
+	out := NewSpVec(a.N, len(acc))
+	for i := range acc {
+		out.Ind = append(out.Ind, i)
+	}
+	sort.Slice(out.Ind, func(x, y int) bool { return out.Ind[x] < out.Ind[y] })
+	for _, i := range out.Ind {
+		out.Val = append(out.Val, acc[i])
+	}
+	out.Sorted = true
+	return out
+}
+
+// EwiseMult returns the element-wise intersection of a and b, combining
+// with mul (nil means arithmetic ×). The result is sorted.
+func EwiseMult(a, b *SpVec, mul func(x, y float64) float64) *SpVec {
+	if a.N != b.N {
+		panic("sparse: EwiseMult dimension mismatch")
+	}
+	if mul == nil {
+		mul = func(x, y float64) float64 { return x * y }
+	}
+	bv := make(map[Index]float64, b.NNZ())
+	for k, i := range b.Ind {
+		bv[i] = b.Val[k]
+	}
+	out := NewSpVec(a.N, min(a.NNZ(), b.NNZ()))
+	for k, i := range a.Ind {
+		if y, ok := bv[i]; ok {
+			out.Append(i, mul(a.Val[k], y))
+		}
+	}
+	out.Sort()
+	return out
+}
+
+// Filter returns the entries of v satisfying the predicate, preserving
+// order and sortedness.
+func Filter(v *SpVec, keep func(i Index, val float64) bool) *SpVec {
+	out := NewSpVec(v.N, v.NNZ())
+	for k, i := range v.Ind {
+		if keep(i, v.Val[k]) {
+			out.Ind = append(out.Ind, i)
+			out.Val = append(out.Val, v.Val[k])
+		}
+	}
+	out.Sorted = v.Sorted
+	return out
+}
+
+// FilterMask returns the entries of v admitted by the mask (or, with
+// complement, the entries outside it) — the post-hoc form of the masked
+// multiply.
+func FilterMask(v *SpVec, mask *BitVec, complement bool) *SpVec {
+	return Filter(v, func(i Index, _ float64) bool {
+		keep := mask.Test(i)
+		if complement {
+			keep = !keep
+		}
+		return keep
+	})
+}
+
+// Reduce folds all values of v with the combiner starting from init.
+func Reduce(v *SpVec, init float64, combine func(acc, val float64) float64) float64 {
+	acc := init
+	for _, val := range v.Val {
+		acc = combine(acc, val)
+	}
+	return acc
+}
+
+// Scale multiplies every value in place and returns v.
+func Scale(v *SpVec, s float64) *SpVec {
+	for k := range v.Val {
+		v.Val[k] *= s
+	}
+	return v
+}

@@ -1,0 +1,116 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func vecOf(n Index, pairs ...float64) *SpVec {
+	v := NewSpVec(n, len(pairs)/2)
+	for k := 0; k+1 < len(pairs); k += 2 {
+		v.Append(Index(pairs[k]), pairs[k+1])
+	}
+	return v
+}
+
+func TestEwiseAdd(t *testing.T) {
+	a := vecOf(10, 1, 2, 5, 3)
+	b := vecOf(10, 5, 4, 7, 1)
+	out := EwiseAdd(a, b, nil)
+	want := vecOf(10, 1, 2, 5, 7, 7, 1)
+	if !out.EqualValues(want, 0) {
+		t.Errorf("EwiseAdd = %v %v", out.Ind, out.Val)
+	}
+	if !out.Sorted {
+		t.Error("EwiseAdd output not sorted")
+	}
+}
+
+func TestEwiseAddCommutes(t *testing.T) {
+	property := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := Index(r.Intn(100) + 1)
+		a := randomVec(r, n)
+		b := randomVec(r, n)
+		ab := EwiseAdd(a, b, nil)
+		ba := EwiseAdd(b, a, nil)
+		return ab.EqualValues(ba, 1e-12)
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func randomVec(r *rand.Rand, n Index) *SpVec {
+	v := NewSpVec(n, 0)
+	for i := Index(0); i < n; i++ {
+		if r.Float64() < 0.3 {
+			v.Append(i, r.NormFloat64())
+		}
+	}
+	return v
+}
+
+func TestEwiseMult(t *testing.T) {
+	a := vecOf(10, 1, 2, 5, 3, 8, 2)
+	b := vecOf(10, 5, 4, 8, 0.5, 9, 9)
+	out := EwiseMult(a, b, nil)
+	want := vecOf(10, 5, 12, 8, 1)
+	if !out.EqualValues(want, 1e-12) {
+		t.Errorf("EwiseMult = %v %v", out.Ind, out.Val)
+	}
+}
+
+func TestEwiseDimensionMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on dimension mismatch")
+		}
+	}()
+	EwiseAdd(NewSpVec(3, 0), NewSpVec(4, 0), nil)
+}
+
+func TestFilterAndMask(t *testing.T) {
+	v := vecOf(10, 0, 1, 3, 2, 6, 3, 9, 4)
+	even := Filter(v, func(i Index, _ float64) bool { return i%2 == 0 })
+	if even.NNZ() != 2 || even.Ind[0] != 0 || even.Ind[1] != 6 {
+		t.Errorf("Filter = %v", even.Ind)
+	}
+	if !even.Sorted {
+		t.Error("filter should preserve sortedness")
+	}
+
+	mask := NewBitVec(10)
+	mv := vecOf(10, 3, 1, 9, 1)
+	mask.SetFrom(mv)
+	kept := FilterMask(v, mask, false)
+	if kept.NNZ() != 2 || kept.Ind[0] != 3 || kept.Ind[1] != 9 {
+		t.Errorf("FilterMask = %v", kept.Ind)
+	}
+	dropped := FilterMask(v, mask, true)
+	if dropped.NNZ() != 2 || dropped.Ind[0] != 0 || dropped.Ind[1] != 6 {
+		t.Errorf("FilterMask complement = %v", dropped.Ind)
+	}
+}
+
+func TestReduceAndScale(t *testing.T) {
+	v := vecOf(10, 1, 2, 5, 3, 7, 4)
+	sum := Reduce(v, 0, func(a, b float64) float64 { return a + b })
+	if sum != 9 {
+		t.Errorf("Reduce = %g", sum)
+	}
+	maxv := Reduce(v, v.Val[0], func(a, b float64) float64 {
+		if a > b {
+			return a
+		}
+		return b
+	})
+	if maxv != 4 {
+		t.Errorf("max Reduce = %g", maxv)
+	}
+	Scale(v, 2)
+	if v.Val[0] != 4 || v.Val[2] != 8 {
+		t.Errorf("Scale = %v", v.Val)
+	}
+}

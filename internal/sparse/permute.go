@@ -1,0 +1,167 @@
+package sparse
+
+import "fmt"
+
+// PermuteRows returns P·A where P is the permutation taking row i to
+// row perm[i]. Relabeling rows changes which bucket every entry lands
+// in, so this is the tool behind the bucket-invariance property tests
+// (the algorithm's result must be equivariant, paper §II-A's model
+// places no constraints on row order).
+func PermuteRows(a *CSC, perm []Index) (*CSC, error) {
+	if len(perm) != int(a.NumRows) {
+		return nil, fmt.Errorf("sparse: permutation length %d != rows %d", len(perm), a.NumRows)
+	}
+	if err := validatePermutation(perm); err != nil {
+		return nil, err
+	}
+	out := &CSC{
+		NumRows: a.NumRows,
+		NumCols: a.NumCols,
+		ColPtr:  append([]int64(nil), a.ColPtr...),
+		RowIdx:  make([]Index, a.NNZ()),
+		Val:     make([]float64, a.NNZ()),
+	}
+	for k, i := range a.RowIdx {
+		out.RowIdx[k] = perm[i]
+		out.Val[k] = a.Val[k]
+	}
+	// Restore sorted columns by re-sorting each column's entries.
+	out.sortColumns()
+	return out, nil
+}
+
+// PermuteCols returns A·Pᵀ, relabeling column j to perm[j].
+func PermuteCols(a *CSC, perm []Index) (*CSC, error) {
+	if len(perm) != int(a.NumCols) {
+		return nil, fmt.Errorf("sparse: permutation length %d != cols %d", len(perm), a.NumCols)
+	}
+	if err := validatePermutation(perm); err != nil {
+		return nil, err
+	}
+	out := &CSC{
+		NumRows:    a.NumRows,
+		NumCols:    a.NumCols,
+		ColPtr:     make([]int64, a.NumCols+1),
+		RowIdx:     make([]Index, a.NNZ()),
+		Val:        make([]float64, a.NNZ()),
+		SortedCols: a.SortedCols,
+	}
+	// Column j of the output is column inv[j] of the input.
+	inv := make([]Index, len(perm))
+	for j, pj := range perm {
+		inv[pj] = Index(j)
+	}
+	var pos int64
+	for j := Index(0); j < a.NumCols; j++ {
+		src := inv[j]
+		rows, vals := a.Col(src)
+		out.ColPtr[j] = pos
+		copy(out.RowIdx[pos:], rows)
+		copy(out.Val[pos:], vals)
+		pos += int64(len(rows))
+	}
+	out.ColPtr[a.NumCols] = pos
+	return out, nil
+}
+
+// PermuteSymmetric returns P·A·Pᵀ — the simultaneous relabeling of an
+// adjacency matrix's vertices.
+func PermuteSymmetric(a *CSC, perm []Index) (*CSC, error) {
+	pr, err := PermuteRows(a, perm)
+	if err != nil {
+		return nil, err
+	}
+	return PermuteCols(pr, perm)
+}
+
+func validatePermutation(perm []Index) error {
+	seen := make([]bool, len(perm))
+	for k, p := range perm {
+		if p < 0 || int(p) >= len(perm) {
+			return fmt.Errorf("sparse: permutation value %d out of range at %d", p, k)
+		}
+		if seen[p] {
+			return fmt.Errorf("sparse: duplicate permutation value %d", p)
+		}
+		seen[p] = true
+	}
+	return nil
+}
+
+// sortColumns restores increasing row order within every column
+// (insertion sort per column: post-permutation columns are small and
+// nearly sorted is not guaranteed, but columns are short in the sparse
+// regime this library targets).
+func (a *CSC) sortColumns() {
+	for j := Index(0); j < a.NumCols; j++ {
+		lo, hi := a.ColPtr[j], a.ColPtr[j+1]
+		for k := lo + 1; k < hi; k++ {
+			ri, v := a.RowIdx[k], a.Val[k]
+			p := k - 1
+			for p >= lo && a.RowIdx[p] > ri {
+				a.RowIdx[p+1] = a.RowIdx[p]
+				a.Val[p+1] = a.Val[p]
+				p--
+			}
+			a.RowIdx[p+1] = ri
+			a.Val[p+1] = v
+		}
+	}
+	a.SortedCols = true
+}
+
+// ExtractColumns returns the m×len(cols) submatrix keeping the selected
+// columns in the given order (columns may repeat).
+func ExtractColumns(a *CSC, cols []Index) (*CSC, error) {
+	var nnz int64
+	for _, j := range cols {
+		if j < 0 || j >= a.NumCols {
+			return nil, fmt.Errorf("sparse: column %d out of range", j)
+		}
+		nnz += a.ColLen(j)
+	}
+	out := &CSC{
+		NumRows:    a.NumRows,
+		NumCols:    Index(len(cols)),
+		ColPtr:     make([]int64, len(cols)+1),
+		RowIdx:     make([]Index, nnz),
+		Val:        make([]float64, nnz),
+		SortedCols: a.SortedCols,
+	}
+	var pos int64
+	for k, j := range cols {
+		rows, vals := a.Col(j)
+		out.ColPtr[k] = pos
+		copy(out.RowIdx[pos:], rows)
+		copy(out.Val[pos:], vals)
+		pos += int64(len(rows))
+	}
+	out.ColPtr[len(cols)] = pos
+	return out, nil
+}
+
+// ExtractSubmatrix returns A(r0:r1, c0:c1) with local indices (the
+// half-open ranges use global ids).
+func ExtractSubmatrix(a *CSC, r0, r1, c0, c1 Index) (*CSC, error) {
+	if r0 < 0 || r1 > a.NumRows || r0 > r1 || c0 < 0 || c1 > a.NumCols || c0 > c1 {
+		return nil, fmt.Errorf("sparse: submatrix ranges [%d,%d)×[%d,%d) invalid for %d×%d",
+			r0, r1, c0, c1, a.NumRows, a.NumCols)
+	}
+	out := &CSC{
+		NumRows:    r1 - r0,
+		NumCols:    c1 - c0,
+		ColPtr:     make([]int64, c1-c0+1),
+		SortedCols: a.SortedCols,
+	}
+	for j := c0; j < c1; j++ {
+		rows, vals := a.Col(j)
+		for k, i := range rows {
+			if i >= r0 && i < r1 {
+				out.RowIdx = append(out.RowIdx, i-r0)
+				out.Val = append(out.Val, vals[k])
+			}
+		}
+		out.ColPtr[j-c0+1] = int64(len(out.RowIdx))
+	}
+	return out, nil
+}

@@ -1,0 +1,184 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomMatrix(r *rand.Rand, m, n Index, nnz int) *CSC {
+	tr := NewTriples(m, n, nnz)
+	for k := 0; k < nnz; k++ {
+		tr.Append(Index(r.Intn(int(m))), Index(r.Intn(int(n))), r.Float64()+0.1)
+	}
+	a, err := NewCSCFromTriples(tr)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+func randPerm(r *rand.Rand, n Index) []Index {
+	p := make([]Index, n)
+	for i, v := range r.Perm(int(n)) {
+		p[i] = Index(v)
+	}
+	return p
+}
+
+func TestPermuteRowsEntries(t *testing.T) {
+	property := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := Index(r.Intn(40) + 1)
+		n := Index(r.Intn(40) + 1)
+		a := randomMatrix(r, m, n, 80)
+		perm := randPerm(r, m)
+		pa, err := PermuteRows(a, perm)
+		if err != nil {
+			return false
+		}
+		if !pa.SortedCols {
+			return false
+		}
+		for j := Index(0); j < n; j++ {
+			rows, vals := a.Col(j)
+			for k, i := range rows {
+				if pa.At(perm[i], j) != vals[k] {
+					return false
+				}
+			}
+		}
+		return pa.NNZ() == a.NNZ()
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPermuteColsEntries(t *testing.T) {
+	property := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := Index(r.Intn(40) + 1)
+		n := Index(r.Intn(40) + 1)
+		a := randomMatrix(r, m, n, 80)
+		perm := randPerm(r, n)
+		pa, err := PermuteCols(a, perm)
+		if err != nil {
+			return false
+		}
+		for j := Index(0); j < n; j++ {
+			rows, vals := a.Col(j)
+			for k, i := range rows {
+				if pa.At(i, perm[j]) != vals[k] {
+					return false
+				}
+			}
+		}
+		return pa.NNZ() == a.NNZ()
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPermuteSymmetricPreservesGraphStructure(t *testing.T) {
+	// Vertex relabeling preserves degree multiset and diameter.
+	rng := rand.New(rand.NewSource(5))
+	tr := NewTriples(30, 30, 120)
+	for i := Index(0); i+1 < 30; i++ {
+		tr.AppendSymmetric(i, i+1, 1) // a path: diameter 29
+	}
+	a, err := NewCSCFromTriples(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm := randPerm(rng, 30)
+	pa, err := PermuteSymmetric(a, perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := PseudoDiameter(pa, perm[0]); got != 29 {
+		t.Errorf("permuted path pseudo-diameter = %d, want 29", got)
+	}
+}
+
+func TestPermutationValidation(t *testing.T) {
+	a := randomMatrix(rand.New(rand.NewSource(1)), 4, 4, 6)
+	cases := [][]Index{
+		{0, 1, 2},     // wrong length
+		{0, 1, 2, 4},  // out of range
+		{0, 1, 1, 2},  // duplicate
+		{-1, 0, 1, 2}, // negative
+	}
+	for _, perm := range cases {
+		if _, err := PermuteRows(a, perm); err == nil {
+			t.Errorf("perm %v accepted", perm)
+		}
+		if len(perm) == 4 {
+			if _, err := PermuteCols(a, perm); err == nil {
+				t.Errorf("col perm %v accepted", perm)
+			}
+		}
+	}
+	identity := []Index{0, 1, 2, 3}
+	pa, err := PermuteRows(a, identity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pa.Equal(a) {
+		t.Error("identity permutation changed the matrix")
+	}
+}
+
+func TestExtractColumns(t *testing.T) {
+	a := buildSmallCSC(t) // 4×3
+	sub, err := ExtractColumns(a, []Index{2, 0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.NumCols != 3 || sub.NumRows != 4 {
+		t.Fatalf("dims %dx%d", sub.NumRows, sub.NumCols)
+	}
+	// Column 0 of sub = column 2 of a.
+	wantRows, wantVals := a.Col(2)
+	gotRows, gotVals := sub.Col(0)
+	for k := range wantRows {
+		if gotRows[k] != wantRows[k] || gotVals[k] != wantVals[k] {
+			t.Error("extracted column mismatch")
+		}
+	}
+	// Repeats allowed: col 2 of sub also equals col 2 of a.
+	gotRows, _ = sub.Col(2)
+	if len(gotRows) != len(wantRows) {
+		t.Error("repeated extraction mismatch")
+	}
+	if _, err := ExtractColumns(a, []Index{5}); err == nil {
+		t.Error("out-of-range column accepted")
+	}
+}
+
+func TestExtractSubmatrix(t *testing.T) {
+	a := buildSmallCSC(t) // entries (0,0)=1 (2,0)=2 (3,1)=3 (1,2)=4 (3,2)=5
+	sub, err := ExtractSubmatrix(a, 1, 4, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.NumRows != 3 || sub.NumCols != 2 {
+		t.Fatalf("dims %dx%d", sub.NumRows, sub.NumCols)
+	}
+	if sub.At(1, 0) != 2 { // global (2,0) → local (1,0)
+		t.Errorf("At(1,0) = %g", sub.At(1, 0))
+	}
+	if sub.At(2, 1) != 3 { // global (3,1) → local (2,1)
+		t.Errorf("At(2,1) = %g", sub.At(2, 1))
+	}
+	if sub.NNZ() != 2 {
+		t.Errorf("nnz = %d, want 2", sub.NNZ())
+	}
+	if _, err := ExtractSubmatrix(a, 2, 1, 0, 1); err == nil {
+		t.Error("inverted range accepted")
+	}
+	if _, err := ExtractSubmatrix(a, 0, 99, 0, 1); err == nil {
+		t.Error("oversized range accepted")
+	}
+}

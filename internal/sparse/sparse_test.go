@@ -1,0 +1,288 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func buildSmallCSC(t *testing.T) *CSC {
+	t.Helper()
+	tr := NewTriples(4, 3, 6)
+	tr.Append(0, 0, 1)
+	tr.Append(2, 0, 2)
+	tr.Append(3, 1, 3)
+	tr.Append(1, 2, 4)
+	tr.Append(3, 2, 5)
+	a, err := NewCSCFromTriples(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestTriplesValidate(t *testing.T) {
+	tr := NewTriples(2, 2, 1)
+	tr.Append(0, 0, 1)
+	if err := tr.Validate(); err != nil {
+		t.Errorf("valid triples rejected: %v", err)
+	}
+	tr.Append(2, 0, 1)
+	if err := tr.Validate(); err == nil {
+		t.Error("out-of-range row accepted")
+	}
+	tr2 := NewTriples(2, 2, 1)
+	tr2.Append(0, 5, 1)
+	if err := tr2.Validate(); err == nil {
+		t.Error("out-of-range col accepted")
+	}
+}
+
+func TestTriplesSumDuplicates(t *testing.T) {
+	tr := NewTriples(3, 3, 4)
+	tr.Append(1, 1, 2)
+	tr.Append(1, 1, 3)
+	tr.Append(0, 2, 1)
+	tr.Append(1, 1, 5)
+	tr.SumDuplicates(nil)
+	if tr.Len() != 2 {
+		t.Fatalf("got %d triples, want 2", tr.Len())
+	}
+	// Sorted by (col, row): (1,1)=10 then (0,2)=1.
+	if tr.Row[0] != 1 || tr.Col[0] != 1 || tr.Val[0] != 10 {
+		t.Errorf("dup sum: got (%d,%d,%g)", tr.Row[0], tr.Col[0], tr.Val[0])
+	}
+}
+
+func TestCSCBasics(t *testing.T) {
+	a := buildSmallCSC(t)
+	if a.NNZ() != 5 {
+		t.Errorf("nnz = %d, want 5", a.NNZ())
+	}
+	if a.NZC() != 3 {
+		t.Errorf("nzc = %d, want 3", a.NZC())
+	}
+	if got := a.At(2, 0); got != 2 {
+		t.Errorf("At(2,0) = %g, want 2", got)
+	}
+	if got := a.At(0, 1); got != 0 {
+		t.Errorf("At(0,1) = %g, want 0", got)
+	}
+	rows, vals := a.Col(2)
+	if len(rows) != 2 || rows[0] != 1 || rows[1] != 3 || vals[0] != 4 || vals[1] != 5 {
+		t.Errorf("Col(2) = %v %v", rows, vals)
+	}
+	if !a.SortedCols {
+		t.Error("CSC built from triples should have sorted columns")
+	}
+}
+
+func TestCSCDuplicateSummation(t *testing.T) {
+	tr := NewTriples(3, 3, 3)
+	tr.Append(1, 1, 2)
+	tr.Append(1, 1, 3)
+	tr.Append(1, 1, -1)
+	a, err := NewCSCFromTriples(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NNZ() != 1 || a.At(1, 1) != 4 {
+		t.Errorf("duplicates not summed: nnz=%d val=%g", a.NNZ(), a.At(1, 1))
+	}
+}
+
+func TestCSCEmptyMatrix(t *testing.T) {
+	tr := NewTriples(0, 0, 0)
+	a, err := NewCSCFromTriples(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NNZ() != 0 || a.NZC() != 0 {
+		t.Error("empty matrix should have no entries")
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	property := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := Index(r.Intn(50) + 1)
+		n := Index(r.Intn(50) + 1)
+		tr := NewTriples(m, n, 100)
+		for k := 0; k < 100; k++ {
+			tr.Append(Index(r.Intn(int(m))), Index(r.Intn(int(n))), r.Float64())
+		}
+		a, err := NewCSCFromTriples(tr)
+		if err != nil {
+			return false
+		}
+		tt := a.Transpose().Transpose()
+		return a.Equal(tt)
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 30, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTransposeEntries(t *testing.T) {
+	a := buildSmallCSC(t)
+	at := a.Transpose()
+	if at.NumRows != a.NumCols || at.NumCols != a.NumRows {
+		t.Fatalf("transpose dims %dx%d", at.NumRows, at.NumCols)
+	}
+	for j := Index(0); j < a.NumCols; j++ {
+		rows, vals := a.Col(j)
+		for k, i := range rows {
+			if got := at.At(j, i); got != vals[k] {
+				t.Errorf("At^T(%d,%d) = %g, want %g", j, i, got, vals[k])
+			}
+		}
+	}
+}
+
+func TestDCSCLookup(t *testing.T) {
+	a := buildSmallCSC(t)
+	d := NewDCSCFromCSC(a)
+	if d.NZC() != 3 {
+		t.Fatalf("nzc = %d, want 3", d.NZC())
+	}
+	for j := Index(0); j < a.NumCols; j++ {
+		rows, vals := d.Col(j)
+		wantRows, wantVals := a.Col(j)
+		if len(rows) != len(wantRows) {
+			t.Fatalf("col %d: len %d want %d", j, len(rows), len(wantRows))
+		}
+		for k := range rows {
+			if rows[k] != wantRows[k] || vals[k] != wantVals[k] {
+				t.Errorf("col %d entry %d mismatch", j, k)
+			}
+		}
+	}
+	if _, ok := d.FindCol(999); ok {
+		t.Error("found nonexistent column")
+	}
+}
+
+func TestDCSCSkipsEmptyColumns(t *testing.T) {
+	tr := NewTriples(4, 100, 2)
+	tr.Append(1, 3, 1)
+	tr.Append(2, 97, 2)
+	a, err := NewCSCFromTriples(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDCSCFromCSC(a)
+	if d.NZC() != 2 {
+		t.Errorf("nzc = %d, want 2", d.NZC())
+	}
+	if rows, _ := d.Col(50); rows != nil {
+		t.Error("empty column returned entries")
+	}
+	if rows, _ := d.Col(97); len(rows) != 1 || rows[0] != 2 {
+		t.Errorf("col 97 = %v", rows)
+	}
+}
+
+func TestRowSplitConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 10; trial++ {
+		m := Index(rng.Intn(200) + 1)
+		n := Index(rng.Intn(200) + 1)
+		tr := NewTriples(m, n, 500)
+		for k := 0; k < 500; k++ {
+			tr.Append(Index(rng.Intn(int(m))), Index(rng.Intn(int(n))), rng.Float64())
+		}
+		a, err := NewCSCFromTriples(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range []int{1, 2, 3, 7, 16} {
+			pieces := RowSplit(a, p)
+			var total int64
+			for w, d := range pieces {
+				total += d.NNZ()
+				// Every local row must be within the piece's range.
+				bounds := PieceBounds(m, p)
+				for _, li := range d.IR {
+					g := li + d.RowOffset
+					if g < bounds[w] || g >= bounds[w+1] {
+						t.Fatalf("p=%d piece %d: global row %d outside [%d,%d)",
+							p, w, g, bounds[w], bounds[w+1])
+					}
+				}
+			}
+			if total != a.NNZ() {
+				t.Fatalf("p=%d: pieces hold %d entries, matrix has %d", p, total, a.NNZ())
+			}
+			// Entry-level reconstruction.
+			for j := Index(0); j < n; j++ {
+				wantRows, wantVals := a.Col(j)
+				var gotRows []Index
+				var gotVals []float64
+				for _, d := range pieces {
+					rows, vals := d.Col(j)
+					for k, li := range rows {
+						gotRows = append(gotRows, li+d.RowOffset)
+						gotVals = append(gotVals, vals[k])
+					}
+				}
+				if len(gotRows) != len(wantRows) {
+					t.Fatalf("p=%d col %d: %d entries, want %d", p, j, len(gotRows), len(wantRows))
+				}
+				for k := range wantRows {
+					if gotRows[k] != wantRows[k] || gotVals[k] != wantVals[k] {
+						t.Fatalf("p=%d col %d entry %d mismatch", p, j, k)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSelfLoops(t *testing.T) {
+	tr := NewTriples(4, 4, 4)
+	tr.Append(0, 0, 1)
+	tr.Append(1, 0, 2)
+	tr.Append(2, 2, 3)
+	tr.Append(3, 2, 4)
+	a, err := NewCSCFromTriples(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.HasSelfLoops() {
+		t.Fatal("self loops not detected")
+	}
+	s := StripSelfLoops(a)
+	if s.HasSelfLoops() {
+		t.Fatal("strip left self loops")
+	}
+	if s.NNZ() != 2 || s.At(1, 0) != 2 || s.At(3, 2) != 4 {
+		t.Errorf("stripped matrix wrong: nnz=%d", s.NNZ())
+	}
+	// ColPtr still consistent for empty and nonempty columns.
+	if s.ColLen(0) != 1 || s.ColLen(1) != 0 || s.ColLen(2) != 1 || s.ColLen(3) != 0 {
+		t.Error("column lengths wrong after strip")
+	}
+	// A loop-free matrix is returned unchanged (same object).
+	if again := StripSelfLoops(s); again != s {
+		t.Error("loop-free matrix should be returned as-is")
+	}
+}
+
+func TestPieceBoundsMatchPieceOf(t *testing.T) {
+	for _, m := range []Index{1, 2, 7, 10, 64, 101} {
+		for _, p := range []int{1, 2, 3, 8, 13} {
+			bounds := PieceBounds(m, p)
+			if bounds[0] != 0 || bounds[p] != m {
+				t.Fatalf("m=%d p=%d: bounds endpoints %v", m, p, bounds)
+			}
+			for i := Index(0); i < m; i++ {
+				w := pieceOf(i, m, p)
+				if i < bounds[w] || i >= bounds[w+1] {
+					t.Errorf("m=%d p=%d: row %d assigned to piece %d but bounds [%d,%d)",
+						m, p, i, w, bounds[w], bounds[w+1])
+				}
+			}
+		}
+	}
+}

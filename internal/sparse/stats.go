@@ -1,0 +1,110 @@
+package sparse
+
+import "fmt"
+
+// Stats summarizes a matrix the way the paper's Table IV summarizes its
+// test problems: vertices, edges and pseudo-diameter, plus degree
+// information that determines SpMSpV work (d = average nonzeros per
+// column).
+type Stats struct {
+	Name           string
+	Vertices       Index
+	Edges          int64
+	AvgDegree      float64
+	MaxDegree      int64
+	NonemptyCols   Index
+	PseudoDiameter int
+}
+
+// ComputeStats derives Table IV-style statistics for an adjacency
+// matrix. The pseudo-diameter uses the standard double-sweep BFS bound
+// starting from source (paper Table IV reports pseudo-diameters too).
+func ComputeStats(name string, a *CSC, source Index) Stats {
+	s := Stats{
+		Name:         name,
+		Vertices:     a.NumCols,
+		Edges:        a.NNZ(),
+		AvgDegree:    a.AverageDegree(),
+		NonemptyCols: a.NZC(),
+	}
+	for j := Index(0); j < a.NumCols; j++ {
+		if l := a.ColLen(j); l > s.MaxDegree {
+			s.MaxDegree = l
+		}
+	}
+	s.PseudoDiameter = PseudoDiameter(a, source)
+	return s
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("%-22s %10d %12d %8.1f %8d", s.Name, s.Vertices, s.Edges, s.AvgDegree, s.PseudoDiameter)
+}
+
+// BFSLevels runs a sequential queue-based BFS over the graph whose
+// adjacency is given column-wise (neighbors of v are the row ids of
+// column v) and returns the level of every vertex (-1 for unreached)
+// together with the eccentricity of the source. This is the oracle
+// against which the SpMSpV-based BFS is validated, and the building
+// block of the pseudo-diameter estimate.
+func BFSLevels(a *CSC, source Index) (levels []int32, ecc int, last Index) {
+	n := a.NumCols
+	levels = make([]int32, n)
+	for i := range levels {
+		levels[i] = -1
+	}
+	if source < 0 || source >= n {
+		return levels, 0, source
+	}
+	queue := make([]Index, 0, n)
+	queue = append(queue, source)
+	levels[source] = 0
+	last = source
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		lv := levels[v]
+		rows, _ := a.Col(v)
+		for _, u := range rows {
+			if levels[u] < 0 {
+				levels[u] = lv + 1
+				queue = append(queue, u)
+				last = u
+			}
+		}
+	}
+	return levels, int(levels[last]), last
+}
+
+// PseudoDiameter estimates the graph diameter with a double-sweep BFS:
+// BFS from source, then BFS again from the farthest vertex found. The
+// result lower-bounds the true diameter and is the quantity Table IV
+// calls "pseudo diameter".
+func PseudoDiameter(a *CSC, source Index) int {
+	if a.NumCols == 0 {
+		return 0
+	}
+	_, _, far := BFSLevels(a, source)
+	_, ecc, _ := BFSLevels(a, far)
+	return ecc
+}
+
+// DegreeHistogram returns counts of column degrees in power-of-two
+// bins: bin k counts columns with degree in [2^k, 2^(k+1)). Bin 0 also
+// includes degree-1 columns; empty columns are reported separately.
+func DegreeHistogram(a *CSC) (bins []int64, empty int64) {
+	for j := Index(0); j < a.NumCols; j++ {
+		l := a.ColLen(j)
+		if l == 0 {
+			empty++
+			continue
+		}
+		k := 0
+		for v := l; v > 1; v >>= 1 {
+			k++
+		}
+		for len(bins) <= k {
+			bins = append(bins, 0)
+		}
+		bins[k]++
+	}
+	return bins, empty
+}

@@ -1,0 +1,85 @@
+package sparse
+
+import "testing"
+
+// pathGraph builds the adjacency matrix of an n-vertex path.
+func pathGraph(t *testing.T, n Index) *CSC {
+	t.Helper()
+	tr := NewTriples(n, n, 2*int(n))
+	for i := Index(0); i+1 < n; i++ {
+		tr.AppendSymmetric(i, i+1, 1)
+	}
+	a, err := NewCSCFromTriples(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestBFSLevelsPath(t *testing.T) {
+	a := pathGraph(t, 10)
+	levels, ecc, last := BFSLevels(a, 3)
+	if levels[3] != 0 || levels[0] != 3 || levels[9] != 6 {
+		t.Errorf("levels wrong: %v", levels)
+	}
+	if ecc != 6 || last != 9 {
+		t.Errorf("ecc=%d last=%d, want 6, 9", ecc, last)
+	}
+}
+
+func TestBFSLevelsDisconnected(t *testing.T) {
+	tr := NewTriples(5, 5, 2)
+	tr.AppendSymmetric(0, 1, 1)
+	// vertices 2,3,4 isolated
+	a, err := NewCSCFromTriples(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	levels, _, _ := BFSLevels(a, 0)
+	if levels[1] != 1 || levels[2] != -1 || levels[4] != -1 {
+		t.Errorf("levels: %v", levels)
+	}
+}
+
+func TestPseudoDiameterPath(t *testing.T) {
+	a := pathGraph(t, 50)
+	// Double sweep from any interior vertex finds the true diameter of a
+	// path.
+	if pd := PseudoDiameter(a, 25); pd != 49 {
+		t.Errorf("pseudo-diameter = %d, want 49", pd)
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	a := pathGraph(t, 10)
+	s := ComputeStats("path10", a, 0)
+	if s.Vertices != 10 || s.Edges != 18 {
+		t.Errorf("stats: %+v", s)
+	}
+	if s.MaxDegree != 2 || s.PseudoDiameter != 9 {
+		t.Errorf("stats: %+v", s)
+	}
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	tr := NewTriples(8, 4, 8)
+	// col0: 1 entry, col1: 2, col2: 5, col3: empty
+	tr.Append(0, 0, 1)
+	tr.Append(0, 1, 1)
+	tr.Append(1, 1, 1)
+	for i := Index(0); i < 5; i++ {
+		tr.Append(i, 2, 1)
+	}
+	a, err := NewCSCFromTriples(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bins, empty := DegreeHistogram(a)
+	if empty != 1 {
+		t.Errorf("empty = %d, want 1", empty)
+	}
+	// deg 1 → bin 0; deg 2 → bin 1; deg 5 → bin 2.
+	if len(bins) != 3 || bins[0] != 1 || bins[1] != 1 || bins[2] != 1 {
+		t.Errorf("bins = %v", bins)
+	}
+}

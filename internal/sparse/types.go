@@ -1,0 +1,132 @@
+// Package sparse implements the sparse matrix and vector storage formats
+// the paper builds on: coordinate triples, Compressed Sparse Columns
+// (CSC), Double-Compressed Sparse Columns (DCSC) with an auxiliary
+// column index, row-split matrix partitions, and the list and bitvector
+// sparse vector formats. It also provides Matrix Market I/O and the
+// graph statistics (degrees, pseudo-diameter) used to validate the
+// synthetic stand-ins for the paper's Table IV matrices.
+package sparse
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Index is the row/column index type. int32 keeps matrix storage compact
+// (the paper's largest matrix has 16.8M vertices, well within range) and
+// halves the memory traffic of the bucketing step relative to int64.
+type Index = int32
+
+// Entry pairs a row index with a numerical value. It is the unit stored
+// in buckets (Step 1 of Algorithm 1) and in list-format sparse vectors.
+type Entry struct {
+	Ind Index
+	Val float64
+}
+
+// Triples is a coordinate-format (COO) sparse matrix under construction.
+// It is the interchange format between generators, Matrix Market I/O and
+// the compiled CSC/DCSC formats.
+type Triples struct {
+	NumRows, NumCols Index
+	Row, Col         []Index
+	Val              []float64
+}
+
+// NewTriples returns an empty triple list for an m×n matrix with
+// capacity for nnzCap entries.
+func NewTriples(m, n Index, nnzCap int) *Triples {
+	return &Triples{
+		NumRows: m,
+		NumCols: n,
+		Row:     make([]Index, 0, nnzCap),
+		Col:     make([]Index, 0, nnzCap),
+		Val:     make([]float64, 0, nnzCap),
+	}
+}
+
+// Len returns the number of stored triples (duplicates included).
+func (t *Triples) Len() int { return len(t.Row) }
+
+// Append adds one (i, j, v) triple. It does not check bounds; call
+// Validate before compiling if the source is untrusted.
+func (t *Triples) Append(i, j Index, v float64) {
+	t.Row = append(t.Row, i)
+	t.Col = append(t.Col, j)
+	t.Val = append(t.Val, v)
+}
+
+// AppendSymmetric adds (i, j, v) and, when i != j, also (j, i, v).
+func (t *Triples) AppendSymmetric(i, j Index, v float64) {
+	t.Append(i, j, v)
+	if i != j {
+		t.Append(j, i, v)
+	}
+}
+
+// Validate checks that every triple is within the matrix dimensions.
+func (t *Triples) Validate() error {
+	if t.NumRows < 0 || t.NumCols < 0 {
+		return fmt.Errorf("sparse: negative dimensions %d×%d", t.NumRows, t.NumCols)
+	}
+	if len(t.Row) != len(t.Col) || len(t.Row) != len(t.Val) {
+		return errors.New("sparse: triple arrays have mismatched lengths")
+	}
+	for k := range t.Row {
+		if t.Row[k] < 0 || t.Row[k] >= t.NumRows {
+			return fmt.Errorf("sparse: row index %d out of range [0,%d) at triple %d", t.Row[k], t.NumRows, k)
+		}
+		if t.Col[k] < 0 || t.Col[k] >= t.NumCols {
+			return fmt.Errorf("sparse: col index %d out of range [0,%d) at triple %d", t.Col[k], t.NumCols, k)
+		}
+	}
+	return nil
+}
+
+// Sort orders the triples by (column, row).
+func (t *Triples) Sort() {
+	sort.Sort(tripleSorter{t})
+}
+
+// SumDuplicates combines triples with identical (row, column) using add,
+// leaving the triples sorted by (column, row). The default addition is
+// arithmetic when add is nil.
+func (t *Triples) SumDuplicates(add func(a, b float64) float64) {
+	if add == nil {
+		add = func(a, b float64) float64 { return a + b }
+	}
+	if t.Len() == 0 {
+		return
+	}
+	t.Sort()
+	w := 0
+	for k := 1; k < t.Len(); k++ {
+		if t.Row[k] == t.Row[w] && t.Col[k] == t.Col[w] {
+			t.Val[w] = add(t.Val[w], t.Val[k])
+			continue
+		}
+		w++
+		t.Row[w], t.Col[w], t.Val[w] = t.Row[k], t.Col[k], t.Val[k]
+	}
+	t.Row = t.Row[:w+1]
+	t.Col = t.Col[:w+1]
+	t.Val = t.Val[:w+1]
+}
+
+type tripleSorter struct{ t *Triples }
+
+func (s tripleSorter) Len() int { return s.t.Len() }
+func (s tripleSorter) Less(a, b int) bool {
+	t := s.t
+	if t.Col[a] != t.Col[b] {
+		return t.Col[a] < t.Col[b]
+	}
+	return t.Row[a] < t.Row[b]
+}
+func (s tripleSorter) Swap(a, b int) {
+	t := s.t
+	t.Row[a], t.Row[b] = t.Row[b], t.Row[a]
+	t.Col[a], t.Col[b] = t.Col[b], t.Col[a]
+	t.Val[a], t.Val[b] = t.Val[b], t.Val[a]
+}

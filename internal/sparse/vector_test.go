@@ -1,0 +1,164 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSpVecAppendTracksSortedness(t *testing.T) {
+	v := NewSpVec(10, 4)
+	v.Append(1, 1)
+	v.Append(5, 2)
+	if !v.Sorted {
+		t.Error("ascending appends should stay sorted")
+	}
+	v.Append(3, 3)
+	if v.Sorted {
+		t.Error("out-of-order append should clear Sorted")
+	}
+	v.Sort()
+	if !v.Sorted || v.Ind[0] != 1 || v.Ind[1] != 3 || v.Ind[2] != 5 {
+		t.Errorf("after sort: %v", v.Ind)
+	}
+	if v.Val[1] != 3 {
+		t.Errorf("values not permuted with indices: %v", v.Val)
+	}
+}
+
+func TestSpVecDenseRoundTrip(t *testing.T) {
+	property := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := Index(r.Intn(100) + 1)
+		d := make([]float64, n)
+		for i := range d {
+			if r.Float64() < 0.3 {
+				d[i] = r.Float64() + 0.1
+			}
+		}
+		v := FromDense(d, 0)
+		back := v.ToDense()
+		for i := range d {
+			if d[i] != back[i] {
+				return false
+			}
+		}
+		return v.Sorted
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSpVecEqualValues(t *testing.T) {
+	a := NewSpVec(10, 3)
+	a.Append(1, 2)
+	a.Append(5, 3)
+
+	b := NewSpVec(10, 3)
+	b.Append(5, 3)
+	b.Append(1, 2)
+	if !a.EqualValues(b, 0) {
+		t.Error("order should not matter")
+	}
+
+	// Duplicates that sum to the same value are equal.
+	c := NewSpVec(10, 3)
+	c.Append(1, 1)
+	c.Append(1, 1)
+	c.Append(5, 3)
+	if !a.EqualValues(c, 0) {
+		t.Error("split duplicate entries should compare equal")
+	}
+
+	// Explicit zero equals structural zero.
+	d := a.Clone()
+	d.Append(7, 0)
+	if !a.EqualValues(d, 0) {
+		t.Error("explicit zero should equal absent entry")
+	}
+
+	e := a.Clone()
+	e.Val[0] = 99
+	if a.EqualValues(e, 0) {
+		t.Error("different values compared equal")
+	}
+
+	f := a.Clone()
+	f.N = 11
+	if a.EqualValues(f, 0) {
+		t.Error("different dimensions compared equal")
+	}
+}
+
+func TestSpVecValidate(t *testing.T) {
+	v := NewSpVec(5, 2)
+	v.Append(4, 1)
+	if err := v.Validate(); err != nil {
+		t.Errorf("valid vector rejected: %v", err)
+	}
+	v.Ind[0] = 5
+	if err := v.Validate(); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+	w := NewSpVec(5, 2)
+	w.Append(2, 1)
+	w.Append(2, 1)
+	w.Sorted = true // lie: duplicate indices are not strictly increasing
+	if err := w.Validate(); err == nil {
+		t.Error("non-monotone 'sorted' vector accepted")
+	}
+}
+
+func TestBitVecSetClearReuse(t *testing.T) {
+	b := NewBitVec(200)
+	x := NewSpVec(200, 3)
+	x.Append(0, 1.5)
+	x.Append(63, 2.5)
+	x.Append(64, 3.5)
+	b.SetFrom(x)
+	if b.Count() != 3 {
+		t.Fatalf("count = %d, want 3", b.Count())
+	}
+	if v, ok := b.Get(63); !ok || v != 2.5 {
+		t.Errorf("Get(63) = %g,%v", v, ok)
+	}
+	if _, ok := b.Get(1); ok {
+		t.Error("Get(1) should be absent")
+	}
+	b.ClearFrom(x)
+	if b.Count() != 0 {
+		t.Fatalf("after clear: count = %d", b.Count())
+	}
+	for i := Index(0); i < 200; i++ {
+		if b.Test(i) {
+			t.Fatalf("bit %d still set after ClearFrom", i)
+		}
+	}
+	// Reuse with different contents.
+	y := NewSpVec(200, 2)
+	y.Append(199, 7)
+	y.Append(5, 8)
+	b.SetFrom(y)
+	if b.Count() != 2 || !b.Test(199) || !b.Test(5) || b.Test(63) {
+		t.Error("bitvector reuse broken")
+	}
+}
+
+func TestBitVecDuplicateSet(t *testing.T) {
+	b := NewBitVec(10)
+	x := NewSpVec(10, 2)
+	x.Append(3, 1)
+	x.Append(3, 2) // duplicate index: last value wins, count stays 1
+	b.SetFrom(x)
+	if b.Count() != 1 {
+		t.Errorf("count = %d, want 1", b.Count())
+	}
+	if v, _ := b.Get(3); v != 2 {
+		t.Errorf("value = %g, want 2 (last write wins)", v)
+	}
+	b.ClearFrom(x)
+	if b.Count() != 0 {
+		t.Errorf("count after clear = %d", b.Count())
+	}
+}

@@ -1,0 +1,154 @@
+package spmv
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"spmspv/internal/sparse"
+	"spmspv/internal/testutil"
+)
+
+func denseOracle(a *sparse.CSC, x []float64) []float64 {
+	y := make([]float64, a.NumRows)
+	for j := sparse.Index(0); j < a.NumCols; j++ {
+		rows, vals := a.Col(j)
+		for k, i := range rows {
+			y[i] += vals[k] * x[j]
+		}
+	}
+	return y
+}
+
+func closeSlices(a, b []float64, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSimpleMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := testutil.RandomCSC(rng, 200, 150, 4)
+	x := make([]float64, 150)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	y := make([]float64, 200)
+	Simple(a, x, y)
+	if !closeSlices(y, denseOracle(a, x), 1e-12) {
+		t.Error("Simple disagrees with oracle")
+	}
+}
+
+func TestRowSplitMatchesSimple(t *testing.T) {
+	property := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := sparse.Index(r.Intn(300) + 1)
+		n := sparse.Index(r.Intn(300) + 1)
+		a := testutil.RandomCSC(r, m, n, 3)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = r.NormFloat64()
+		}
+		want := make([]float64, m)
+		Simple(a, x, want)
+		for _, threads := range []int{1, 4} {
+			rs := NewRowSplit(a, threads)
+			got := make([]float64, m)
+			rs.Multiply(x, got)
+			if !closeSlices(got, want, 1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBinnedMatchesSimple(t *testing.T) {
+	property := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := sparse.Index(r.Intn(300) + 1)
+		n := sparse.Index(r.Intn(300) + 1)
+		a := testutil.RandomCSC(r, m, n, 3)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = r.NormFloat64()
+		}
+		want := make([]float64, m)
+		Simple(a, x, want)
+		for _, threads := range []int{1, 3} {
+			for _, bpt := range []int{1, 4} {
+				b := NewBinned(a, threads, bpt)
+				got := make([]float64, m)
+				b.Multiply(x, got)
+				if !closeSlices(got, want, 1e-9) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBinnedReuse(t *testing.T) {
+	// The bin layout is static; repeated multiplies with different
+	// vectors must be independent.
+	rng := rand.New(rand.NewSource(3))
+	a := testutil.RandomCSC(rng, 500, 500, 5)
+	b := NewBinned(a, 4, 4)
+	for trial := 0; trial < 10; trial++ {
+		x := make([]float64, 500)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		want := make([]float64, 500)
+		Simple(a, x, want)
+		got := make([]float64, 500)
+		b.Multiply(x, got)
+		if !closeSlices(got, want, 1e-9) {
+			t.Fatalf("trial %d: binned reuse broke correctness", trial)
+		}
+	}
+}
+
+func TestBinnedCountersTouchAllNonzeros(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := testutil.RandomCSC(rng, 400, 400, 6)
+	b := NewBinned(a, 2, 4)
+	x := make([]float64, 400)
+	y := make([]float64, 400)
+	b.Multiply(x, y)
+	// SpMV touches every nonzero regardless of x — the contrast with
+	// SpMSpV that §III-C draws.
+	if got := b.Counters().MatrixTouched; got != a.NNZ() {
+		t.Errorf("touched %d, want all %d nonzeros", got, a.NNZ())
+	}
+}
+
+func TestBinnedTinyMatrices(t *testing.T) {
+	tr := sparse.NewTriples(1, 1, 1)
+	tr.Append(0, 0, 3)
+	a, err := sparse.NewCSCFromTriples(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBinned(a, 8, 4) // more bins requested than rows
+	y := make([]float64, 1)
+	b.Multiply([]float64{2}, y)
+	if y[0] != 6 {
+		t.Errorf("y = %v", y)
+	}
+}

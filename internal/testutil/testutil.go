@@ -1,0 +1,58 @@
+// Package testutil provides deterministic random inputs shared by the
+// test suites of the algorithm packages.
+package testutil
+
+import (
+	"math/rand"
+
+	"spmspv/internal/sparse"
+)
+
+// RandomCSC builds an m×n matrix with approximately avgDeg nonzeros per
+// column at uniformly random rows, values in (0, 1].
+func RandomCSC(rng *rand.Rand, m, n sparse.Index, avgDeg float64) *sparse.CSC {
+	t := sparse.NewTriples(m, n, int(float64(n)*avgDeg))
+	for j := sparse.Index(0); j < n; j++ {
+		k := int(avgDeg)
+		if rng.Float64() < avgDeg-float64(k) {
+			k++
+		}
+		for e := 0; e < k; e++ {
+			t.Append(sparse.Index(rng.Intn(int(m))), j, rng.Float64()+0.001)
+		}
+	}
+	a, err := sparse.NewCSCFromTriples(t)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// RandomVector builds a sparse vector of dimension n with f distinct
+// random indices and values in [0.5, 1.5). With sorted set, the indices
+// are increasing; otherwise they are left in insertion (random) order.
+func RandomVector(rng *rand.Rand, n sparse.Index, f int, sorted bool) *sparse.SpVec {
+	if f > int(n) {
+		f = int(n)
+	}
+	perm := rng.Perm(int(n))[:f]
+	v := sparse.NewSpVec(n, f)
+	for _, i := range perm {
+		v.Append(sparse.Index(i), 0.5+rng.Float64())
+	}
+	v.Sorted = false
+	if sorted {
+		v.Sort()
+	}
+	return v
+}
+
+// VectorWithIndices builds a sparse vector holding exactly the given
+// indices with values 1.
+func VectorWithIndices(n sparse.Index, ind ...sparse.Index) *sparse.SpVec {
+	v := sparse.NewSpVec(n, len(ind))
+	for _, i := range ind {
+		v.Append(i, 1)
+	}
+	return v
+}

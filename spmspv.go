@@ -1,0 +1,393 @@
+package spmspv
+
+import (
+	"io"
+
+	"spmspv/internal/algorithms"
+	"spmspv/internal/baselines"
+	"spmspv/internal/core"
+	"spmspv/internal/graphgen"
+	"spmspv/internal/perf"
+	"spmspv/internal/semiring"
+	"spmspv/internal/sparse"
+)
+
+// Core data types, aliased from the implementation packages so the
+// whole public surface lives in one import.
+type (
+	// Index is the row/column index type (int32).
+	Index = sparse.Index
+	// Triples is a coordinate-format matrix under construction.
+	Triples = sparse.Triples
+	// Matrix is a CSC sparse matrix.
+	Matrix = sparse.CSC
+	// Vector is a list-format sparse vector.
+	Vector = sparse.SpVec
+	// BitVector is a bitmap-format sparse vector (GraphBLAS mask).
+	BitVector = sparse.BitVec
+	// Semiring is the algebraic structure multiplication runs over.
+	Semiring = semiring.Semiring
+	// Options configures the SpMSpV-bucket engine (thread count,
+	// buckets per thread, sorted output, merge scheduling...).
+	Options = core.Options
+	// Counters are the deterministic work counters every engine
+	// reports (see EXPERIMENTS.md).
+	Counters = perf.Counters
+	// Stats summarizes a matrix (vertices, edges, pseudo-diameter).
+	Stats = sparse.Stats
+	// BFSResult is the output of the matrix-based BFS.
+	BFSResult = algorithms.BFSResult
+	// PageRankResult is the output of the data-driven PageRank.
+	PageRankResult = algorithms.PageRankResult
+	// PageRankOptions configures PageRank.
+	PageRankOptions = algorithms.PageRankOptions
+)
+
+// The predefined semirings.
+var (
+	// Arithmetic is (+, ×): ordinary multiplication.
+	Arithmetic = semiring.Arithmetic
+	// MinPlus is (min, +): shortest-path relaxation.
+	MinPlus = semiring.MinPlus
+	// MaxPlus is (max, +): longest/critical paths.
+	MaxPlus = semiring.MaxPlus
+	// BoolOrAnd is (∨, ∧): reachability.
+	BoolOrAnd = semiring.BoolOrAnd
+	// MinSelect2nd is (min, select2nd): BFS parent assignment.
+	MinSelect2nd = semiring.MinSelect2nd
+	// MaxSelect2nd is (max, select2nd): max-label propagation.
+	MaxSelect2nd = semiring.MaxSelect2nd
+	// MinSelect1st is (min, select1st): pull edge attributes.
+	MinSelect1st = semiring.MinSelect1st
+)
+
+// NewTriples returns an empty m×n coordinate list with capacity nnzCap.
+func NewTriples(m, n Index, nnzCap int) *Triples { return sparse.NewTriples(m, n, nnzCap) }
+
+// NewMatrix compiles triples into CSC form, summing duplicates.
+func NewMatrix(t *Triples) (*Matrix, error) { return sparse.NewCSCFromTriples(t) }
+
+// NewVector returns an empty sparse vector of dimension n.
+func NewVector(n Index, nnzCap int) *Vector { return sparse.NewSpVec(n, nnzCap) }
+
+// ReadMatrixMarket parses a Matrix Market coordinate file.
+func ReadMatrixMarket(r io.Reader) (*Matrix, error) {
+	t, err := sparse.ReadMatrixMarket(r)
+	if err != nil {
+		return nil, err
+	}
+	return sparse.NewCSCFromTriples(t)
+}
+
+// WriteMatrixMarket writes a matrix in Matrix Market format.
+func WriteMatrixMarket(w io.Writer, a *Matrix) error { return sparse.WriteMatrixMarket(w, a) }
+
+// ReadVector / WriteVector handle the simple "index value" text format.
+func ReadVector(r io.Reader) (*Vector, error)  { return sparse.ReadVector(r) }
+func WriteVector(w io.Writer, v *Vector) error { return sparse.WriteVector(w, v) }
+
+// ComputeStats derives Table IV-style statistics for an adjacency
+// matrix (pseudo-diameter via double-sweep BFS from source).
+func ComputeStats(name string, a *Matrix, source Index) Stats {
+	return sparse.ComputeStats(name, a, source)
+}
+
+// Algorithm selects the SpMSpV engine.
+type Algorithm int
+
+const (
+	// Bucket is the paper's SpMSpV-bucket algorithm (default; the only
+	// work-efficient, synchronization-avoiding choice).
+	Bucket Algorithm = iota
+	// CombBLASSPA is the row-split, fully-initialized-SPA baseline.
+	CombBLASSPA
+	// CombBLASHeap is the row-split heap-merge baseline.
+	CombBLASHeap
+	// GraphMat is the matrix-driven, bitvector-input baseline.
+	GraphMat
+	// SortBased is the gather–radix-sort–reduce baseline.
+	SortBased
+)
+
+// String names the algorithm as in the paper's Table I.
+func (a Algorithm) String() string {
+	switch a {
+	case Bucket:
+		return "SpMSpV-bucket"
+	case CombBLASSPA:
+		return "CombBLAS-SPA"
+	case CombBLASHeap:
+		return "CombBLAS-heap"
+	case GraphMat:
+		return "GraphMat"
+	case SortBased:
+		return "SpMSpV-sort"
+	}
+	return "unknown"
+}
+
+// engine is the internal uniform interface.
+type engine interface {
+	Multiply(x, y *Vector, sr Semiring)
+	Counters() Counters
+	ResetCounters()
+}
+
+// Multiplier is a reusable SpMSpV engine bound to one matrix. Reuse
+// across calls is the intended pattern — iterative graph algorithms
+// call Multiply thousands of times and all buffers are recycled, per
+// the paper's preallocation strategy (§III-A).
+//
+// A Multiplier must not be used from concurrent goroutines; the
+// parallelism is inside each call.
+type Multiplier struct {
+	a    *Matrix
+	eng  engine
+	alg  Algorithm
+	opt  Options
+	left *Multiplier // lazily built Aᵀ engine for MultiplyLeft
+}
+
+// New returns a bucket-algorithm multiplier for a with the given
+// options. It is shorthand for NewWithAlgorithm(a, Bucket, opt).
+func New(a *Matrix, opt Options) *Multiplier {
+	return &Multiplier{a: a, eng: core.NewMultiplier(a, opt), alg: Bucket, opt: opt}
+}
+
+// NewWithAlgorithm returns a multiplier running the selected algorithm.
+// threads ≤ 0 means GOMAXPROCS; for the row-split baselines the matrix
+// partitioning is performed here, at construction ("preprocessing"), as
+// in the original systems.
+func NewWithAlgorithm(a *Matrix, alg Algorithm, opt Options) *Multiplier {
+	m := &Multiplier{a: a, alg: alg, opt: opt}
+	switch alg {
+	case CombBLASSPA:
+		m.eng = baselines.NewCombBLASSPA(a, opt.Threads)
+	case CombBLASHeap:
+		m.eng = baselines.NewCombBLASHeap(a, opt.Threads)
+	case GraphMat:
+		m.eng = baselines.NewGraphMat(a, opt.Threads)
+	case SortBased:
+		m.eng = baselines.NewSortBased(a, opt.Threads)
+	default:
+		m.eng = core.NewMultiplier(a, opt)
+		m.alg = Bucket
+	}
+	return m
+}
+
+// Multiply computes and returns y ← A·x over sr.
+func (m *Multiplier) Multiply(x *Vector, sr Semiring) *Vector {
+	y := sparse.NewSpVec(0, 0)
+	m.eng.Multiply(x, y, sr)
+	return y
+}
+
+// MultiplyInto computes y ← A·x over sr, reusing y's storage.
+func (m *Multiplier) MultiplyInto(x, y *Vector, sr Semiring) {
+	m.eng.Multiply(x, y, sr)
+}
+
+// MultiplyMasked computes y ← ⟨A·x, mask⟩ with the mask applied during
+// the merge step (Bucket engine only; other algorithms return a plain
+// product filtered afterwards).
+func (m *Multiplier) MultiplyMasked(x, y *Vector, sr Semiring, mask *BitVector, complement bool) {
+	if bm, ok := m.eng.(*core.Multiplier); ok {
+		bm.MultiplyMasked(x, y, sr, mask, complement)
+		return
+	}
+	m.eng.Multiply(x, y, sr)
+	w := 0
+	for k, i := range y.Ind {
+		keep := mask.Test(i)
+		if complement {
+			keep = !keep
+		}
+		if keep {
+			y.Ind[w], y.Val[w] = y.Ind[k], y.Val[k]
+			w++
+		}
+	}
+	y.Ind = y.Ind[:w]
+	y.Val = y.Val[:w]
+}
+
+// MultiplyLeft computes the row-vector product yᵀ ← xᵀ·A, the "left
+// multiplication" of paper §II-A ("the algorithms we present can be
+// trivially adopted to the left multiplication case"): it equals Aᵀ·x,
+// so an engine bound to the cached transpose runs the same algorithm.
+// The transpose and its engine are built on first use and reused.
+func (m *Multiplier) MultiplyLeft(x *Vector, sr Semiring) *Vector {
+	if m.left == nil {
+		m.left = NewWithAlgorithm(m.a.Transpose(), m.alg, m.opt)
+	}
+	return m.left.Multiply(x, sr)
+}
+
+// MultiplyAccum computes y ← accum ⊕ (A·x) where ⊕ is the semiring's
+// Add — the GraphBLAS accumulate pattern. accum is not modified.
+func (m *Multiplier) MultiplyAccum(x, accum *Vector, sr Semiring) *Vector {
+	y := m.Multiply(x, sr)
+	return sparse.EwiseAdd(y, accum, sr.Add)
+}
+
+// Algorithm reports which engine this multiplier runs.
+func (m *Multiplier) Algorithm() Algorithm { return m.alg }
+
+// Matrix returns the bound matrix.
+func (m *Multiplier) Matrix() *Matrix { return m.a }
+
+// Counters returns the work performed since the last ResetCounters —
+// the quantities behind the paper's work-efficiency analysis.
+func (m *Multiplier) Counters() Counters { return m.eng.Counters() }
+
+// ResetCounters zeroes the work counters.
+func (m *Multiplier) ResetCounters() { m.eng.ResetCounters() }
+
+// Multiply is the one-shot convenience: y ← A·x with the bucket
+// algorithm over the arithmetic semiring.
+func Multiply(a *Matrix, x *Vector, opt Options) *Vector {
+	return New(a, opt).Multiply(x, Arithmetic)
+}
+
+// BFS runs a breadth-first search from source over the multiplier's
+// matrix (columns are out-neighbor lists) and returns parents, levels
+// and per-level frontier sizes.
+func BFS(m *Multiplier, source Index) *BFSResult {
+	return algorithms.BFS(m.eng, m.a.NumCols, source, false)
+}
+
+// PageRank runs the data-driven PageRank on a multiplier bound to a
+// column-normalized matrix (see NormalizeColumns).
+func PageRank(m *Multiplier, opt PageRankOptions) *PageRankResult {
+	return algorithms.PageRank(m.eng, m.a.NumCols, opt)
+}
+
+// NormalizeColumns returns a copy of a with columns scaled to sum to 1.
+func NormalizeColumns(a *Matrix) *Matrix { return algorithms.NormalizeColumns(a) }
+
+// ConnectedComponents labels every vertex of an undirected graph with
+// its component's minimum vertex id.
+func ConnectedComponents(m *Multiplier) []Index {
+	return algorithms.ConnectedComponents(m.eng, m.a.NumCols)
+}
+
+// MaximalIndependentSet computes a maximal independent set of an
+// undirected graph with Luby's algorithm (deterministic given seed).
+// Self-loops are ignored: when the matrix has diagonal entries, a
+// stripped copy is multiplied instead (Luby's rounds require a simple
+// graph).
+func MaximalIndependentSet(m *Multiplier, seed int64) []bool {
+	eng := m.eng
+	if m.a.HasSelfLoops() {
+		eng = NewWithAlgorithm(sparse.StripSelfLoops(m.a), m.alg, m.opt).eng
+	}
+	return algorithms.MaximalIndependentSet(eng, m.a.NumCols, seed)
+}
+
+// SSSP computes single-source shortest path distances over non-negative
+// edge weights (A(i,j) is the weight of edge j→i); unreachable vertices
+// get +Inf.
+func SSSP(m *Multiplier, source Index) []float64 {
+	return algorithms.SSSP(m.eng, m.a.NumCols, source)
+}
+
+// Local clustering and matching (paper §I motivating applications).
+
+type (
+	// ACLOptions configures Andersen–Chung–Lang local clustering.
+	ACLOptions = algorithms.ACLOptions
+	// ACLResult is the PPR vector plus the sweep-cut cluster.
+	ACLResult = algorithms.ACLResult
+)
+
+// LocalCluster runs the ACL push algorithm from seed on the
+// multiplier's (undirected) graph and returns the sweep-cut cluster.
+func LocalCluster(m *Multiplier, seed Index, opt ACLOptions) *ACLResult {
+	return algorithms.ACL(m.eng, algorithms.Degrees(m.a), seed, opt)
+}
+
+// MaximalMatching computes a maximal matching of the bipartite graph
+// whose adjacency is the multiplier's matrix (rows and columns are the
+// two vertex sides). The transposed engine needed for the backward
+// rounds is built internally with the same algorithm and options.
+func MaximalMatching(m *Multiplier) (rowMate, colMate []Index) {
+	mt := NewWithAlgorithm(m.a.Transpose(), m.alg, m.opt)
+	return algorithms.MaximalMatching(m.eng, mt.eng, m.a.NumRows, m.a.NumCols)
+}
+
+// Element-wise vector operations (GraphBLAS-style combinators).
+
+// EwiseAdd returns the element-wise union of a and b (nil add means +).
+func EwiseAdd(a, b *Vector, add func(x, y float64) float64) *Vector {
+	return sparse.EwiseAdd(a, b, add)
+}
+
+// EwiseMult returns the element-wise intersection (nil mul means ×).
+func EwiseMult(a, b *Vector, mul func(x, y float64) float64) *Vector {
+	return sparse.EwiseMult(a, b, mul)
+}
+
+// Filter keeps the entries satisfying the predicate.
+func Filter(v *Vector, keep func(i Index, val float64) bool) *Vector {
+	return sparse.Filter(v, keep)
+}
+
+// Reduce folds all stored values of v.
+func Reduce(v *Vector, init float64, combine func(acc, val float64) float64) float64 {
+	return sparse.Reduce(v, init, combine)
+}
+
+// Graph generators (the Table IV stand-in suite; see internal/graphgen).
+
+// ErdosRenyi samples a directed G(n, d/n) adjacency matrix.
+func ErdosRenyi(n Index, d float64, seed int64) *Matrix { return graphgen.ErdosRenyi(n, d, seed) }
+
+// RMATConfig parameterizes the scale-free R-MAT generator.
+type RMATConfig = graphgen.RMATConfig
+
+// DefaultRMAT returns the Graph500 parameterization at a scale.
+func DefaultRMAT(scale int) RMATConfig { return graphgen.DefaultRMAT(scale) }
+
+// RMAT generates a scale-free graph.
+func RMAT(cfg RMATConfig, seed int64) *Matrix { return graphgen.RMAT(cfg, seed) }
+
+// Grid2D generates a 5-point-stencil lattice (high-diameter regime).
+func Grid2D(rows, cols int) *Matrix { return graphgen.Grid2D(rows, cols) }
+
+// TriangularMesh generates a triangulated lattice; jitterSeed != 0
+// randomizes diagonal orientation.
+func TriangularMesh(rows, cols int, jitterSeed int64) *Matrix {
+	return graphgen.TriangularMesh(rows, cols, jitterSeed)
+}
+
+// RGG generates a random geometric graph on the unit square.
+func RGG(n Index, radius float64, seed int64) *Matrix { return graphgen.RGG(n, radius, seed) }
+
+// NewBitVector returns an all-zero mask of dimension n.
+func NewBitVector(n Index) *BitVector { return sparse.NewBitVec(n) }
+
+// Matrix manipulation utilities.
+
+// PermuteRows returns P·A (row i moves to perm[i]).
+func PermuteRows(a *Matrix, perm []Index) (*Matrix, error) { return sparse.PermuteRows(a, perm) }
+
+// PermuteCols returns A·Pᵀ (column j moves to perm[j]).
+func PermuteCols(a *Matrix, perm []Index) (*Matrix, error) { return sparse.PermuteCols(a, perm) }
+
+// PermuteSymmetric returns P·A·Pᵀ (vertex relabeling).
+func PermuteSymmetric(a *Matrix, perm []Index) (*Matrix, error) {
+	return sparse.PermuteSymmetric(a, perm)
+}
+
+// ExtractColumns returns the submatrix of the selected columns.
+func ExtractColumns(a *Matrix, cols []Index) (*Matrix, error) { return sparse.ExtractColumns(a, cols) }
+
+// ExtractSubmatrix returns A(r0:r1, c0:c1) with local indices.
+func ExtractSubmatrix(a *Matrix, r0, r1, c0, c1 Index) (*Matrix, error) {
+	return sparse.ExtractSubmatrix(a, r0, r1, c0, c1)
+}
+
+// StripSelfLoops returns a copy without diagonal entries (a itself when
+// none exist).
+func StripSelfLoops(a *Matrix) *Matrix { return sparse.StripSelfLoops(a) }
