@@ -39,13 +39,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	alg, ok := map[string]spmspv.Algorithm{
-		"bucket":        spmspv.Bucket,
-		"combblas-spa":  spmspv.CombBLASSPA,
-		"combblas-heap": spmspv.CombBLASHeap,
-		"graphmat":      spmspv.GraphMat,
-		"sort":          spmspv.SortBased,
-	}[*engName]
+	alg, ok := spmspv.ParseAlgorithm(*engName)
 	if !ok {
 		fatal("unknown engine %q", *engName)
 	}

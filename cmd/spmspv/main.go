@@ -34,13 +34,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	alg, ok := map[string]spmspv.Algorithm{
-		"bucket":        spmspv.Bucket,
-		"combblas-spa":  spmspv.CombBLASSPA,
-		"combblas-heap": spmspv.CombBLASHeap,
-		"graphmat":      spmspv.GraphMat,
-		"sort":          spmspv.SortBased,
-	}[*algName]
+	alg, ok := spmspv.ParseAlgorithm(*algName)
 	if !ok {
 		fatal("unknown algorithm %q", *algName)
 	}

@@ -40,6 +40,42 @@
 // MinPlus for shortest paths, MinSelect2nd for BFS parents, BoolOrAnd
 // for reachability.
 //
-// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-// reproduction of every table and figure in the paper's evaluation.
+// # Architecture: the engine layer
+//
+// Every algorithm implements internal/engine.Engine — Multiply over a
+// semiring plus deterministic work counters — and registers a
+// constructor with the internal/engine registry from init (the
+// database/sql driver pattern). The public facade, the graph
+// algorithms, the benchmark harness and the commands all construct
+// engines exclusively through that registry; NewWithAlgorithm is a thin
+// wrapper over it, and Algorithms lists what is registered.
+//
+// # Concurrency contract
+//
+// A Multiplier (and every registry-constructed engine) is safe for
+// concurrent Multiply / MultiplyInto / MultiplyMasked / MultiplyLeft /
+// MultiplyAccumInto calls from any number of goroutines. Per-call
+// scratch state (the bucket workspace of §III-A, the baselines'
+// row-split SPAs, heaps and bitvectors) is borrowed from a sync.Pool
+// per call, so a single iterative caller keeps the paper's
+// preallocate-once behavior while N concurrent callers transiently hold
+// N pooled workspaces; work counters are folded into one aggregate
+// under a lock when each call retires, and the transpose engine behind
+// MultiplyLeft is built exactly once. Parallelism also exists inside
+// each call (Options.Threads), so throughput can be scaled either way.
+//
+// # Semiring op specialization
+//
+// Semiring operations carry enum tags (semiring.AddOp / semiring.MulOp)
+// beside the func fields. The bucket engine's hot loops — Step 1
+// scatter and Step 2 SPA merge, where Add/Mul run once per matrix
+// nonzero touched — dispatch once per call on those tags to loops with
+// the operation inlined, so all seven predefined semirings run with no
+// per-nonzero function-pointer calls (~20-25% faster multiplies).
+// User-defined semirings leave the tags AddCustom/MulCustom and take
+// the func-valued loops, exactly the cost every semiring paid before.
+//
+// See README.md for the architecture tour, DESIGN.md for the system
+// inventory and EXPERIMENTS.md for the reproduction of every table and
+// figure in the paper's evaluation.
 package spmspv

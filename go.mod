@@ -1,0 +1,3 @@
+module spmspv
+
+go 1.24

@@ -12,22 +12,17 @@
 package algorithms
 
 import (
-	"spmspv/internal/semiring"
-	"spmspv/internal/sparse"
+	"spmspv/internal/engine"
 )
 
-// Multiplier is the engine contract: compute y ← A·x over sr, where A
-// was bound at construction time. All implementations in this
-// repository (internal/core.Multiplier and the internal/baselines
-// engines) satisfy it.
-type Multiplier interface {
-	Multiply(x, y *sparse.SpVec, sr semiring.Semiring)
-}
+// Multiplier is the uniform engine contract of internal/engine: compute
+// y ← A·x over sr, where A was bound at construction time. All
+// registered implementations (internal/core.Multiplier and the
+// internal/baselines engines) satisfy it, and all of them are safe for
+// concurrent Multiply calls.
+type Multiplier = engine.Engine
 
 // MaskedMultiplier is the optional extension contract for engines that
 // support mask pushdown (paper §V future work); internal/core.Multiplier
 // implements it.
-type MaskedMultiplier interface {
-	Multiplier
-	MultiplyMasked(x, y *sparse.SpVec, sr semiring.Semiring, mask *sparse.BitVec, complement bool)
-}
+type MaskedMultiplier = engine.MaskedEngine

@@ -1,6 +1,8 @@
 package baselines
 
 import (
+	"sync"
+
 	"spmspv/internal/par"
 	"spmspv/internal/perf"
 	"spmspv/internal/semiring"
@@ -15,18 +17,27 @@ import (
 // it ~3.5× slower than the SPA algorithms once the vector gets dense
 // (paper §IV-C), while its lack of any O(m) or O(n) term keeps it
 // competitive for very sparse inputs.
+//
+// The row-split pieces are immutable after construction; the per-call
+// mergers and output buffers live in a pooled heapState, so one
+// CombBLASHeap is safe for concurrent Multiply calls.
 type CombBLASHeap struct {
 	pieces []*sparse.DCSC
 	m, n   sparse.Index
 	t      int
 
+	pool sync.Pool // *heapState
+
+	counterAgg
+}
+
+// heapState is the per-call scratch of one CombBLASHeap multiply.
+type heapState struct {
 	mergers []*spa.KWayMerger
 	outInd  [][]sparse.Index
 	outVal  [][]float64
 	outOff  []int64
-
-	// PerWorker holds one work counter per thread.
-	PerWorker []perf.Counters
+	ctr     []perf.Counters
 }
 
 // NewCombBLASHeap builds the row-split structure for t threads (≤ 0
@@ -35,38 +46,49 @@ type CombBLASHeap struct {
 func NewCombBLASHeap(a *sparse.CSC, t int) *CombBLASHeap {
 	t = par.Threads(t)
 	c := &CombBLASHeap{
-		pieces:    sparse.RowSplit(a, t),
-		m:         a.NumRows,
-		n:         a.NumCols,
-		t:         t,
-		mergers:   make([]*spa.KWayMerger, t),
-		outInd:    make([][]sparse.Index, t),
-		outVal:    make([][]float64, t),
-		outOff:    make([]int64, t+1),
-		PerWorker: make([]perf.Counters, t),
+		pieces: sparse.RowSplit(a, t),
+		m:      a.NumRows,
+		n:      a.NumCols,
+		t:      t,
 	}
-	for w := range c.mergers {
-		c.mergers[w] = spa.NewKWayMerger(64)
+	c.pool.New = func() any {
+		st := &heapState{
+			mergers: make([]*spa.KWayMerger, t),
+			outInd:  make([][]sparse.Index, t),
+			outVal:  make([][]float64, t),
+			outOff:  make([]int64, t+1),
+			ctr:     make([]perf.Counters, t),
+		}
+		for w := range st.mergers {
+			st.mergers[w] = spa.NewKWayMerger(64)
+		}
+		return st
 	}
 	return c
+}
+
+func (c *CombBLASHeap) retire(st *heapState) {
+	c.retireCounters(st.ctr)
+	c.pool.Put(st)
 }
 
 // Multiply computes y ← A·x; the output is sorted (heap merging emits
 // rows in order).
 func (c *CombBLASHeap) Multiply(x, y *sparse.SpVec, sr semiring.Semiring) {
+	st := c.pool.Get().(*heapState)
 	y.Reset(c.m)
 	par.ForStatic(c.t, c.t, func(_, lo, hi int) {
 		for w := lo; w < hi; w++ {
-			c.multiplyPiece(w, x, sr)
+			c.multiplyPiece(st, w, x, sr)
 		}
 	})
 
 	var total int64
 	for w := 0; w < c.t; w++ {
-		c.outOff[w] = total
-		total += int64(len(c.outInd[w]))
+		st.outOff[w] = total
+		total += int64(len(st.outInd[w]))
 	}
-	c.outOff[c.t] = total
+	st.outOff[c.t] = total
 	if int64(cap(y.Ind)) < total {
 		y.Ind = make([]sparse.Index, total)
 		y.Val = make([]float64, total)
@@ -76,19 +98,20 @@ func (c *CombBLASHeap) Multiply(x, y *sparse.SpVec, sr semiring.Semiring) {
 	}
 	par.ForStatic(c.t, c.t, func(_, lo, hi int) {
 		for w := lo; w < hi; w++ {
-			off := c.outOff[w]
-			copy(y.Ind[off:], c.outInd[w])
-			copy(y.Val[off:], c.outVal[w])
-			c.PerWorker[w].OutputWritten += int64(len(c.outInd[w]))
+			off := st.outOff[w]
+			copy(y.Ind[off:], st.outInd[w])
+			copy(y.Val[off:], st.outVal[w])
+			st.ctr[w].OutputWritten += int64(len(st.outInd[w]))
 		}
 	})
 	y.Sorted = true
+	c.retire(st)
 }
 
-func (c *CombBLASHeap) multiplyPiece(w int, x *sparse.SpVec, sr semiring.Semiring) {
+func (c *CombBLASHeap) multiplyPiece(st *heapState, w int, x *sparse.SpVec, sr semiring.Semiring) {
 	d := c.pieces[w]
-	ctr := &c.PerWorker[w]
-	merger := c.mergers[w]
+	ctr := &st.ctr[w]
+	merger := st.mergers[w]
 	merger.Reset()
 
 	var touched int64
@@ -107,25 +130,15 @@ func (c *CombBLASHeap) multiplyPiece(w int, x *sparse.SpVec, sr semiring.Semirin
 	ctr.MatrixTouched += touched
 
 	rowOff := d.RowOffset
-	outInd := c.outInd[w][:0]
-	outVal := c.outVal[w][:0]
+	outInd := st.outInd[w][:0]
+	outVal := st.outVal[w][:0]
 	merger.Merge(sr, func(row sparse.Index, val float64) {
 		outInd = append(outInd, row+rowOff)
 		outVal = append(outVal, val)
 	})
 	ctr.HeapOps += merger.Ops()
-	c.outInd[w] = outInd
-	c.outVal[w] = outVal
-}
-
-// Counters aggregates per-worker work since the last reset.
-func (c *CombBLASHeap) Counters() perf.Counters { return perf.MergeAll(c.PerWorker) }
-
-// ResetCounters zeroes the work counters.
-func (c *CombBLASHeap) ResetCounters() {
-	for i := range c.PerWorker {
-		c.PerWorker[i].Reset()
-	}
+	st.outInd[w] = outInd
+	st.outVal[w] = outVal
 }
 
 // Name identifies the algorithm in benchmark tables.

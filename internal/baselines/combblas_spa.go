@@ -1,6 +1,8 @@
 package baselines
 
 import (
+	"sync"
+
 	"spmspv/internal/par"
 	"spmspv/internal/perf"
 	"spmspv/internal/radix"
@@ -20,24 +22,35 @@ import (
 // the SPA is fully initialized on every call (O(m) total — the term
 // that dominates for very sparse inputs, paper §IV-C). Set FullInit to
 // false for the ablation that removes the second cost.
+//
+// The row-split pieces are immutable after construction; all per-call
+// scratch lives in a pooled spaState, so one CombBLASSPA is safe for
+// concurrent Multiply calls.
 type CombBLASSPA struct {
 	pieces []*sparse.DCSC
 	m, n   sparse.Index
 	t      int
 
+	pool sync.Pool // *spaState
+
+	// FullInit selects the paper-faithful full SPA initialization
+	// (default true). Flip it only while no Multiply is in flight.
+	FullInit bool
+
+	counterAgg
+}
+
+// spaState is the per-call scratch of one CombBLASSPA multiply: the
+// per-thread private SPAs, touched lists, sort scratch, output offsets
+// and work counters.
+type spaState struct {
 	spaVal  [][]float64
 	spaTag  [][]uint32
 	epochs  []uint32
 	touched [][]sparse.Index
 	scratch [][]sparse.Index
 	outOff  []int64
-
-	// FullInit selects the paper-faithful full SPA initialization
-	// (default true).
-	FullInit bool
-
-	// PerWorker holds one work counter per thread.
-	PerWorker []perf.Counters
+	ctr     []perf.Counters
 }
 
 // NewCombBLASSPA builds the row-split structure for t threads (≤ 0
@@ -45,42 +58,55 @@ type CombBLASSPA struct {
 func NewCombBLASSPA(a *sparse.CSC, t int) *CombBLASSPA {
 	t = par.Threads(t)
 	c := &CombBLASSPA{
-		pieces:    sparse.RowSplit(a, t),
-		m:         a.NumRows,
-		n:         a.NumCols,
-		t:         t,
-		spaVal:    make([][]float64, t),
-		spaTag:    make([][]uint32, t),
-		epochs:    make([]uint32, t),
-		touched:   make([][]sparse.Index, t),
-		scratch:   make([][]sparse.Index, t),
-		outOff:    make([]int64, t+1),
-		FullInit:  true,
-		PerWorker: make([]perf.Counters, t),
+		pieces:   sparse.RowSplit(a, t),
+		m:        a.NumRows,
+		n:        a.NumCols,
+		t:        t,
+		FullInit: true,
 	}
-	for w, d := range c.pieces {
-		c.spaVal[w] = make([]float64, d.NumRows)
-		c.spaTag[w] = make([]uint32, d.NumRows)
+	c.pool.New = func() any {
+		st := &spaState{
+			spaVal:  make([][]float64, t),
+			spaTag:  make([][]uint32, t),
+			epochs:  make([]uint32, t),
+			touched: make([][]sparse.Index, t),
+			scratch: make([][]sparse.Index, t),
+			outOff:  make([]int64, t+1),
+			ctr:     make([]perf.Counters, t),
+		}
+		for w, d := range c.pieces {
+			st.spaVal[w] = make([]float64, d.NumRows)
+			st.spaTag[w] = make([]uint32, d.NumRows)
+		}
+		return st
 	}
 	return c
+}
+
+// retire folds the state's per-worker counters into the aggregate and
+// returns the state to the pool.
+func (c *CombBLASSPA) retire(st *spaState) {
+	c.retireCounters(st.ctr)
+	c.pool.Put(st)
 }
 
 // Multiply computes y ← A·x. The output is sorted (CombBLAS keeps its
 // vectors ordered, paper §IV-B).
 func (c *CombBLASSPA) Multiply(x, y *sparse.SpVec, sr semiring.Semiring) {
+	st := c.pool.Get().(*spaState)
 	y.Reset(c.m)
 	par.ForStatic(c.t, c.t, func(_, lo, hi int) {
 		for w := lo; w < hi; w++ {
-			c.multiplyPiece(w, x, sr)
+			c.multiplyPiece(st, w, x, sr)
 		}
 	})
 
 	var total int64
 	for w := 0; w < c.t; w++ {
-		c.outOff[w] = total
-		total += int64(len(c.touched[w]))
+		st.outOff[w] = total
+		total += int64(len(st.touched[w]))
 	}
-	c.outOff[c.t] = total
+	st.outOff[c.t] = total
 	if int64(cap(y.Ind)) < total {
 		y.Ind = make([]sparse.Index, total)
 		y.Val = make([]float64, total)
@@ -90,26 +116,27 @@ func (c *CombBLASSPA) Multiply(x, y *sparse.SpVec, sr semiring.Semiring) {
 	}
 	par.ForStatic(c.t, c.t, func(_, lo, hi int) {
 		for w := lo; w < hi; w++ {
-			off := c.outOff[w]
+			off := st.outOff[w]
 			rowOff := c.pieces[w].RowOffset
-			vals := c.spaVal[w]
-			for i, li := range c.touched[w] {
+			vals := st.spaVal[w]
+			for i, li := range st.touched[w] {
 				y.Ind[off+int64(i)] = li + rowOff
 				y.Val[off+int64(i)] = vals[li]
 			}
-			c.PerWorker[w].OutputWritten += int64(len(c.touched[w]))
+			st.ctr[w].OutputWritten += int64(len(st.touched[w]))
 		}
 	})
 	// Pieces cover increasing row ranges and each piece's indices are
 	// sorted, so the concatenation is globally sorted.
 	y.Sorted = true
+	c.retire(st)
 }
 
-func (c *CombBLASSPA) multiplyPiece(w int, x *sparse.SpVec, sr semiring.Semiring) {
+func (c *CombBLASSPA) multiplyPiece(st *spaState, w int, x *sparse.SpVec, sr semiring.Semiring) {
 	d := c.pieces[w]
-	ctr := &c.PerWorker[w]
-	vals := c.spaVal[w]
-	tags := c.spaTag[w]
+	ctr := &st.ctr[w]
+	vals := st.spaVal[w]
+	tags := st.spaTag[w]
 
 	if c.FullInit {
 		// The CombBLAS-SPA discipline: wipe the whole private SPA.
@@ -119,19 +146,19 @@ func (c *CombBLASSPA) multiplyPiece(w int, x *sparse.SpVec, sr semiring.Semiring
 		for i := range tags {
 			tags[i] = 0
 		}
-		c.epochs[w] = 1
+		st.epochs[w] = 1
 		ctr.SPAInit += int64(len(vals)) * 2
 	} else {
-		c.epochs[w]++
-		if c.epochs[w] == 0 {
+		st.epochs[w]++
+		if st.epochs[w] == 0 {
 			for i := range tags {
 				tags[i] = 0
 			}
-			c.epochs[w] = 1
+			st.epochs[w] = 1
 		}
 	}
-	epoch := c.epochs[w]
-	touched := c.touched[w][:0]
+	epoch := st.epochs[w]
+	touched := st.touched[w][:0]
 
 	add, mul := sr.Add, sr.Mul
 	// Every thread scans the entire input vector — the O(t·f) term.
@@ -161,19 +188,9 @@ func (c *CombBLASSPA) multiplyPiece(w int, x *sparse.SpVec, sr semiring.Semiring
 	ctr.XScanned += int64(len(x.Ind))
 	ctr.ColumnsProbed += int64(len(x.Ind))
 
-	c.scratch[w] = radix.SortIndices(touched, c.scratch[w])
+	st.scratch[w] = radix.SortIndices(touched, st.scratch[w])
 	ctr.SortedElems += int64(len(touched))
-	c.touched[w] = touched
-}
-
-// Counters aggregates per-worker work since the last reset.
-func (c *CombBLASSPA) Counters() perf.Counters { return perf.MergeAll(c.PerWorker) }
-
-// ResetCounters zeroes the work counters.
-func (c *CombBLASSPA) ResetCounters() {
-	for i := range c.PerWorker {
-		c.PerWorker[i].Reset()
-	}
+	st.touched[w] = touched
 }
 
 // Name identifies the algorithm in benchmark tables.

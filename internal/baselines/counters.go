@@ -1,0 +1,42 @@
+package baselines
+
+import (
+	"sync"
+
+	"spmspv/internal/perf"
+)
+
+// counterAgg is the race-free work-counter aggregate every baseline
+// embeds: per-call worker counters are folded into one total as the
+// call retires, so Counters/ResetCounters are safe while other
+// goroutines multiply.
+type counterAgg struct {
+	ctrMu sync.Mutex
+	total perf.Counters
+}
+
+// retireCounters merges and zeroes a pooled state's per-worker
+// counters.
+func (c *counterAgg) retireCounters(per []perf.Counters) {
+	agg := perf.MergeAll(per)
+	for i := range per {
+		per[i].Reset()
+	}
+	c.ctrMu.Lock()
+	c.total.Merge(&agg)
+	c.ctrMu.Unlock()
+}
+
+// Counters aggregates work since the last reset.
+func (c *counterAgg) Counters() perf.Counters {
+	c.ctrMu.Lock()
+	defer c.ctrMu.Unlock()
+	return c.total
+}
+
+// ResetCounters zeroes the work counters.
+func (c *counterAgg) ResetCounters() {
+	c.ctrMu.Lock()
+	defer c.ctrMu.Unlock()
+	c.total.Reset()
+}

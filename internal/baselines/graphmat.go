@@ -1,6 +1,8 @@
 package baselines
 
 import (
+	"sync"
+
 	"spmspv/internal/par"
 	"spmspv/internal/perf"
 	"spmspv/internal/radix"
@@ -16,68 +18,89 @@ import (
 // GraphMat shows for nnz(x) < 50K in Fig. 3, and the reason the paper
 // classifies matrix-driven algorithms as unable to attain the lower
 // bound.
+//
+// The row-split pieces are immutable after construction; the input
+// bitvector and the per-thread SPAs live in a pooled gmState, so one
+// GraphMat is safe for concurrent Multiply calls.
 type GraphMat struct {
 	pieces []*sparse.DCSC
 	m, n   sparse.Index
 	t      int
 
-	bits *sparse.BitVec
+	pool sync.Pool // *gmState
 
+	counterAgg
+}
+
+// gmState is the per-call scratch of one GraphMat multiply, including
+// the bitvector conversion of the input.
+type gmState struct {
+	bits    *sparse.BitVec
 	spaVal  [][]float64
 	spaTag  [][]uint32
 	epochs  []uint32
 	touched [][]sparse.Index
 	scratch [][]sparse.Index
 	outOff  []int64
-
-	// PerWorker holds one work counter per thread.
-	PerWorker []perf.Counters
+	ctr     []perf.Counters
 }
 
-// NewGraphMat builds the row-split structure and the reusable bitvector
-// for t threads (≤ 0 means GOMAXPROCS).
+// NewGraphMat builds the row-split structure for t threads (≤ 0 means
+// GOMAXPROCS).
 func NewGraphMat(a *sparse.CSC, t int) *GraphMat {
 	t = par.Threads(t)
 	g := &GraphMat{
-		pieces:    sparse.RowSplit(a, t),
-		m:         a.NumRows,
-		n:         a.NumCols,
-		t:         t,
-		bits:      sparse.NewBitVec(a.NumCols),
-		spaVal:    make([][]float64, t),
-		spaTag:    make([][]uint32, t),
-		epochs:    make([]uint32, t),
-		touched:   make([][]sparse.Index, t),
-		scratch:   make([][]sparse.Index, t),
-		outOff:    make([]int64, t+1),
-		PerWorker: make([]perf.Counters, t),
+		pieces: sparse.RowSplit(a, t),
+		m:      a.NumRows,
+		n:      a.NumCols,
+		t:      t,
 	}
-	for w, d := range g.pieces {
-		g.spaVal[w] = make([]float64, d.NumRows)
-		g.spaTag[w] = make([]uint32, d.NumRows)
+	n := a.NumCols
+	g.pool.New = func() any {
+		st := &gmState{
+			bits:    sparse.NewBitVec(n),
+			spaVal:  make([][]float64, t),
+			spaTag:  make([][]uint32, t),
+			epochs:  make([]uint32, t),
+			touched: make([][]sparse.Index, t),
+			scratch: make([][]sparse.Index, t),
+			outOff:  make([]int64, t+1),
+			ctr:     make([]perf.Counters, t),
+		}
+		for w, d := range g.pieces {
+			st.spaVal[w] = make([]float64, d.NumRows)
+			st.spaTag[w] = make([]uint32, d.NumRows)
+		}
+		return st
 	}
 	return g
 }
 
+func (g *GraphMat) retire(st *gmState) {
+	g.retireCounters(st.ctr)
+	g.pool.Put(st)
+}
+
 // Multiply computes y ← A·x; the output is sorted.
 func (g *GraphMat) Multiply(x, y *sparse.SpVec, sr semiring.Semiring) {
+	st := g.pool.Get().(*gmState)
 	y.Reset(g.m)
 	// Convert the list input to GraphMat's bitvector format: O(f).
-	g.bits.SetFrom(x)
-	g.PerWorker[0].XScanned += int64(len(x.Ind))
+	st.bits.SetFrom(x)
+	st.ctr[0].XScanned += int64(len(x.Ind))
 
 	par.ForStatic(g.t, g.t, func(_, lo, hi int) {
 		for w := lo; w < hi; w++ {
-			g.multiplyPiece(w, sr)
+			g.multiplyPiece(st, w, sr)
 		}
 	})
 
 	var total int64
 	for w := 0; w < g.t; w++ {
-		g.outOff[w] = total
-		total += int64(len(g.touched[w]))
+		st.outOff[w] = total
+		total += int64(len(st.touched[w]))
 	}
-	g.outOff[g.t] = total
+	st.outOff[g.t] = total
 	if int64(cap(y.Ind)) < total {
 		y.Ind = make([]sparse.Index, total)
 		y.Val = make([]float64, total)
@@ -87,46 +110,47 @@ func (g *GraphMat) Multiply(x, y *sparse.SpVec, sr semiring.Semiring) {
 	}
 	par.ForStatic(g.t, g.t, func(_, lo, hi int) {
 		for w := lo; w < hi; w++ {
-			off := g.outOff[w]
+			off := st.outOff[w]
 			rowOff := g.pieces[w].RowOffset
-			vals := g.spaVal[w]
-			for i, li := range g.touched[w] {
+			vals := st.spaVal[w]
+			for i, li := range st.touched[w] {
 				y.Ind[off+int64(i)] = li + rowOff
 				y.Val[off+int64(i)] = vals[li]
 			}
-			g.PerWorker[w].OutputWritten += int64(len(g.touched[w]))
+			st.ctr[w].OutputWritten += int64(len(st.touched[w]))
 		}
 	})
 	y.Sorted = true
-	// Restore the bitvector for the next call: O(f), not O(n).
-	g.bits.ClearFrom(x)
-	g.PerWorker[0].XScanned += int64(len(x.Ind))
+	// Restore the bitvector for the pool's next borrower: O(f), not O(n).
+	st.bits.ClearFrom(x)
+	st.ctr[0].XScanned += int64(len(x.Ind))
+	g.retire(st)
 }
 
-func (g *GraphMat) multiplyPiece(w int, sr semiring.Semiring) {
+func (g *GraphMat) multiplyPiece(st *gmState, w int, sr semiring.Semiring) {
 	d := g.pieces[w]
-	ctr := &g.PerWorker[w]
-	vals := g.spaVal[w]
-	tags := g.spaTag[w]
-	g.epochs[w]++
-	if g.epochs[w] == 0 {
+	ctr := &st.ctr[w]
+	vals := st.spaVal[w]
+	tags := st.spaTag[w]
+	st.epochs[w]++
+	if st.epochs[w] == 0 {
 		for i := range tags {
 			tags[i] = 0
 		}
-		g.epochs[w] = 1
+		st.epochs[w] = 1
 	}
-	epoch := g.epochs[w]
-	touched := g.touched[w][:0]
+	epoch := st.epochs[w]
+	touched := st.touched[w][:0]
 
 	add, mul := sr.Add, sr.Mul
 	// Matrix-driven: iterate over every nonzero column of the piece and
 	// probe the input bitvector. This loop runs nzc times per call no
 	// matter how sparse x is.
 	for pos, j := range d.JC {
-		if !g.bits.Test(j) {
+		if !st.bits.Test(j) {
 			continue
 		}
-		xv := g.bits.Val[j]
+		xv := st.bits.Val[j]
 		rows, mvals := d.ColAt(pos)
 		for e, i := range rows {
 			v := mul(mvals[e], xv)
@@ -144,19 +168,9 @@ func (g *GraphMat) multiplyPiece(w int, sr semiring.Semiring) {
 	}
 	ctr.ColumnsProbed += int64(len(d.JC))
 
-	g.scratch[w] = radix.SortIndices(touched, g.scratch[w])
+	st.scratch[w] = radix.SortIndices(touched, st.scratch[w])
 	ctr.SortedElems += int64(len(touched))
-	g.touched[w] = touched
-}
-
-// Counters aggregates per-worker work since the last reset.
-func (g *GraphMat) Counters() perf.Counters { return perf.MergeAll(g.PerWorker) }
-
-// ResetCounters zeroes the work counters.
-func (g *GraphMat) ResetCounters() {
-	for i := range g.PerWorker {
-		g.PerWorker[i].Reset()
-	}
+	st.touched[w] = touched
 }
 
 // Name identifies the algorithm in benchmark tables.

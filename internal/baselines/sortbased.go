@@ -1,6 +1,8 @@
 package baselines
 
 import (
+	"sync"
+
 	"spmspv/internal/par"
 	"spmspv/internal/perf"
 	"spmspv/internal/radix"
@@ -14,36 +16,51 @@ import (
 // a parallel radix sort, and adjacent duplicates are reduced. The
 // O(df·lg df) sorting work is its handicap; its upside is a naturally
 // sorted output and no per-thread matrix partitioning.
+//
+// The matrix is shared read-only; the gather/sort/prune buffers live in
+// a pooled sortState, so one SortBased is safe for concurrent Multiply
+// calls.
 type SortBased struct {
 	a *sparse.CSC
 	t int
 
+	pool sync.Pool // *sortState
+
+	counterAgg
+}
+
+// sortState is the per-call scratch of one SortBased multiply.
+type sortState struct {
 	entries []sparse.Entry
 	scratch []sparse.Entry
 	xcum    []int64
-	offs    []int64
-
-	outInd [][]sparse.Index
-	outVal [][]float64
-	outOff []int64
-
-	// PerWorker holds one work counter per thread.
-	PerWorker []perf.Counters
+	bounds  []int64
+	outInd  [][]sparse.Index
+	outVal  [][]float64
+	outOff  []int64
+	ctr     []perf.Counters
 }
 
 // NewSortBased returns a sort-based multiplier for t threads (≤ 0 means
 // GOMAXPROCS).
 func NewSortBased(a *sparse.CSC, t int) *SortBased {
 	t = par.Threads(t)
-	return &SortBased{
-		a:         a,
-		t:         t,
-		offs:      make([]int64, t+1),
-		outInd:    make([][]sparse.Index, t),
-		outVal:    make([][]float64, t),
-		outOff:    make([]int64, t+1),
-		PerWorker: make([]perf.Counters, t),
+	s := &SortBased{a: a, t: t}
+	s.pool.New = func() any {
+		return &sortState{
+			bounds: make([]int64, t+1),
+			outInd: make([][]sparse.Index, t),
+			outVal: make([][]float64, t),
+			outOff: make([]int64, t+1),
+			ctr:    make([]perf.Counters, t),
+		}
 	}
+	return s
+}
+
+func (s *SortBased) retire(st *sortState) {
+	s.retireCounters(st.ctr)
+	s.pool.Put(st)
 }
 
 // Multiply computes y ← A·x; the output is sorted.
@@ -53,6 +70,7 @@ func (s *SortBased) Multiply(x, y *sparse.SpVec, sr semiring.Semiring) {
 	if f == 0 {
 		return
 	}
+	st := s.pool.Get().(*sortState)
 	t := s.t
 	if t > f {
 		t = f
@@ -60,17 +78,17 @@ func (s *SortBased) Multiply(x, y *sparse.SpVec, sr semiring.Semiring) {
 
 	// Concatenate: gather all scaled entries, each worker writing a
 	// contiguous region sized by the cumulative column weights.
-	s.xcum = s.a.CumulativeColWeights(x.Ind, s.xcum)
-	total := s.xcum[f]
-	ranges := par.SplitByWeight(s.xcum, t)
-	if int64(cap(s.entries)) < total {
-		s.entries = make([]sparse.Entry, total)
+	st.xcum = s.a.CumulativeColWeights(x.Ind, st.xcum)
+	total := st.xcum[f]
+	ranges := par.SplitByWeight(st.xcum, t)
+	if int64(cap(st.entries)) < total {
+		st.entries = make([]sparse.Entry, total)
 	}
-	ents := s.entries[:total]
+	ents := st.entries[:total]
 	mul := sr.Mul
 	par.ForRanges(ranges, func(w, lo, hi int) {
-		ctr := &s.PerWorker[w]
-		pos := s.xcum[lo]
+		ctr := &st.ctr[w]
+		pos := st.xcum[lo]
 		for k := lo; k < hi; k++ {
 			j, xv := x.Ind[k], x.Val[k]
 			rows, vals := s.a.Col(j)
@@ -84,13 +102,13 @@ func (s *SortBased) Multiply(x, y *sparse.SpVec, sr semiring.Semiring) {
 	})
 
 	// Sort by row index.
-	s.scratch = radix.ParallelSortEntries(ents, s.scratch, t)
-	s.PerWorker[0].SortedElems += total
+	st.scratch = radix.ParallelSortEntries(ents, st.scratch, t)
+	st.ctr[0].SortedElems += total
 
 	// Prune: segmented reduction over runs of equal row ids. Worker
 	// boundaries are pushed forward to run starts so every run belongs
 	// to exactly one worker.
-	bounds := make([]int64, t+1)
+	bounds := st.bounds
 	for w := 0; w <= t; w++ {
 		b := int64(w) * total / int64(t)
 		for b > 0 && b < total && ents[b].Ind == ents[b-1].Ind {
@@ -100,9 +118,9 @@ func (s *SortBased) Multiply(x, y *sparse.SpVec, sr semiring.Semiring) {
 	}
 	par.ForStatic(t, t, func(_, wlo, whi int) {
 		for w := wlo; w < whi; w++ {
-			ctr := &s.PerWorker[w]
-			outInd := s.outInd[w][:0]
-			outVal := s.outVal[w][:0]
+			ctr := &st.ctr[w]
+			outInd := st.outInd[w][:0]
+			outVal := st.outVal[w][:0]
 			lo, hi := bounds[w], bounds[w+1]
 			for k := lo; k < hi; {
 				row := ents[k].Ind
@@ -116,17 +134,17 @@ func (s *SortBased) Multiply(x, y *sparse.SpVec, sr semiring.Semiring) {
 				outInd = append(outInd, row)
 				outVal = append(outVal, acc)
 			}
-			s.outInd[w] = outInd
-			s.outVal[w] = outVal
+			st.outInd[w] = outInd
+			st.outVal[w] = outVal
 		}
 	})
 
 	var outTotal int64
 	for w := 0; w < t; w++ {
-		s.outOff[w] = outTotal
-		outTotal += int64(len(s.outInd[w]))
+		st.outOff[w] = outTotal
+		outTotal += int64(len(st.outInd[w]))
 	}
-	s.outOff[t] = outTotal
+	st.outOff[t] = outTotal
 	if int64(cap(y.Ind)) < outTotal {
 		y.Ind = make([]sparse.Index, outTotal)
 		y.Val = make([]float64, outTotal)
@@ -136,23 +154,14 @@ func (s *SortBased) Multiply(x, y *sparse.SpVec, sr semiring.Semiring) {
 	}
 	par.ForStatic(t, t, func(_, wlo, whi int) {
 		for w := wlo; w < whi; w++ {
-			off := s.outOff[w]
-			copy(y.Ind[off:], s.outInd[w])
-			copy(y.Val[off:], s.outVal[w])
-			s.PerWorker[w].OutputWritten += int64(len(s.outInd[w]))
+			off := st.outOff[w]
+			copy(y.Ind[off:], st.outInd[w])
+			copy(y.Val[off:], st.outVal[w])
+			st.ctr[w].OutputWritten += int64(len(st.outInd[w]))
 		}
 	})
 	y.Sorted = true
-}
-
-// Counters aggregates per-worker work since the last reset.
-func (s *SortBased) Counters() perf.Counters { return perf.MergeAll(s.PerWorker) }
-
-// ResetCounters zeroes the work counters.
-func (s *SortBased) ResetCounters() {
-	for i := range s.PerWorker {
-		s.PerWorker[i].Reset()
-	}
+	s.retire(st)
 }
 
 // Name identifies the algorithm in benchmark tables.

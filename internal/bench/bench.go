@@ -17,21 +17,22 @@ import (
 	"time"
 
 	"spmspv/internal/algorithms"
-	"spmspv/internal/baselines"
 	"spmspv/internal/core"
+	"spmspv/internal/engine"
 	"spmspv/internal/perf"
 	"spmspv/internal/semiring"
 	"spmspv/internal/sparse"
+
+	// Keep the baselines registered with the engine registry even if
+	// the direct uses elsewhere in this package (ablation.go's
+	// HybridEngine) move to registry construction — registrySpec's
+	// engine.New depends on it.
+	_ "spmspv/internal/baselines"
 )
 
 // Engine is the uniform handle the harness drives: a named SpMSpV
-// implementation with work counters.
-type Engine interface {
-	Multiply(x, y *sparse.SpVec, sr semiring.Semiring)
-	Counters() perf.Counters
-	ResetCounters()
-	Name() string
-}
+// implementation with work counters — internal/engine's contract.
+type Engine = engine.Engine
 
 // EngineSpec names an algorithm and builds an instance bound to a
 // matrix and thread count. Construction cost (row-splitting, workspace
@@ -43,22 +44,27 @@ type EngineSpec struct {
 	Build func(a *sparse.CSC, threads int) Engine
 }
 
+// registrySpec builds an EngineSpec that constructs alg through the
+// engine registry with the harness's standard options.
+func registrySpec(alg engine.Algorithm) EngineSpec {
+	return EngineSpec{Name: alg.String(), Build: func(a *sparse.CSC, t int) Engine {
+		e, err := engine.New(a, alg, engine.Options{Threads: t, SortOutput: true})
+		if err != nil {
+			panic(err) // all algorithms register via this package's imports
+		}
+		return e
+	}}
+}
+
 // AllEngines returns the four algorithms of the paper's comparison
-// (Fig. 3/4), bucket first.
+// (Fig. 3/4), bucket first, each constructed through the engine
+// registry.
 func AllEngines() []EngineSpec {
 	return []EngineSpec{
-		{Name: "SpMSpV-bucket", Build: func(a *sparse.CSC, t int) Engine {
-			return core.NewMultiplier(a, core.Options{Threads: t, SortOutput: true})
-		}},
-		{Name: "CombBLAS-SPA", Build: func(a *sparse.CSC, t int) Engine {
-			return baselines.NewCombBLASSPA(a, t)
-		}},
-		{Name: "CombBLAS-heap", Build: func(a *sparse.CSC, t int) Engine {
-			return baselines.NewCombBLASHeap(a, t)
-		}},
-		{Name: "GraphMat", Build: func(a *sparse.CSC, t int) Engine {
-			return baselines.NewGraphMat(a, t)
-		}},
+		registrySpec(engine.Bucket),
+		registrySpec(engine.CombBLASSPA),
+		registrySpec(engine.CombBLASHeap),
+		registrySpec(engine.GraphMat),
 	}
 }
 
@@ -71,7 +77,11 @@ func BucketEngine(opt core.Options) EngineSpec {
 	return EngineSpec{Name: name, Build: func(a *sparse.CSC, t int) Engine {
 		o := opt
 		o.Threads = t
-		return core.NewMultiplier(a, o)
+		e, err := engine.New(a, engine.Bucket, o)
+		if err != nil {
+			panic(err)
+		}
+		return e
 	}}
 }
 

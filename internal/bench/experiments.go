@@ -9,8 +9,8 @@ import (
 	"time"
 
 	"spmspv/internal/algorithms"
-	"spmspv/internal/baselines"
 	"spmspv/internal/core"
+	"spmspv/internal/engine"
 	"spmspv/internal/graphgen"
 	"spmspv/internal/perf"
 	"spmspv/internal/semiring"
@@ -20,9 +20,7 @@ import (
 // sortEngine returns the SpMSpV-sort baseline spec (Table I's fifth
 // algorithm, evaluated in the Tables I/II work-measurement experiment).
 func sortEngine() EngineSpec {
-	return EngineSpec{Name: "SpMSpV-sort", Build: func(a *sparse.CSC, t int) Engine {
-		return baselines.NewSortBased(a, t)
-	}}
+	return registrySpec(engine.SortBased)
 }
 
 // Config holds the shared experiment parameters.

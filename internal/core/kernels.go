@@ -1,0 +1,420 @@
+package core
+
+import (
+	"math"
+
+	"spmspv/internal/par"
+	"spmspv/internal/radix"
+	"spmspv/internal/semiring"
+	"spmspv/internal/sparse"
+)
+
+// Specialized inner loops for Steps 1 and 2.
+//
+// The scatter and merge loops run once per matrix nonzero touched — the
+// df term that dominates every multiply. Each is dispatched once per
+// call on the semiring's operation tags to a hand-monomorphized loop
+// whose Add/Mul is an inlined expression, so all predefined semirings
+// (arithmetic, the tropical pair, boolean, the select variants) execute
+// with no per-nonzero function-pointer calls; only user-defined
+// semirings (AddCustom/MulCustom) take the func-valued loop, paying
+// exactly the indirect call every semiring paid before specialization.
+// This generalizes the previous one-off IsArithmetic fast path.
+//
+// The loops are spelled out per operation rather than written once as a
+// generic function over semiring.Adder/Muler because gc does not
+// devirtualize dictionary-based method calls in non-inlined generic
+// instantiations: a generic-over-op loop of this size compiles to one
+// shape instantiation that calls Add/Mul through the dictionary — an
+// indirect call per nonzero, the very cost being removed. (The generic
+// op types still pay off for helpers small enough to inline, e.g. the
+// spa accumulators.)
+
+// bucketStep implements Step 1 of Algorithm 1 with direct writes: every
+// worker re-scans its x range and scatters (row, MULT(x(j), A(i,j)))
+// pairs through its precomputed cursors. No synchronization is needed
+// because the cursor ranges are disjoint by construction.
+func bucketStep(a *sparse.CSC, x *sparse.SpVec, sr semiring.Semiring, ws *Workspace, t, nb int, shift uint) {
+	par.ForRanges(ws.ranges, func(w, lo, hi int) {
+		cur := ws.boffset[w*nb : (w+1)*nb]
+		ctr := &ws.Counters[w]
+		var written int64
+		switch sr.MulKind {
+		case semiring.MulTimes:
+			written = scatterTimes(a, x, ws, cur, lo, hi, shift)
+		case semiring.MulPlus:
+			written = scatterPlus(a, x, ws, cur, lo, hi, shift)
+		case semiring.MulSelect2nd:
+			written = scatterSelect2nd(a, x, ws, cur, lo, hi, shift)
+		case semiring.MulSelect1st:
+			written = scatterSelect1st(a, x, ws, cur, lo, hi, shift)
+		case semiring.MulAnd:
+			written = scatterAnd(a, x, ws, cur, lo, hi, shift)
+		default:
+			written = scatterFunc(sr.Mul, a, x, ws, cur, lo, hi, shift)
+		}
+		ctr.XScanned += int64(hi - lo)
+		ctr.MatrixTouched += written
+		ctr.BucketWrites += written
+	})
+}
+
+func scatterTimes(a *sparse.CSC, x *sparse.SpVec, ws *Workspace, cur []int64, lo, hi int, shift uint) int64 {
+	var written int64
+	for k := lo; k < hi; k++ {
+		j, xv := x.Ind[k], x.Val[k]
+		rows, vals := a.Col(j)
+		for e, i := range rows {
+			b := i >> shift
+			p := cur[b]
+			cur[b]++
+			ws.entries[p] = sparse.Entry{Ind: i, Val: vals[e] * xv}
+		}
+		written += int64(len(rows))
+	}
+	return written
+}
+
+func scatterPlus(a *sparse.CSC, x *sparse.SpVec, ws *Workspace, cur []int64, lo, hi int, shift uint) int64 {
+	var written int64
+	for k := lo; k < hi; k++ {
+		j, xv := x.Ind[k], x.Val[k]
+		rows, vals := a.Col(j)
+		for e, i := range rows {
+			b := i >> shift
+			p := cur[b]
+			cur[b]++
+			ws.entries[p] = sparse.Entry{Ind: i, Val: vals[e] + xv}
+		}
+		written += int64(len(rows))
+	}
+	return written
+}
+
+// scatterSelect2nd propagates x(j) unchanged, so the column's values
+// are never read — BFS's frontier expansion touches only row indices.
+func scatterSelect2nd(a *sparse.CSC, x *sparse.SpVec, ws *Workspace, cur []int64, lo, hi int, shift uint) int64 {
+	var written int64
+	for k := lo; k < hi; k++ {
+		j, xv := x.Ind[k], x.Val[k]
+		rows, _ := a.Col(j)
+		for _, i := range rows {
+			b := i >> shift
+			p := cur[b]
+			cur[b]++
+			ws.entries[p] = sparse.Entry{Ind: i, Val: xv}
+		}
+		written += int64(len(rows))
+	}
+	return written
+}
+
+func scatterSelect1st(a *sparse.CSC, x *sparse.SpVec, ws *Workspace, cur []int64, lo, hi int, shift uint) int64 {
+	var written int64
+	for k := lo; k < hi; k++ {
+		j := x.Ind[k]
+		rows, vals := a.Col(j)
+		for e, i := range rows {
+			b := i >> shift
+			p := cur[b]
+			cur[b]++
+			ws.entries[p] = sparse.Entry{Ind: i, Val: vals[e]}
+		}
+		written += int64(len(rows))
+	}
+	return written
+}
+
+func scatterAnd(a *sparse.CSC, x *sparse.SpVec, ws *Workspace, cur []int64, lo, hi int, shift uint) int64 {
+	var written int64
+	for k := lo; k < hi; k++ {
+		j, xv := x.Ind[k], x.Val[k]
+		rows, vals := a.Col(j)
+		for e, i := range rows {
+			v := 0.0
+			if vals[e] != 0 && xv != 0 {
+				v = 1
+			}
+			b := i >> shift
+			p := cur[b]
+			cur[b]++
+			ws.entries[p] = sparse.Entry{Ind: i, Val: v}
+		}
+		written += int64(len(rows))
+	}
+	return written
+}
+
+func scatterFunc(mul func(a, b float64) float64, a *sparse.CSC, x *sparse.SpVec, ws *Workspace, cur []int64, lo, hi int, shift uint) int64 {
+	var written int64
+	for k := lo; k < hi; k++ {
+		j, xv := x.Ind[k], x.Val[k]
+		rows, vals := a.Col(j)
+		for e, i := range rows {
+			b := i >> shift
+			p := cur[b]
+			cur[b]++
+			ws.entries[p] = sparse.Entry{Ind: i, Val: mul(vals[e], xv)}
+		}
+		written += int64(len(rows))
+	}
+	return written
+}
+
+// bucketStepStaged is bucketStep with the paper's cache-locality
+// optimization: writes stream into a small per-(worker,bucket) staging
+// buffer (sized to stay L1/L2 resident) and are copied to the bucket
+// only when the buffer fills. This ablation path (off by default) keeps
+// the func-valued Mul; the flush bookkeeping, not the multiply,
+// dominates its inner loop.
+func bucketStepStaged(a *sparse.CSC, x *sparse.SpVec, sr semiring.Semiring, ws *Workspace, t, nb int, shift uint, stage int) {
+	ws.ensureStaging(t, nb, stage)
+	mul := sr.Mul
+	par.ForRanges(ws.ranges, func(w, lo, hi int) {
+		cur := ws.boffset[w*nb : (w+1)*nb]
+		slab := ws.staging[w*nb*stage : (w+1)*nb*stage]
+		fill := ws.stagingCount[w*nb : (w+1)*nb]
+		for b := range fill {
+			fill[b] = 0
+		}
+		ctr := &ws.Counters[w]
+		var written int64
+		flush := func(b int64) {
+			n := int64(fill[b])
+			copy(ws.entries[cur[b]:cur[b]+n], slab[b*int64(stage):b*int64(stage)+n])
+			cur[b] += n
+			fill[b] = 0
+		}
+		for k := lo; k < hi; k++ {
+			j, xv := x.Ind[k], x.Val[k]
+			rows, vals := a.Col(j)
+			for e, i := range rows {
+				b := int64(i >> shift)
+				if int(fill[b]) == stage {
+					flush(b)
+				}
+				slab[b*int64(stage)+int64(fill[b])] = sparse.Entry{Ind: i, Val: mul(vals[e], xv)}
+				fill[b]++
+			}
+			written += int64(len(rows))
+		}
+		for b := int64(0); b < int64(nb); b++ {
+			if fill[b] > 0 {
+				flush(b)
+			}
+		}
+		ctr.XScanned += int64(hi - lo)
+		ctr.MatrixTouched += written
+		ctr.BucketWrites += written
+	})
+}
+
+// mergeStep implements Step 2 of Algorithm 1: every bucket is merged
+// independently through the SPA, producing the bucket's unique indices.
+// mask, when non-nil, drops entries whose row is excluded (masked
+// SpMSpV, the GraphBLAS extension of paper §V); maskComplement inverts
+// the test.
+func mergeStep(sr semiring.Semiring, ws *Workspace, t, nb int, opt Options, mask *sparse.BitVec, maskComplement bool) {
+	epoch := ws.nextEpoch()
+	body := func(w, b int) {
+		lo, hi := ws.bucketStart[b], ws.bucketStart[b+1]
+		if lo == hi {
+			ws.uindCount[b] = 0
+			return
+		}
+		ents := ws.entries[lo:hi]
+		u := ws.uind[lo:lo]
+		ctr := &ws.Counters[w]
+		switch {
+		case mask != nil:
+			u = mergeMasked(sr, ws, ents, u, epoch, mask, maskComplement)
+		case opt.UseInfSentinel:
+			// Paper-faithful two-pass merge (Algorithm 1 lines 11-18):
+			// mark first, then accumulate, using ∞ as the
+			// "uninitialized" sentinel. Ablation path; func-valued Add.
+			add := sr.Add
+			inf := math.Inf(1)
+			for _, e := range ents {
+				ws.spaVal[e.Ind] = inf
+			}
+			ctr.SPAInit += int64(len(ents))
+			for _, e := range ents {
+				if ws.spaVal[e.Ind] == inf {
+					ws.spaVal[e.Ind] = e.Val
+					u = append(u, e.Ind)
+				} else {
+					ws.spaVal[e.Ind] = add(ws.spaVal[e.Ind], e.Val)
+				}
+			}
+		default:
+			u = mergeEpoch(sr, ws, ents, u, epoch)
+		}
+		ws.uindCount[b] = int64(len(u))
+		if !opt.UseInfSentinel {
+			ctr.SPAInit += int64(len(u))
+		}
+		ctr.SPAUpdates += int64(len(ents)) - int64(len(u))
+		if opt.SortOutput {
+			ws.scratch[w] = radix.SortIndices(u, ws.scratch[w])
+			ctr.SortedElems += int64(len(u))
+		}
+	}
+	if opt.MergeSched == SchedDynamic {
+		for w := 0; w < t; w++ {
+			ws.sync[w] = 0
+		}
+		par.ForDynamic(t, nb, 1, func(w, lo, hi int) {
+			for b := lo; b < hi; b++ {
+				body(w, b)
+			}
+		}, ws.sync)
+		for w := 0; w < t; w++ {
+			ws.Counters[w].SyncEvents += ws.sync[w]
+		}
+	} else {
+		par.ForStatic(t, nb, func(w, lo, hi int) {
+			for b := lo; b < hi; b++ {
+				body(w, b)
+			}
+		})
+	}
+}
+
+// mergeEpoch is the one-pass epoch-tag merge: a tag mismatch plays the
+// role of the ∞ sentinel with no false positives. Dispatches on the
+// semiring's Add tag to a loop with the collision combine inlined.
+func mergeEpoch(sr semiring.Semiring, ws *Workspace, ents []sparse.Entry, u []sparse.Index, epoch uint32) []sparse.Index {
+	switch sr.AddKind {
+	case semiring.AddPlus:
+		for _, e := range ents {
+			if ws.spaTag[e.Ind] != epoch {
+				ws.spaTag[e.Ind] = epoch
+				ws.spaVal[e.Ind] = e.Val
+				u = append(u, e.Ind)
+			} else {
+				ws.spaVal[e.Ind] += e.Val
+			}
+		}
+	case semiring.AddMin:
+		for _, e := range ents {
+			if ws.spaTag[e.Ind] != epoch {
+				ws.spaTag[e.Ind] = epoch
+				ws.spaVal[e.Ind] = e.Val
+				u = append(u, e.Ind)
+			} else if !(ws.spaVal[e.Ind] < e.Val) {
+				ws.spaVal[e.Ind] = e.Val
+			}
+		}
+	case semiring.AddMax:
+		for _, e := range ents {
+			if ws.spaTag[e.Ind] != epoch {
+				ws.spaTag[e.Ind] = epoch
+				ws.spaVal[e.Ind] = e.Val
+				u = append(u, e.Ind)
+			} else if !(ws.spaVal[e.Ind] > e.Val) {
+				ws.spaVal[e.Ind] = e.Val
+			}
+		}
+	case semiring.AddOr:
+		for _, e := range ents {
+			if ws.spaTag[e.Ind] != epoch {
+				ws.spaTag[e.Ind] = epoch
+				ws.spaVal[e.Ind] = e.Val
+				u = append(u, e.Ind)
+			} else if ws.spaVal[e.Ind] != 0 || e.Val != 0 {
+				ws.spaVal[e.Ind] = 1
+			} else {
+				ws.spaVal[e.Ind] = 0
+			}
+		}
+	default:
+		add := sr.Add
+		for _, e := range ents {
+			if ws.spaTag[e.Ind] != epoch {
+				ws.spaTag[e.Ind] = epoch
+				ws.spaVal[e.Ind] = e.Val
+				u = append(u, e.Ind)
+			} else {
+				ws.spaVal[e.Ind] = add(ws.spaVal[e.Ind], e.Val)
+			}
+		}
+	}
+	return u
+}
+
+// mergeMasked is mergeEpoch with the mask test pushed into the loop
+// (the §V mask-pushdown); same per-Add specialization — BFS's masked
+// (min, select2nd) expansion runs call-free.
+func mergeMasked(sr semiring.Semiring, ws *Workspace, ents []sparse.Entry, u []sparse.Index, epoch uint32, mask *sparse.BitVec, complement bool) []sparse.Index {
+	switch sr.AddKind {
+	case semiring.AddPlus:
+		for _, e := range ents {
+			if mask.Test(e.Ind) == complement {
+				continue
+			}
+			if ws.spaTag[e.Ind] != epoch {
+				ws.spaTag[e.Ind] = epoch
+				ws.spaVal[e.Ind] = e.Val
+				u = append(u, e.Ind)
+			} else {
+				ws.spaVal[e.Ind] += e.Val
+			}
+		}
+	case semiring.AddMin:
+		for _, e := range ents {
+			if mask.Test(e.Ind) == complement {
+				continue
+			}
+			if ws.spaTag[e.Ind] != epoch {
+				ws.spaTag[e.Ind] = epoch
+				ws.spaVal[e.Ind] = e.Val
+				u = append(u, e.Ind)
+			} else if !(ws.spaVal[e.Ind] < e.Val) {
+				ws.spaVal[e.Ind] = e.Val
+			}
+		}
+	case semiring.AddMax:
+		for _, e := range ents {
+			if mask.Test(e.Ind) == complement {
+				continue
+			}
+			if ws.spaTag[e.Ind] != epoch {
+				ws.spaTag[e.Ind] = epoch
+				ws.spaVal[e.Ind] = e.Val
+				u = append(u, e.Ind)
+			} else if !(ws.spaVal[e.Ind] > e.Val) {
+				ws.spaVal[e.Ind] = e.Val
+			}
+		}
+	case semiring.AddOr:
+		for _, e := range ents {
+			if mask.Test(e.Ind) == complement {
+				continue
+			}
+			if ws.spaTag[e.Ind] != epoch {
+				ws.spaTag[e.Ind] = epoch
+				ws.spaVal[e.Ind] = e.Val
+				u = append(u, e.Ind)
+			} else if ws.spaVal[e.Ind] != 0 || e.Val != 0 {
+				ws.spaVal[e.Ind] = 1
+			} else {
+				ws.spaVal[e.Ind] = 0
+			}
+		}
+	default:
+		add := sr.Add
+		for _, e := range ents {
+			if mask.Test(e.Ind) == complement {
+				continue
+			}
+			if ws.spaTag[e.Ind] != epoch {
+				ws.spaTag[e.Ind] = epoch
+				ws.spaVal[e.Ind] = e.Val
+				u = append(u, e.Ind)
+			} else {
+				ws.spaVal[e.Ind] = add(ws.spaVal[e.Ind], e.Val)
+			}
+		}
+	}
+	return u
+}

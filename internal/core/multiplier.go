@@ -1,49 +1,90 @@
 package core
 
 import (
+	"sync"
+
 	"spmspv/internal/perf"
 	"spmspv/internal/semiring"
 	"spmspv/internal/sparse"
 )
 
-// Multiplier binds a matrix, a reusable workspace and options into the
-// uniform Multiply(x, y, sr) shape that the baselines also implement, so
-// graph algorithms and the benchmark harness can treat all SpMSpV
-// engines interchangeably.
+// Multiplier binds a matrix, a pool of reusable workspaces and options
+// into the uniform Multiply(x, y, sr) shape that the baselines also
+// implement, so graph algorithms and the benchmark harness can treat
+// all SpMSpV engines interchangeably.
+//
+// A Multiplier is safe for concurrent use: each Multiply borrows a
+// workspace from an internal sync.Pool — one goroutine keeps the
+// paper's single-preallocation behavior (§III-A), N goroutines get N
+// transiently-pooled workspaces — and work counters are aggregated
+// race-free when the workspace is returned.
 type Multiplier struct {
 	A   *sparse.CSC
-	WS  *Workspace
 	Opt Options
+
+	pool sync.Pool // *Workspace
+
+	mu       sync.Mutex
+	counters perf.Counters // aggregate of all retired calls
+	steps    perf.StepTimes
 }
 
-// NewMultiplier returns a bucket-algorithm multiplier for a with a fresh
-// workspace pre-sized for the matrix.
+// NewMultiplier returns a bucket-algorithm multiplier for a; workspaces
+// are pre-sized for the matrix as they enter the pool.
 func NewMultiplier(a *sparse.CSC, opt Options) *Multiplier {
-	return &Multiplier{
-		A:   a,
-		WS:  NewWorkspace(a.NumRows, 0),
-		Opt: opt,
-	}
+	mu := &Multiplier{A: a, Opt: opt}
+	mu.pool.New = func() any { return NewWorkspace(a.NumRows, 0) }
+	return mu
 }
 
 // Multiply computes y ← A·x over sr with the SpMSpV-bucket algorithm.
 func (mu *Multiplier) Multiply(x, y *sparse.SpVec, sr semiring.Semiring) {
-	Multiply(mu.A, x, y, sr, mu.WS, mu.Opt)
+	ws := mu.pool.Get().(*Workspace)
+	Multiply(mu.A, x, y, sr, ws, mu.Opt)
+	mu.retire(ws)
 }
 
 // MultiplyMasked computes the masked product (see MultiplyMasked).
 func (mu *Multiplier) MultiplyMasked(x, y *sparse.SpVec, sr semiring.Semiring, mask *sparse.BitVec, complement bool) {
-	MultiplyMasked(mu.A, x, y, sr, mask, complement, mu.WS, mu.Opt)
+	ws := mu.pool.Get().(*Workspace)
+	MultiplyMasked(mu.A, x, y, sr, mask, complement, ws, mu.Opt)
+	mu.retire(ws)
+}
+
+// retire folds the workspace's per-call work into the multiplier's
+// aggregate counters under the lock, zeroes it, and returns the
+// workspace to the pool.
+func (mu *Multiplier) retire(ws *Workspace) {
+	c := ws.TotalCounters()
+	ws.ResetCounters()
+	mu.mu.Lock()
+	mu.counters.Merge(&c)
+	mu.steps = ws.Steps
+	mu.mu.Unlock()
+	mu.pool.Put(ws)
 }
 
 // Counters aggregates the work performed since the last ResetCounters.
-func (mu *Multiplier) Counters() perf.Counters { return mu.WS.TotalCounters() }
+func (mu *Multiplier) Counters() perf.Counters {
+	mu.mu.Lock()
+	defer mu.mu.Unlock()
+	return mu.counters
+}
 
 // ResetCounters zeroes the accumulated work counters.
-func (mu *Multiplier) ResetCounters() { mu.WS.ResetCounters() }
+func (mu *Multiplier) ResetCounters() {
+	mu.mu.Lock()
+	defer mu.mu.Unlock()
+	mu.counters.Reset()
+}
 
-// Steps returns the per-phase timing breakdown of the most recent call.
-func (mu *Multiplier) Steps() perf.StepTimes { return mu.WS.Steps }
+// Steps returns the per-phase timing breakdown of the most recently
+// retired call (meaningful when calls are not racing each other).
+func (mu *Multiplier) Steps() perf.StepTimes {
+	mu.mu.Lock()
+	defer mu.mu.Unlock()
+	return mu.steps
+}
 
 // Name identifies the algorithm in benchmark tables.
 func (mu *Multiplier) Name() string { return "SpMSpV-bucket" }

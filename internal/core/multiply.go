@@ -1,11 +1,8 @@
 package core
 
 import (
-	"math"
-
 	"spmspv/internal/par"
 	"spmspv/internal/perf"
-	"spmspv/internal/radix"
 	"spmspv/internal/semiring"
 	"spmspv/internal/sparse"
 )
@@ -30,7 +27,7 @@ func MultiplyMasked(a *sparse.CSC, x *sparse.SpVec, y *sparse.SpVec, sr semiring
 }
 
 func multiply(a *sparse.CSC, x *sparse.SpVec, y *sparse.SpVec, sr semiring.Semiring, ws *Workspace, opt Options, mask *sparse.BitVec, maskComplement bool) {
-	opt = opt.withDefaults()
+	opt = opt.WithDefaults()
 	m := a.NumRows
 	y.Reset(m)
 	y.Sorted = true
@@ -139,184 +136,8 @@ func estimateBuckets(a *sparse.CSC, x *sparse.SpVec, ws *Workspace, t, nb int, s
 	})
 }
 
-// bucketStep implements Step 1 of Algorithm 1 with direct writes: every
-// worker re-scans its x range and scatters (row, MULT(x(j), A(i,j)))
-// pairs through its precomputed cursors. No synchronization is needed
-// because the cursor ranges are disjoint by construction.
-func bucketStep(a *sparse.CSC, x *sparse.SpVec, sr semiring.Semiring, ws *Workspace, t, nb int, shift uint) {
-	arith := sr.IsArithmetic()
-	mul := sr.Mul
-	par.ForRanges(ws.ranges, func(w, lo, hi int) {
-		cur := ws.boffset[w*nb : (w+1)*nb]
-		ctr := &ws.Counters[w]
-		var written int64
-		for k := lo; k < hi; k++ {
-			j, xv := x.Ind[k], x.Val[k]
-			rows, vals := a.Col(j)
-			if arith {
-				for e, i := range rows {
-					b := i >> shift
-					p := cur[b]
-					cur[b]++
-					ws.entries[p] = sparse.Entry{Ind: i, Val: vals[e] * xv}
-				}
-			} else {
-				for e, i := range rows {
-					b := i >> shift
-					p := cur[b]
-					cur[b]++
-					ws.entries[p] = sparse.Entry{Ind: i, Val: mul(vals[e], xv)}
-				}
-			}
-			written += int64(len(rows))
-		}
-		ctr.XScanned += int64(hi - lo)
-		ctr.MatrixTouched += written
-		ctr.BucketWrites += written
-	})
-}
-
-// bucketStepStaged is bucketStep with the paper's cache-locality
-// optimization: writes stream into a small per-(worker,bucket) staging
-// buffer (sized to stay L1/L2 resident) and are copied to the bucket
-// only when the buffer fills.
-func bucketStepStaged(a *sparse.CSC, x *sparse.SpVec, sr semiring.Semiring, ws *Workspace, t, nb int, shift uint, stage int) {
-	ws.ensureStaging(t, nb, stage)
-	mul := sr.Mul
-	par.ForRanges(ws.ranges, func(w, lo, hi int) {
-		cur := ws.boffset[w*nb : (w+1)*nb]
-		slab := ws.staging[w*nb*stage : (w+1)*nb*stage]
-		fill := ws.stagingCount[w*nb : (w+1)*nb]
-		for b := range fill {
-			fill[b] = 0
-		}
-		ctr := &ws.Counters[w]
-		var written int64
-		flush := func(b int64) {
-			n := int64(fill[b])
-			copy(ws.entries[cur[b]:cur[b]+n], slab[b*int64(stage):b*int64(stage)+n])
-			cur[b] += n
-			fill[b] = 0
-		}
-		for k := lo; k < hi; k++ {
-			j, xv := x.Ind[k], x.Val[k]
-			rows, vals := a.Col(j)
-			for e, i := range rows {
-				b := int64(i >> shift)
-				if int(fill[b]) == stage {
-					flush(b)
-				}
-				slab[b*int64(stage)+int64(fill[b])] = sparse.Entry{Ind: i, Val: mul(vals[e], xv)}
-				fill[b]++
-			}
-			written += int64(len(rows))
-		}
-		for b := int64(0); b < int64(nb); b++ {
-			if fill[b] > 0 {
-				flush(b)
-			}
-		}
-		ctr.XScanned += int64(hi - lo)
-		ctr.MatrixTouched += written
-		ctr.BucketWrites += written
-	})
-}
-
-// mergeStep implements Step 2 of Algorithm 1: every bucket is merged
-// independently through the SPA, producing the bucket's unique indices.
-// mask, when non-nil, drops entries whose row is excluded (masked
-// SpMSpV, the GraphBLAS extension of paper §V); maskComplement inverts
-// the test.
-func mergeStep(sr semiring.Semiring, ws *Workspace, t, nb int, opt Options, mask *sparse.BitVec, maskComplement bool) {
-	epoch := ws.nextEpoch()
-	add := sr.Add
-	body := func(w, b int) {
-		lo, hi := ws.bucketStart[b], ws.bucketStart[b+1]
-		if lo == hi {
-			ws.uindCount[b] = 0
-			return
-		}
-		ents := ws.entries[lo:hi]
-		u := ws.uind[lo:lo]
-		ctr := &ws.Counters[w]
-		switch {
-		case mask != nil:
-			for _, e := range ents {
-				keep := mask.Test(e.Ind)
-				if maskComplement {
-					keep = !keep
-				}
-				if !keep {
-					continue
-				}
-				if ws.spaTag[e.Ind] != epoch {
-					ws.spaTag[e.Ind] = epoch
-					ws.spaVal[e.Ind] = e.Val
-					u = append(u, e.Ind)
-				} else {
-					ws.spaVal[e.Ind] = add(ws.spaVal[e.Ind], e.Val)
-				}
-			}
-		case opt.UseInfSentinel:
-			// Paper-faithful two-pass merge (Algorithm 1 lines 11-18):
-			// mark first, then accumulate, using ∞ as the
-			// "uninitialized" sentinel.
-			inf := math.Inf(1)
-			for _, e := range ents {
-				ws.spaVal[e.Ind] = inf
-			}
-			ctr.SPAInit += int64(len(ents))
-			for _, e := range ents {
-				if ws.spaVal[e.Ind] == inf {
-					ws.spaVal[e.Ind] = e.Val
-					u = append(u, e.Ind)
-				} else {
-					ws.spaVal[e.Ind] = add(ws.spaVal[e.Ind], e.Val)
-				}
-			}
-		default:
-			// One-pass epoch-tag merge: a tag mismatch plays the role of
-			// the ∞ sentinel with no false positives.
-			for _, e := range ents {
-				if ws.spaTag[e.Ind] != epoch {
-					ws.spaTag[e.Ind] = epoch
-					ws.spaVal[e.Ind] = e.Val
-					u = append(u, e.Ind)
-				} else {
-					ws.spaVal[e.Ind] = add(ws.spaVal[e.Ind], e.Val)
-				}
-			}
-		}
-		ws.uindCount[b] = int64(len(u))
-		if !opt.UseInfSentinel {
-			ctr.SPAInit += int64(len(u))
-		}
-		ctr.SPAUpdates += int64(len(ents)) - int64(len(u))
-		if opt.SortOutput {
-			ws.scratch[w] = radix.SortIndices(u, ws.scratch[w])
-			ctr.SortedElems += int64(len(u))
-		}
-	}
-	if opt.MergeSched == SchedDynamic {
-		for w := 0; w < t; w++ {
-			ws.sync[w] = 0
-		}
-		par.ForDynamic(t, nb, 1, func(w, lo, hi int) {
-			for b := lo; b < hi; b++ {
-				body(w, b)
-			}
-		}, ws.sync)
-		for w := 0; w < t; w++ {
-			ws.Counters[w].SyncEvents += ws.sync[w]
-		}
-	} else {
-		par.ForStatic(t, nb, func(w, lo, hi int) {
-			for b := lo; b < hi; b++ {
-				body(w, b)
-			}
-		})
-	}
-}
+// The bucketStep, bucketStepStaged and mergeStep hot loops live in
+// kernels.go, monomorphized over the semiring's tagged operations.
 
 // outputStep implements Step 3 of Algorithm 1: per-bucket unique counts
 // are prefix-summed on the master thread, then every bucket copies its

@@ -23,73 +23,21 @@
 // depth is O(df/t) for t ≤ f threads.
 package core
 
-import "spmspv/internal/par"
+import "spmspv/internal/engine"
 
-// Sched selects how Step 2 distributes buckets over threads.
-type Sched int
+// Sched re-exports engine.Sched; the option set lives in
+// internal/engine so that every registered algorithm shares one
+// construction signature.
+type Sched = engine.Sched
 
 const (
-	// SchedDynamic claims buckets via an atomic counter (OpenMP
-	// "schedule(dynamic)"), the paper's choice for load balance on
-	// skewed matrices (§III-A).
-	SchedDynamic Sched = iota
-	// SchedStatic assigns contiguous bucket ranges up front. Exposed for
-	// the scheduling ablation benchmark.
-	SchedStatic
+	// SchedDynamic claims buckets via an atomic counter (the paper's
+	// default, §III-A).
+	SchedDynamic = engine.SchedDynamic
+	// SchedStatic assigns contiguous bucket ranges up front.
+	SchedStatic = engine.SchedStatic
 )
 
-// Options configures the SpMSpV-bucket algorithm. The zero value asks
-// for the paper's defaults: GOMAXPROCS threads, 4 buckets per thread,
-// epoch-tag merging, dynamic bucket scheduling, and the nonzero-balanced
-// Step-1 split.
-type Options struct {
-	// Threads is the number of worker threads t; ≤ 0 means GOMAXPROCS.
-	// Following the paper's analysis the effective t never exceeds
-	// nnz(x).
-	Threads int
-
-	// BucketsPerThread sets nb = BucketsPerThread·t. The paper uses 4
-	// ("we use 4t buckets when using t threads", §III-A); 0 means 4.
-	BucketsPerThread int
-
-	// SortOutput produces y with strictly increasing indices by radix
-	// sorting each bucket's unique indices. Because buckets partition
-	// the row space in order, per-bucket sorting yields a globally
-	// sorted vector (paper Fig. 1, "sorted uind").
-	SortOutput bool
-
-	// StagingEntries, when positive, routes Step-1 writes through a
-	// small per-(thread,bucket) staging buffer that is flushed to the
-	// bucket when full — the paper's cache-locality optimization ("a
-	// thread first fills its private buffer … and copies data from the
-	// private buffer to buckets when the local buffer is full",
-	// §III-A). Zero writes directly.
-	StagingEntries int
-
-	// UseInfSentinel switches Step 2 to the paper-faithful two-pass
-	// merge that marks first touches with ∞ (Algorithm 1, lines 11-18)
-	// instead of the default one-pass epoch-tag merge. The sentinel
-	// variant cannot distinguish a stored +Inf from an uninitialized
-	// slot, exactly as in the paper; it exists for fidelity comparisons.
-	UseInfSentinel bool
-
-	// MergeSched selects dynamic (default) or static scheduling of
-	// buckets in Step 2.
-	MergeSched Sched
-
-	// SplitEvenly disables the nonzero-weighted Step-1 work split. By
-	// default work is split "based on nonzeros, as opposed to [entries],
-	// of x" — the paper's §III-B fix that bounds the span on skewed
-	// matrices. Setting SplitEvenly gives each thread an equal count of
-	// x entries instead.
-	SplitEvenly bool
-}
-
-// withDefaults resolves zero values to the paper's defaults.
-func (o Options) withDefaults() Options {
-	o.Threads = par.Threads(o.Threads)
-	if o.BucketsPerThread <= 0 {
-		o.BucketsPerThread = 4
-	}
-	return o
-}
+// Options re-exports engine.Options, which documents each knob. The
+// zero value asks for the paper's defaults.
+type Options = engine.Options

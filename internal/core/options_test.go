@@ -9,14 +9,14 @@ import (
 )
 
 func TestOptionsDefaults(t *testing.T) {
-	o := Options{}.withDefaults()
+	o := Options{}.WithDefaults()
 	if o.Threads < 1 {
 		t.Errorf("default threads %d", o.Threads)
 	}
 	if o.BucketsPerThread != 4 {
 		t.Errorf("default buckets/thread = %d, want 4 (paper §III-A)", o.BucketsPerThread)
 	}
-	o = Options{Threads: 3, BucketsPerThread: 7}.withDefaults()
+	o = Options{Threads: 3, BucketsPerThread: 7}.WithDefaults()
 	if o.Threads != 3 || o.BucketsPerThread != 7 {
 		t.Error("explicit options overridden")
 	}

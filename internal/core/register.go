@@ -1,0 +1,16 @@
+package core
+
+import (
+	"spmspv/internal/engine"
+	"spmspv/internal/sparse"
+)
+
+// The bucket engine registers itself under engine.Bucket; importing
+// this package is what makes the default algorithm constructible
+// through the registry.
+func init() {
+	engine.Register(engine.Bucket, "SpMSpV-bucket",
+		func(a *sparse.CSC, opt engine.Options) engine.Engine {
+			return NewMultiplier(a, opt)
+		})
+}

@@ -1,0 +1,136 @@
+// Package engine defines the uniform SpMSpV engine abstraction: the
+// Engine interface every algorithm implements, the Algorithm
+// identifiers, the construction Options, and a registry through which
+// implementations make themselves constructible.
+//
+// The registry inverts the dependency the facade used to hard-code: the
+// implementing packages (internal/core for SpMSpV-bucket,
+// internal/baselines for the Table I competitors) register a
+// constructor from init, and every consumer — the public facade,
+// internal/algorithms, internal/bench, cmd/ — builds engines through
+// New without knowing the concrete types. Importing an implementing
+// package (directly or blank) is what populates the registry, the same
+// pattern as database/sql drivers.
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"spmspv/internal/perf"
+	"spmspv/internal/semiring"
+	"spmspv/internal/sparse"
+)
+
+// Engine is the uniform contract of one SpMSpV implementation bound to
+// one matrix: compute y ← A·x over a semiring, and report the
+// deterministic work counters behind the paper's work-efficiency
+// analysis.
+//
+// Concurrency: every Engine constructed through this registry is safe
+// for concurrent Multiply calls from multiple goroutines; per-call
+// scratch state is pooled internally and counters are aggregated
+// race-free.
+type Engine interface {
+	// Multiply computes y ← A·x over sr. y is reset and filled.
+	Multiply(x, y *sparse.SpVec, sr semiring.Semiring)
+	// Counters returns the work performed since the last ResetCounters.
+	Counters() perf.Counters
+	// ResetCounters zeroes the work counters.
+	ResetCounters()
+	// Name identifies the algorithm in benchmark tables.
+	Name() string
+}
+
+// MaskedEngine is the optional extension for engines that push the
+// output mask down into the merge step (paper §V future work);
+// internal/core's bucket engine implements it.
+type MaskedEngine interface {
+	Engine
+	MultiplyMasked(x, y *sparse.SpVec, sr semiring.Semiring, mask *sparse.BitVec, complement bool)
+}
+
+// Algorithm selects an SpMSpV engine.
+type Algorithm int
+
+const (
+	// Bucket is the paper's SpMSpV-bucket algorithm (default; the only
+	// work-efficient, synchronization-avoiding choice).
+	Bucket Algorithm = iota
+	// CombBLASSPA is the row-split, fully-initialized-SPA baseline.
+	CombBLASSPA
+	// CombBLASHeap is the row-split heap-merge baseline.
+	CombBLASHeap
+	// GraphMat is the matrix-driven, bitvector-input baseline.
+	GraphMat
+	// SortBased is the gather–radix-sort–reduce baseline.
+	SortBased
+)
+
+// String names the algorithm as registered (the paper's Table I names),
+// or "unknown" when nothing is registered under it.
+func (a Algorithm) String() string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	if e, ok := registry[a]; ok {
+		return e.name
+	}
+	return "unknown"
+}
+
+// Constructor builds an engine bound to a matrix. Construction performs
+// the per-matrix preprocessing (row-splitting, workspace sizing) that
+// the paper excludes from multiply timings.
+type Constructor func(a *sparse.CSC, opt Options) Engine
+
+type regEntry struct {
+	name string
+	ctor Constructor
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = map[Algorithm]regEntry{}
+)
+
+// Register makes an algorithm constructible through New. It is intended
+// to be called from the implementing package's init; registering the
+// same Algorithm twice panics, as with database/sql drivers.
+func Register(alg Algorithm, name string, ctor Constructor) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[alg]; dup {
+		panic(fmt.Sprintf("engine: Register called twice for %q", name))
+	}
+	if ctor == nil {
+		panic("engine: Register with nil constructor")
+	}
+	registry[alg] = regEntry{name: name, ctor: ctor}
+}
+
+// New constructs the selected algorithm's engine for a. It returns an
+// error when nothing is registered under alg — usually a missing import
+// of the implementing package.
+func New(a *sparse.CSC, alg Algorithm, opt Options) (Engine, error) {
+	regMu.RLock()
+	e, ok := registry[alg]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("engine: no constructor registered for algorithm %d (missing import of the implementing package?)", int(alg))
+	}
+	return e.ctor(a, opt), nil
+}
+
+// Registered returns the registered algorithm identifiers in ascending
+// order.
+func Registered() []Algorithm {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	algs := make([]Algorithm, 0, len(registry))
+	for a := range registry {
+		algs = append(algs, a)
+	}
+	sort.Slice(algs, func(i, j int) bool { return algs[i] < algs[j] })
+	return algs
+}

@@ -1,0 +1,55 @@
+package semiring
+
+// Operation tags for specialized kernel dispatch.
+//
+// The hot loops of every SpMSpV engine apply Add and Mul once per
+// matrix nonzero. Calling through the Semiring's func fields costs an
+// indirect call per nonzero — measurable on the bucket and merge inner
+// loops. The enum tags below let a kernel dispatch ONCE per multiply to
+// a loop specialized for the operation, with the combine inlined as a
+// plain expression (see internal/core's kernels). The func-valued path
+// remains as the fallback for user-defined semirings
+// (AddCustom/MulCustom), which pay exactly the indirect-call cost every
+// semiring paid before specialization.
+//
+// (The kernels are specialized by hand rather than written once as a
+// generic function parameterized by an operation type: gc does not
+// devirtualize dictionary-based method calls inside non-inlined generic
+// instantiations, so a generic-over-op loop would still perform an
+// indirect call per nonzero.)
+
+// AddOp tags the additive operation of a semiring.
+type AddOp uint8
+
+const (
+	// AddCustom marks a user-defined Add; kernels fall back to calling
+	// the Add func field.
+	AddCustom AddOp = iota
+	// AddPlus is arithmetic +.
+	AddPlus
+	// AddMin is min(a, b).
+	AddMin
+	// AddMax is max(a, b).
+	AddMax
+	// AddOr is boolean ∨ over the 0/nonzero embedding.
+	AddOr
+)
+
+// MulOp tags the multiplicative operation of a semiring.
+type MulOp uint8
+
+const (
+	// MulCustom marks a user-defined Mul; kernels fall back to calling
+	// the Mul func field.
+	MulCustom MulOp = iota
+	// MulTimes is arithmetic ×.
+	MulTimes
+	// MulPlus is arithmetic + (the tropical semirings' Mul).
+	MulPlus
+	// MulSelect2nd returns the second operand (the x value).
+	MulSelect2nd
+	// MulSelect1st returns the first operand (the matrix value).
+	MulSelect1st
+	// MulAnd is boolean ∧ over the 0/nonzero embedding.
+	MulAnd
+)

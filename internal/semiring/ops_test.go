@@ -1,0 +1,90 @@
+package semiring
+
+import "testing"
+
+// TestPredefinedSemiringsAreTagged guards the specialized-dispatch
+// contract: every predefined semiring must carry non-custom op tags
+// (otherwise the engines silently fall back to the func path), and the
+// tag must agree with what the func actually computes.
+func TestPredefinedSemiringsAreTagged(t *testing.T) {
+	cases := []struct {
+		sr  Semiring
+		add AddOp
+		mul MulOp
+	}{
+		{Arithmetic, AddPlus, MulTimes},
+		{MinPlus, AddMin, MulPlus},
+		{MaxPlus, AddMax, MulPlus},
+		{BoolOrAnd, AddOr, MulAnd},
+		{MinSelect2nd, AddMin, MulSelect2nd},
+		{MaxSelect2nd, AddMax, MulSelect2nd},
+		{MinSelect1st, AddMin, MulSelect1st},
+	}
+	for _, c := range cases {
+		if c.sr.AddKind != c.add || c.sr.MulKind != c.mul {
+			t.Errorf("%s: tags (%d,%d), want (%d,%d)",
+				c.sr.Name, c.sr.AddKind, c.sr.MulKind, c.add, c.mul)
+		}
+	}
+
+	// The tagged semantics must match the func fields on a value matrix.
+	vals := []float64{-2, 0, 1, 3.5}
+	for _, c := range cases {
+		for _, a := range vals {
+			for _, b := range vals {
+				var wantAdd float64
+				switch c.add {
+				case AddPlus:
+					wantAdd = a + b
+				case AddMin:
+					if a < b {
+						wantAdd = a
+					} else {
+						wantAdd = b
+					}
+				case AddMax:
+					if a > b {
+						wantAdd = a
+					} else {
+						wantAdd = b
+					}
+				case AddOr:
+					if a != 0 || b != 0 {
+						wantAdd = 1
+					}
+				}
+				if got := c.sr.Add(a, b); got != wantAdd {
+					t.Errorf("%s: Add(%v,%v) = %v, tag %d implies %v",
+						c.sr.Name, a, b, got, c.add, wantAdd)
+				}
+				var wantMul float64
+				switch c.mul {
+				case MulTimes:
+					wantMul = a * b
+				case MulPlus:
+					wantMul = a + b
+				case MulSelect2nd:
+					wantMul = b
+				case MulSelect1st:
+					wantMul = a
+				case MulAnd:
+					if a != 0 && b != 0 {
+						wantMul = 1
+					}
+				}
+				if got := c.sr.Mul(a, b); got != wantMul {
+					t.Errorf("%s: Mul(%v,%v) = %v, tag %d implies %v",
+						c.sr.Name, a, b, got, c.mul, wantMul)
+				}
+			}
+		}
+	}
+
+	var custom Semiring
+	if custom.AddKind != AddCustom || custom.MulKind != MulCustom {
+		t.Error("zero-value semiring must be tagged custom")
+	}
+	if custom.IsArithmetic() {
+		t.Error("zero-value semiring must not claim the arithmetic fast path")
+	}
+}

@@ -15,6 +15,16 @@ import "math"
 
 // Semiring bundles the additive and multiplicative operations of a
 // GraphBLAS semiring together with the additive identity.
+//
+// The AddKind/MulKind tags classify the operations so hot loops can run
+// a specialized kernel with no per-nonzero function-pointer calls (see
+// ops.go). When a kernel recognizes a tag, the TAG wins and the func
+// field is never called — a semiring whose tag and func disagree will
+// compute different results in specialized and unspecialized engines.
+// Set a non-custom tag only when the func computes exactly that
+// operation; user-constructed semirings should leave the tags zero
+// (AddCustom/MulCustom), which routes every engine through the func
+// path.
 type Semiring struct {
 	// Name identifies the semiring in logs and tables.
 	Name string
@@ -26,40 +36,50 @@ type Semiring struct {
 	// Mul combines a matrix entry with an input-vector entry:
 	// Mul(A(i,j), x(j)).
 	Mul func(a, b float64) float64
-	// arithmetic marks the (+, ×) semiring so hot loops can use a
-	// specialized path without function-pointer calls.
-	arithmetic bool
+	// AddKind tags Add for specialized dispatch; AddCustom means "only
+	// the func is known".
+	AddKind AddOp
+	// MulKind tags Mul for specialized dispatch; MulCustom means "only
+	// the func is known".
+	MulKind MulOp
 }
 
 // IsArithmetic reports whether s is the standard (+, ×) semiring over
 // float64, enabling specialized inner loops.
-func (s Semiring) IsArithmetic() bool { return s.arithmetic }
+func (s Semiring) IsArithmetic() bool {
+	return s.AddKind == AddPlus && s.MulKind == MulTimes
+}
 
 // Arithmetic is the standard (+, ×) semiring: ordinary sparse
 // matrix-vector multiplication.
 var Arithmetic = Semiring{
-	Name:       "arithmetic(+,*)",
-	Zero:       0,
-	Add:        func(a, b float64) float64 { return a + b },
-	Mul:        func(a, b float64) float64 { return a * b },
-	arithmetic: true,
+	Name:    "arithmetic(+,*)",
+	Zero:    0,
+	Add:     func(a, b float64) float64 { return a + b },
+	Mul:     func(a, b float64) float64 { return a * b },
+	AddKind: AddPlus,
+	MulKind: MulTimes,
 }
 
 // MinPlus is the tropical semiring (min, +): one relaxation step of
 // single-source shortest paths per SpMSpV.
 var MinPlus = Semiring{
-	Name: "tropical(min,+)",
-	Zero: inf,
-	Add:  minf,
-	Mul:  func(a, b float64) float64 { return a + b },
+	Name:    "tropical(min,+)",
+	Zero:    inf,
+	Add:     minf,
+	Mul:     func(a, b float64) float64 { return a + b },
+	AddKind: AddMin,
+	MulKind: MulPlus,
 }
 
 // MaxPlus is the (max, +) semiring, used e.g. for critical-path lengths.
 var MaxPlus = Semiring{
-	Name: "maxplus(max,+)",
-	Zero: -inf,
-	Add:  maxf,
-	Mul:  func(a, b float64) float64 { return a + b },
+	Name:    "maxplus(max,+)",
+	Zero:    -inf,
+	Add:     maxf,
+	Mul:     func(a, b float64) float64 { return a + b },
+	AddKind: AddMax,
+	MulKind: MulPlus,
 }
 
 // BoolOrAnd is the boolean semiring (∨, ∧) embedded in float64 with 0 =
@@ -79,6 +99,8 @@ var BoolOrAnd = Semiring{
 		}
 		return 0
 	},
+	AddKind: AddOr,
+	MulKind: MulAnd,
 }
 
 // MinSelect2nd is the (min, select2nd) semiring: Mul ignores the matrix
@@ -86,29 +108,35 @@ var BoolOrAnd = Semiring{
 // vertex id j, y = A·x computes for every discovered vertex the minimum
 // parent id — the BFS frontier-expansion semiring of the paper's §I.
 var MinSelect2nd = Semiring{
-	Name: "bfs(min,select2nd)",
-	Zero: inf,
-	Add:  minf,
-	Mul:  func(_, b float64) float64 { return b },
+	Name:    "bfs(min,select2nd)",
+	Zero:    inf,
+	Add:     minf,
+	Mul:     func(_, b float64) float64 { return b },
+	AddKind: AddMin,
+	MulKind: MulSelect2nd,
 }
 
 // MaxSelect2nd is (max, select2nd); used by label-propagation variants
 // that keep the largest label.
 var MaxSelect2nd = Semiring{
-	Name: "(max,select2nd)",
-	Zero: -inf,
-	Add:  maxf,
-	Mul:  func(_, b float64) float64 { return b },
+	Name:    "(max,select2nd)",
+	Zero:    -inf,
+	Add:     maxf,
+	Mul:     func(_, b float64) float64 { return b },
+	AddKind: AddMax,
+	MulKind: MulSelect2nd,
 }
 
 // MinSelect1st is (min, select1st): Mul propagates the matrix value,
 // ignoring x. Used to pull edge attributes of the frontier's incident
 // edges.
 var MinSelect1st = Semiring{
-	Name: "(min,select1st)",
-	Zero: inf,
-	Add:  minf,
-	Mul:  func(a, _ float64) float64 { return a },
+	Name:    "(min,select1st)",
+	Zero:    inf,
+	Add:     minf,
+	Mul:     func(a, _ float64) float64 { return a },
+	AddKind: AddMin,
+	MulKind: MulSelect1st,
 }
 
 var inf = math.Inf(1)

@@ -93,7 +93,10 @@ func (m *KWayMerger) siftDown(i int) {
 
 // Merge emits the merged, row-sorted stream: emit is called once per
 // unique row with the semiring-Add-combined value. The ops counter
-// accumulates heap work for the HeapOps perf counter.
+// accumulates heap work for the HeapOps perf counter. (Unlike the
+// bucket engine's kernels, the heap merge keeps the func-valued
+// operations: its per-entry cost is dominated by heap sifts, which is
+// the point of the baseline.)
 func (m *KWayMerger) Merge(sr semiring.Semiring, emit func(row sparse.Index, val float64)) {
 	m.heap = m.heap[:0]
 	for s := range m.segs {

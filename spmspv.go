@@ -2,14 +2,21 @@ package spmspv
 
 import (
 	"io"
+	"strings"
+	"sync"
 
 	"spmspv/internal/algorithms"
-	"spmspv/internal/baselines"
-	"spmspv/internal/core"
+	"spmspv/internal/engine"
 	"spmspv/internal/graphgen"
 	"spmspv/internal/perf"
 	"spmspv/internal/semiring"
 	"spmspv/internal/sparse"
+
+	// The engine implementations register themselves with the
+	// internal/engine registry from init; importing them is what makes
+	// every Algorithm constructible through NewWithAlgorithm.
+	_ "spmspv/internal/baselines"
+	_ "spmspv/internal/core"
 )
 
 // Core data types, aliased from the implementation packages so the
@@ -27,9 +34,10 @@ type (
 	BitVector = sparse.BitVec
 	// Semiring is the algebraic structure multiplication runs over.
 	Semiring = semiring.Semiring
-	// Options configures the SpMSpV-bucket engine (thread count,
-	// buckets per thread, sorted output, merge scheduling...).
-	Options = core.Options
+	// Options configures engine construction (thread count, plus the
+	// bucket engine's knobs: buckets per thread, sorted output, merge
+	// scheduling...).
+	Options = engine.Options
 	// Counters are the deterministic work counters every engine
 	// reports (see EXPERIMENTS.md).
 	Counters = perf.Counters
@@ -92,45 +100,47 @@ func ComputeStats(name string, a *Matrix, source Index) Stats {
 	return sparse.ComputeStats(name, a, source)
 }
 
-// Algorithm selects the SpMSpV engine.
-type Algorithm int
+// Algorithm selects the SpMSpV engine. Engines are constructed through
+// the internal/engine registry, where each implementation registers
+// itself; String() reports the registered Table I name.
+type Algorithm = engine.Algorithm
 
 const (
 	// Bucket is the paper's SpMSpV-bucket algorithm (default; the only
 	// work-efficient, synchronization-avoiding choice).
-	Bucket Algorithm = iota
+	Bucket = engine.Bucket
 	// CombBLASSPA is the row-split, fully-initialized-SPA baseline.
-	CombBLASSPA
+	CombBLASSPA = engine.CombBLASSPA
 	// CombBLASHeap is the row-split heap-merge baseline.
-	CombBLASHeap
+	CombBLASHeap = engine.CombBLASHeap
 	// GraphMat is the matrix-driven, bitvector-input baseline.
-	GraphMat
+	GraphMat = engine.GraphMat
 	// SortBased is the gather–radix-sort–reduce baseline.
-	SortBased
+	SortBased = engine.SortBased
 )
 
-// String names the algorithm as in the paper's Table I.
-func (a Algorithm) String() string {
-	switch a {
-	case Bucket:
-		return "SpMSpV-bucket"
-	case CombBLASSPA:
-		return "CombBLAS-SPA"
-	case CombBLASHeap:
-		return "CombBLAS-heap"
-	case GraphMat:
-		return "GraphMat"
-	case SortBased:
-		return "SpMSpV-sort"
-	}
-	return "unknown"
-}
+// Algorithms returns the registered algorithm identifiers in ascending
+// order — everything constructible through NewWithAlgorithm.
+func Algorithms() []Algorithm { return engine.Registered() }
 
-// engine is the internal uniform interface.
-type engine interface {
-	Multiply(x, y *Vector, sr Semiring)
-	Counters() Counters
-	ResetCounters()
+// ParseAlgorithm resolves an algorithm name — a registered Table I name
+// matched case-insensitively ("CombBLAS-SPA", "graphmat", ...) or a
+// short CLI alias ("bucket", "sort") — to its Algorithm. Anything
+// registered with the engine registry is reachable here without
+// touching this function.
+func ParseAlgorithm(name string) (Algorithm, bool) {
+	switch strings.ToLower(name) {
+	case "bucket":
+		return Bucket, true
+	case "sort":
+		return SortBased, true
+	}
+	for _, alg := range engine.Registered() {
+		if strings.EqualFold(alg.String(), name) {
+			return alg, true
+		}
+	}
+	return Bucket, false
 }
 
 // Multiplier is a reusable SpMSpV engine bound to one matrix. Reuse
@@ -138,42 +148,46 @@ type engine interface {
 // call Multiply thousands of times and all buffers are recycled, per
 // the paper's preallocation strategy (§III-A).
 //
-// A Multiplier must not be used from concurrent goroutines; the
-// parallelism is inside each call.
+// A Multiplier is safe for concurrent use by multiple goroutines: the
+// underlying engines pool their per-call workspaces, the lazily-built
+// transpose engine is constructed exactly once, and work counters are
+// aggregated race-free. Parallelism also exists inside each call, so a
+// single caller still saturates the machine.
 type Multiplier struct {
-	a    *Matrix
-	eng  engine
-	alg  Algorithm
-	opt  Options
-	left *Multiplier // lazily built Aᵀ engine for MultiplyLeft
+	a   *Matrix
+	eng engine.Engine
+	alg Algorithm
+	opt Options
+
+	leftOnce sync.Once
+	left     *Multiplier // lazily built Aᵀ engine for MultiplyLeft
+
+	accumPool sync.Pool // *Vector scratch for MultiplyAccumInto
 }
 
 // New returns a bucket-algorithm multiplier for a with the given
 // options. It is shorthand for NewWithAlgorithm(a, Bucket, opt).
 func New(a *Matrix, opt Options) *Multiplier {
-	return &Multiplier{a: a, eng: core.NewMultiplier(a, opt), alg: Bucket, opt: opt}
+	return NewWithAlgorithm(a, Bucket, opt)
 }
 
-// NewWithAlgorithm returns a multiplier running the selected algorithm.
-// threads ≤ 0 means GOMAXPROCS; for the row-split baselines the matrix
-// partitioning is performed here, at construction ("preprocessing"), as
-// in the original systems.
+// NewWithAlgorithm returns a multiplier running the selected algorithm,
+// constructed through the engine registry. threads ≤ 0 means
+// GOMAXPROCS; for the row-split baselines the matrix partitioning is
+// performed here, at construction ("preprocessing"), as in the
+// original systems. An unregistered algorithm falls back to Bucket.
 func NewWithAlgorithm(a *Matrix, alg Algorithm, opt Options) *Multiplier {
-	m := &Multiplier{a: a, alg: alg, opt: opt}
-	switch alg {
-	case CombBLASSPA:
-		m.eng = baselines.NewCombBLASSPA(a, opt.Threads)
-	case CombBLASHeap:
-		m.eng = baselines.NewCombBLASHeap(a, opt.Threads)
-	case GraphMat:
-		m.eng = baselines.NewGraphMat(a, opt.Threads)
-	case SortBased:
-		m.eng = baselines.NewSortBased(a, opt.Threads)
-	default:
-		m.eng = core.NewMultiplier(a, opt)
-		m.alg = Bucket
+	eng, err := engine.New(a, alg, opt)
+	if err != nil {
+		alg = Bucket
+		eng, err = engine.New(a, alg, opt)
+		if err != nil {
+			// The bucket engine is always registered via this package's
+			// core import; reaching here means a broken build.
+			panic(err)
+		}
 	}
-	return m
+	return &Multiplier{a: a, eng: eng, alg: alg, opt: opt}
 }
 
 // Multiply computes and returns y ← A·x over sr.
@@ -189,10 +203,11 @@ func (m *Multiplier) MultiplyInto(x, y *Vector, sr Semiring) {
 }
 
 // MultiplyMasked computes y ← ⟨A·x, mask⟩ with the mask applied during
-// the merge step (Bucket engine only; other algorithms return a plain
-// product filtered afterwards).
+// the merge step (engines implementing the masked extension — the
+// Bucket engine; other algorithms return a plain product filtered
+// afterwards).
 func (m *Multiplier) MultiplyMasked(x, y *Vector, sr Semiring, mask *BitVector, complement bool) {
-	if bm, ok := m.eng.(*core.Multiplier); ok {
+	if bm, ok := m.eng.(engine.MaskedEngine); ok {
 		bm.MultiplyMasked(x, y, sr, mask, complement)
 		return
 	}
@@ -216,19 +231,38 @@ func (m *Multiplier) MultiplyMasked(x, y *Vector, sr Semiring, mask *BitVector, 
 // multiplication" of paper §II-A ("the algorithms we present can be
 // trivially adopted to the left multiplication case"): it equals Aᵀ·x,
 // so an engine bound to the cached transpose runs the same algorithm.
-// The transpose and its engine are built on first use and reused.
+// The transpose and its engine are built exactly once, on first use —
+// concurrent first callers block until it is ready — and reused.
 func (m *Multiplier) MultiplyLeft(x *Vector, sr Semiring) *Vector {
-	if m.left == nil {
+	m.leftOnce.Do(func() {
 		m.left = NewWithAlgorithm(m.a.Transpose(), m.alg, m.opt)
-	}
+	})
 	return m.left.Multiply(x, sr)
 }
 
 // MultiplyAccum computes y ← accum ⊕ (A·x) where ⊕ is the semiring's
 // Add — the GraphBLAS accumulate pattern. accum is not modified.
 func (m *Multiplier) MultiplyAccum(x, accum *Vector, sr Semiring) *Vector {
-	y := m.Multiply(x, sr)
-	return sparse.EwiseAdd(y, accum, sr.Add)
+	y := sparse.NewSpVec(0, 0)
+	m.MultiplyAccumInto(x, accum, y, sr)
+	return y
+}
+
+// MultiplyAccumInto computes y ← accum ⊕ (A·x) reusing y's storage —
+// the accumulate for iterative callers (y must not alias accum or x).
+// The intermediate product is drawn from an internal pool; with
+// Options.SortOutput set and a sorted accum the union is a linear
+// merge, so a steady-state loop of calls allocates only when the
+// output outgrows y's capacity (unsorted inputs fall back to a
+// map-based union).
+func (m *Multiplier) MultiplyAccumInto(x, accum, y *Vector, sr Semiring) {
+	prod, _ := m.accumPool.Get().(*Vector)
+	if prod == nil {
+		prod = sparse.NewSpVec(0, 0)
+	}
+	m.eng.Multiply(x, prod, sr)
+	sparse.EwiseAddInto(y, prod, accum, sr.Add)
+	m.accumPool.Put(prod)
 }
 
 // Algorithm reports which engine this multiplier runs.

@@ -1,0 +1,175 @@
+package spmspv_test
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	spmspv "spmspv"
+	"spmspv/internal/baselines"
+	"spmspv/internal/engine"
+	"spmspv/internal/sparse"
+	"spmspv/internal/testutil"
+)
+
+// TestConcurrentMultiplySharedMultiplier hammers ONE shared Multiplier
+// from many goroutines — plain, masked and left multiplies interleaved
+// — and checks every result against the sequential reference. Run
+// under -race this is the concurrency contract of the engine layer:
+// per-call workspaces are pooled, counters aggregate race-free, and
+// the lazily-built transpose engine is constructed exactly once.
+func TestConcurrentMultiplySharedMultiplier(t *testing.T) {
+	const (
+		n          = 600
+		goroutines = 12
+		iters      = 30
+	)
+	rng := rand.New(rand.NewSource(42))
+	a := testutil.RandomCSC(rng, n, n, 6)
+	at := a.Transpose()
+
+	for _, alg := range spmspv.Algorithms() {
+		alg := alg
+		t.Run(alg.String(), func(t *testing.T) {
+			t.Parallel()
+			mu := spmspv.NewWithAlgorithm(a, alg, spmspv.Options{Threads: 2, SortOutput: true})
+
+			// Pre-build inputs and expected outputs serially so the
+			// parallel phase races only the multiplier.
+			type testCase struct {
+				x          *spmspv.Vector
+				mask       *spmspv.BitVector
+				want       *spmspv.Vector // plain product
+				wantMasked *spmspv.Vector // mask-filtered product
+				wantLeft   *spmspv.Vector // transpose product
+			}
+			cases := make([]testCase, 8)
+			for i := range cases {
+				x := testutil.RandomVector(rng, n, 20+i*40, true)
+				maskSrc := spmspv.NewVector(n, n/3)
+				for v := spmspv.Index(0); v < n; v += 3 {
+					maskSrc.Append(v, 1)
+				}
+				mask := sparse.NewBitVec(n)
+				mask.SetFrom(maskSrc)
+				want := baselines.Reference(a, x, spmspv.Arithmetic)
+				cases[i] = testCase{
+					x:          x,
+					mask:       mask,
+					want:       want,
+					wantMasked: sparse.Filter(want, func(j spmspv.Index, _ float64) bool { return mask.Test(j) }),
+					wantLeft:   baselines.Reference(at, x, spmspv.Arithmetic),
+				}
+			}
+
+			var wg sync.WaitGroup
+			errs := make(chan string, goroutines)
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					y := spmspv.NewVector(0, 0)
+					for it := 0; it < iters; it++ {
+						tc := &cases[(g+it)%len(cases)]
+						switch it % 3 {
+						case 0:
+							mu.MultiplyInto(tc.x, y, spmspv.Arithmetic)
+							if !y.EqualValues(tc.want, 1e-9) {
+								errs <- "plain multiply diverged from reference under concurrency"
+								return
+							}
+						case 1:
+							mu.MultiplyMasked(tc.x, y, spmspv.Arithmetic, tc.mask, false)
+							if !y.EqualValues(tc.wantMasked, 1e-9) {
+								errs <- "masked multiply diverged from reference under concurrency"
+								return
+							}
+						case 2:
+							yl := mu.MultiplyLeft(tc.x, spmspv.Arithmetic)
+							if !yl.EqualValues(tc.wantLeft, 1e-9) {
+								errs <- "left multiply diverged from reference under concurrency"
+								return
+							}
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+			close(errs)
+			for e := range errs {
+				t.Fatal(e)
+			}
+			if mu.Counters().Work() == 0 {
+				t.Error("no work aggregated across concurrent calls")
+			}
+		})
+	}
+}
+
+// TestAllAlgorithmsConstructThroughRegistry checks the acceptance
+// criterion of the engine-registry refactor: every Algorithm constant
+// is registered with internal/engine and constructs a working engine
+// bound to the registered Table I name.
+func TestAllAlgorithmsConstructThroughRegistry(t *testing.T) {
+	regs := engine.Registered()
+	if len(regs) != 5 {
+		t.Fatalf("registry holds %d algorithms, want 5", len(regs))
+	}
+	rng := rand.New(rand.NewSource(7))
+	a := testutil.RandomCSC(rng, 200, 200, 4)
+	x := testutil.RandomVector(rng, 200, 40, true)
+	want := baselines.Reference(a, x, spmspv.Arithmetic)
+	names := map[spmspv.Algorithm]string{
+		spmspv.Bucket:       "SpMSpV-bucket",
+		spmspv.CombBLASSPA:  "CombBLAS-SPA",
+		spmspv.CombBLASHeap: "CombBLAS-heap",
+		spmspv.GraphMat:     "GraphMat",
+		spmspv.SortBased:    "SpMSpV-sort",
+	}
+	for _, alg := range regs {
+		eng, err := engine.New(a, alg, engine.Options{Threads: 2, SortOutput: true})
+		if err != nil {
+			t.Fatalf("engine.New(%v): %v", alg, err)
+		}
+		if eng.Name() != names[alg] {
+			t.Errorf("registry name for %v = %q, want %q", alg, eng.Name(), names[alg])
+		}
+		y := spmspv.NewVector(0, 0)
+		eng.Multiply(x, y, spmspv.Arithmetic)
+		if !y.EqualValues(want, 1e-9) {
+			t.Errorf("%v: registry-constructed engine mismatch vs reference", alg)
+		}
+	}
+}
+
+// TestMultiplyAccumInto exercises the allocation-reusing accumulate:
+// repeated calls must agree with the allocating MultiplyAccum and reuse
+// the caller's output storage once it has grown.
+func TestMultiplyAccumInto(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a := testutil.RandomCSC(rng, 300, 300, 5)
+	mu := spmspv.New(a, spmspv.Options{Threads: 2, SortOutput: true})
+
+	accum := testutil.RandomVector(rng, 300, 50, true)
+	y := spmspv.NewVector(0, 0)
+	for trial := 0; trial < 10; trial++ {
+		x := testutil.RandomVector(rng, 300, 30+trial*20, true)
+		want := mu.MultiplyAccum(x, accum, spmspv.Arithmetic)
+		mu.MultiplyAccumInto(x, accum, y, spmspv.Arithmetic)
+		if !y.EqualValues(want, 1e-12) {
+			t.Fatalf("trial %d: MultiplyAccumInto differs from MultiplyAccum", trial)
+		}
+		if err := y.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Steady state: with capacity established, the into-variant must not
+	// replace the caller's slices.
+	mu.MultiplyAccumInto(accum, accum, y, spmspv.Arithmetic)
+	indBefore := &y.Ind[:1][0]
+	mu.MultiplyAccumInto(accum, accum, y, spmspv.Arithmetic)
+	if indBefore != &y.Ind[:1][0] {
+		t.Error("MultiplyAccumInto reallocated the output despite sufficient capacity")
+	}
+}
