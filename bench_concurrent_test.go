@@ -67,39 +67,51 @@ func bestFrontier(frontiers []*sparse.SpVec, target int) *sparse.SpVec {
 
 // BenchmarkSemiringDispatch measures the op-specialization win on the
 // BFS workload (MinSelect2nd, the paper's §IV-D semiring). "tagged" is
-// the predefined semiring, which dispatches once per call to a
-// monomorphized kernel; "func" is the identical semiring with the tags
-// stripped, forcing the func-pointer path every predefined semiring
-// took before specialization — the before/after microbenchmark of the
-// engine-layer refactor.
+// the predefined semiring, which dispatches once per call (bucket) or
+// once per column (the baselines' SPA accumulate) to a monomorphized
+// kernel; "func" is the identical semiring with the tags stripped,
+// forcing the func-pointer path every predefined semiring took before
+// specialization. Covered engines: the bucket engine's scatter/merge
+// kernels and the CombBLAS-SPA / GraphMat accumulate loops.
 func BenchmarkSemiringDispatch(b *testing.B) {
 	a, frontiers, _ := fixtures()
 	x := bestFrontier(frontiers, 1<<12)
-	mu := spmspv.New(a, spmspv.Options{Threads: benchThreads, SortOutput: true})
 
-	untagged := semiring.MinSelect2nd
-	untagged.AddKind = semiring.AddCustom
-	untagged.MulKind = semiring.MulCustom
-
-	for _, v := range []struct {
+	untaggedBFS := semiring.MinSelect2nd
+	untaggedBFS.AddKind = semiring.AddCustom
+	untaggedBFS.MulKind = semiring.MulCustom
+	untaggedArith := spmspv.Semiring{
+		Name: "arith-custom",
+		Zero: 0,
+		Add:  semiring.Arithmetic.Add,
+		Mul:  semiring.Arithmetic.Mul,
+	}
+	semirings := []struct {
 		name string
 		sr   spmspv.Semiring
 	}{
 		{"bfs-tagged", semiring.MinSelect2nd},
-		{"bfs-func", untagged},
+		{"bfs-func", untaggedBFS},
 		{"arith-tagged", semiring.Arithmetic},
-		{"arith-func", spmspv.Semiring{
-			Name: "arith-custom",
-			Zero: 0,
-			Add:  semiring.Arithmetic.Add,
-			Mul:  semiring.Arithmetic.Mul,
-		}},
+		{"arith-func", untaggedArith},
+	}
+
+	for _, eng := range []struct {
+		name string
+		alg  spmspv.Algorithm
+	}{
+		{"bucket", spmspv.Bucket},
+		{"combblas-spa", spmspv.CombBLASSPA},
+		{"graphmat", spmspv.GraphMat},
 	} {
-		b.Run(v.name, func(b *testing.B) {
-			y := sparse.NewSpVec(0, 0)
-			for i := 0; i < b.N; i++ {
-				mu.MultiplyInto(x, y, v.sr)
-			}
-		})
+		mu := spmspv.NewWithAlgorithm(a, eng.alg, spmspv.Options{Threads: benchThreads, SortOutput: true})
+		for _, v := range semirings {
+			b.Run(eng.name+"/"+v.name, func(b *testing.B) {
+				y := sparse.NewSpVec(0, 0)
+				for i := 0; i < b.N; i++ {
+					mu.MultiplyInto(x, y, v.sr)
+				}
+			})
+		}
 	}
 }

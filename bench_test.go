@@ -327,7 +327,10 @@ func BenchmarkHybrid(b *testing.B) {
 	})
 	for _, th := range []float64{0.05, 0.25} {
 		b.Run(fmt.Sprintf("hybrid-%.2f", th), func(b *testing.B) {
-			run(b, bench.NewHybridEngine(a, benchThreads, th))
+			run(b, bench.HybridSpec(th).Build(a, benchThreads))
 		})
 	}
+	b.Run("hybrid-calibrated", func(b *testing.B) {
+		run(b, bench.HybridSpec(0).Build(a, benchThreads))
+	})
 }

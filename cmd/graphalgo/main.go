@@ -4,6 +4,7 @@
 // Usage:
 //
 //	graphalgo -matrix graph.mtx -algo bfs -source 0
+//	graphalgo -matrix graph.mtx -algo multibfs -sources 0,7,42
 //	graphalgo -matrix graph.mtx -algo components
 //	graphalgo -matrix graph.mtx -algo pagerank
 //	graphalgo -matrix graph.mtx -algo mis
@@ -11,7 +12,9 @@
 //	graphalgo -matrix graph.mtx -algo cluster -source 0
 //
 // The SpMSpV engine is selectable with -engine (bucket, combblas-spa,
-// combblas-heap, graphmat, sort), as in the paper's comparisons.
+// combblas-heap, graphmat, sort, hybrid), as in the paper's
+// comparisons; multibfs runs all its searches through the engine's
+// batched multiply.
 package main
 
 import (
@@ -20,6 +23,8 @@ import (
 	"math"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 
 	spmspv "spmspv"
 )
@@ -27,9 +32,10 @@ import (
 func main() {
 	var (
 		matrixPath = flag.String("matrix", "", "Matrix Market adjacency file (required)")
-		algo       = flag.String("algo", "bfs", "bfs, components, pagerank, mis, sssp, cluster")
-		engName    = flag.String("engine", "bucket", "bucket, combblas-spa, combblas-heap, graphmat, sort")
+		algo       = flag.String("algo", "bfs", "bfs, multibfs, components, pagerank, mis, sssp, cluster")
+		engName    = flag.String("engine", "bucket", "bucket, combblas-spa, combblas-heap, graphmat, sort, hybrid")
 		source     = flag.Int("source", 0, "source/seed vertex (bfs, sssp, cluster)")
+		sourcesStr = flag.String("sources", "", "comma-separated source vertices (multibfs); empty = 4 spread from -source")
 		threads    = flag.Int("threads", 0, "worker threads (0 = GOMAXPROCS)")
 		topK       = flag.Int("top", 10, "entries to print for ranked outputs")
 	)
@@ -77,6 +83,26 @@ func main() {
 		}
 		fmt.Printf("reached %d of %d vertices, eccentricity %d\n", reached, a.NumCols, maxLevel)
 		fmt.Println("frontier sizes:", res.FrontierSizes)
+	case "multibfs":
+		sources, err := parseSources(*sourcesStr, spmspv.Index(*source), a.NumCols)
+		if err != nil {
+			fatal("%v", err)
+		}
+		res := spmspv.MultiBFS(mu, sources)
+		for s, src := range sources {
+			reached := 0
+			maxLevel := int32(0)
+			for _, l := range res.Levels[s] {
+				if l >= 0 {
+					reached++
+					if l > maxLevel {
+						maxLevel = l
+					}
+				}
+			}
+			fmt.Printf("source %d: reached %d of %d vertices, eccentricity %d, frontier sizes %v\n",
+				src, reached, a.NumCols, maxLevel, res.FrontierSizes[s])
+		}
 	case "components":
 		labels := spmspv.ConnectedComponents(mu)
 		sizes := map[spmspv.Index]int{}
@@ -149,6 +175,23 @@ func main() {
 	default:
 		fatal("unknown algorithm %q", *algo)
 	}
+}
+
+// parseSources resolves the -sources list; empty means 4 sources
+// spread across the vertex range starting at base.
+func parseSources(s string, base, n spmspv.Index) ([]spmspv.Index, error) {
+	if s == "" {
+		return spmspv.SpreadSources(n, base, 4), nil
+	}
+	var srcs []spmspv.Index
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v < 0 || spmspv.Index(v) >= n {
+			return nil, fmt.Errorf("bad source %q (graph has %d vertices)", part, n)
+		}
+		srcs = append(srcs, spmspv.Index(v))
+	}
+	return srcs, nil
 }
 
 func fatal(format string, args ...any) {

@@ -24,7 +24,7 @@ func main() {
 		matrixPath = flag.String("matrix", "", "Matrix Market file (required)")
 		vectorPath = flag.String("vector", "", "sparse vector file (required)")
 		outPath    = flag.String("out", "", "output path (default stdout)")
-		algName    = flag.String("algorithm", "bucket", "bucket, combblas-spa, combblas-heap, graphmat, sort")
+		algName    = flag.String("algorithm", "bucket", "bucket, combblas-spa, combblas-heap, graphmat, sort, hybrid")
 		srName     = flag.String("semiring", "arithmetic", "arithmetic, minplus, maxplus, boolean, bfs")
 		threads    = flag.Int("threads", 0, "worker threads (0 = GOMAXPROCS)")
 	)

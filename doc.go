@@ -20,8 +20,10 @@
 // independent of the thread count. The competing algorithms the paper
 // evaluates (CombBLAS-SPA, CombBLAS-heap, GraphMat's matrix-driven
 // scheme, and the GPU-style sort-based scheme) are faithfully
-// reimplemented and selectable, both for benchmarking and because they
-// win in corner regimes (matrix-driven for near-dense inputs).
+// reimplemented and selectable, and the §V direction-switch extension
+// is a first-class Hybrid engine that picks a side per call on input
+// density, with a threshold calibrated from probe multiplies at
+// construction (Options.HybridThreshold pins it instead).
 //
 // # Quick start
 //
@@ -64,18 +66,44 @@
 // MultiplyLeft is built exactly once. Parallelism also exists inside
 // each call (Options.Threads), so throughput can be scaled either way.
 //
+// # Frontier representations
+//
+// A sparse vector reaches engines in one of the two §II-C
+// representations: the (index, value) list the vector-driven
+// algorithms scan, or the O(n) bitmap GraphMat's matrix-driven loop
+// probes. A Frontier (NewFrontier) carries both, materializing the
+// bitmap lazily at most once and sharing it across consumers; feed it
+// through Multiplier.MultiplyFrontierInto and a bitmap-preferring
+// engine (GraphMat, the Hybrid engine's matrix-driven calls) skips its
+// per-call list→bitmap conversion whenever an earlier consumer already
+// paid for it. Conversions are pooled and counted
+// (Counters.FrontierConversions).
+//
+// # Batched multiplies and multi-source BFS
+//
+// Multiplier.MultiplyBatch multiplies a batch of frontiers in one
+// pass. The bucket engine shares its Estimate/bucket-sizing pass,
+// workspace checkout and merge scheduling across the batch — the
+// per-frontier marginal cost approaches the pure O(df) work term,
+// which is what the sparse ramp-up levels of a multi-source BFS are
+// dominated by — while engines without a native batch path run an
+// equivalent loop; results are always exactly those of the loop.
+// MultiBFS runs one BFS per source through a single batched engine.
+//
 // # Semiring op specialization
 //
 // Semiring operations carry enum tags (semiring.AddOp / semiring.MulOp)
 // beside the func fields. The bucket engine's hot loops — Step 1
 // scatter and Step 2 SPA merge, where Add/Mul run once per matrix
 // nonzero touched — dispatch once per call on those tags to loops with
-// the operation inlined, so all seven predefined semirings run with no
-// per-nonzero function-pointer calls (~20-25% faster multiplies).
-// User-defined semirings leave the tags AddCustom/MulCustom and take
-// the func-valued loops, exactly the cost every semiring paid before.
+// the operation inlined, and the CombBLAS-SPA / GraphMat accumulate
+// loops dispatch once per column to shared monomorphized SPA kernels,
+// so all seven predefined semirings run with no per-nonzero
+// function-pointer calls (~20-25% faster multiplies). User-defined
+// semirings leave the tags AddCustom/MulCustom and take the
+// func-valued loops, exactly the cost every semiring paid before.
 //
-// See README.md for the architecture tour, DESIGN.md for the system
-// inventory and EXPERIMENTS.md for the reproduction of every table and
-// figure in the paper's evaluation.
+// See README.md for the architecture tour and EXPERIMENTS.md for the
+// reproduction of every table and figure in the paper's evaluation
+// plus the hybrid-threshold and batch-size sweeps.
 package spmspv

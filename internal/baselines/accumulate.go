@@ -1,0 +1,198 @@
+package baselines
+
+import (
+	"spmspv/internal/semiring"
+	"spmspv/internal/sparse"
+)
+
+// Specialized SPA accumulate loops shared by the row-split baselines.
+//
+// CombBLAS-SPA and GraphMat spend their df term in the same inner
+// loop: for each selected column fragment, MULT the matrix entry with
+// the x value and ADD it into an epoch-tagged private SPA. As with
+// internal/core's bucket/merge kernels, calling the semiring's func
+// fields costs an indirect call per matrix nonzero, so the loop is
+// dispatched once per column on the semiring's AddOp/MulOp tags to a
+// hand-monomorphized body with both operations inlined; the seven
+// predefined semirings run call-free and user-defined semirings
+// (AddCustom/MulCustom) take the func path they always took. The
+// dispatch runs per column, not per nonzero, so its switch is
+// amortized over the column's fragment.
+//
+// (Hand-written per combination rather than generic over op types for
+// the same reason as core's kernels: gc does not devirtualize
+// dictionary-based method calls in non-inlined generic
+// instantiations.)
+
+// spaAccum is one worker's epoch-tagged SPA accumulation state. The
+// caller seeds the slices/epoch from its pooled per-thread state,
+// streams column fragments through accumulate, and reads back touched
+// plus the init/update tallies.
+type spaAccum struct {
+	vals    []float64
+	tags    []uint32
+	epoch   uint32
+	touched []sparse.Index
+	inits   int64
+	updates int64
+}
+
+// accumulate folds one scaled column fragment (rows, mvals, scaled by
+// the input value xv) into the SPA, dispatching on the semiring tags.
+func (s *spaAccum) accumulate(sr semiring.Semiring, rows []sparse.Index, mvals []float64, xv float64) {
+	switch {
+	case sr.AddKind == semiring.AddPlus && sr.MulKind == semiring.MulTimes:
+		s.plusTimes(rows, mvals, xv)
+	case sr.AddKind == semiring.AddMin && sr.MulKind == semiring.MulPlus:
+		s.minPlus(rows, mvals, xv)
+	case sr.AddKind == semiring.AddMax && sr.MulKind == semiring.MulPlus:
+		s.maxPlus(rows, mvals, xv)
+	case sr.AddKind == semiring.AddMin && sr.MulKind == semiring.MulSelect2nd:
+		s.minSelect2nd(rows, xv)
+	case sr.AddKind == semiring.AddMax && sr.MulKind == semiring.MulSelect2nd:
+		s.maxSelect2nd(rows, xv)
+	case sr.AddKind == semiring.AddMin && sr.MulKind == semiring.MulSelect1st:
+		s.minSelect1st(rows, mvals)
+	case sr.AddKind == semiring.AddOr && sr.MulKind == semiring.MulAnd:
+		s.orAnd(rows, mvals, xv)
+	default:
+		s.funcOps(sr.Add, sr.Mul, rows, mvals, xv)
+	}
+}
+
+func (s *spaAccum) plusTimes(rows []sparse.Index, mvals []float64, xv float64) {
+	for e, i := range rows {
+		v := mvals[e] * xv
+		if s.tags[i] != s.epoch {
+			s.tags[i] = s.epoch
+			s.vals[i] = v
+			s.touched = append(s.touched, i)
+			s.inits++
+		} else {
+			s.vals[i] += v
+			s.updates++
+		}
+	}
+}
+
+func (s *spaAccum) minPlus(rows []sparse.Index, mvals []float64, xv float64) {
+	for e, i := range rows {
+		v := mvals[e] + xv
+		if s.tags[i] != s.epoch {
+			s.tags[i] = s.epoch
+			s.vals[i] = v
+			s.touched = append(s.touched, i)
+			s.inits++
+		} else {
+			if !(s.vals[i] < v) {
+				s.vals[i] = v
+			}
+			s.updates++
+		}
+	}
+}
+
+func (s *spaAccum) maxPlus(rows []sparse.Index, mvals []float64, xv float64) {
+	for e, i := range rows {
+		v := mvals[e] + xv
+		if s.tags[i] != s.epoch {
+			s.tags[i] = s.epoch
+			s.vals[i] = v
+			s.touched = append(s.touched, i)
+			s.inits++
+		} else {
+			if !(s.vals[i] > v) {
+				s.vals[i] = v
+			}
+			s.updates++
+		}
+	}
+}
+
+// minSelect2nd propagates xv unchanged, so the column's values are
+// never read — BFS's frontier expansion touches only row indices.
+func (s *spaAccum) minSelect2nd(rows []sparse.Index, xv float64) {
+	for _, i := range rows {
+		if s.tags[i] != s.epoch {
+			s.tags[i] = s.epoch
+			s.vals[i] = xv
+			s.touched = append(s.touched, i)
+			s.inits++
+		} else {
+			if !(s.vals[i] < xv) {
+				s.vals[i] = xv
+			}
+			s.updates++
+		}
+	}
+}
+
+func (s *spaAccum) maxSelect2nd(rows []sparse.Index, xv float64) {
+	for _, i := range rows {
+		if s.tags[i] != s.epoch {
+			s.tags[i] = s.epoch
+			s.vals[i] = xv
+			s.touched = append(s.touched, i)
+			s.inits++
+		} else {
+			if !(s.vals[i] > xv) {
+				s.vals[i] = xv
+			}
+			s.updates++
+		}
+	}
+}
+
+func (s *spaAccum) minSelect1st(rows []sparse.Index, mvals []float64) {
+	for e, i := range rows {
+		v := mvals[e]
+		if s.tags[i] != s.epoch {
+			s.tags[i] = s.epoch
+			s.vals[i] = v
+			s.touched = append(s.touched, i)
+			s.inits++
+		} else {
+			if !(s.vals[i] < v) {
+				s.vals[i] = v
+			}
+			s.updates++
+		}
+	}
+}
+
+func (s *spaAccum) orAnd(rows []sparse.Index, mvals []float64, xv float64) {
+	for e, i := range rows {
+		v := 0.0
+		if mvals[e] != 0 && xv != 0 {
+			v = 1
+		}
+		if s.tags[i] != s.epoch {
+			s.tags[i] = s.epoch
+			s.vals[i] = v
+			s.touched = append(s.touched, i)
+			s.inits++
+		} else {
+			if s.vals[i] != 0 || v != 0 {
+				s.vals[i] = 1
+			} else {
+				s.vals[i] = 0
+			}
+			s.updates++
+		}
+	}
+}
+
+func (s *spaAccum) funcOps(add, mul func(a, b float64) float64, rows []sparse.Index, mvals []float64, xv float64) {
+	for e, i := range rows {
+		v := mul(mvals[e], xv)
+		if s.tags[i] != s.epoch {
+			s.tags[i] = s.epoch
+			s.vals[i] = v
+			s.touched = append(s.touched, i)
+			s.inits++
+		} else {
+			s.vals[i] = add(s.vals[i], v)
+			s.updates++
+		}
+	}
+}

@@ -3,6 +3,7 @@ package baselines
 import (
 	"sync"
 
+	enginepkg "spmspv/internal/engine"
 	"spmspv/internal/par"
 	"spmspv/internal/perf"
 	"spmspv/internal/radix"
@@ -19,23 +20,29 @@ import (
 // classifies matrix-driven algorithms as unable to attain the lower
 // bound.
 //
-// The row-split pieces are immutable after construction; the input
-// bitvector and the per-thread SPAs live in a pooled gmState, so one
-// GraphMat is safe for concurrent Multiply calls.
+// GraphMat is a FrontierEngine whose preferred representation is the
+// bitmap: fed a list vector through Multiply, it wraps the input in a
+// pooled sparse.Frontier and pays the O(f) list→bitmap conversion
+// itself; fed a Frontier whose bitmap is already materialized (a
+// hybrid engine or batch caller sharing one frontier across calls),
+// the conversion is skipped entirely.
+//
+// The row-split pieces are immutable after construction; the frontier
+// bitmaps and the per-thread SPAs live in pools, so one GraphMat is
+// safe for concurrent Multiply calls.
 type GraphMat struct {
 	pieces []*sparse.DCSC
 	m, n   sparse.Index
 	t      int
 
-	pool sync.Pool // *gmState
+	pool  sync.Pool // *gmState
+	fpool *sparse.FrontierPool
 
 	counterAgg
 }
 
-// gmState is the per-call scratch of one GraphMat multiply, including
-// the bitvector conversion of the input.
+// gmState is the per-call scratch of one GraphMat multiply.
 type gmState struct {
-	bits    *sparse.BitVec
 	spaVal  [][]float64
 	spaTag  [][]uint32
 	epochs  []uint32
@@ -54,11 +61,10 @@ func NewGraphMat(a *sparse.CSC, t int) *GraphMat {
 		m:      a.NumRows,
 		n:      a.NumCols,
 		t:      t,
+		fpool:  sparse.NewFrontierPool(a.NumCols),
 	}
-	n := a.NumCols
 	g.pool.New = func() any {
 		st := &gmState{
-			bits:    sparse.NewBitVec(n),
 			spaVal:  make([][]float64, t),
 			spaTag:  make([][]uint32, t),
 			epochs:  make([]uint32, t),
@@ -81,17 +87,36 @@ func (g *GraphMat) retire(st *gmState) {
 	g.pool.Put(st)
 }
 
-// Multiply computes y ← A·x; the output is sorted.
+// PreferredRep reports the bitmap input representation GraphMat's
+// column-probe loop consumes natively.
+func (g *GraphMat) PreferredRep() enginepkg.Rep { return enginepkg.RepBitmap }
+
+// Multiply computes y ← A·x; the output is sorted. The list input is
+// converted to the bitvector format through a pooled frontier (O(f)
+// set + O(f) clear, never an O(n) wipe).
 func (g *GraphMat) Multiply(x, y *sparse.SpVec, sr semiring.Semiring) {
+	fr := g.fpool.Wrap(x)
+	g.MultiplyFrontier(fr, y, sr)
+	fr.Release()
+}
+
+// MultiplyFrontier computes y ← A·x reading the frontier's bitmap
+// representation, materializing it only when no earlier consumer of
+// the same frontier already has.
+func (g *GraphMat) MultiplyFrontier(fr *sparse.Frontier, y *sparse.SpVec, sr semiring.Semiring) {
 	st := g.pool.Get().(*gmState)
 	y.Reset(g.m)
-	// Convert the list input to GraphMat's bitvector format: O(f).
-	st.bits.SetFrom(x)
-	st.ctr[0].XScanned += int64(len(x.Ind))
+	if fr.Materialize() {
+		// The conversion scans the f input entries, the same O(f) cost
+		// the original bitvector build paid per call.
+		st.ctr[0].XScanned += int64(fr.NNZ())
+		st.ctr[0].FrontierConversions++
+	}
+	bits := fr.Bits()
 
 	par.ForStatic(g.t, g.t, func(_, lo, hi int) {
 		for w := lo; w < hi; w++ {
-			g.multiplyPiece(st, w, sr)
+			g.multiplyPiece(st, bits, w, sr)
 		}
 	})
 
@@ -121,56 +146,47 @@ func (g *GraphMat) Multiply(x, y *sparse.SpVec, sr semiring.Semiring) {
 		}
 	})
 	y.Sorted = true
-	// Restore the bitvector for the pool's next borrower: O(f), not O(n).
-	st.bits.ClearFrom(x)
-	st.ctr[0].XScanned += int64(len(x.Ind))
 	g.retire(st)
 }
 
-func (g *GraphMat) multiplyPiece(st *gmState, w int, sr semiring.Semiring) {
+func (g *GraphMat) multiplyPiece(st *gmState, bits *sparse.BitVec, w int, sr semiring.Semiring) {
 	d := g.pieces[w]
 	ctr := &st.ctr[w]
-	vals := st.spaVal[w]
-	tags := st.spaTag[w]
 	st.epochs[w]++
 	if st.epochs[w] == 0 {
+		tags := st.spaTag[w]
 		for i := range tags {
 			tags[i] = 0
 		}
 		st.epochs[w] = 1
 	}
-	epoch := st.epochs[w]
-	touched := st.touched[w][:0]
+	acc := spaAccum{
+		vals:    st.spaVal[w],
+		tags:    st.spaTag[w],
+		epoch:   st.epochs[w],
+		touched: st.touched[w][:0],
+	}
 
-	add, mul := sr.Add, sr.Mul
 	// Matrix-driven: iterate over every nonzero column of the piece and
 	// probe the input bitvector. This loop runs nzc times per call no
-	// matter how sparse x is.
+	// matter how sparse x is. The accumulate body is monomorphized over
+	// the semiring tags (accumulate.go).
 	for pos, j := range d.JC {
-		if !st.bits.Test(j) {
+		if !bits.Test(j) {
 			continue
 		}
-		xv := st.bits.Val[j]
+		xv := bits.Val[j]
 		rows, mvals := d.ColAt(pos)
-		for e, i := range rows {
-			v := mul(mvals[e], xv)
-			if tags[i] != epoch {
-				tags[i] = epoch
-				vals[i] = v
-				touched = append(touched, i)
-				ctr.SPAInit++
-			} else {
-				vals[i] = add(vals[i], v)
-				ctr.SPAUpdates++
-			}
-		}
+		acc.accumulate(sr, rows, mvals, xv)
 		ctr.MatrixTouched += int64(len(rows))
 	}
 	ctr.ColumnsProbed += int64(len(d.JC))
+	ctr.SPAInit += acc.inits
+	ctr.SPAUpdates += acc.updates
 
-	st.scratch[w] = radix.SortIndices(touched, st.scratch[w])
-	ctr.SortedElems += int64(len(touched))
-	st.touched[w] = touched
+	st.scratch[w] = radix.SortIndices(acc.touched, st.scratch[w])
+	ctr.SortedElems += int64(len(acc.touched))
+	st.touched[w] = acc.touched
 }
 
 // Name identifies the algorithm in benchmark tables.

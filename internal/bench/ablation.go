@@ -4,11 +4,10 @@ import (
 	"fmt"
 	"io"
 
-	"spmspv/internal/baselines"
 	"spmspv/internal/core"
+	"spmspv/internal/engine"
 	"spmspv/internal/graphgen"
-	"spmspv/internal/perf"
-	"spmspv/internal/semiring"
+	"spmspv/internal/hybrid"
 	"spmspv/internal/sparse"
 )
 
@@ -64,64 +63,27 @@ func Ablation(w io.Writer, cfg Config) {
 	}
 }
 
-// HybridEngine picks per call between the vector-driven bucket
-// algorithm and the matrix-driven GraphMat algorithm based on input
-// density — the switch the paper names as future work in §V ("we will
-// investigate when and if it is beneficial to switch to a matrix-driven
-// algorithm"). The threshold is the fraction of columns that must be
-// active before the matrix-driven side is used.
-type HybridEngine struct {
-	bucket    *core.Multiplier
-	matrix    *baselines.GraphMat
-	threshold float64
-	n         sparse.Index
-	switches  int64
+// HybridSpec builds the registered Hybrid engine (internal/hybrid) at
+// a fixed switch threshold; threshold 0 asks for construction-time
+// calibration, exactly as the registry constructor does.
+func HybridSpec(threshold float64) EngineSpec {
+	return EngineSpec{Name: "Hybrid", Build: func(a *sparse.CSC, t int) Engine {
+		if threshold == 0 {
+			e, err := engine.New(a, engine.Hybrid, engine.Options{Threads: t, SortOutput: true})
+			if err != nil {
+				panic(err)
+			}
+			return e
+		}
+		return hybrid.NewWithThreshold(a, engine.Options{Threads: t, SortOutput: true}, threshold)
+	}}
 }
 
-// NewHybridEngine builds both sides; threshold is the nnz(x)/n fraction
-// above which the matrix-driven algorithm runs.
-func NewHybridEngine(a *sparse.CSC, threads int, threshold float64) *HybridEngine {
-	return &HybridEngine{
-		bucket:    core.NewMultiplier(a, core.Options{Threads: threads, SortOutput: true}),
-		matrix:    baselines.NewGraphMat(a, threads),
-		threshold: threshold,
-		n:         a.NumCols,
-	}
-}
-
-// Multiply dispatches on input density.
-func (h *HybridEngine) Multiply(x, y *sparse.SpVec, sr semiring.Semiring) {
-	if float64(x.NNZ()) >= h.threshold*float64(h.n) {
-		h.switches++
-		h.matrix.Multiply(x, y, sr)
-		return
-	}
-	h.bucket.Multiply(x, y, sr)
-}
-
-// Counters merges both sides' work.
-func (h *HybridEngine) Counters() perf.Counters {
-	c := h.bucket.Counters()
-	mc := h.matrix.Counters()
-	c.Merge(&mc)
-	return c
-}
-
-// ResetCounters zeroes both sides.
-func (h *HybridEngine) ResetCounters() {
-	h.bucket.ResetCounters()
-	h.matrix.ResetCounters()
-	h.switches = 0
-}
-
-// Switches reports how many calls took the matrix-driven path.
-func (h *HybridEngine) Switches() int64 { return h.switches }
-
-// Name identifies the engine in tables.
-func (h *HybridEngine) Name() string { return "Hybrid" }
-
-// Hybrid evaluates the §V direction-switch extension: BFS SpMSpV time
-// for bucket-only, GraphMat-only and the hybrid at several thresholds.
+// Hybrid evaluates the §V direction-switch extension with the
+// registered Hybrid engine: BFS SpMSpV time for bucket-only,
+// GraphMat-only, the calibrated hybrid, and a threshold sweep.
+// Matrix-driven call counts come from the engines'
+// DirectionSwitches counter.
 func Hybrid(w io.Writer, cfg Config) {
 	p, _ := graphgen.FindProblem("rmat-ljournal")
 	a := p.Build(cfg.Scale)
@@ -138,18 +100,17 @@ func Hybrid(w io.Writer, cfg Config) {
 	m = TimeBFS(gm, a, frontiers, tmax, cfg.Reps)
 	tbl.AddRow("GraphMat only", "-", Ms(m.Elapsed), fmt.Sprint(len(frontiers)))
 
+	calibrated := HybridSpec(0)
+	eng := calibrated.Build(a, tmax).(*hybrid.Engine)
+	fixed := HybridSpec(eng.Threshold()) // reuse the learned threshold across reps
+	m = TimeBFS(fixed, a, frontiers, tmax, cfg.Reps)
+	tbl.AddRow("hybrid (calibrated)", fmt.Sprintf("%.4f", eng.Threshold()),
+		Ms(m.Elapsed), fmt.Sprint(m.Work.DirectionSwitches))
+
 	for _, th := range []float64{0.01, 0.05, 0.1, 0.25} {
-		spec := EngineSpec{Name: "Hybrid", Build: func(a *sparse.CSC, t int) Engine {
-			return NewHybridEngine(a, t, th)
-		}}
-		eng := spec.Build(a, tmax).(*HybridEngine)
-		y := sparse.NewSpVec(0, 0)
-		for _, x := range frontiers {
-			eng.Multiply(x, y, semiring.MinSelect2nd)
-		}
-		switches := eng.Switches()
-		m := TimeBFS(spec, a, frontiers, tmax, cfg.Reps)
-		tbl.AddRow("hybrid", fmt.Sprintf("%.2f", th), Ms(m.Elapsed), fmt.Sprint(switches))
+		m := TimeBFS(HybridSpec(th), a, frontiers, tmax, cfg.Reps)
+		tbl.AddRow("hybrid", fmt.Sprintf("%.2f", th), Ms(m.Elapsed),
+			fmt.Sprint(m.Work.DirectionSwitches))
 	}
 	tbl.Render(w)
 	fmt.Fprintln(w)

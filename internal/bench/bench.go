@@ -23,10 +23,10 @@ import (
 	"spmspv/internal/semiring"
 	"spmspv/internal/sparse"
 
-	// Keep the baselines registered with the engine registry even if
-	// the direct uses elsewhere in this package (ablation.go's
-	// HybridEngine) move to registry construction — registrySpec's
-	// engine.New depends on it.
+	// Keep the baselines registered with the engine registry —
+	// registrySpec's engine.New depends on it. (The Hybrid engine
+	// registers through this package's direct internal/hybrid import in
+	// ablation.go.)
 	_ "spmspv/internal/baselines"
 )
 
@@ -202,6 +202,8 @@ func divideCounters(c *perf.Counters, n int64) {
 	c.SortedElems /= n
 	c.OutputWritten /= n
 	c.SyncEvents /= n
+	c.DirectionSwitches /= n
+	c.FrontierConversions /= n
 }
 
 // Table accumulates rows and renders fixed-width plain text.

@@ -8,6 +8,7 @@ import (
 
 	"spmspv/internal/core"
 	"spmspv/internal/graphgen"
+	"spmspv/internal/hybrid"
 	"spmspv/internal/semiring"
 	"spmspv/internal/sparse"
 )
@@ -102,17 +103,17 @@ func TestTimeMultiplyAndTimeBFS(t *testing.T) {
 	}
 }
 
-func TestHybridSwitches(t *testing.T) {
+func TestHybridSpecUsesRegisteredEngine(t *testing.T) {
 	a := graphgen.ErdosRenyi(1000, 4, 7)
-	h := NewHybridEngine(a, 2, 0.1)
-	y := sparse.NewSpVec(0, 0)
-
-	sparseX := sparse.NewSpVec(1000, 1)
-	sparseX.Append(5, 1)
-	h.Multiply(sparseX, y, semiring.Arithmetic)
-	if h.Switches() != 0 {
-		t.Error("sparse input should use the bucket side")
+	eng := HybridSpec(0.1).Build(a, 2)
+	h, ok := eng.(*hybrid.Engine)
+	if !ok {
+		t.Fatalf("HybridSpec built a %T, want the registered *hybrid.Engine", eng)
 	}
+	if h.Threshold() != 0.1 {
+		t.Errorf("threshold = %g, want 0.1", h.Threshold())
+	}
+	y := sparse.NewSpVec(0, 0)
 
 	denseX := sparse.NewSpVec(1000, 500)
 	for i := sparse.Index(0); i < 500; i++ {
@@ -128,12 +129,11 @@ func TestHybridSwitches(t *testing.T) {
 	if !y.EqualValues(y2, 1e-9) {
 		t.Error("hybrid result differs from bucket result")
 	}
-	if h.Name() != "Hybrid" {
-		t.Error("name")
-	}
-	h.ResetCounters()
-	if h.Switches() != 0 || h.Counters().Work() != 0 {
-		t.Error("hybrid reset failed")
+
+	// Threshold 0 asks the registry path for calibration.
+	cal := HybridSpec(0).Build(a, 2).(*hybrid.Engine)
+	if !cal.Calibrated() {
+		t.Error("HybridSpec(0) should build a calibrated engine")
 	}
 }
 
@@ -188,6 +188,7 @@ func TestExperimentsSmoke(t *testing.T) {
 	experiments["ablation"] = func() { Ablation(&buf, cfg) }
 	experiments["masked"] = func() { Masked(&buf, cfg) }
 	experiments["hybrid"] = func() { Hybrid(&buf, cfg) }
+	experiments["batch"] = func() { Batch(&buf, cfg) }
 	experiments["spmv"] = func() { SpMVCrossover(&buf, cfg) }
 	for name, run := range experiments {
 		buf.Reset()

@@ -1,0 +1,322 @@
+package core
+
+import (
+	"fmt"
+
+	"spmspv/internal/par"
+	"spmspv/internal/perf"
+	"spmspv/internal/radix"
+	"spmspv/internal/semiring"
+	"spmspv/internal/sparse"
+)
+
+// MultiplyBatch computes ys[q] ← A·xs[q] for a batch of input vectors
+// in one pass of the bucket algorithm, sharing what a loop of Multiply
+// calls pays per frontier: one workspace checkout, one
+// Estimate/bucket-sizing pass and cursor prefix over the concatenated
+// inputs, one scatter and one merge parallel region, one counter
+// retirement. The per-frontier marginal cost approaches the pure O(df)
+// work term, which is why batching wins exactly in the sparse-frontier
+// regime (multi-source BFS ramp-up) where fixed costs rival the work.
+//
+// Frontiers stay logically separate throughout: the bucket space is
+// subdivided per frontier (bucket id q·nb + rowbucket), the merge
+// processes all frontiers of one row range on one worker under
+// distinct SPA epochs, and each output vector is concatenated
+// independently. Results are exactly those of the equivalent Multiply
+// loop.
+//
+// len(xs) must equal len(ys); the ys must be pairwise distinct and not
+// alias any x. The ablation-only options UseInfSentinel and
+// StagingEntries apply to single multiplies only: multi-frontier
+// segments always use the epoch-tag merge and the direct-write
+// scatter. Every other option (threads, buckets, sorting, scheduling,
+// SplitEvenly) behaves as in Multiply.
+func (mu *Multiplier) MultiplyBatch(xs, ys []*sparse.SpVec, sr semiring.Semiring) {
+	if len(xs) != len(ys) {
+		panic(fmt.Sprintf("core: MultiplyBatch with %d inputs but %d outputs", len(xs), len(ys)))
+	}
+	switch len(xs) {
+	case 0:
+		return
+	case 1:
+		mu.Multiply(xs[0], ys[0], sr)
+		return
+	}
+	ws := mu.pool.Get().(*Workspace)
+
+	// Segment the batch so one segment's bucket storage stays within
+	// the single-call bound (≈ nnz(A) entries, the paper's §III-A
+	// preallocation ceiling). Sparse frontiers — whose per-frontier df
+	// is tiny — batch by the dozens under the budget, which is exactly
+	// where the shared Estimate pass pays; a run of dense frontiers
+	// degrades gracefully toward singleton segments instead of
+	// streaming a k·nnz(A) working set through memory for no
+	// amortization gain.
+	budget := mu.A.NNZ()
+	if budget < 1 {
+		budget = 1
+	}
+	lo := 0
+	var acc int64
+	for q := range xs {
+		w := frontierWork(mu.A, xs[q])
+		if q > lo && acc+w > budget {
+			runBatchSegment(mu.A, xs[lo:q], ys[lo:q], sr, ws, mu.Opt)
+			lo, acc = q, 0
+		}
+		acc += w
+	}
+	runBatchSegment(mu.A, xs[lo:], ys[lo:], sr, ws, mu.Opt)
+	mu.retire(ws)
+}
+
+// frontierWork returns the number of matrix entries frontier x selects
+// (its df term), the quantity that sizes its bucket storage.
+func frontierWork(a *sparse.CSC, x *sparse.SpVec) int64 {
+	var w int64
+	for _, j := range x.Ind {
+		w += a.ColLen(j)
+	}
+	return w
+}
+
+// runBatchSegment multiplies one budget-bounded segment through the
+// shared workspace; singleton segments take the single-call path.
+func runBatchSegment(a *sparse.CSC, xs, ys []*sparse.SpVec, sr semiring.Semiring, ws *Workspace, opt Options) {
+	if len(xs) == 1 {
+		multiply(a, xs[0], ys[0], sr, ws, opt, nil, false)
+		return
+	}
+	multiplyBatch(a, xs, ys, sr, ws, opt)
+}
+
+func multiplyBatch(a *sparse.CSC, xs, ys []*sparse.SpVec, sr semiring.Semiring, ws *Workspace, opt Options) {
+	opt = opt.WithDefaults()
+	m := a.NumRows
+	k := len(xs)
+
+	// Concatenate the inputs; batchOff[q] marks frontier q's start.
+	var totalF int64
+	for _, x := range xs {
+		totalF += int64(x.NNZ())
+	}
+	ws.ensureBatch(totalF, k)
+	off := int64(0)
+	for q, x := range xs {
+		ws.batchOff[q] = off
+		copy(ws.batchInd[off:], x.Ind)
+		copy(ws.batchVal[off:], x.Val)
+		off += int64(x.NNZ())
+	}
+	ws.batchOff[k] = off
+
+	for _, y := range ys {
+		y.Reset(m)
+	}
+	if totalF == 0 || m == 0 {
+		ws.Steps = perf.StepTimes{}
+		return
+	}
+	xAll := &sparse.SpVec{N: a.NumCols, Ind: ws.batchInd[:totalF], Val: ws.batchVal[:totalF]}
+
+	// Thread count and bucket geometry exactly as in the single-call
+	// path, but with the batch's total nonzeros as f and the bucket
+	// space replicated per frontier: full bucket id = q·nb + (i >>
+	// shift), so every (frontier, row-range) pair owns a disjoint slot.
+	t := opt.Threads
+	if int64(t) > totalF {
+		t = int(totalF)
+	}
+	nbReq := opt.BucketsPerThread * t
+	shift := uint(0)
+	for int64(m) > int64(nbReq)<<shift {
+		shift++
+	}
+	nb := int((int64(m) + (int64(1) << shift) - 1) >> shift)
+	if nb < 1 {
+		nb = 1
+	}
+	NB := k * nb
+	ws.ensure(m, t, NB)
+
+	var timer perf.Timer
+	timer.Start()
+
+	// One split over the concatenated entries: workers get near-equal
+	// shares of the batch's total work (weighted by column nonzeros by
+	// default, the §III-B fix; by entry count under SplitEvenly),
+	// crossing frontier boundaries freely.
+	if opt.SplitEvenly {
+		ws.ranges = par.EvenRangesInto(int(totalF), t, ws.ranges)
+	} else {
+		ws.xcum = a.CumulativeColWeights(xAll.Ind, ws.xcum)
+		ws.ranges = par.SplitByWeightInto(ws.xcum, t, ws.ranges)
+	}
+
+	// Estimate (Algorithm 2) for the whole batch: count per (worker,
+	// frontier, bucket) insertions in one pass.
+	clear(ws.boffset[:t*NB])
+	par.ForRanges(ws.ranges, func(w, lo, hi int) {
+		ctr := &ws.Counters[w]
+		var touched int64
+		for q, k2 := frontierAt(ws.batchOff, lo), lo; k2 < hi; {
+			for k2 >= int(ws.batchOff[q+1]) {
+				q++
+			}
+			segHi := hi
+			if int(ws.batchOff[q+1]) < segHi {
+				segHi = int(ws.batchOff[q+1])
+			}
+			row := ws.boffset[w*NB+q*nb : w*NB+(q+1)*nb]
+			for ; k2 < segHi; k2++ {
+				rows, _ := a.Col(xAll.Ind[k2])
+				for _, i := range rows {
+					row[i>>shift]++
+				}
+				touched += int64(len(rows))
+			}
+		}
+		ctr.XScanned += int64(hi - lo)
+		ctr.MatrixTouched += touched
+	})
+
+	// Two-level exclusive prefix: bucket-major, worker-minor, over the
+	// full (frontier, bucket) space.
+	var total int64
+	for bq := 0; bq < NB; bq++ {
+		ws.bucketStart[bq] = total
+		for w := 0; w < t; w++ {
+			idx := w*NB + bq
+			c := ws.boffset[idx]
+			ws.boffset[idx] = total
+			total += c
+		}
+	}
+	ws.bucketStart[NB] = total
+	ws.ensureEntries(total)
+	ws.ensureUval(total)
+	ws.Steps.Estimate = timer.Lap()
+
+	// Step 1 for the whole batch: each worker scatters its per-frontier
+	// segments through the frontier's cursor row, reusing the
+	// monomorphized kernels.
+	par.ForRanges(ws.ranges, func(w, lo, hi int) {
+		ctr := &ws.Counters[w]
+		var written int64
+		for q, k2 := frontierAt(ws.batchOff, lo), lo; k2 < hi; {
+			for k2 >= int(ws.batchOff[q+1]) {
+				q++
+			}
+			segHi := hi
+			if int(ws.batchOff[q+1]) < segHi {
+				segHi = int(ws.batchOff[q+1])
+			}
+			cur := ws.boffset[w*NB+q*nb : w*NB+(q+1)*nb]
+			written += scatterRange(a, xAll, sr, ws, cur, k2, segHi, shift)
+			k2 = segHi
+		}
+		ctr.XScanned += int64(hi - lo)
+		ctr.MatrixTouched += written
+		ctr.BucketWrites += written
+	})
+	ws.Steps.Bucket = timer.Lap()
+
+	// Step 2: merge. All k frontiers of one row-range bucket run on the
+	// same worker (the row range — hence the SPA slots — is what must
+	// not be shared), under k distinct epochs; unique values are copied
+	// out to uval immediately because the next frontier reuses the same
+	// SPA rows before the output step runs.
+	base := ws.epochBlock(uint32(k))
+	mergeBody := func(w, b int) {
+		ctr := &ws.Counters[w]
+		for q := 0; q < k; q++ {
+			bq := q*nb + b
+			lo, hi := ws.bucketStart[bq], ws.bucketStart[bq+1]
+			if lo == hi {
+				ws.uindCount[bq] = 0
+				continue
+			}
+			ents := ws.entries[lo:hi]
+			u := ws.uind[lo:lo]
+			u = mergeEpoch(sr, ws, ents, u, base+uint32(q))
+			ws.uindCount[bq] = int64(len(u))
+			ctr.SPAInit += int64(len(u))
+			ctr.SPAUpdates += int64(len(ents)) - int64(len(u))
+			if opt.SortOutput {
+				ws.scratch[w] = radix.SortIndices(u, ws.scratch[w])
+				ctr.SortedElems += int64(len(u))
+			}
+			uval := ws.uval[lo : lo+int64(len(u))]
+			for i, ind := range u {
+				uval[i] = ws.spaVal[ind]
+			}
+		}
+	}
+	if opt.MergeSched == SchedDynamic {
+		for w := 0; w < t; w++ {
+			ws.sync[w] = 0
+		}
+		par.ForDynamic(t, nb, 1, func(w, lo, hi int) {
+			for b := lo; b < hi; b++ {
+				mergeBody(w, b)
+			}
+		}, ws.sync)
+		for w := 0; w < t; w++ {
+			ws.Counters[w].SyncEvents += ws.sync[w]
+		}
+	} else {
+		par.ForStatic(t, nb, func(w, lo, hi int) {
+			for b := lo; b < hi; b++ {
+				mergeBody(w, b)
+			}
+		})
+	}
+	ws.Steps.Merge = timer.Lap()
+	ws.Steps.Sort = 0
+
+	// Step 3 per frontier: prefix each frontier's unique counts and
+	// copy every bucket's (index, value) pairs to its final offset.
+	for q := 0; q < k; q++ {
+		var nnzY int64
+		for b := 0; b < nb; b++ {
+			bq := q*nb + b
+			ws.uindOffset[bq] = nnzY
+			nnzY += ws.uindCount[bq]
+		}
+		y := ys[q]
+		if int64(cap(y.Ind)) < nnzY {
+			y.Ind = make([]sparse.Index, nnzY)
+			y.Val = make([]float64, nnzY)
+		} else {
+			y.Ind = y.Ind[:nnzY]
+			y.Val = y.Val[:nnzY]
+		}
+		y.Sorted = opt.SortOutput || nnzY == 0
+	}
+	par.ForStatic(t, NB, func(w, lo, hi int) {
+		ctr := &ws.Counters[w]
+		for bq := lo; bq < hi; bq++ {
+			cnt := ws.uindCount[bq]
+			if cnt == 0 {
+				continue
+			}
+			y := ys[bq/nb]
+			off := ws.uindOffset[bq]
+			start := ws.bucketStart[bq]
+			copy(y.Ind[off:off+cnt], ws.uind[start:start+cnt])
+			copy(y.Val[off:off+cnt], ws.uval[start:start+cnt])
+			ctr.OutputWritten += cnt
+		}
+	})
+	ws.Steps.Output = timer.Lap()
+}
+
+// frontierAt returns the frontier owning concatenated position pos.
+func frontierAt(off []int64, pos int) int {
+	q := 0
+	for pos >= int(off[q+1]) {
+		q++
+	}
+	return q
+}

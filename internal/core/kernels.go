@@ -38,25 +38,33 @@ func bucketStep(a *sparse.CSC, x *sparse.SpVec, sr semiring.Semiring, ws *Worksp
 	par.ForRanges(ws.ranges, func(w, lo, hi int) {
 		cur := ws.boffset[w*nb : (w+1)*nb]
 		ctr := &ws.Counters[w]
-		var written int64
-		switch sr.MulKind {
-		case semiring.MulTimes:
-			written = scatterTimes(a, x, ws, cur, lo, hi, shift)
-		case semiring.MulPlus:
-			written = scatterPlus(a, x, ws, cur, lo, hi, shift)
-		case semiring.MulSelect2nd:
-			written = scatterSelect2nd(a, x, ws, cur, lo, hi, shift)
-		case semiring.MulSelect1st:
-			written = scatterSelect1st(a, x, ws, cur, lo, hi, shift)
-		case semiring.MulAnd:
-			written = scatterAnd(a, x, ws, cur, lo, hi, shift)
-		default:
-			written = scatterFunc(sr.Mul, a, x, ws, cur, lo, hi, shift)
-		}
+		written := scatterRange(a, x, sr, ws, cur, lo, hi, shift)
 		ctr.XScanned += int64(hi - lo)
 		ctr.MatrixTouched += written
 		ctr.BucketWrites += written
 	})
+}
+
+// scatterRange scatters the x entries in [lo, hi) through the cursor
+// row cur, dispatching once on the semiring's Mul tag; it returns the
+// number of matrix entries written. Shared by the single-call Step 1
+// and the batched multiply (which invokes it once per per-worker
+// per-frontier segment with cur sliced to that frontier's cursors).
+func scatterRange(a *sparse.CSC, x *sparse.SpVec, sr semiring.Semiring, ws *Workspace, cur []int64, lo, hi int, shift uint) int64 {
+	switch sr.MulKind {
+	case semiring.MulTimes:
+		return scatterTimes(a, x, ws, cur, lo, hi, shift)
+	case semiring.MulPlus:
+		return scatterPlus(a, x, ws, cur, lo, hi, shift)
+	case semiring.MulSelect2nd:
+		return scatterSelect2nd(a, x, ws, cur, lo, hi, shift)
+	case semiring.MulSelect1st:
+		return scatterSelect1st(a, x, ws, cur, lo, hi, shift)
+	case semiring.MulAnd:
+		return scatterAnd(a, x, ws, cur, lo, hi, shift)
+	default:
+		return scatterFunc(sr.Mul, a, x, ws, cur, lo, hi, shift)
+	}
 }
 
 func scatterTimes(a *sparse.CSC, x *sparse.SpVec, ws *Workspace, cur []int64, lo, hi int, shift uint) int64 {

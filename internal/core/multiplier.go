@@ -3,6 +3,7 @@ package core
 import (
 	"sync"
 
+	"spmspv/internal/engine"
 	"spmspv/internal/perf"
 	"spmspv/internal/semiring"
 	"spmspv/internal/sparse"
@@ -50,6 +51,24 @@ func (mu *Multiplier) MultiplyMasked(x, y *sparse.SpVec, sr semiring.Semiring, m
 	MultiplyMasked(mu.A, x, y, sr, mask, complement, ws, mu.Opt)
 	mu.retire(ws)
 }
+
+// PreferredRep reports the list input representation the vector-driven
+// bucket algorithm scans natively.
+func (mu *Multiplier) PreferredRep() engine.Rep { return engine.RepList }
+
+// MultiplyFrontier computes y ← A·x reading the frontier's list
+// representation (always present; no conversion ever runs).
+func (mu *Multiplier) MultiplyFrontier(x *sparse.Frontier, y *sparse.SpVec, sr semiring.Semiring) {
+	mu.Multiply(x.List(), y, sr)
+}
+
+// Compile-time checks: the bucket multiplier implements every optional
+// engine extension.
+var (
+	_ engine.MaskedEngine   = (*Multiplier)(nil)
+	_ engine.FrontierEngine = (*Multiplier)(nil)
+	_ engine.BatchEngine    = (*Multiplier)(nil)
+)
 
 // retire folds the workspace's per-call work into the multiplier's
 // aggregate counters under the lock, zeroes it, and returns the

@@ -44,6 +44,16 @@ type Workspace struct {
 	xcum   []int64
 	ranges [][2]int
 
+	// Batched-multiply buffers: the concatenation of the batch's input
+	// vectors (batchInd/batchVal) with frontier boundaries batchOff
+	// (length k+1), and uval — per-bucket unique values copied out of
+	// the SPA at merge time, because successive frontiers of a batch
+	// reuse the same SPA row range before the output step runs.
+	batchInd []sparse.Index
+	batchVal []float64
+	batchOff []int64
+	uval     []float64
+
 	// staging is the optional per-worker Step-1 staging slab
 	// (StagingEntries × nb entries each) with fill counts.
 	staging      []sparse.Entry
@@ -153,4 +163,39 @@ func (ws *Workspace) nextEpoch() uint32 {
 		ws.epoch = 1
 	}
 	return ws.epoch
+}
+
+// epochBlock reserves k consecutive SPA epochs (one per frontier of a
+// batch) and returns the first, wiping the tags on 32-bit wraparound
+// exactly as nextEpoch does.
+func (ws *Workspace) epochBlock(k uint32) uint32 {
+	if ws.epoch > ^uint32(0)-k {
+		for i := range ws.spaTag {
+			ws.spaTag[i] = 0
+		}
+		ws.epoch = 0
+	}
+	base := ws.epoch + 1
+	ws.epoch += k
+	return base
+}
+
+// ensureBatch grows the batch concatenation buffers for totalF entries
+// across k frontiers, and the unique-value buffer alongside uind.
+func (ws *Workspace) ensureBatch(totalF int64, k int) {
+	if int64(cap(ws.batchInd)) < totalF {
+		ws.batchInd = make([]sparse.Index, totalF)
+		ws.batchVal = make([]float64, totalF)
+	}
+	if len(ws.batchOff) < k+1 {
+		ws.batchOff = make([]int64, k+1)
+	}
+}
+
+// ensureUval grows the per-bucket unique-value buffer to match the
+// entry storage (unique count ≤ entry count, so the same offsets fit).
+func (ws *Workspace) ensureUval(total int64) {
+	if int64(len(ws.uval)) < total {
+		ws.uval = make([]float64, total)
+	}
 }

@@ -51,6 +51,76 @@ type MaskedEngine interface {
 	MultiplyMasked(x, y *sparse.SpVec, sr semiring.Semiring, mask *sparse.BitVec, complement bool)
 }
 
+// Rep identifies a frontier (input-vector) representation. The paper's
+// §II-C names the two in use: the compact list of (index, value) pairs
+// that vector-driven algorithms scan, and the O(n) bitvector that
+// GraphMat's matrix-driven loop probes.
+type Rep int
+
+const (
+	// RepList is the list format (sparse.SpVec).
+	RepList Rep = iota
+	// RepBitmap is the bitvector format (sparse.BitVec).
+	RepBitmap
+)
+
+// String names the representation.
+func (r Rep) String() string {
+	if r == RepBitmap {
+		return "bitmap"
+	}
+	return "list"
+}
+
+// FrontierEngine is the optional extension for engines that accept a
+// dual-representation Frontier directly and declare which
+// representation their inner loop natively consumes. Callers holding a
+// Frontier should route through MultiplyFrontier so a representation
+// materialized once (e.g. the bitmap a hybrid engine builds for its
+// matrix-driven side) is reused instead of rebuilt per call; callers
+// holding a plain list vector lose nothing by calling Multiply.
+type FrontierEngine interface {
+	Engine
+	// PreferredRep reports the representation the engine consumes
+	// natively — the one a caller should keep materialized when it
+	// feeds the same frontier to this engine repeatedly.
+	PreferredRep() Rep
+	// MultiplyFrontier computes y ← A·x over sr, reading whichever
+	// representation of x the engine prefers (materializing it at most
+	// once on the shared Frontier).
+	MultiplyFrontier(x *sparse.Frontier, y *sparse.SpVec, sr semiring.Semiring)
+}
+
+// BatchEngine is the optional extension for engines that multiply a
+// batch of frontiers against the matrix in one pass, amortizing
+// per-call setup (the bucket engine's Estimate/bucket-sizing pass,
+// workspace checkout, scheduling) across the batch — the SpGEMM-style
+// batching that serves multi-source BFS and other multi-frontier
+// workloads.
+type BatchEngine interface {
+	Engine
+	// MultiplyBatch computes ys[q] ← A·xs[q] for every q over sr.
+	// len(xs) must equal len(ys); the xs must not alias the ys.
+	MultiplyBatch(xs, ys []*sparse.SpVec, sr semiring.Semiring)
+}
+
+// MultiplyBatch runs a batch of multiplies through e: natively when e
+// implements BatchEngine, otherwise as a loop of Multiply calls. This
+// is the uniform entry point batch-level callers (multi-source BFS,
+// the facade) use so every registered engine accepts batches.
+func MultiplyBatch(e Engine, xs, ys []*sparse.SpVec, sr semiring.Semiring) {
+	if len(xs) != len(ys) {
+		panic(fmt.Sprintf("engine: MultiplyBatch with %d inputs but %d outputs", len(xs), len(ys)))
+	}
+	if be, ok := e.(BatchEngine); ok {
+		be.MultiplyBatch(xs, ys, sr)
+		return
+	}
+	for q := range xs {
+		e.Multiply(xs[q], ys[q], sr)
+	}
+}
+
 // Algorithm selects an SpMSpV engine.
 type Algorithm int
 
@@ -66,6 +136,10 @@ const (
 	GraphMat
 	// SortBased is the gather–radix-sort–reduce baseline.
 	SortBased
+	// Hybrid switches per call between the vector-driven bucket
+	// algorithm and the matrix-driven GraphMat algorithm on input
+	// density (the paper's §V direction-switch extension).
+	Hybrid
 )
 
 // String names the algorithm as registered (the paper's Table I names),

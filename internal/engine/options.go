@@ -63,6 +63,14 @@ type Options struct {
 	// matrices. Setting SplitEvenly gives each thread an equal count of
 	// x entries instead.
 	SplitEvenly bool
+
+	// HybridThreshold tunes the Hybrid engine's per-call direction
+	// switch: the matrix-driven side runs when nnz(x)/n reaches the
+	// threshold. Zero (the default) asks construction to calibrate the
+	// threshold from a few probe multiplies on the bound matrix; a
+	// negative value pins the vector-driven side (never switch). The
+	// other engines ignore this field.
+	HybridThreshold float64
 }
 
 // WithDefaults resolves zero values to the paper's defaults.

@@ -1,0 +1,205 @@
+// Package hybrid implements the paper's §V direction-switch extension
+// as a first-class registered engine: per call it routes the multiply
+// to the vector-driven SpMSpV-bucket algorithm (internal/core) or the
+// matrix-driven GraphMat algorithm (internal/baselines) depending on
+// input density — the SpMSpV analogue of Beamer's direction-optimizing
+// BFS ("we will investigate when and if it is beneficial to switch to
+// a matrix-driven algorithm", §V).
+//
+// The switch point is the fraction of columns that must be active
+// before the matrix-driven side runs. It comes from
+// Options.HybridThreshold, or — when that is zero — from a calibration
+// routine that times a few probe multiplies on the bound matrix at
+// construction (see calibrate.go), so the engine adapts to the matrix
+// and host rather than shipping a magic constant.
+//
+// Both sides are the registry's own pooled, race-safe engines, so one
+// hybrid engine is safe for concurrent Multiply calls; the number of
+// matrix-driven routings is reported through
+// perf.Counters.DirectionSwitches.
+package hybrid
+
+import (
+	"math"
+	"sync/atomic"
+
+	"spmspv/internal/baselines"
+	"spmspv/internal/core"
+	"spmspv/internal/engine"
+	"spmspv/internal/perf"
+	"spmspv/internal/semiring"
+	"spmspv/internal/sparse"
+)
+
+// The hybrid engine registers itself under engine.Hybrid; importing
+// this package is what makes it constructible through the registry.
+func init() {
+	engine.Register(engine.Hybrid, "Hybrid",
+		func(a *sparse.CSC, opt engine.Options) engine.Engine {
+			return New(a, opt)
+		})
+}
+
+// Engine is the direction-switching SpMSpV engine. Output is always
+// sorted (both sides are run in their sorted-output configuration), so
+// the direction taken is invisible to callers except in the counters.
+type Engine struct {
+	bucket *core.Multiplier
+	matrix *baselines.GraphMat
+	// threshold is the nnz(x)/n fraction at or above which the
+	// matrix-driven side runs; +Inf pins the vector-driven side.
+	threshold  float64
+	calibrated bool
+	n          sparse.Index
+
+	switches atomic.Int64
+}
+
+// New builds both sides and resolves the switch threshold from opt:
+// positive is used as-is, zero asks for calibration from probe
+// multiplies, negative pins the vector-driven side. The bucket side is
+// forced to sorted output so both directions produce the same format.
+func New(a *sparse.CSC, opt engine.Options) *Engine {
+	th := opt.HybridThreshold
+	if th < 0 {
+		th = math.Inf(1)
+	}
+	bopt := opt
+	bopt.SortOutput = true
+	h := &Engine{
+		bucket:    core.NewMultiplier(a, bopt),
+		matrix:    baselines.NewGraphMat(a, opt.Threads),
+		threshold: th,
+		n:         a.NumCols,
+	}
+	if opt.HybridThreshold == 0 {
+		h.threshold = calibrate(h.bucket, h.matrix, a)
+		h.calibrated = true
+		// Probe multiplies must not leak into the caller's work
+		// accounting.
+		h.ResetCounters()
+	}
+	return h
+}
+
+// NewWithThreshold builds a hybrid engine with the given literal
+// threshold — including 0, which routes every call to the
+// matrix-driven side (the registry constructor treats 0 as "calibrate"
+// instead). A negative threshold pins the vector-driven side, the same
+// meaning it has on Options.HybridThreshold. Intended for sweeps and
+// tests.
+func NewWithThreshold(a *sparse.CSC, opt engine.Options, threshold float64) *Engine {
+	opt.HybridThreshold = -1 // suppress calibration; overwritten below
+	h := New(a, opt)
+	if threshold < 0 {
+		threshold = math.Inf(1)
+	}
+	h.threshold = threshold
+	h.calibrated = false
+	return h
+}
+
+// Threshold returns the active switch threshold (nnz(x)/n fraction).
+func (h *Engine) Threshold() float64 { return h.threshold }
+
+// Calibrated reports whether the threshold came from construction-time
+// probe multiplies rather than Options.HybridThreshold.
+func (h *Engine) Calibrated() bool { return h.calibrated }
+
+// matrixDriven reports whether an input with f nonzeros takes the
+// matrix-driven side.
+func (h *Engine) matrixDriven(f int) bool {
+	return float64(f) >= h.threshold*float64(h.n)
+}
+
+// Multiply computes y ← A·x, dispatching on input density.
+func (h *Engine) Multiply(x, y *sparse.SpVec, sr semiring.Semiring) {
+	if h.matrixDriven(x.NNZ()) {
+		h.switches.Add(1)
+		h.matrix.Multiply(x, y, sr)
+		return
+	}
+	h.bucket.Multiply(x, y, sr)
+}
+
+// PreferredRep reports the list representation: the hybrid engine
+// accepts list input and materializes the bitmap itself only for the
+// calls it routes to the matrix-driven side.
+func (h *Engine) PreferredRep() engine.Rep { return engine.RepList }
+
+// MultiplyFrontier computes y ← A·x, reading only the representation
+// the chosen direction needs: the list for the bucket side, the shared
+// bitmap (materialized at most once per frontier) for the matrix side.
+func (h *Engine) MultiplyFrontier(x *sparse.Frontier, y *sparse.SpVec, sr semiring.Semiring) {
+	if h.matrixDriven(x.NNZ()) {
+		h.switches.Add(1)
+		h.matrix.MultiplyFrontier(x, y, sr)
+		return
+	}
+	h.bucket.Multiply(x.List(), y, sr)
+}
+
+// MultiplyMasked computes y ← ⟨A·x, mask⟩. The bucket side pushes the
+// mask into its merge step; the matrix-driven side multiplies and
+// filters, matching the facade's fallback semantics.
+func (h *Engine) MultiplyMasked(x, y *sparse.SpVec, sr semiring.Semiring, mask *sparse.BitVec, complement bool) {
+	if h.matrixDriven(x.NNZ()) {
+		h.switches.Add(1)
+		h.matrix.Multiply(x, y, sr)
+		sparse.FilterMaskInPlace(y, mask, complement)
+		return
+	}
+	h.bucket.MultiplyMasked(x, y, sr, mask, complement)
+}
+
+// MultiplyBatch computes ys[q] ← A·xs[q], routing each frontier by its
+// own density: the vector-driven frontiers run through the bucket
+// engine's batched multiply (one shared Estimate pass), the
+// matrix-driven ones through GraphMat individually.
+func (h *Engine) MultiplyBatch(xs, ys []*sparse.SpVec, sr semiring.Semiring) {
+	var bxs, bys []*sparse.SpVec
+	for q := range xs {
+		if h.matrixDriven(xs[q].NNZ()) {
+			h.switches.Add(1)
+			h.matrix.Multiply(xs[q], ys[q], sr)
+			continue
+		}
+		bxs = append(bxs, xs[q])
+		bys = append(bys, ys[q])
+	}
+	if len(bxs) > 0 {
+		h.bucket.MultiplyBatch(bxs, bys, sr)
+	}
+}
+
+// Switches reports how many calls took the matrix-driven path since
+// the last ResetCounters.
+func (h *Engine) Switches() int64 { return h.switches.Load() }
+
+// Counters merges both sides' work and reports the direction switches.
+func (h *Engine) Counters() perf.Counters {
+	c := h.bucket.Counters()
+	mc := h.matrix.Counters()
+	c.Merge(&mc)
+	c.DirectionSwitches += h.switches.Load()
+	return c
+}
+
+// ResetCounters zeroes both sides and the switch count.
+func (h *Engine) ResetCounters() {
+	h.bucket.ResetCounters()
+	h.matrix.ResetCounters()
+	h.switches.Store(0)
+}
+
+// Name identifies the engine in benchmark tables.
+func (h *Engine) Name() string { return "Hybrid" }
+
+// Compile-time checks: the hybrid engine implements every optional
+// engine extension.
+var (
+	_ engine.Engine         = (*Engine)(nil)
+	_ engine.MaskedEngine   = (*Engine)(nil)
+	_ engine.FrontierEngine = (*Engine)(nil)
+	_ engine.BatchEngine    = (*Engine)(nil)
+)

@@ -51,6 +51,16 @@ type Counters struct {
 	SortedElems   int64
 	OutputWritten int64
 	SyncEvents    int64
+
+	// DirectionSwitches counts hybrid-engine calls routed to the
+	// matrix-driven side (paper §V's direction switch). A routing
+	// statistic, not a work term: excluded from Work.
+	DirectionSwitches int64
+	// FrontierConversions counts list→bitmap frontier
+	// materializations performed on behalf of the engine. The O(f)
+	// scatter cost itself is charged to XScanned; this field tracks
+	// how often the conversion could not be shared.
+	FrontierConversions int64
 }
 
 // Merge adds o into c.
@@ -65,14 +75,18 @@ func (c *Counters) Merge(o *Counters) {
 	c.SortedElems += o.SortedElems
 	c.OutputWritten += o.OutputWritten
 	c.SyncEvents += o.SyncEvents
+	c.DirectionSwitches += o.DirectionSwitches
+	c.FrontierConversions += o.FrontierConversions
 }
 
 // Reset zeroes all counters.
 func (c *Counters) Reset() { *c = Counters{} }
 
-// Work returns the total work proxy: the sum of all counted quantities.
-// For a work-efficient algorithm, Work stays O(df) independent of the
-// number of threads.
+// Work returns the total work proxy: the sum of all counted work
+// quantities. For a work-efficient algorithm, Work stays O(df)
+// independent of the number of threads. The routing statistics
+// (DirectionSwitches, FrontierConversions) are not work and are
+// excluded.
 func (c Counters) Work() int64 {
 	return c.XScanned + c.ColumnsProbed + c.MatrixTouched + c.SPAInit +
 		c.SPAUpdates + c.BucketWrites + c.HeapOps + c.SortedElems +
@@ -82,10 +96,10 @@ func (c Counters) Work() int64 {
 // String formats the counters as a compact single-line summary.
 func (c Counters) String() string {
 	return fmt.Sprintf(
-		"xscan=%d probes=%d mat=%d spainit=%d spaupd=%d bucket=%d heap=%d sort=%d out=%d sync=%d work=%d",
+		"xscan=%d probes=%d mat=%d spainit=%d spaupd=%d bucket=%d heap=%d sort=%d out=%d sync=%d switch=%d conv=%d work=%d",
 		c.XScanned, c.ColumnsProbed, c.MatrixTouched, c.SPAInit, c.SPAUpdates,
 		c.BucketWrites, c.HeapOps, c.SortedElems, c.OutputWritten, c.SyncEvents,
-		c.Work())
+		c.DirectionSwitches, c.FrontierConversions, c.Work())
 }
 
 // MergeAll aggregates a slice of per-worker counters into one.

@@ -1,0 +1,180 @@
+package sparse
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Frontier is a sparse vector carried in whichever representation the
+// consuming engine wants: the list format of paper §II-C (SpVec, the
+// vector-driven algorithms' native input) or GraphMat's bitvector
+// format (BitVec, the matrix-driven algorithm's native input). The
+// list is authoritative; the bitmap is materialized lazily, once, on
+// first demand, and then shared by every bitmap consumer of the same
+// frontier — so a BFS level probed by both sides of a hybrid engine
+// pays for at most one list→bitmap conversion, and callers that only
+// ever feed list-format engines never pay for the bitmap at all.
+//
+// Reading a Frontier concurrently is safe — Materialize/Bits
+// serialize the one-time conversion internally, so several engines
+// (or one engine's concurrent calls) may share a frontier. Mutation
+// (SetList, Release) requires exclusive access.
+type Frontier struct {
+	list *SpVec
+	// mu serializes the lazy bitmap materialization; it is taken once
+	// per Bits/Materialize call, never per entry.
+	mu   sync.Mutex
+	bits *BitVec
+	// bitsValid marks that bits currently mirrors list. When a pooled
+	// frontier is released, the set bits are erased in O(nnz) and the
+	// flag cleared, so the O(n) bitmap allocation is reused without an
+	// O(n) wipe.
+	bitsValid bool
+	home      *FrontierPool
+}
+
+// NewFrontier wraps a list-format vector as a frontier with no pool
+// backing; the bitmap, if ever demanded, is allocated privately.
+func NewFrontier(x *SpVec) *Frontier {
+	if x == nil {
+		panic("sparse: NewFrontier with nil vector")
+	}
+	return &Frontier{list: x}
+}
+
+// N returns the logical dimension.
+func (f *Frontier) N() Index { return f.list.N }
+
+// NNZ returns the number of stored entries.
+func (f *Frontier) NNZ() int { return f.list.NNZ() }
+
+// List returns the list-format representation (always present).
+func (f *Frontier) List() *SpVec { return f.list }
+
+// HasBits reports whether the bitmap representation is currently
+// materialized, without triggering a conversion.
+func (f *Frontier) HasBits() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.bitsValid
+}
+
+// Materialize ensures the bitmap representation exists and reports
+// whether a list→bitmap conversion actually ran — false means a
+// previous consumer already paid for it. Engines use the return value
+// to attribute the O(nnz) conversion cost in their work counters.
+// Concurrent callers serialize on the frontier's lock; exactly one
+// performs the conversion.
+func (f *Frontier) Materialize() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.bitsValid {
+		return false
+	}
+	if f.bits == nil || f.bits.N < f.list.N {
+		f.bits = NewBitVec(f.list.N)
+	}
+	f.bits.SetFrom(f.list)
+	f.bitsValid = true
+	frontierConversions.Add(1)
+	frontierConvertedEntries.Add(int64(f.list.NNZ()))
+	return true
+}
+
+// Bits returns the bitmap representation, materializing it on first
+// use.
+func (f *Frontier) Bits() *BitVec {
+	f.Materialize()
+	return f.bits
+}
+
+// SetList replaces the frontier's contents with a new list vector,
+// erasing any stale bitmap state in O(nnz(old)) so the backing bitmap
+// can be rebuilt (or never built) for the new contents.
+func (f *Frontier) SetList(x *SpVec) {
+	if x == nil {
+		panic("sparse: Frontier.SetList with nil vector")
+	}
+	f.dropBits()
+	f.list = x
+}
+
+// dropBits erases the materialized bitmap cheaply (O(nnz), not O(n)).
+func (f *Frontier) dropBits() {
+	if f.bitsValid {
+		f.bits.ClearFrom(f.list)
+		f.bitsValid = false
+	}
+}
+
+// Release returns a pool-backed frontier to its home pool, erasing the
+// bitmap in O(nnz). It is a no-op for frontiers built with NewFrontier.
+// The frontier must not be used after Release.
+func (f *Frontier) Release() {
+	if f.home != nil {
+		f.home.put(f)
+	}
+}
+
+// FrontierPool recycles frontiers — most importantly their O(n)
+// bitmaps — for one vector dimension, the per-matrix analogue of the
+// engines' workspace pools: an engine (or algorithm) that wraps each
+// incoming list vector in a pooled frontier pays one bitmap allocation
+// per concurrent call ever, not one per call, and the erase on release
+// is O(nnz) thanks to BitVec.ClearFrom. The pool is safe for
+// concurrent use.
+type FrontierPool struct {
+	n    Index
+	pool sync.Pool // *Frontier
+}
+
+// NewFrontierPool returns a pool of frontiers of dimension n.
+func NewFrontierPool(n Index) *FrontierPool {
+	p := &FrontierPool{n: n}
+	p.pool.New = func() any {
+		return &Frontier{bits: NewBitVec(n), home: p}
+	}
+	return p
+}
+
+// Wrap borrows a pooled frontier holding x. The vector's dimension
+// must match the pool's.
+func (p *FrontierPool) Wrap(x *SpVec) *Frontier {
+	if x.N != p.n {
+		panic(fmt.Sprintf("sparse: FrontierPool.Wrap dimension mismatch: pool %d, vector %d", p.n, x.N))
+	}
+	f := p.pool.Get().(*Frontier)
+	f.list = x
+	return f
+}
+
+// put erases the frontier's bitmap and returns it to the pool.
+func (p *FrontierPool) put(f *Frontier) {
+	f.dropBits()
+	f.list = nil
+	p.pool.Put(f)
+}
+
+// Process-wide conversion instrumentation: every list→bitmap
+// materialization is counted, with the number of entries scattered.
+// Benchmarks and tests read these to verify that frontier sharing
+// actually eliminates conversions (e.g. that a hybrid engine's
+// matrix-driven calls reuse one bitmap per level).
+var (
+	frontierConversions      atomic.Int64
+	frontierConvertedEntries atomic.Int64
+)
+
+// FrontierConversions returns the process-wide count of list→bitmap
+// conversions and the total entries converted since process start (or
+// the last ResetFrontierConversions).
+func FrontierConversions() (conversions, entries int64) {
+	return frontierConversions.Load(), frontierConvertedEntries.Load()
+}
+
+// ResetFrontierConversions zeroes the conversion instrumentation.
+func ResetFrontierConversions() {
+	frontierConversions.Store(0)
+	frontierConvertedEntries.Store(0)
+}

@@ -1,0 +1,153 @@
+package sparse
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func frontierVec(n Index, inds ...Index) *SpVec {
+	v := NewSpVec(n, len(inds))
+	for k, i := range inds {
+		v.Append(i, float64(k+1))
+	}
+	return v
+}
+
+func TestFrontierLazyBitmap(t *testing.T) {
+	x := frontierVec(100, 3, 17, 64)
+	f := NewFrontier(x)
+	if f.N() != 100 || f.NNZ() != 3 {
+		t.Fatalf("dims: n=%d nnz=%d", f.N(), f.NNZ())
+	}
+	if f.List() != x {
+		t.Error("List should return the wrapped vector")
+	}
+	if f.HasBits() {
+		t.Error("bitmap materialized before first demand")
+	}
+
+	before, _ := FrontierConversions()
+	if !f.Materialize() {
+		t.Error("first Materialize should convert")
+	}
+	if f.Materialize() {
+		t.Error("second Materialize should be free")
+	}
+	after, entries := FrontierConversions()
+	if after != before+1 {
+		t.Errorf("conversions %d → %d, want one increment", before, after)
+	}
+	if entries < 3 {
+		t.Errorf("converted entries = %d, want ≥ 3", entries)
+	}
+
+	bits := f.Bits()
+	if bits.Count() != 3 || !bits.Test(17) || bits.Test(16) {
+		t.Errorf("bitmap content wrong: count=%d", bits.Count())
+	}
+	if v, ok := bits.Get(64); !ok || v != 3 {
+		t.Errorf("bits[64] = %v,%v want 3,true", v, ok)
+	}
+}
+
+func TestFrontierSetListInvalidatesBits(t *testing.T) {
+	f := NewFrontier(frontierVec(50, 1, 2, 3))
+	f.Bits()
+	f.SetList(frontierVec(50, 40))
+	if f.HasBits() {
+		t.Error("SetList should drop the stale bitmap")
+	}
+	bits := f.Bits()
+	if bits.Count() != 1 || !bits.Test(40) || bits.Test(1) {
+		t.Error("bitmap not rebuilt for the new list")
+	}
+}
+
+func TestFrontierPoolReuseAndClearing(t *testing.T) {
+	p := NewFrontierPool(64)
+	f := p.Wrap(frontierVec(64, 5, 9))
+	bits := f.Bits()
+	if bits.Count() != 2 {
+		t.Fatalf("count = %d", bits.Count())
+	}
+	f.Release()
+
+	// The recycled frontier must come back with an empty bitmap even
+	// though no O(n) wipe ever runs.
+	g := p.Wrap(frontierVec(64, 33))
+	gb := g.Bits()
+	if gb.Test(5) || gb.Test(9) || gb.Count() != 1 || !gb.Test(33) {
+		t.Error("recycled bitmap still holds previous frontier's bits")
+	}
+	g.Release()
+
+	// NewFrontier-built frontiers are pool-less; Release is a no-op.
+	h := NewFrontier(frontierVec(64, 1))
+	h.Release()
+	if h.List() == nil {
+		t.Error("Release on an unpooled frontier must not tear it down")
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Error("Wrap with mismatched dimension should panic")
+		}
+	}()
+	p.Wrap(frontierVec(100, 1))
+}
+
+// TestFrontierConcurrentMaterialize shares ONE unmaterialized
+// frontier across goroutines (the documented cross-engine sharing
+// pattern): exactly one conversion runs and every reader sees the
+// complete bitmap. Meaningful under -race.
+func TestFrontierConcurrentMaterialize(t *testing.T) {
+	x := frontierVec(512, 7, 130, 400)
+	f := NewFrontier(x)
+	var converted int64
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if f.Materialize() {
+				atomic.AddInt64(&converted, 1)
+			}
+			bits := f.Bits()
+			for _, i := range x.Ind {
+				if !bits.Test(i) {
+					t.Errorf("bit %d missing after shared materialization", i)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if converted != 1 {
+		t.Errorf("%d goroutines performed the conversion, want exactly 1", converted)
+	}
+}
+
+func TestFrontierPoolConcurrent(t *testing.T) {
+	p := NewFrontierPool(256)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for rep := 0; rep < 50; rep++ {
+				x := frontierVec(256, Index(g), Index(g+10), Index((g*37+rep)%256))
+				f := p.Wrap(x)
+				bits := f.Bits()
+				for _, i := range x.Ind {
+					if !bits.Test(i) {
+						t.Errorf("bit %d missing", i)
+						break
+					}
+				}
+				f.Release()
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -147,6 +147,26 @@ func FilterMask(v *SpVec, mask *BitVec, complement bool) *SpVec {
 	})
 }
 
+// FilterMaskInPlace drops the entries of v not admitted by the mask
+// (or, with complement, the entries inside it), compacting v's storage
+// — the allocation-free form engines use to mask a product after the
+// fact.
+func FilterMaskInPlace(v *SpVec, mask *BitVec, complement bool) {
+	w := 0
+	for k, i := range v.Ind {
+		keep := mask.Test(i)
+		if complement {
+			keep = !keep
+		}
+		if keep {
+			v.Ind[w], v.Val[w] = i, v.Val[k]
+			w++
+		}
+	}
+	v.Ind = v.Ind[:w]
+	v.Val = v.Val[:w]
+}
+
 // Reduce folds all values of v with the combiner starting from init.
 func Reduce(v *SpVec, init float64, combine func(acc, val float64) float64) float64 {
 	acc := init

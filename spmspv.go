@@ -17,6 +17,7 @@ import (
 	// every Algorithm constructible through NewWithAlgorithm.
 	_ "spmspv/internal/baselines"
 	_ "spmspv/internal/core"
+	_ "spmspv/internal/hybrid"
 )
 
 // Core data types, aliased from the implementation packages so the
@@ -43,8 +44,14 @@ type (
 	Counters = perf.Counters
 	// Stats summarizes a matrix (vertices, edges, pseudo-diameter).
 	Stats = sparse.Stats
+	// Frontier is a sparse vector carried in whichever representation
+	// the consuming engine prefers (list or bitmap), with the bitmap
+	// materialized lazily at most once and shared across consumers.
+	Frontier = sparse.Frontier
 	// BFSResult is the output of the matrix-based BFS.
 	BFSResult = algorithms.BFSResult
+	// MultiBFSResult is the output of the batched multi-source BFS.
+	MultiBFSResult = algorithms.MultiBFSResult
 	// PageRankResult is the output of the data-driven PageRank.
 	PageRankResult = algorithms.PageRankResult
 	// PageRankOptions configures PageRank.
@@ -117,30 +124,39 @@ const (
 	GraphMat = engine.GraphMat
 	// SortBased is the gather–radix-sort–reduce baseline.
 	SortBased = engine.SortBased
+	// Hybrid switches per call between the vector-driven bucket
+	// algorithm and the matrix-driven GraphMat algorithm on input
+	// density (paper §V). The switch point is Options.HybridThreshold;
+	// zero calibrates it from probe multiplies at construction.
+	Hybrid = engine.Hybrid
 )
 
 // Algorithms returns the registered algorithm identifiers in ascending
 // order — everything constructible through NewWithAlgorithm.
 func Algorithms() []Algorithm { return engine.Registered() }
 
-// ParseAlgorithm resolves an algorithm name — a registered Table I name
-// matched case-insensitively ("CombBLAS-SPA", "graphmat", ...) or a
-// short CLI alias ("bucket", "sort") — to its Algorithm. Anything
-// registered with the engine registry is reachable here without
-// touching this function.
+// ParseAlgorithm resolves an algorithm name — a registered name
+// matched case-insensitively ("CombBLAS-SPA", "graphmat", "hybrid",
+// ...) or a short CLI alias ("bucket", "sort") — to its Algorithm.
+// Anything registered with the engine registry is reachable here
+// without touching this function. An unknown name returns (0, false);
+// callers must check ok rather than use the zero Algorithm, which
+// happens to be Bucket.
 func ParseAlgorithm(name string) (Algorithm, bool) {
 	switch strings.ToLower(name) {
 	case "bucket":
 		return Bucket, true
 	case "sort":
 		return SortBased, true
+	case "hybrid":
+		return Hybrid, true
 	}
 	for _, alg := range engine.Registered() {
 		if strings.EqualFold(alg.String(), name) {
 			return alg, true
 		}
 	}
-	return Bucket, false
+	return 0, false
 }
 
 // Multiplier is a reusable SpMSpV engine bound to one matrix. Reuse
@@ -175,7 +191,15 @@ func New(a *Matrix, opt Options) *Multiplier {
 // constructed through the engine registry. threads ≤ 0 means
 // GOMAXPROCS; for the row-split baselines the matrix partitioning is
 // performed here, at construction ("preprocessing"), as in the
-// original systems. An unregistered algorithm falls back to Bucket.
+// original systems.
+//
+// Fallback contract: an Algorithm value with no registered constructor
+// SILENTLY falls back to the Bucket engine — the returned multiplier
+// reports Algorithm() == Bucket, which is how callers detect that the
+// fallback fired. (Construction cannot fail: the facade always
+// registers Bucket, and iterative callers should not need an error
+// path for a condition that is a build-wiring bug.) Use ParseAlgorithm
+// to validate names before construction.
 func NewWithAlgorithm(a *Matrix, alg Algorithm, opt Options) *Multiplier {
 	eng, err := engine.New(a, alg, opt)
 	if err != nil {
@@ -202,6 +226,36 @@ func (m *Multiplier) MultiplyInto(x, y *Vector, sr Semiring) {
 	m.eng.Multiply(x, y, sr)
 }
 
+// NewFrontier wraps a list-format vector as a Frontier. Feed it to
+// MultiplyFrontierInto (possibly across several multipliers) so that a
+// bitmap-preferring engine's list→bitmap conversion runs at most once
+// per frontier instead of once per call.
+func NewFrontier(x *Vector) *Frontier { return sparse.NewFrontier(x) }
+
+// MultiplyFrontierInto computes y ← A·x over sr reading whichever
+// representation of the frontier this multiplier's engine prefers —
+// the list for the vector-driven engines, the shared lazily-built
+// bitmap for GraphMat (and the Hybrid engine's matrix-driven calls).
+// Engines without frontier support read the list.
+func (m *Multiplier) MultiplyFrontierInto(x *Frontier, y *Vector, sr Semiring) {
+	if fe, ok := m.eng.(engine.FrontierEngine); ok {
+		fe.MultiplyFrontier(x, y, sr)
+		return
+	}
+	m.eng.Multiply(x.List(), y, sr)
+}
+
+// MultiplyBatch computes ys[q] ← A·xs[q] for a batch of input vectors
+// over sr, reusing the ys' storage (len(xs) must equal len(ys), and
+// the ys must be pairwise distinct). Engines with a native batch path
+// — the Bucket engine shares one Estimate/bucket-sizing pass across
+// the batch; the Hybrid engine routes each frontier by density — run
+// it; every other engine runs an equivalent loop of Multiply calls.
+// Results are always exactly those of the loop.
+func (m *Multiplier) MultiplyBatch(xs, ys []*Vector, sr Semiring) {
+	engine.MultiplyBatch(m.eng, xs, ys, sr)
+}
+
 // MultiplyMasked computes y ← ⟨A·x, mask⟩ with the mask applied during
 // the merge step (engines implementing the masked extension — the
 // Bucket engine; other algorithms return a plain product filtered
@@ -212,19 +266,7 @@ func (m *Multiplier) MultiplyMasked(x, y *Vector, sr Semiring, mask *BitVector, 
 		return
 	}
 	m.eng.Multiply(x, y, sr)
-	w := 0
-	for k, i := range y.Ind {
-		keep := mask.Test(i)
-		if complement {
-			keep = !keep
-		}
-		if keep {
-			y.Ind[w], y.Val[w] = y.Ind[k], y.Val[k]
-			w++
-		}
-	}
-	y.Ind = y.Ind[:w]
-	y.Val = y.Val[:w]
+	sparse.FilterMaskInPlace(y, mask, complement)
 }
 
 // MultiplyLeft computes the row-vector product yᵀ ← xᵀ·A, the "left
@@ -289,6 +331,22 @@ func Multiply(a *Matrix, x *Vector, opt Options) *Vector {
 // and per-level frontier sizes.
 func BFS(m *Multiplier, source Index) *BFSResult {
 	return algorithms.BFS(m.eng, m.a.NumCols, source, false)
+}
+
+// MultiBFS runs one breadth-first search per source concurrently,
+// expanding all live frontiers of a level through one batched multiply
+// (see Multiplier.MultiplyBatch). The trees are identical to running
+// BFS per source; the batch amortizes per-call engine setup across the
+// sources.
+func MultiBFS(m *Multiplier, sources []Index) *MultiBFSResult {
+	return algorithms.MultiBFS(m.eng, m.a.NumCols, sources, false)
+}
+
+// SpreadSources picks k BFS roots spread evenly across the vertex
+// range starting at base — the default source selection for MultiBFS
+// workloads.
+func SpreadSources(n, base Index, k int) []Index {
+	return algorithms.SpreadSources(n, base, k)
 }
 
 // PageRank runs the data-driven PageRank on a multiplier bound to a

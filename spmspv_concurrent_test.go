@@ -112,8 +112,8 @@ func TestConcurrentMultiplySharedMultiplier(t *testing.T) {
 // bound to the registered Table I name.
 func TestAllAlgorithmsConstructThroughRegistry(t *testing.T) {
 	regs := engine.Registered()
-	if len(regs) != 5 {
-		t.Fatalf("registry holds %d algorithms, want 5", len(regs))
+	if len(regs) != 6 {
+		t.Fatalf("registry holds %d algorithms, want 6", len(regs))
 	}
 	rng := rand.New(rand.NewSource(7))
 	a := testutil.RandomCSC(rng, 200, 200, 4)
@@ -125,6 +125,7 @@ func TestAllAlgorithmsConstructThroughRegistry(t *testing.T) {
 		spmspv.CombBLASHeap: "CombBLAS-heap",
 		spmspv.GraphMat:     "GraphMat",
 		spmspv.SortBased:    "SpMSpV-sort",
+		spmspv.Hybrid:       "Hybrid",
 	}
 	for _, alg := range regs {
 		eng, err := engine.New(a, alg, engine.Options{Threads: 2, SortOutput: true})
