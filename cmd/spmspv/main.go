@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	spmspv "spmspv"
 )
@@ -24,9 +25,13 @@ func main() {
 		matrixPath = flag.String("matrix", "", "Matrix Market file (required)")
 		vectorPath = flag.String("vector", "", "sparse vector file (required)")
 		outPath    = flag.String("out", "", "output path (default stdout)")
-		algName    = flag.String("algorithm", "bucket", "bucket, combblas-spa, combblas-heap, graphmat, sort, hybrid")
+		algName    = flag.String("algorithm", "bucket", strings.Join(spmspv.EngineNames(), ", "))
 		srName     = flag.String("semiring", "arithmetic", "arithmetic, minplus, maxplus, boolean, bfs")
 		threads    = flag.Int("threads", 0, "worker threads (0 = GOMAXPROCS)")
+		cachePath  = flag.String("calibration-cache", spmspv.DefaultCalibrationCachePath(),
+			"hybrid threshold cache file (empty disables persistence)")
+		recalibrate = flag.Bool("recalibrate", false,
+			"re-run hybrid threshold calibration even on a cache hit")
 	)
 	flag.Parse()
 	if *matrixPath == "" || *vectorPath == "" {
@@ -36,7 +41,7 @@ func main() {
 
 	alg, ok := spmspv.ParseAlgorithm(*algName)
 	if !ok {
-		fatal("unknown algorithm %q", *algName)
+		fatal("unknown algorithm %q (have: %s)", *algName, strings.Join(spmspv.EngineNames(), ", "))
 	}
 	sr, ok := map[string]spmspv.Semiring{
 		"arithmetic": spmspv.Arithmetic,
@@ -73,7 +78,12 @@ func main() {
 			a.NumRows, a.NumCols, x.N)
 	}
 
-	mu := spmspv.NewWithAlgorithm(a, alg, spmspv.Options{Threads: *threads, SortOutput: true})
+	mu := spmspv.NewWithAlgorithm(a, alg, spmspv.Options{
+		Threads:          *threads,
+		SortOutput:       true,
+		CalibrationCache: *cachePath,
+		Recalibrate:      *recalibrate,
+	})
 	y := mu.Multiply(x, sr)
 
 	out := os.Stdout

@@ -79,6 +79,29 @@
 // paid for it. Conversions are pooled and counted
 // (Counters.FrontierConversions).
 //
+// # Output frontiers and masked pipelines
+//
+// Outputs are symmetric with inputs: Multiplier.MultiplyFrontier (and
+// the masked MultiplyFrontierMasked) write the result into an output
+// Frontier —
+//
+//	input Frontier ──> engine ──> output Frontier ──> next input ...
+//
+// Engines with native output support (Bucket, GraphMat, Hybrid) emit
+// the bitmap representation in the same pass that writes the list.
+// BFS, BFSMasked, MultiBFS and ConnectedComponents all run as such
+// pipelines; BFSMasked is the conversion-free one — its masked
+// product needs no filtering, so each output frontier survives intact
+// and a direction-optimized Hybrid engine probes natively-emitted
+// bitmaps on every dense level with zero list→bitmap conversions
+// (Counters.OutputConversions and FrontierOutputStats prove it). The
+// filtering pipelines (plain BFS, components) take the list-only path
+// instead, since their refine step would erase a native bitmap before
+// anything read it. Engines that only speak lists are wrapped
+// transparently; their output bitmap stays lazy. Every registered
+// engine also implements the masked extension (the §V output-mask
+// pushdown), so BFSMasked compares all six engines.
+//
 // # Batched multiplies and multi-source BFS
 //
 // Multiplier.MultiplyBatch multiplies a batch of frontiers in one

@@ -1,6 +1,7 @@
 package algorithms
 
 import (
+	"spmspv/internal/engine"
 	"spmspv/internal/semiring"
 	"spmspv/internal/sparse"
 )
@@ -30,6 +31,15 @@ type BFSResult struct {
 //
 // With capture set, every frontier vector is cloned into the result for
 // benchmark replay.
+//
+// BFS runs as a frontier pipeline: each level's product is written
+// into an output Frontier, refined in place to the unvisited portion,
+// and fed back as the next level's input while the previous input
+// frontier becomes the next output — two frontiers, swapped, for the
+// whole search. The refine step shrinks the support, so the output
+// goes through the list-only path (a natively emitted bitmap would be
+// erased before any consumer saw it); BFSMasked has nothing to filter,
+// keeps each output intact, and is the conversion-free variant.
 func BFS(mult Multiplier, n sparse.Index, source sparse.Index, capture bool) *BFSResult {
 	res := &BFSResult{
 		Parents: make([]sparse.Index, n),
@@ -47,34 +57,47 @@ func BFS(mult Multiplier, n sparse.Index, source sparse.Index, capture bool) *BF
 
 	x := sparse.NewSpVec(n, 1)
 	x.Append(source, float64(source))
-	y := sparse.NewSpVec(n, 0)
+	xf := sparse.NewFrontier(x)
+	yf := sparse.NewOutputFrontier(n)
 
-	for level := int32(1); x.NNZ() > 0; level++ {
-		res.FrontierSizes = append(res.FrontierSizes, x.NNZ())
+	for level := int32(1); xf.NNZ() > 0; level++ {
+		res.FrontierSizes = append(res.FrontierSizes, xf.NNZ())
 		if capture {
-			res.Frontiers = append(res.Frontiers, x.Clone())
+			res.Frontiers = append(res.Frontiers, xf.List().Clone())
 		}
-		mult.Multiply(x, y, semiring.MinSelect2nd)
-		// The next frontier is the unvisited portion of y; the frontier
-		// values become the vertices' own ids for the next expansion.
-		x.Reset(n)
-		for k, i := range y.Ind {
-			if res.Levels[i] < 0 {
-				res.Levels[i] = level
-				res.Parents[i] = sparse.Index(y.Val[k])
-				x.Append(i, float64(i))
+		engine.MultiplyIntoList(mult, xf, yf, semiring.MinSelect2nd)
+		// The next frontier is the unvisited portion of the product;
+		// the frontier values become the vertices' own ids for the next
+		// expansion.
+		yf.Refine(func(i sparse.Index, v float64) (float64, bool) {
+			if res.Levels[i] >= 0 {
+				return 0, false
 			}
-		}
+			res.Levels[i] = level
+			res.Parents[i] = sparse.Index(v)
+			return float64(i), true
+		})
+		xf, yf = yf, xf
 	}
 	return res
 }
 
 // BFSMasked is BFS with the visited-set filter pushed into the multiply
 // (mask complement semantics: visited vertices are excluded during the
-// merge step instead of being filtered afterwards). It requires an
-// engine with mask support and demonstrates the §V GraphBLAS masking
-// extension.
-func BFSMasked(mult MaskedMultiplier, n sparse.Index, source sparse.Index) *BFSResult {
+// merge step instead of being filtered afterwards) — the §V GraphBLAS
+// masking extension. Every registered engine runs it: engines without
+// native mask support fall back to multiply-then-filter inside
+// engine.MultiplyIntoMasked.
+//
+// The masked product needs no refine step — every entry is unvisited
+// by construction — so the pipeline keeps each level's output frontier
+// intact (values rewritten in place to the vertices' own ids, which
+// preserves a natively-emitted bitmap) and feeds it straight back as
+// the next input. With an output-capable engine (bucket, GraphMat,
+// hybrid) no list→bitmap conversion ever runs, even when a
+// direction-optimized hybrid probes the bitmap on every dense level:
+// perf.Counters.OutputConversions stays 0.
+func BFSMasked(mult Multiplier, n sparse.Index, source sparse.Index) *BFSResult {
 	res := &BFSResult{
 		Parents: make([]sparse.Index, n),
 		Levels:  make([]int32, n),
@@ -93,19 +116,25 @@ func BFSMasked(mult MaskedMultiplier, n sparse.Index, source sparse.Index) *BFSR
 	x := sparse.NewSpVec(n, 1)
 	x.Append(source, float64(source))
 	visited.SetFrom(x)
-	y := sparse.NewSpVec(n, 0)
+	xf := sparse.NewFrontier(x)
+	yf := sparse.NewOutputFrontier(n)
 
-	for level := int32(1); x.NNZ() > 0; level++ {
-		res.FrontierSizes = append(res.FrontierSizes, x.NNZ())
-		mult.MultiplyMasked(x, y, semiring.MinSelect2nd, visited, true)
-		// Every entry of y is unvisited by construction.
-		x.Reset(n)
+	for level := int32(1); xf.NNZ() > 0; level++ {
+		res.FrontierSizes = append(res.FrontierSizes, xf.NNZ())
+		engine.MultiplyIntoMasked(mult, xf, yf, semiring.MinSelect2nd, visited, true)
+		// Every entry of the product is unvisited by construction:
+		// record it, then rewrite the values to the vertices' own ids
+		// in place (support unchanged, so the output bitmap survives).
+		y := yf.List()
 		for k, i := range y.Ind {
 			res.Levels[i] = level
 			res.Parents[i] = sparse.Index(y.Val[k])
-			x.Append(i, float64(i))
 		}
-		visited.SetFrom(x)
+		yf.UpdateValues(func(i sparse.Index, _ float64) float64 {
+			return float64(i)
+		})
+		visited.SetFrom(y)
+		xf, yf = yf, xf
 	}
 	return res
 }

@@ -1,6 +1,7 @@
 package algorithms
 
 import (
+	"spmspv/internal/engine"
 	"spmspv/internal/semiring"
 	"spmspv/internal/sparse"
 )
@@ -16,6 +17,13 @@ import (
 // The result maps every vertex to the minimum vertex id of its
 // component. The iteration count is bounded by the largest component
 // diameter.
+//
+// The rounds run as a frontier pipeline: each round's product is
+// written into an output Frontier (list-only — the refine step would
+// erase a native bitmap before anything read it), refined in place to
+// the vertices whose label improved, and fed back as the next round's
+// input while the previous input becomes the next output — no
+// per-round allocation, the same two-frontier swap as BFS.
 func ConnectedComponents(mult Multiplier, n sparse.Index) []sparse.Index {
 	labels := make([]sparse.Index, n)
 	x := sparse.NewSpVec(n, int(n))
@@ -23,17 +31,19 @@ func ConnectedComponents(mult Multiplier, n sparse.Index) []sparse.Index {
 		labels[i] = i
 		x.Append(i, float64(i))
 	}
-	y := sparse.NewSpVec(n, 0)
+	xf := sparse.NewFrontier(x)
+	yf := sparse.NewOutputFrontier(n)
 
-	for x.NNZ() > 0 {
-		mult.Multiply(x, y, semiring.MinSelect2nd)
-		x.Reset(n)
-		for k, i := range y.Ind {
-			if l := sparse.Index(y.Val[k]); l < labels[i] {
+	for xf.NNZ() > 0 {
+		engine.MultiplyIntoList(mult, xf, yf, semiring.MinSelect2nd)
+		yf.Refine(func(i sparse.Index, v float64) (float64, bool) {
+			if l := sparse.Index(v); l < labels[i] {
 				labels[i] = l
-				x.Append(i, float64(l))
+				return v, true
 			}
-		}
+			return 0, false
+		})
+		xf, yf = yf, xf
 	}
 	return labels
 }

@@ -62,58 +62,65 @@ type ACLResult struct {
 // ("essentially perform one SpMSpV at each step"), and the residuals
 // and PPR estimates are updated from y. The invariant ‖p‖ + ‖r‖ = 1 is
 // preserved up to floating-point error.
+//
+// ACL is the single-seed form of MultiCluster; the per-seed push
+// rounds and the sweep cut are shared.
 func ACL(mult Multiplier, degrees []int64, seed sparse.Index, opt ACLOptions) *ACLResult {
-	opt = opt.withDefaults()
+	return MultiCluster(mult, degrees, []sparse.Index{seed}, opt)[0]
+}
+
+// aclState is one seed's push-iteration state inside MultiCluster.
+type aclState struct {
+	p, r map[sparse.Index]float64
+	res  *ACLResult
+	// pushed holds the vertices drained this round, reused across
+	// rounds.
+	pushed []sparse.Index
+}
+
+// gather collects the seed's active vertices (residual over threshold)
+// into x and commits the α·r share of each pushed vertex to the PPR
+// estimate. It reports whether the seed pushed anything this round.
+func (st *aclState) gather(x *sparse.SpVec, degrees []int64, opt ACLOptions) bool {
+	st.pushed = st.pushed[:0]
+	for u, ru := range st.r {
+		if degrees[u] == 0 {
+			// Dangling vertex: all residual becomes PPR mass.
+			st.p[u] += ru
+			delete(st.r, u)
+			continue
+		}
+		if ru > opt.Epsilon*float64(degrees[u]) {
+			// Push: keep α·r as PPR, spread (1-α)·r/deg to the
+			// neighbors, keep nothing in the residual.
+			x.Append(u, (1-opt.Alpha)*ru/float64(degrees[u]))
+			st.pushed = append(st.pushed, u)
+		}
+	}
+	if x.NNZ() == 0 {
+		return false
+	}
+	st.res.Rounds++
+	st.res.ActiveCounts = append(st.res.ActiveCounts, x.NNZ())
+	for _, u := range st.pushed {
+		st.p[u] += opt.Alpha * st.r[u]
+		delete(st.r, u)
+	}
+	return true
+}
+
+// absorb folds one round's product back into the seed's residuals.
+func (st *aclState) absorb(y *sparse.SpVec) {
+	for k, v := range y.Ind {
+		st.r[v] += y.Val[k]
+	}
+}
+
+// sweepCut orders the touched vertices by p(v)/deg(v) and stores the
+// lowest-conductance prefix into res. The per-prefix cut update probes
+// each added vertex's neighborhood with one singleton SpMSpV.
+func sweepCut(mult Multiplier, degrees []int64, totalVol int64, p map[sparse.Index]float64, res *ACLResult, x, y *sparse.SpVec) {
 	n := sparse.Index(len(degrees))
-	res := &ACLResult{PPR: map[sparse.Index]float64{}, Conductance: math.Inf(1)}
-	if seed < 0 || seed >= n {
-		return res
-	}
-
-	p := map[sparse.Index]float64{}
-	r := map[sparse.Index]float64{seed: 1}
-
-	x := sparse.NewSpVec(n, 16)
-	y := sparse.NewSpVec(n, 0)
-
-	for round := 0; round < opt.MaxIter; round++ {
-		// Collect active vertices: residual over threshold.
-		x.Reset(n)
-		var pushed []sparse.Index
-		for u, ru := range r {
-			if degrees[u] == 0 {
-				// Dangling vertex: all residual becomes PPR mass.
-				p[u] += ru
-				delete(r, u)
-				continue
-			}
-			if ru > opt.Epsilon*float64(degrees[u]) {
-				// Push: keep α·r as PPR, spread (1-α)·r/deg to the
-				// neighbors, keep nothing in the residual.
-				x.Append(u, (1-opt.Alpha)*ru/float64(degrees[u]))
-				pushed = append(pushed, u)
-			}
-		}
-		if x.NNZ() == 0 {
-			break
-		}
-		res.Rounds++
-		res.ActiveCounts = append(res.ActiveCounts, x.NNZ())
-		for _, u := range pushed {
-			p[u] += opt.Alpha * r[u]
-			delete(r, u)
-		}
-		// One SpMSpV spreads all pushes at once: y(v) = Σ_u A(v,u)·x(u),
-		// and unit edge weights make this the plain neighbor sum.
-		mult.Multiply(x, y, semiring.Arithmetic)
-		for k, v := range y.Ind {
-			r[v] += y.Val[k]
-		}
-	}
-	res.PPR = p
-
-	// Sweep cut: order touched vertices by p(v)/deg(v) and take the
-	// prefix with the lowest conductance.
 	type pv struct {
 		v     sparse.Index
 		score float64
@@ -127,13 +134,9 @@ func ACL(mult Multiplier, degrees []int64, seed sparse.Index, opt ACLOptions) *A
 	sort.Slice(order, func(i, j int) bool { return order[i].score > order[j].score })
 	res.Conductance = math.Inf(1)
 	if len(order) == 0 {
-		return res
+		return
 	}
 
-	var totalVol int64
-	for _, d := range degrees {
-		totalVol += d
-	}
 	inSet := map[sparse.Index]bool{}
 	var vol, cut int64
 	best := 0
@@ -173,7 +176,6 @@ func ACL(mult Multiplier, degrees []int64, seed sparse.Index, opt ACLOptions) *A
 	for k := 0; k < best; k++ {
 		res.Cluster[k] = order[k].v
 	}
-	return res
 }
 
 // Degrees returns the column degrees of an adjacency matrix as int64s,

@@ -49,6 +49,12 @@ type MultiBFSResult struct {
 //
 // With capture set, every round's frontier batch is cloned into the
 // result for benchmark replay.
+//
+// The searches run as a batched frontier pipeline: every live search
+// owns an (input, output) frontier pair, the whole level expands
+// through one engine.MultiplyBatchInto call, and each search's output
+// frontier is refined in place to its unvisited portion and swapped to
+// become the next input — the two-frontier BFS pipeline, k-wide.
 func MultiBFS(mult Multiplier, n sparse.Index, sources []sparse.Index, capture bool) *MultiBFSResult {
 	k := len(sources)
 	res := &MultiBFSResult{
@@ -57,11 +63,11 @@ func MultiBFS(mult Multiplier, n sparse.Index, sources []sparse.Index, capture b
 		Levels:        make([][]int32, k),
 		FrontierSizes: make([][]int, k),
 	}
-	// live maps batch slot → source index; frontiers are dropped (and
-	// the mapping compacted) as searches exhaust.
+	// live maps batch slot → source index; frontier pairs are dropped
+	// (and the mapping compacted) as searches exhaust.
 	live := make([]int, 0, k)
-	xs := make([]*sparse.SpVec, 0, k)
-	ys := make([]*sparse.SpVec, k)
+	xs := make([]*sparse.Frontier, 0, k)
+	ys := make([]*sparse.Frontier, 0, k)
 	for s := range sources {
 		res.Parents[s] = make([]sparse.Index, n)
 		res.Levels[s] = make([]int32, n)
@@ -78,8 +84,8 @@ func MultiBFS(mult Multiplier, n sparse.Index, sources []sparse.Index, capture b
 		x := sparse.NewSpVec(n, 1)
 		x.Append(src, float64(src))
 		live = append(live, s)
-		xs = append(xs, x)
-		ys[len(xs)-1] = sparse.NewSpVec(0, 0)
+		xs = append(xs, sparse.NewFrontier(x))
+		ys = append(ys, sparse.NewOutputFrontier(n))
 	}
 
 	for level := int32(1); len(xs) > 0; level++ {
@@ -89,32 +95,32 @@ func MultiBFS(mult Multiplier, n sparse.Index, sources []sparse.Index, capture b
 		if capture {
 			batch := make([]*sparse.SpVec, len(xs))
 			for q := range xs {
-				batch[q] = xs[q].Clone()
+				batch[q] = xs[q].List().Clone()
 			}
 			res.Batches = append(res.Batches, batch)
 		}
-		engine.MultiplyBatch(mult, xs, ys[:len(xs)], semiring.MinSelect2nd)
+		engine.MultiplyBatchInto(mult, xs, ys[:len(xs)], semiring.MinSelect2nd)
 
-		// Build each search's next frontier from the unvisited portion
-		// of its own product, then compact away exhausted searches.
+		// Refine each search's product to its unvisited portion, swap
+		// it in as the next frontier, and compact away exhausted
+		// searches.
 		w := 0
 		for q, s := range live {
-			x, y := xs[q], ys[q]
 			levels, parents := res.Levels[s], res.Parents[s]
-			x.Reset(n)
-			for e, i := range y.Ind {
-				if levels[i] < 0 {
-					levels[i] = level
-					parents[i] = sparse.Index(y.Val[e])
-					x.Append(i, float64(i))
+			ys[q].Refine(func(i sparse.Index, v float64) (float64, bool) {
+				if levels[i] >= 0 {
+					return 0, false
 				}
-			}
-			if x.NNZ() > 0 {
-				live[w], xs[w], ys[w] = s, x, ys[q]
+				levels[i] = level
+				parents[i] = sparse.Index(v)
+				return float64(i), true
+			})
+			if ys[q].NNZ() > 0 {
+				live[w], xs[w], ys[w] = s, ys[q], xs[q]
 				w++
 			}
 		}
-		live, xs = live[:w], xs[:w]
+		live, xs, ys = live[:w], xs[:w], ys[:w]
 	}
 	return res
 }

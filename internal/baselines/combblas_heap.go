@@ -75,11 +75,22 @@ func (c *CombBLASHeap) retire(st *heapState) {
 // Multiply computes y ← A·x; the output is sorted (heap merging emits
 // rows in order).
 func (c *CombBLASHeap) Multiply(x, y *sparse.SpVec, sr semiring.Semiring) {
+	c.run(x, y, sr, nil, false)
+}
+
+// MultiplyMasked computes y ← ⟨A·x, mask⟩ with the mask tested in the
+// heap-merge emit callback, so masked rows never enter the per-piece
+// output buffers (see masked.go).
+func (c *CombBLASHeap) MultiplyMasked(x, y *sparse.SpVec, sr semiring.Semiring, mask *sparse.BitVec, complement bool) {
+	c.run(x, y, sr, mask, complement)
+}
+
+func (c *CombBLASHeap) run(x, y *sparse.SpVec, sr semiring.Semiring, mask *sparse.BitVec, complement bool) {
 	st := c.pool.Get().(*heapState)
 	y.Reset(c.m)
 	par.ForStatic(c.t, c.t, func(_, lo, hi int) {
 		for w := lo; w < hi; w++ {
-			c.multiplyPiece(st, w, x, sr)
+			c.multiplyPiece(st, w, x, sr, mask, complement)
 		}
 	})
 
@@ -108,7 +119,7 @@ func (c *CombBLASHeap) Multiply(x, y *sparse.SpVec, sr semiring.Semiring) {
 	c.retire(st)
 }
 
-func (c *CombBLASHeap) multiplyPiece(st *heapState, w int, x *sparse.SpVec, sr semiring.Semiring) {
+func (c *CombBLASHeap) multiplyPiece(st *heapState, w int, x *sparse.SpVec, sr semiring.Semiring, mask *sparse.BitVec, complement bool) {
 	d := c.pieces[w]
 	ctr := &st.ctr[w]
 	merger := st.mergers[w]
@@ -132,10 +143,20 @@ func (c *CombBLASHeap) multiplyPiece(st *heapState, w int, x *sparse.SpVec, sr s
 	rowOff := d.RowOffset
 	outInd := st.outInd[w][:0]
 	outVal := st.outVal[w][:0]
-	merger.Merge(sr, func(row sparse.Index, val float64) {
+	emit := func(row sparse.Index, val float64) {
 		outInd = append(outInd, row+rowOff)
 		outVal = append(outVal, val)
-	})
+	}
+	if mask != nil {
+		plain := emit
+		emit = func(row sparse.Index, val float64) {
+			if mask.Test(row+rowOff) == complement {
+				return
+			}
+			plain(row, val)
+		}
+	}
+	merger.Merge(sr, emit)
 	ctr.HeapOps += merger.Ops()
 	st.outInd[w] = outInd
 	st.outVal[w] = outVal

@@ -93,11 +93,22 @@ func (c *CombBLASSPA) retire(st *spaState) {
 // Multiply computes y ← A·x. The output is sorted (CombBLAS keeps its
 // vectors ordered, paper §IV-B).
 func (c *CombBLASSPA) Multiply(x, y *sparse.SpVec, sr semiring.Semiring) {
+	c.run(x, y, sr, nil, false)
+}
+
+// MultiplyMasked computes y ← ⟨A·x, mask⟩ with masked rows dropped
+// from each piece's touched list before the per-piece sort and output
+// copy (see masked.go).
+func (c *CombBLASSPA) MultiplyMasked(x, y *sparse.SpVec, sr semiring.Semiring, mask *sparse.BitVec, complement bool) {
+	c.run(x, y, sr, mask, complement)
+}
+
+func (c *CombBLASSPA) run(x, y *sparse.SpVec, sr semiring.Semiring, mask *sparse.BitVec, complement bool) {
 	st := c.pool.Get().(*spaState)
 	y.Reset(c.m)
 	par.ForStatic(c.t, c.t, func(_, lo, hi int) {
 		for w := lo; w < hi; w++ {
-			c.multiplyPiece(st, w, x, sr)
+			c.multiplyPiece(st, w, x, sr, mask, complement)
 		}
 	})
 
@@ -132,7 +143,7 @@ func (c *CombBLASSPA) Multiply(x, y *sparse.SpVec, sr semiring.Semiring) {
 	c.retire(st)
 }
 
-func (c *CombBLASSPA) multiplyPiece(st *spaState, w int, x *sparse.SpVec, sr semiring.Semiring) {
+func (c *CombBLASSPA) multiplyPiece(st *spaState, w int, x *sparse.SpVec, sr semiring.Semiring, mask *sparse.BitVec, complement bool) {
 	d := c.pieces[w]
 	ctr := &st.ctr[w]
 	vals := st.spaVal[w]
@@ -185,6 +196,9 @@ func (c *CombBLASSPA) multiplyPiece(st *spaState, w int, x *sparse.SpVec, sr sem
 	}
 	ctr.SPAUpdates += acc.updates
 
+	if mask != nil {
+		acc.touched = filterTouchedMasked(acc.touched, d.RowOffset, mask, complement)
+	}
 	st.scratch[w] = radix.SortIndices(acc.touched, st.scratch[w])
 	ctr.SortedElems += int64(len(acc.touched))
 	st.touched[w] = acc.touched

@@ -96,7 +96,17 @@ func (g *GraphMat) PreferredRep() enginepkg.Rep { return enginepkg.RepBitmap }
 // set + O(f) clear, never an O(n) wipe).
 func (g *GraphMat) Multiply(x, y *sparse.SpVec, sr semiring.Semiring) {
 	fr := g.fpool.Wrap(x)
-	g.MultiplyFrontier(fr, y, sr)
+	g.run(fr, y, nil, sr, nil, false)
+	fr.Release()
+}
+
+// MultiplyMasked computes y ← ⟨A·x, mask⟩ with the mask pushed into
+// the per-piece pass: masked rows are dropped from each piece's
+// touched list before it is sorted or copied out, so they never reach
+// the output step.
+func (g *GraphMat) MultiplyMasked(x, y *sparse.SpVec, sr semiring.Semiring, mask *sparse.BitVec, complement bool) {
+	fr := g.fpool.Wrap(x)
+	g.run(fr, y, nil, sr, mask, complement)
 	fr.Release()
 }
 
@@ -104,6 +114,39 @@ func (g *GraphMat) Multiply(x, y *sparse.SpVec, sr semiring.Semiring) {
 // representation, materializing it only when no earlier consumer of
 // the same frontier already has.
 func (g *GraphMat) MultiplyFrontier(fr *sparse.Frontier, y *sparse.SpVec, sr semiring.Semiring) {
+	g.run(fr, y, nil, sr, nil, false)
+}
+
+// OutputRep reports that MultiplyInto emits the bitmap natively: the
+// bitvector is GraphMat's natural vector format, and the per-piece
+// output copy scatters its rows into the output bitmap in the same
+// pass that writes the list.
+func (g *GraphMat) OutputRep() enginepkg.Rep { return enginepkg.RepBitmap }
+
+// MultiplyInto computes y ← A·x into the output frontier, bitmap
+// emitted natively — a bitvector-in, bitvector-out multiply, the shape
+// GraphMat's own matrix-driven pipeline composes.
+func (g *GraphMat) MultiplyInto(x, y *sparse.Frontier, sr semiring.Semiring) {
+	list := y.BeginOutput()
+	bits := y.OutputBits(g.m)
+	g.run(x, list, bits, sr, nil, false)
+	y.FinishOutput(true)
+}
+
+// MultiplyIntoMasked computes y ← ⟨A·x, mask⟩ into the output
+// frontier with the mask pushed into the per-piece pass and the
+// surviving rows emitted list+bitmap in one pass.
+func (g *GraphMat) MultiplyIntoMasked(x, y *sparse.Frontier, sr semiring.Semiring, mask *sparse.BitVec, complement bool) {
+	list := y.BeginOutput()
+	bits := y.OutputBits(g.m)
+	g.run(x, list, bits, sr, mask, complement)
+	y.FinishOutput(true)
+}
+
+// run is the shared matrix-driven multiply: frontier in, list (and
+// optionally native bitmap) out, with an optional output mask applied
+// per piece.
+func (g *GraphMat) run(fr *sparse.Frontier, y *sparse.SpVec, outBits *sparse.BitVec, sr semiring.Semiring, mask *sparse.BitVec, complement bool) {
 	st := g.pool.Get().(*gmState)
 	y.Reset(g.m)
 	if fr.Materialize() {
@@ -111,12 +154,18 @@ func (g *GraphMat) MultiplyFrontier(fr *sparse.Frontier, y *sparse.SpVec, sr sem
 		// the original bitvector build paid per call.
 		st.ctr[0].XScanned += int64(fr.NNZ())
 		st.ctr[0].FrontierConversions++
+		if fr.IsOutput() {
+			// The upstream engine produced this frontier without a
+			// native bitmap — the conversion the output layer is
+			// supposed to make unnecessary.
+			st.ctr[0].OutputConversions++
+		}
 	}
 	bits := fr.Bits()
 
 	par.ForStatic(g.t, g.t, func(_, lo, hi int) {
 		for w := lo; w < hi; w++ {
-			g.multiplyPiece(st, bits, w, sr)
+			g.multiplyPiece(st, bits, w, sr, mask, complement)
 		}
 	})
 
@@ -136,11 +185,17 @@ func (g *GraphMat) MultiplyFrontier(fr *sparse.Frontier, y *sparse.SpVec, sr sem
 	par.ForStatic(g.t, g.t, func(_, lo, hi int) {
 		for w := lo; w < hi; w++ {
 			off := st.outOff[w]
-			rowOff := g.pieces[w].RowOffset
+			d := g.pieces[w]
+			rowOff := d.RowOffset
 			vals := st.spaVal[w]
 			for i, li := range st.touched[w] {
 				y.Ind[off+int64(i)] = li + rowOff
 				y.Val[off+int64(i)] = vals[li]
+			}
+			if outBits != nil && len(st.touched[w]) > 0 {
+				cnt := int64(len(st.touched[w]))
+				outBits.SetRangeFrom(y.Ind[off:off+cnt], y.Val[off:off+cnt],
+					rowOff, rowOff+d.NumRows)
 			}
 			st.ctr[w].OutputWritten += int64(len(st.touched[w]))
 		}
@@ -149,7 +204,7 @@ func (g *GraphMat) MultiplyFrontier(fr *sparse.Frontier, y *sparse.SpVec, sr sem
 	g.retire(st)
 }
 
-func (g *GraphMat) multiplyPiece(st *gmState, bits *sparse.BitVec, w int, sr semiring.Semiring) {
+func (g *GraphMat) multiplyPiece(st *gmState, bits *sparse.BitVec, w int, sr semiring.Semiring, mask *sparse.BitVec, complement bool) {
 	d := g.pieces[w]
 	ctr := &st.ctr[w]
 	st.epochs[w]++
@@ -184,6 +239,11 @@ func (g *GraphMat) multiplyPiece(st *gmState, bits *sparse.BitVec, w int, sr sem
 	ctr.SPAInit += acc.inits
 	ctr.SPAUpdates += acc.updates
 
+	if mask != nil {
+		// Mask pushdown: masked rows leave the piece here, before the
+		// sort and the output copy ever see them.
+		acc.touched = filterTouchedMasked(acc.touched, d.RowOffset, mask, complement)
+	}
 	st.scratch[w] = radix.SortIndices(acc.touched, st.scratch[w])
 	ctr.SortedElems += int64(len(acc.touched))
 	st.touched[w] = acc.touched

@@ -1,0 +1,37 @@
+package baselines
+
+import (
+	"spmspv/internal/sparse"
+)
+
+// Masked variants (paper §V's GraphBLAS masked-SpMSpV extension) for
+// the Table I baselines. Each pushes the output mask into the layer of
+// its own algorithm where rows are cheapest to kill — before any
+// sorting, merging or output copying happens — rather than filtering a
+// finished product:
+//
+//   - CombBLAS-SPA and GraphMat drop masked rows from each piece's
+//     touched list right after accumulation (filterTouchedMasked), so
+//     the per-piece radix sort and the output concatenation only see
+//     surviving rows.
+//   - CombBLAS-heap tests the mask in the heap-merge emit callback, so
+//     masked rows never enter the per-piece output buffers.
+//   - SpMSpV-sort tests the mask per duplicate-run during the prune
+//     step, skipping the reduction of runs the mask kills.
+//
+// The semantics match internal/core's mergeMasked: a row survives iff
+// mask.Test(row) != complement.
+
+// filterTouchedMasked compacts a piece's touched list (local row
+// indices, offset by rowOff globally) to the rows the mask admits.
+func filterTouchedMasked(touched []sparse.Index, rowOff sparse.Index, mask *sparse.BitVec, complement bool) []sparse.Index {
+	w := 0
+	for _, li := range touched {
+		if mask.Test(li+rowOff) == complement {
+			continue
+		}
+		touched[w] = li
+		w++
+	}
+	return touched[:w]
+}

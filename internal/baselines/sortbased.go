@@ -65,6 +65,17 @@ func (s *SortBased) retire(st *sortState) {
 
 // Multiply computes y ← A·x; the output is sorted.
 func (s *SortBased) Multiply(x, y *sparse.SpVec, sr semiring.Semiring) {
+	s.run(x, y, sr, nil, false)
+}
+
+// MultiplyMasked computes y ← ⟨A·x, mask⟩ with the mask tested once
+// per duplicate-run during the prune step: runs the mask kills are
+// skipped without reducing them (see masked.go).
+func (s *SortBased) MultiplyMasked(x, y *sparse.SpVec, sr semiring.Semiring, mask *sparse.BitVec, complement bool) {
+	s.run(x, y, sr, mask, complement)
+}
+
+func (s *SortBased) run(x, y *sparse.SpVec, sr semiring.Semiring, mask *sparse.BitVec, complement bool) {
 	y.Reset(s.a.NumRows)
 	f := len(x.Ind)
 	if f == 0 {
@@ -124,6 +135,12 @@ func (s *SortBased) Multiply(x, y *sparse.SpVec, sr semiring.Semiring) {
 			lo, hi := bounds[w], bounds[w+1]
 			for k := lo; k < hi; {
 				row := ents[k].Ind
+				if mask != nil && mask.Test(row) == complement {
+					// Masked run: skip it wholesale, no reduction.
+					for k++; k < hi && ents[k].Ind == row; k++ {
+					}
+					continue
+				}
 				acc := ents[k].Val
 				k++
 				for k < hi && ents[k].Ind == row {

@@ -85,7 +85,7 @@ func frontierWork(a *sparse.CSC, x *sparse.SpVec) int64 {
 // shared workspace; singleton segments take the single-call path.
 func runBatchSegment(a *sparse.CSC, xs, ys []*sparse.SpVec, sr semiring.Semiring, ws *Workspace, opt Options) {
 	if len(xs) == 1 {
-		multiply(a, xs[0], ys[0], sr, ws, opt, nil, false)
+		multiply(a, xs[0], ys[0], sr, ws, opt, nil, false, nil)
 		return
 	}
 	multiplyBatch(a, xs, ys, sr, ws, opt)

@@ -66,3 +66,72 @@ func FuzzMultiplyMatchesReference(f *testing.F) {
 		}
 	})
 }
+
+// FuzzMultiplyMaskedOutputMatchesReference extends the fuzz harness to
+// masked frontier outputs: the mask-pushdown merge plus the native
+// list+bitmap output pass must equal the oracle with the mask applied
+// after the fact, and the emitted bitmap must mirror the list, across
+// fuzzer-chosen shapes, mask densities and polarities.
+func FuzzMultiplyMaskedOutputMatchesReference(f *testing.F) {
+	f.Add(int64(1), uint16(100), uint16(100), uint8(4), uint8(2), uint8(0), uint8(128))
+	f.Add(int64(2), uint16(1), uint16(1), uint8(1), uint8(1), uint8(1), uint8(0))
+	f.Add(int64(3), uint16(3000), uint16(17), uint8(30), uint8(8), uint8(2), uint8(255))
+	f.Add(int64(5), uint16(64), uint16(2000), uint8(9), uint8(5), uint8(3), uint8(40))
+	f.Fuzz(func(t *testing.T, seed int64, m16, n16 uint16, deg, threads, bits, maskDen uint8) {
+		m := sparse.Index(m16%4000 + 1)
+		n := sparse.Index(n16%4000 + 1)
+		d := float64(deg%32) + 0.5
+		tcount := int(threads%16) + 1
+
+		rng := rand.New(rand.NewSource(seed))
+		a := testutil.RandomCSC(rng, m, n, d)
+		x := testutil.RandomVector(rng, n, rng.Intn(int(n)+1), bits&1 != 0)
+
+		sel := sparse.NewSpVec(m, 0)
+		den := float64(maskDen) / 255
+		for i := sparse.Index(0); i < m; i++ {
+			if rng.Float64() < den {
+				sel.Append(i, 1)
+			}
+		}
+		mask := sparse.NewBitVec(m)
+		mask.SetFrom(sel)
+		complement := bits&2 != 0
+
+		opt := Options{Threads: tcount, SortOutput: bits&4 != 0}
+		mu := NewMultiplier(a, opt)
+
+		want := baselines.Reference(a, x, semiring.Arithmetic)
+		sparse.FilterMaskInPlace(want, mask, complement)
+
+		// Masked list path.
+		y := sparse.NewSpVec(0, 0)
+		mu.MultiplyMasked(x, y, semiring.Arithmetic, mask, complement)
+		if !y.EqualValues(want, 1e-9) {
+			t.Fatalf("MultiplyMasked mismatch: m=%d n=%d d=%g complement=%v", m, n, d, complement)
+		}
+
+		// Masked frontier-output path, run twice through the same
+		// output frontier to catch stale bitmap state.
+		xf := sparse.NewFrontier(x)
+		yf := sparse.NewOutputFrontier(m)
+		for round := 0; round < 2; round++ {
+			mu.MultiplyIntoMasked(xf, yf, semiring.Arithmetic, mask, complement)
+			if !yf.List().EqualValues(want, 1e-9) {
+				t.Fatalf("round %d: MultiplyIntoMasked mismatch", round)
+			}
+			if yf.HasBits() {
+				bv := yf.Bits()
+				if bv.Count() != yf.NNZ() {
+					t.Fatalf("round %d: bitmap count %d != nnz %d", round, bv.Count(), yf.NNZ())
+				}
+				l := yf.List()
+				for k, i := range l.Ind {
+					if v, ok := bv.Get(i); !ok || v != l.Val[k] {
+						t.Fatalf("round %d: bitmap[%d] = (%v,%v), list %g", round, i, v, ok, l.Val[k])
+					}
+				}
+			}
+		}
+	})
+}

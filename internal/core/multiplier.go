@@ -62,12 +62,44 @@ func (mu *Multiplier) MultiplyFrontier(x *sparse.Frontier, y *sparse.SpVec, sr s
 	mu.Multiply(x.List(), y, sr)
 }
 
+// OutputRep reports that MultiplyInto emits list and bitmap in one
+// pass: Step 3's per-bucket concatenation scatters each bucket's
+// unique indices into the output bitmap as it writes them to the list.
+func (mu *Multiplier) OutputRep() engine.Rep { return engine.RepBitmap }
+
+// MultiplyInto computes y ← A·x into the output frontier, emitting the
+// bitmap representation natively during the output step — a consumer
+// that prefers the bitmap (a hybrid engine's next dense level) reads
+// it with zero conversions.
+func (mu *Multiplier) MultiplyInto(x, y *sparse.Frontier, sr semiring.Semiring) {
+	ws := mu.pool.Get().(*Workspace)
+	list := y.BeginOutput()
+	bits := y.OutputBits(mu.A.NumRows)
+	native := multiply(mu.A, x.List(), list, sr, ws, mu.Opt, nil, false, bits)
+	y.FinishOutput(native)
+	mu.retire(ws)
+}
+
+// MultiplyIntoMasked computes y ← ⟨A·x, mask⟩ into the output
+// frontier: the mask is pushed into the merge step (bucket entries it
+// kills never reach the SPA output) and the surviving result is
+// emitted list+bitmap in one pass.
+func (mu *Multiplier) MultiplyIntoMasked(x, y *sparse.Frontier, sr semiring.Semiring, mask *sparse.BitVec, complement bool) {
+	ws := mu.pool.Get().(*Workspace)
+	list := y.BeginOutput()
+	bits := y.OutputBits(mu.A.NumRows)
+	native := multiply(mu.A, x.List(), list, sr, ws, mu.Opt, mask, complement, bits)
+	y.FinishOutput(native)
+	mu.retire(ws)
+}
+
 // Compile-time checks: the bucket multiplier implements every optional
 // engine extension.
 var (
-	_ engine.MaskedEngine   = (*Multiplier)(nil)
-	_ engine.FrontierEngine = (*Multiplier)(nil)
-	_ engine.BatchEngine    = (*Multiplier)(nil)
+	_ engine.MaskedEngine       = (*Multiplier)(nil)
+	_ engine.FrontierEngine     = (*Multiplier)(nil)
+	_ engine.BatchEngine        = (*Multiplier)(nil)
+	_ engine.MaskedOutputEngine = (*Multiplier)(nil)
 )
 
 // retire folds the workspace's per-call work into the multiplier's

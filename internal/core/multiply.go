@@ -13,7 +13,7 @@ import (
 // reset and filled; it comes out sorted iff opt.SortOutput is set. ws
 // must not be shared with concurrent calls.
 func Multiply(a *sparse.CSC, x *sparse.SpVec, y *sparse.SpVec, sr semiring.Semiring, ws *Workspace, opt Options) {
-	multiply(a, x, y, sr, ws, opt, nil, false)
+	multiply(a, x, y, sr, ws, opt, nil, false, nil)
 }
 
 // MultiplyMasked computes y ← ⟨A·x, mask⟩: entries of A·x whose row is
@@ -23,10 +23,14 @@ func Multiply(a *sparse.CSC, x *sparse.SpVec, y *sparse.SpVec, sr semiring.Semir
 // vertices. Masked SpMSpV is listed as upcoming GraphBLAS work in the
 // paper's §V; this implements the mask-pushdown the paper anticipates.
 func MultiplyMasked(a *sparse.CSC, x *sparse.SpVec, y *sparse.SpVec, sr semiring.Semiring, mask *sparse.BitVec, complement bool, ws *Workspace, opt Options) {
-	multiply(a, x, y, sr, ws, opt, mask, complement)
+	multiply(a, x, y, sr, ws, opt, mask, complement, nil)
 }
 
-func multiply(a *sparse.CSC, x *sparse.SpVec, y *sparse.SpVec, sr semiring.Semiring, ws *Workspace, opt Options, mask *sparse.BitVec, maskComplement bool) {
+// multiply is the shared implementation. outBits, when non-nil, is an
+// output bitmap the final output step populates natively alongside y
+// (one pass emits both representations — see Multiplier.MultiplyInto);
+// multiply reports whether it did so (always, when outBits is non-nil).
+func multiply(a *sparse.CSC, x *sparse.SpVec, y *sparse.SpVec, sr semiring.Semiring, ws *Workspace, opt Options, mask *sparse.BitVec, maskComplement bool, outBits *sparse.BitVec) bool {
 	opt = opt.WithDefaults()
 	m := a.NumRows
 	y.Reset(m)
@@ -34,7 +38,7 @@ func multiply(a *sparse.CSC, x *sparse.SpVec, y *sparse.SpVec, sr semiring.Semir
 	f := x.NNZ()
 	if f == 0 || m == 0 {
 		ws.Steps = perf.StepTimes{}
-		return
+		return outBits != nil
 	}
 
 	// The paper's parallel analysis assumes t ≤ f; more threads than
@@ -108,8 +112,9 @@ func multiply(a *sparse.CSC, x *sparse.SpVec, y *sparse.SpVec, sr semiring.Semir
 
 	// Step 3: concatenate buckets into y through a prefix sum of unique
 	// counts ("using prefix sum on the master thread", Algorithm 1).
-	outputStep(y, ws, t, nb, opt)
+	outputStep(y, outBits, ws, t, nb, shift, opt)
 	ws.Steps.Output = timer.Lap()
+	return outBits != nil
 }
 
 // estimateBuckets implements Algorithm 2: each worker scans its range of
@@ -141,8 +146,12 @@ func estimateBuckets(a *sparse.CSC, x *sparse.SpVec, ws *Workspace, t, nb int, s
 
 // outputStep implements Step 3 of Algorithm 1: per-bucket unique counts
 // are prefix-summed on the master thread, then every bucket copies its
-// (index, SPA value) pairs to its final offset in y in parallel.
-func outputStep(y *sparse.SpVec, ws *Workspace, t, nb int, opt Options) {
+// (index, SPA value) pairs to its final offset in y in parallel. When
+// outBits is non-nil the same per-bucket pass scatters the bucket's
+// entries into the output bitmap — buckets own disjoint row ranges
+// [b·2^shift, (b+1)·2^shift), so SetRangeFrom's boundary-word atomics
+// make the concurrent fill race-free at any alignment.
+func outputStep(y *sparse.SpVec, outBits *sparse.BitVec, ws *Workspace, t, nb int, shift uint, opt Options) {
 	var nnzY int64
 	for b := 0; b < nb; b++ {
 		ws.uindOffset[b] = nnzY
@@ -166,6 +175,11 @@ func outputStep(y *sparse.SpVec, ws *Workspace, t, nb int, opt Options) {
 			for i, ind := range u {
 				y.Ind[off+int64(i)] = ind
 				y.Val[off+int64(i)] = ws.spaVal[ind]
+			}
+			if outBits != nil && len(u) > 0 {
+				bLo := sparse.Index(b) << shift
+				outBits.SetRangeFrom(y.Ind[off:off+int64(len(u))], y.Val[off:off+int64(len(u))],
+					bLo, bLo+(sparse.Index(1)<<shift))
 			}
 			ctr.OutputWritten += int64(len(u))
 		}

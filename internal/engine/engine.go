@@ -91,6 +91,129 @@ type FrontierEngine interface {
 	MultiplyFrontier(x *sparse.Frontier, y *sparse.SpVec, sr semiring.Semiring)
 }
 
+// OutputEngine is the optional extension for engines whose result is
+// written into a sparse.Frontier rather than a bare list vector —
+// outputs made symmetric with inputs. An OutputEngine drives the
+// frontier's BeginOutput/FinishOutput protocol itself and, when its
+// output pass already visits a bitmap-shaped structure, emits the
+// output bitmap natively in the same pass — so a consumer that prefers
+// the bitmap (GraphMat's matrix-driven loop, a hybrid engine's dense
+// levels) reads it with no list→bitmap conversion ever running.
+// Engines that only speak lists are served by the package-level
+// MultiplyInto wrapper, which runs the list multiply into the
+// frontier and leaves the bitmap lazy.
+type OutputEngine interface {
+	Engine
+	// OutputRep reports the richest representation MultiplyInto
+	// populates natively: RepBitmap means the output frontier carries
+	// list and bitmap after one pass; RepList means list only (the
+	// bitmap, if a consumer demands it, is a counted conversion).
+	OutputRep() Rep
+	// MultiplyInto computes y ← A·x over sr, writing the result into
+	// the output frontier (list authoritative, bitmap populated
+	// natively when OutputRep is RepBitmap). x and y must not alias.
+	MultiplyInto(x, y *sparse.Frontier, sr semiring.Semiring)
+}
+
+// MaskedOutputEngine combines the masked and output extensions: the
+// output mask is pushed down into the engine's merge/accumulate step
+// (entries the mask kills never reach the output) AND the surviving
+// result is emitted in frontier form. This is the §V GraphBLAS
+// "masked SpMSpV" primitive in the shape graph algorithms compose:
+// BFS's visited filter becomes part of the multiply and the filtered
+// output is immediately a valid next frontier.
+type MaskedOutputEngine interface {
+	OutputEngine
+	// MultiplyIntoMasked computes y ← ⟨A·x, mask⟩ into the output
+	// frontier; complement inverts the mask test.
+	MultiplyIntoMasked(x, y *sparse.Frontier, sr semiring.Semiring, mask *sparse.BitVec, complement bool)
+}
+
+// OutputRepOf reports the representation e emits natively into output
+// frontiers: RepList for engines served by the fallback wrapper.
+func OutputRepOf(e Engine) Rep {
+	if oe, ok := e.(OutputEngine); ok {
+		return oe.OutputRep()
+	}
+	return RepList
+}
+
+// MultiplyInto computes y ← A·x into the output frontier through e:
+// natively when e implements OutputEngine, otherwise via the fallback
+// wrapper — the list multiply (frontier-aware when e reads frontiers)
+// runs into the frontier's list and the bitmap stays lazy. This is the
+// uniform entry point frontier pipelines use so every registered
+// engine writes frontier outputs.
+func MultiplyInto(e Engine, x, y *sparse.Frontier, sr semiring.Semiring) {
+	if oe, ok := e.(OutputEngine); ok {
+		oe.MultiplyInto(x, y, sr)
+		return
+	}
+	MultiplyIntoList(e, x, y, sr)
+}
+
+// MultiplyIntoList computes y ← A·x into the output frontier through
+// the list-only path even when e could emit the bitmap natively: the
+// frontier-aware list multiply runs into the frontier's list and the
+// bitmap stays lazy. Callers that immediately shrink the output's
+// support (plain BFS's unvisited filter, components' improved-label
+// filter) use this — a natively emitted bitmap would be erased before
+// any consumer could read it, so emitting it would be pure waste.
+func MultiplyIntoList(e Engine, x, y *sparse.Frontier, sr semiring.Semiring) {
+	list := y.BeginOutput()
+	if fe, ok := e.(FrontierEngine); ok {
+		fe.MultiplyFrontier(x, list, sr)
+	} else {
+		e.Multiply(x.List(), list, sr)
+	}
+	y.FinishOutput(false)
+}
+
+// MultiplyIntoMasked computes y ← ⟨A·x, mask⟩ into the output frontier
+// through e, degrading gracefully with the engine's capabilities:
+// native masked-output pushdown, then a masked list multiply, then —
+// for engines with no mask support at all — a plain multiply filtered
+// after the fact (same results, the work the pushdown avoids).
+func MultiplyIntoMasked(e Engine, x, y *sparse.Frontier, sr semiring.Semiring, mask *sparse.BitVec, complement bool) {
+	if moe, ok := e.(MaskedOutputEngine); ok {
+		moe.MultiplyIntoMasked(x, y, sr, mask, complement)
+		return
+	}
+	list := y.BeginOutput()
+	if me, ok := e.(MaskedEngine); ok {
+		me.MultiplyMasked(x.List(), list, sr, mask, complement)
+	} else {
+		if fe, ok := e.(FrontierEngine); ok {
+			fe.MultiplyFrontier(x, list, sr)
+		} else {
+			e.Multiply(x.List(), list, sr)
+		}
+		sparse.FilterMaskInPlace(list, mask, complement)
+	}
+	y.FinishOutput(false)
+}
+
+// MultiplyBatchInto runs a batch of frontier-output multiplies through
+// e: the lists go through the engine's native batch path (or the
+// Multiply loop) and every output frontier completes its output pass
+// with the bitmap lazy — batched callers trade native bitmaps for the
+// shared Estimate pass. len(xs) must equal len(ys).
+func MultiplyBatchInto(e Engine, xs, ys []*sparse.Frontier, sr semiring.Semiring) {
+	if len(xs) != len(ys) {
+		panic(fmt.Sprintf("engine: MultiplyBatchInto with %d inputs but %d outputs", len(xs), len(ys)))
+	}
+	xl := make([]*sparse.SpVec, len(xs))
+	yl := make([]*sparse.SpVec, len(ys))
+	for q := range xs {
+		xl[q] = xs[q].List()
+		yl[q] = ys[q].BeginOutput()
+	}
+	MultiplyBatch(e, xl, yl, sr)
+	for q := range ys {
+		ys[q].FinishOutput(false)
+	}
+}
+
 // BatchEngine is the optional extension for engines that multiply a
 // batch of frontiers against the matrix in one pass, amortizing
 // per-call setup (the bucket engine's Estimate/bucket-sizing pass,

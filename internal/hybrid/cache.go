@@ -1,0 +1,121 @@
+package hybrid
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math/bits"
+	"os"
+	"path/filepath"
+
+	"spmspv/internal/sparse"
+)
+
+// On-disk calibration cache: calibrated switch thresholds persisted
+// per matrix fingerprint, so repeated runs against the same matrix
+// (benchmark sweeps, a service restarting with the same shard) skip
+// the construction-time probe multiplies. The cache is a flat JSON map
+// fingerprint → entry; writes are whole-file read-modify-write through
+// a temp-file rename, and every error is swallowed into "cache miss" —
+// a broken cache must never break a multiply.
+
+// fingerprintVersion bumps when the fingerprint recipe changes, so old
+// cache entries go stale instead of silently mismatching.
+const fingerprintVersion = 1
+
+// Fingerprint summarizes a matrix for calibration caching: dimensions,
+// nonzero count and a column-degree sketch (a log2-bucketed histogram
+// of column degrees, hashed). Two matrices sharing a fingerprint have
+// the same size and a near-identical degree profile — the structural
+// properties the bucket/GraphMat crossover depends on — so a threshold
+// calibrated for one transfers to the other.
+func Fingerprint(a *sparse.CSC) string {
+	// Degree sketch: count columns per log2-degree bucket (0, 1, 2-3,
+	// 4-7, ...). 32 buckets cover every possible int32 degree.
+	var hist [33]int64
+	for j := sparse.Index(0); j < a.NumCols; j++ {
+		d := a.ColLen(j)
+		if d == 0 {
+			hist[0]++
+			continue
+		}
+		hist[1+bits.Len64(uint64(d))-1]++
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "v%d:%dx%d:%d:", fingerprintVersion, a.NumRows, a.NumCols, a.NNZ())
+	for _, c := range hist {
+		fmt.Fprintf(h, "%d,", c)
+	}
+	sum := h.Sum(nil)
+	return fmt.Sprintf("v%d-%dx%d-%d-%s", fingerprintVersion,
+		a.NumRows, a.NumCols, a.NNZ(), hex.EncodeToString(sum[:8]))
+}
+
+// cacheEntry is one persisted calibration result.
+type cacheEntry struct {
+	Threshold float64 `json:"threshold"`
+}
+
+// loadThreshold returns the cached threshold for the fingerprint, or
+// ok=false on any miss, parse error or unusable value.
+func loadThreshold(path, fp string) (float64, bool) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, false
+	}
+	var entries map[string]cacheEntry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return 0, false
+	}
+	e, ok := entries[fp]
+	if !ok || e.Threshold <= 0 {
+		return 0, false
+	}
+	return e.Threshold, true
+}
+
+// storeThreshold merges the threshold into the cache file, creating
+// the file (and its directory) as needed. Best-effort: every failure
+// is reported to the caller but the caller treats the store as
+// optional.
+func storeThreshold(path, fp string, th float64) error {
+	entries := map[string]cacheEntry{}
+	if data, err := os.ReadFile(path); err == nil {
+		// A corrupt cache is rewritten from scratch rather than kept.
+		_ = json.Unmarshal(data, &entries)
+	}
+	entries[fp] = cacheEntry{Threshold: th}
+	data, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".thresholds-*")
+	if err != nil {
+		return err
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		if werr != nil {
+			return werr
+		}
+		return cerr
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// DefaultCachePath returns the conventional location of the
+// calibration cache under the user cache directory, or "" when the
+// platform reports none (persistence then stays off).
+func DefaultCachePath() string {
+	dir, err := os.UserCacheDir()
+	if err != nil {
+		return ""
+	}
+	return filepath.Join(dir, "spmspv", "hybrid-thresholds.json")
+}

@@ -50,6 +50,7 @@ type Engine struct {
 	// matrix-driven side runs; +Inf pins the vector-driven side.
 	threshold  float64
 	calibrated bool
+	fromCache  bool
 	n          sparse.Index
 
 	switches atomic.Int64
@@ -73,11 +74,28 @@ func New(a *sparse.CSC, opt engine.Options) *Engine {
 		n:         a.NumCols,
 	}
 	if opt.HybridThreshold == 0 {
+		fp := ""
+		if opt.CalibrationCache != "" {
+			fp = Fingerprint(a)
+			if !opt.Recalibrate {
+				if th, ok := loadThreshold(opt.CalibrationCache, fp); ok {
+					h.threshold = th
+					h.calibrated = true
+					h.fromCache = true
+					return h
+				}
+			}
+		}
 		h.threshold = calibrate(h.bucket, h.matrix, a)
 		h.calibrated = true
 		// Probe multiplies must not leak into the caller's work
 		// accounting.
 		h.ResetCounters()
+		if fp != "" {
+			// Best-effort persistence: a read-only or broken cache
+			// location must not fail engine construction.
+			_ = storeThreshold(opt.CalibrationCache, fp, h.threshold)
+		}
 	}
 	return h
 }
@@ -103,8 +121,13 @@ func NewWithThreshold(a *sparse.CSC, opt engine.Options, threshold float64) *Eng
 func (h *Engine) Threshold() float64 { return h.threshold }
 
 // Calibrated reports whether the threshold came from construction-time
-// probe multiplies rather than Options.HybridThreshold.
+// probe multiplies (or the calibration cache) rather than
+// Options.HybridThreshold.
 func (h *Engine) Calibrated() bool { return h.calibrated }
+
+// FromCache reports whether the threshold was served by the on-disk
+// calibration cache, skipping the probe multiplies.
+func (h *Engine) FromCache() bool { return h.fromCache }
 
 // matrixDriven reports whether an input with f nonzeros takes the
 // matrix-driven side.
@@ -139,17 +162,47 @@ func (h *Engine) MultiplyFrontier(x *sparse.Frontier, y *sparse.SpVec, sr semiri
 	h.bucket.Multiply(x.List(), y, sr)
 }
 
-// MultiplyMasked computes y ← ⟨A·x, mask⟩. The bucket side pushes the
-// mask into its merge step; the matrix-driven side multiplies and
-// filters, matching the facade's fallback semantics.
+// MultiplyMasked computes y ← ⟨A·x, mask⟩. Both sides push the mask
+// down: the bucket side into its merge step, the matrix side into
+// GraphMat's per-piece touched filtering.
 func (h *Engine) MultiplyMasked(x, y *sparse.SpVec, sr semiring.Semiring, mask *sparse.BitVec, complement bool) {
 	if h.matrixDriven(x.NNZ()) {
 		h.switches.Add(1)
-		h.matrix.Multiply(x, y, sr)
-		sparse.FilterMaskInPlace(y, mask, complement)
+		h.matrix.MultiplyMasked(x, y, sr, mask, complement)
 		return
 	}
 	h.bucket.MultiplyMasked(x, y, sr, mask, complement)
+}
+
+// OutputRep reports that both sides emit the output bitmap natively in
+// their output pass, so the direction taken never costs a consumer a
+// list→bitmap conversion.
+func (h *Engine) OutputRep() engine.Rep { return engine.RepBitmap }
+
+// MultiplyInto computes y ← A·x into the output frontier, dispatching
+// on input density. Both sides emit list+bitmap in one pass, which is
+// what makes a direction-optimized frontier pipeline conversion-free:
+// a dense level's output bitmap is exactly what the next dense level's
+// matrix-driven input side wants.
+func (h *Engine) MultiplyInto(x, y *sparse.Frontier, sr semiring.Semiring) {
+	if h.matrixDriven(x.NNZ()) {
+		h.switches.Add(1)
+		h.matrix.MultiplyInto(x, y, sr)
+		return
+	}
+	h.bucket.MultiplyInto(x, y, sr)
+}
+
+// MultiplyIntoMasked computes y ← ⟨A·x, mask⟩ into the output
+// frontier, dispatching on input density with the mask pushed down on
+// both sides.
+func (h *Engine) MultiplyIntoMasked(x, y *sparse.Frontier, sr semiring.Semiring, mask *sparse.BitVec, complement bool) {
+	if h.matrixDriven(x.NNZ()) {
+		h.switches.Add(1)
+		h.matrix.MultiplyIntoMasked(x, y, sr, mask, complement)
+		return
+	}
+	h.bucket.MultiplyIntoMasked(x, y, sr, mask, complement)
 }
 
 // MultiplyBatch computes ys[q] ← A·xs[q], routing each frontier by its
@@ -198,8 +251,9 @@ func (h *Engine) Name() string { return "Hybrid" }
 // Compile-time checks: the hybrid engine implements every optional
 // engine extension.
 var (
-	_ engine.Engine         = (*Engine)(nil)
-	_ engine.MaskedEngine   = (*Engine)(nil)
-	_ engine.FrontierEngine = (*Engine)(nil)
-	_ engine.BatchEngine    = (*Engine)(nil)
+	_ engine.Engine             = (*Engine)(nil)
+	_ engine.MaskedEngine       = (*Engine)(nil)
+	_ engine.FrontierEngine     = (*Engine)(nil)
+	_ engine.BatchEngine        = (*Engine)(nil)
+	_ engine.MaskedOutputEngine = (*Engine)(nil)
 )

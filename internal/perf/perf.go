@@ -61,6 +61,14 @@ type Counters struct {
 	// scatter cost itself is charged to XScanned; this field tracks
 	// how often the conversion could not be shared.
 	FrontierConversions int64
+	// OutputConversions counts the subset of FrontierConversions whose
+	// frontier was produced by an engine output pass (MultiplyInto) —
+	// the conversions the output-representation layer exists to
+	// eliminate. An engine that emits its output bitmap natively while
+	// writing the list keeps this at zero for every consumer of that
+	// output; a frontier pipeline (BFS feeding each level's output back
+	// as the next input) reports 0 here on its dense phases.
+	OutputConversions int64
 }
 
 // Merge adds o into c.
@@ -77,6 +85,7 @@ func (c *Counters) Merge(o *Counters) {
 	c.SyncEvents += o.SyncEvents
 	c.DirectionSwitches += o.DirectionSwitches
 	c.FrontierConversions += o.FrontierConversions
+	c.OutputConversions += o.OutputConversions
 }
 
 // Reset zeroes all counters.
@@ -85,8 +94,8 @@ func (c *Counters) Reset() { *c = Counters{} }
 // Work returns the total work proxy: the sum of all counted work
 // quantities. For a work-efficient algorithm, Work stays O(df)
 // independent of the number of threads. The routing statistics
-// (DirectionSwitches, FrontierConversions) are not work and are
-// excluded.
+// (DirectionSwitches, FrontierConversions, OutputConversions) are not
+// work and are excluded.
 func (c Counters) Work() int64 {
 	return c.XScanned + c.ColumnsProbed + c.MatrixTouched + c.SPAInit +
 		c.SPAUpdates + c.BucketWrites + c.HeapOps + c.SortedElems +
@@ -96,10 +105,10 @@ func (c Counters) Work() int64 {
 // String formats the counters as a compact single-line summary.
 func (c Counters) String() string {
 	return fmt.Sprintf(
-		"xscan=%d probes=%d mat=%d spainit=%d spaupd=%d bucket=%d heap=%d sort=%d out=%d sync=%d switch=%d conv=%d work=%d",
+		"xscan=%d probes=%d mat=%d spainit=%d spaupd=%d bucket=%d heap=%d sort=%d out=%d sync=%d switch=%d conv=%d outconv=%d work=%d",
 		c.XScanned, c.ColumnsProbed, c.MatrixTouched, c.SPAInit, c.SPAUpdates,
 		c.BucketWrites, c.HeapOps, c.SortedElems, c.OutputWritten, c.SyncEvents,
-		c.DirectionSwitches, c.FrontierConversions, c.Work())
+		c.DirectionSwitches, c.FrontierConversions, c.OutputConversions, c.Work())
 }
 
 // MergeAll aggregates a slice of per-worker counters into one.

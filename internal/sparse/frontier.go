@@ -16,10 +16,18 @@ import (
 // pays for at most one list→bitmap conversion, and callers that only
 // ever feed list-format engines never pay for the bitmap at all.
 //
+// A Frontier is also the engines' output format: an engine writes its
+// result into a frontier through BeginOutput/OutputBits/FinishOutput
+// (see engine.OutputEngine), populating the bitmap natively when its
+// output pass already visits one — so a direction-optimized BFS feeding
+// each level's output frontier back as the next input pays zero
+// list→bitmap conversions on dense phases.
+//
 // Reading a Frontier concurrently is safe — Materialize/Bits
 // serialize the one-time conversion internally, so several engines
 // (or one engine's concurrent calls) may share a frontier. Mutation
-// (SetList, Release) requires exclusive access.
+// (SetList, BeginOutput, UpdateValues, Refine, Release) requires
+// exclusive access.
 type Frontier struct {
 	list *SpVec
 	// mu serializes the lazy bitmap materialization; it is taken once
@@ -31,7 +39,17 @@ type Frontier struct {
 	// flag cleared, so the O(n) bitmap allocation is reused without an
 	// O(n) wipe.
 	bitsValid bool
-	home      *FrontierPool
+	// isOutput marks a frontier whose current contents were produced by
+	// an engine's output pass (BeginOutput ran). Materializing the
+	// bitmap of such a frontier means the producing engine did NOT emit
+	// it natively — the conversion the output layer exists to avoid —
+	// so those conversions are counted separately (OutputConversions).
+	isOutput bool
+	// ownsList marks that list is private storage the frontier may keep
+	// across pool cycles (output frontiers), as opposed to a borrowed
+	// caller vector that must be dropped on release.
+	ownsList bool
+	home     *FrontierPool
 }
 
 // NewFrontier wraps a list-format vector as a frontier with no pool
@@ -41,6 +59,14 @@ func NewFrontier(x *SpVec) *Frontier {
 		panic("sparse: NewFrontier with nil vector")
 	}
 	return &Frontier{list: x}
+}
+
+// NewOutputFrontier returns an empty frontier of dimension n with
+// private list storage, ready to receive an engine's result through
+// BeginOutput/FinishOutput. The bitmap is allocated on first demand
+// (by the engine's native output pass or a later consumer).
+func NewOutputFrontier(n Index) *Frontier {
+	return &Frontier{list: NewSpVec(n, 0), ownsList: true}
 }
 
 // N returns the logical dimension.
@@ -79,6 +105,11 @@ func (f *Frontier) Materialize() bool {
 	f.bitsValid = true
 	frontierConversions.Add(1)
 	frontierConvertedEntries.Add(int64(f.list.NNZ()))
+	if f.isOutput {
+		// The producing engine did not emit the bitmap natively; this
+		// is the conversion the output layer exists to eliminate.
+		frontierOutputConversions.Add(1)
+	}
 	return true
 }
 
@@ -89,6 +120,13 @@ func (f *Frontier) Bits() *BitVec {
 	return f.bits
 }
 
+// IsOutput reports whether the frontier's current contents were
+// produced by an engine output pass (BeginOutput ran and no SetList
+// has replaced the contents since). Engines consult it when a
+// Materialize they trigger should be attributed to the output layer's
+// conversion counter.
+func (f *Frontier) IsOutput() bool { return f.isOutput }
+
 // SetList replaces the frontier's contents with a new list vector,
 // erasing any stale bitmap state in O(nnz(old)) so the backing bitmap
 // can be rebuilt (or never built) for the new contents.
@@ -98,6 +136,83 @@ func (f *Frontier) SetList(x *SpVec) {
 	}
 	f.dropBits()
 	f.list = x
+	f.isOutput = false
+	f.ownsList = false
+}
+
+// BeginOutput prepares the frontier to receive an engine's result and
+// returns the list vector the engine fills (the engine resets it to
+// the output dimension itself, exactly as it does a caller-supplied
+// output vector). Any stale bitmap state is erased in O(nnz(old)).
+// Engines that populate the bitmap while writing the list call
+// OutputBits for the backing bitmap; every output ends with
+// FinishOutput.
+func (f *Frontier) BeginOutput() *SpVec {
+	f.dropBits()
+	if f.list == nil {
+		f.list = NewSpVec(0, 0)
+		f.ownsList = true
+	}
+	f.isOutput = true
+	return f.list
+}
+
+// OutputBits returns the backing bitmap sized for an m-row output,
+// growing it if needed, so a native output pass can set bits while it
+// writes the list. Valid only between BeginOutput and FinishOutput;
+// the returned bitmap is all-clear for the rows the output can touch.
+func (f *Frontier) OutputBits(m Index) *BitVec {
+	if f.bits == nil || f.bits.N < m {
+		f.bits = NewBitVec(m)
+	}
+	return f.bits
+}
+
+// FinishOutput completes an output pass. bitsNative reports that the
+// engine populated the bitmap (obtained from OutputBits) to mirror the
+// list exactly — the frontier then serves bitmap consumers with no
+// conversion ever. With bitsNative false the bitmap stays
+// unmaterialized and is built lazily (and counted as an output
+// conversion) only if a consumer demands it.
+func (f *Frontier) FinishOutput(bitsNative bool) {
+	if bitsNative {
+		f.bits.setCount(f.list.NNZ())
+		f.bitsValid = true
+		frontierNativeOutputs.Add(1)
+	}
+}
+
+// UpdateValues rewrites every stored value in place. The support is
+// unchanged, so a natively-emitted (or previously materialized) bitmap
+// stays valid — the pattern BFS uses to turn a level's output (values
+// = parent ids) into the next input (values = the vertices' own ids)
+// without dropping the bitmap.
+func (f *Frontier) UpdateValues(fn func(i Index, v float64) float64) {
+	for k, i := range f.list.Ind {
+		v := fn(i, f.list.Val[k])
+		f.list.Val[k] = v
+		if f.bitsValid {
+			f.bits.Val[i] = v
+		}
+	}
+}
+
+// Refine compacts the frontier's list in place, keeping only the
+// entries for which fn returns true (with the returned value stored).
+// The support may shrink, so any materialized bitmap is dropped in
+// O(nnz(old)); use UpdateValues when every entry is kept.
+func (f *Frontier) Refine(fn func(i Index, v float64) (float64, bool)) {
+	f.dropBits()
+	l := f.list
+	w := 0
+	for k, i := range l.Ind {
+		if v, keep := fn(i, l.Val[k]); keep {
+			l.Ind[w], l.Val[w] = i, v
+			w++
+		}
+	}
+	l.Ind = l.Ind[:w]
+	l.Val = l.Val[:w]
 }
 
 // dropBits erases the materialized bitmap cheaply (O(nnz), not O(n)).
@@ -146,13 +261,36 @@ func (p *FrontierPool) Wrap(x *SpVec) *Frontier {
 	}
 	f := p.pool.Get().(*Frontier)
 	f.list = x
+	f.ownsList = false
 	return f
 }
 
-// put erases the frontier's bitmap and returns it to the pool.
+// GetOutput borrows an empty pooled output frontier: its list storage
+// is private (recycled with the frontier) and its bitmap comes
+// pre-allocated at the pool's dimension, so a steady-state pipeline of
+// MultiplyInto calls allocates nothing.
+func (p *FrontierPool) GetOutput() *Frontier {
+	f := p.pool.Get().(*Frontier)
+	if f.list == nil {
+		f.list = NewSpVec(p.n, 0)
+	} else {
+		f.list.Reset(p.n)
+	}
+	f.ownsList = true
+	return f
+}
+
+// put erases the frontier's bitmap and returns it to the pool. Private
+// (output) list storage rides along for reuse; borrowed lists are
+// dropped.
 func (p *FrontierPool) put(f *Frontier) {
 	f.dropBits()
-	f.list = nil
+	if f.ownsList {
+		f.list.Reset(p.n)
+	} else {
+		f.list = nil
+	}
+	f.isOutput = false
 	p.pool.Put(f)
 }
 
@@ -162,8 +300,10 @@ func (p *FrontierPool) put(f *Frontier) {
 // actually eliminates conversions (e.g. that a hybrid engine's
 // matrix-driven calls reuse one bitmap per level).
 var (
-	frontierConversions      atomic.Int64
-	frontierConvertedEntries atomic.Int64
+	frontierConversions       atomic.Int64
+	frontierConvertedEntries  atomic.Int64
+	frontierOutputConversions atomic.Int64
+	frontierNativeOutputs     atomic.Int64
 )
 
 // FrontierConversions returns the process-wide count of list→bitmap
@@ -173,8 +313,19 @@ func FrontierConversions() (conversions, entries int64) {
 	return frontierConversions.Load(), frontierConvertedEntries.Load()
 }
 
+// FrontierOutputStats returns the process-wide count of list→bitmap
+// conversions performed on engine-produced output frontiers (the
+// conversions the output layer failed to avoid) and the count of
+// outputs whose bitmap was emitted natively by the producing engine's
+// output pass (no conversion can ever run for those).
+func FrontierOutputStats() (outputConversions, nativeOutputs int64) {
+	return frontierOutputConversions.Load(), frontierNativeOutputs.Load()
+}
+
 // ResetFrontierConversions zeroes the conversion instrumentation.
 func ResetFrontierConversions() {
 	frontierConversions.Store(0)
 	frontierConvertedEntries.Store(0)
+	frontierOutputConversions.Store(0)
+	frontierNativeOutputs.Store(0)
 }

@@ -1,0 +1,153 @@
+package sparse
+
+import (
+	"sync"
+	"testing"
+)
+
+// fillOutput runs a minimal native output pass: list written, bitmap
+// scattered through SetRangeFrom over the full row range.
+func fillOutput(f *Frontier, n Index, ind []Index, val []float64) {
+	list := f.BeginOutput()
+	bits := f.OutputBits(n)
+	list.Reset(n)
+	for k := range ind {
+		list.Append(ind[k], val[k])
+	}
+	bits.SetRangeFrom(ind, val, 0, n)
+	f.FinishOutput(true)
+}
+
+func TestFrontierNativeOutputBitmap(t *testing.T) {
+	ResetFrontierConversions()
+	f := NewOutputFrontier(200)
+	fillOutput(f, 200, []Index{3, 64, 65, 199}, []float64{1, 2, 3, 4})
+
+	if !f.HasBits() {
+		t.Fatal("native output did not mark the bitmap valid")
+	}
+	if f.Materialize() {
+		t.Fatal("Materialize converted despite a native output bitmap")
+	}
+	bits := f.Bits()
+	if bits.Count() != 4 {
+		t.Fatalf("bitmap count = %d, want 4", bits.Count())
+	}
+	for k, i := range []Index{3, 64, 65, 199} {
+		v, ok := bits.Get(i)
+		if !ok || v != float64(k+1) {
+			t.Fatalf("bits.Get(%d) = %v,%v", i, v, ok)
+		}
+	}
+	if conv, _ := FrontierConversions(); conv != 0 {
+		t.Fatalf("native output still counted %d conversions", conv)
+	}
+	outConv, native := FrontierOutputStats()
+	if outConv != 0 || native != 1 {
+		t.Fatalf("output stats = (%d conv, %d native), want (0, 1)", outConv, native)
+	}
+}
+
+func TestFrontierLazyOutputCountsOutputConversion(t *testing.T) {
+	ResetFrontierConversions()
+	f := NewOutputFrontier(100)
+	list := f.BeginOutput()
+	list.Reset(100)
+	list.Append(7, 1)
+	f.FinishOutput(false)
+
+	if !f.IsOutput() {
+		t.Fatal("frontier not marked as output")
+	}
+	if f.HasBits() {
+		t.Fatal("lazy output claims a valid bitmap")
+	}
+	if !f.Materialize() {
+		t.Fatal("Materialize did not convert")
+	}
+	outConv, native := FrontierOutputStats()
+	if outConv != 1 || native != 0 {
+		t.Fatalf("output stats = (%d conv, %d native), want (1, 0)", outConv, native)
+	}
+	// A caller-provided list clears the output provenance.
+	f.SetList(NewSpVec(100, 0))
+	if f.IsOutput() {
+		t.Fatal("SetList kept the output mark")
+	}
+}
+
+func TestFrontierUpdateValuesKeepsBitmap(t *testing.T) {
+	f := NewOutputFrontier(64)
+	fillOutput(f, 64, []Index{5, 9}, []float64{100, 200})
+	f.UpdateValues(func(i Index, _ float64) float64 { return float64(i) })
+	if !f.HasBits() {
+		t.Fatal("UpdateValues dropped the bitmap")
+	}
+	if v, _ := f.Bits().Get(5); v != 5 {
+		t.Fatalf("bitmap value not rewritten: got %g", v)
+	}
+	if f.List().Val[1] != 9 {
+		t.Fatalf("list value not rewritten: got %g", f.List().Val[1])
+	}
+}
+
+func TestFrontierRefineDropsBitmapAndFilters(t *testing.T) {
+	f := NewOutputFrontier(64)
+	fillOutput(f, 64, []Index{1, 2, 3}, []float64{1, 2, 3})
+	f.Refine(func(i Index, v float64) (float64, bool) { return v * 10, i != 2 })
+	if f.HasBits() {
+		t.Fatal("Refine kept a bitmap for a shrunken support")
+	}
+	if f.NNZ() != 2 || f.List().Ind[1] != 3 || f.List().Val[1] != 30 {
+		t.Fatalf("refined list wrong: %v %v", f.List().Ind, f.List().Val)
+	}
+	// The dropped bitmap must have been cleared from the OLD support:
+	// re-materializing reflects only the refined entries.
+	bits := f.Bits()
+	if bits.Test(2) || bits.Count() != 2 {
+		t.Fatalf("stale bit survived Refine (count=%d)", bits.Count())
+	}
+}
+
+func TestBitVecSetRangeFromConcurrentBoundaries(t *testing.T) {
+	// Two adjacent ranges sharing a 64-bit word: [0,70) and [70,200).
+	// Concurrent fills must not lose bits in word 1 (rows 64..127).
+	const n = 200
+	for iter := 0; iter < 100; iter++ {
+		b := NewBitVec(n)
+		left := []Index{0, 63, 64, 69}
+		right := []Index{70, 71, 127, 199}
+		vals := []float64{1, 1, 1, 1}
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() { defer wg.Done(); b.SetRangeFrom(left, vals, 0, 70) }()
+		go func() { defer wg.Done(); b.SetRangeFrom(right, vals, 70, n) }()
+		wg.Wait()
+		for _, i := range append(append([]Index{}, left...), right...) {
+			if !b.Test(i) {
+				t.Fatalf("iter %d: bit %d lost", iter, i)
+			}
+		}
+	}
+}
+
+func TestFrontierPoolGetOutputRecycles(t *testing.T) {
+	p := NewFrontierPool(128)
+	f := p.GetOutput()
+	fillOutput(f, 128, []Index{10, 90}, []float64{1, 2})
+	list := f.List()
+	f.Release()
+
+	g := p.GetOutput()
+	if g.NNZ() != 0 {
+		t.Fatal("recycled output frontier not empty")
+	}
+	if g.HasBits() {
+		t.Fatal("recycled output frontier kept a valid bitmap")
+	}
+	// Bits were erased cheaply, not left set.
+	if g.Bits().Count() != 0 {
+		t.Fatalf("recycled bitmap has %d stale bits", g.Bits().Count())
+	}
+	_ = list // the list storage itself may or may not be the same object; behavior above is what matters
+}

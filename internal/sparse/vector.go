@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
 )
 
 // SpVec is a sparse vector in the list format of paper §II-C: a compact
@@ -185,6 +186,40 @@ func (b *BitVec) SetFrom(x *SpVec) {
 		b.Val[i] = x.Val[k]
 	}
 }
+
+// SetRangeFrom scatters the (ind[k], val[k]) pairs into the bitvector,
+// where every index lies in the half-open row range [lo, hi) that the
+// caller owns exclusively — the per-bucket (or per-piece) fill engines
+// use to emit an output bitmap natively from inside their parallel
+// output step. Words fully interior to the range cannot be touched by
+// any other range and are written plainly; the at-most-two words
+// straddling a range boundary are set atomically, so adjacent disjoint
+// ranges may be filled concurrently regardless of 64-bit alignment.
+// Value writes are per-row and inherently race-free.
+//
+// The set-bit count is NOT maintained (it would need cross-range
+// coordination); the caller repairs it afterwards —
+// Frontier.FinishOutput does.
+func (b *BitVec) SetRangeFrom(ind []Index, val []float64, lo, hi Index) {
+	if len(ind) == 0 || hi <= lo {
+		return
+	}
+	loWord := int(lo) >> 6
+	hiWord := int(hi-1) >> 6
+	for k, i := range ind {
+		w, bit := int(i)>>6, uint(i)&63
+		if w == loWord || w == hiWord {
+			atomic.OrUint64(&b.Words[w], 1<<bit)
+		} else {
+			b.Words[w] |= 1 << bit
+		}
+		b.Val[i] = val[k]
+	}
+}
+
+// setCount overwrites the set-bit tally, repairing it after a
+// SetRangeFrom-based fill whose caller knows the exact support size.
+func (b *BitVec) setCount(n int) { b.nset = n }
 
 // ClearFrom erases exactly the bits set by a previous SetFrom(x) in
 // O(nnz(x)), so the bitvector can be reused without an O(n) wipe.

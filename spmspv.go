@@ -14,10 +14,12 @@ import (
 
 	// The engine implementations register themselves with the
 	// internal/engine registry from init; importing them is what makes
-	// every Algorithm constructible through NewWithAlgorithm.
+	// every Algorithm constructible through NewWithAlgorithm. hybrid is
+	// additionally imported by name for the calibration-cache helpers.
+	"spmspv/internal/hybrid"
+
 	_ "spmspv/internal/baselines"
 	_ "spmspv/internal/core"
-	_ "spmspv/internal/hybrid"
 )
 
 // Core data types, aliased from the implementation packages so the
@@ -47,7 +49,11 @@ type (
 	// Frontier is a sparse vector carried in whichever representation
 	// the consuming engine prefers (list or bitmap), with the bitmap
 	// materialized lazily at most once and shared across consumers.
+	// Frontiers are also the engines' output format (MultiplyFrontier):
+	// output-capable engines emit list and bitmap in one pass.
 	Frontier = sparse.Frontier
+	// Rep identifies a frontier representation (list or bitmap).
+	Rep = engine.Rep
 	// BFSResult is the output of the matrix-based BFS.
 	BFSResult = algorithms.BFSResult
 	// MultiBFSResult is the output of the batched multi-source BFS.
@@ -159,6 +165,47 @@ func ParseAlgorithm(name string) (Algorithm, bool) {
 	return 0, false
 }
 
+// EngineNames returns every engine name ParseAlgorithm accepts, in a
+// stable order: the short CLI aliases first, then the registered
+// Table I names (lowercased) that are not already covered by an
+// alias. CLIs derive their -engine/-algorithm help strings from this,
+// so a newly registered engine shows up without touching any flag
+// text.
+func EngineNames() []string {
+	names := []string{"bucket", "sort", "hybrid"}
+	seen := map[string]bool{}
+	for _, n := range names {
+		seen[n] = true
+	}
+	for _, alg := range engine.Registered() {
+		n := strings.ToLower(alg.String())
+		if !seen[n] {
+			seen[n] = true
+			names = append(names, n)
+		}
+	}
+	return names
+}
+
+// DefaultCalibrationCachePath returns the conventional on-disk
+// location for the Hybrid engine's calibrated-threshold cache
+// (Options.CalibrationCache), or "" when the platform reports no user
+// cache directory.
+func DefaultCalibrationCachePath() string { return hybrid.DefaultCachePath() }
+
+// FrontierOutputStats reports the process-wide count of list→bitmap
+// conversions performed on engine-produced output frontiers (the
+// conversions native output emission avoids) and the count of outputs
+// whose bitmap was emitted natively. See also Counters'
+// OutputConversions, the per-engine attribution of the same events.
+func FrontierOutputStats() (outputConversions, nativeOutputs int64) {
+	return sparse.FrontierOutputStats()
+}
+
+// ResetFrontierStats zeroes the process-wide frontier conversion and
+// output instrumentation.
+func ResetFrontierStats() { sparse.ResetFrontierConversions() }
+
 // Multiplier is a reusable SpMSpV engine bound to one matrix. Reuse
 // across calls is the intended pattern — iterative graph algorithms
 // call Multiply thousands of times and all buffers are recycled, per
@@ -232,6 +279,18 @@ func (m *Multiplier) MultiplyInto(x, y *Vector, sr Semiring) {
 // per frontier instead of once per call.
 func NewFrontier(x *Vector) *Frontier { return sparse.NewFrontier(x) }
 
+// NewOutputFrontier returns an empty frontier of dimension n with
+// private list storage, ready to receive a result from
+// MultiplyFrontier. Frontier pipelines (see BFS) keep two of these and
+// swap them, allocating nothing per iteration.
+func NewOutputFrontier(n Index) *Frontier { return sparse.NewOutputFrontier(n) }
+
+// NewOutputFrontier returns an output frontier sized for this
+// multiplier's results (the matrix's row dimension).
+func (m *Multiplier) NewOutputFrontier() *Frontier {
+	return sparse.NewOutputFrontier(m.a.NumRows)
+}
+
 // MultiplyFrontierInto computes y ← A·x over sr reading whichever
 // representation of the frontier this multiplier's engine prefers —
 // the list for the vector-driven engines, the shared lazily-built
@@ -245,6 +304,31 @@ func (m *Multiplier) MultiplyFrontierInto(x *Frontier, y *Vector, sr Semiring) {
 	m.eng.Multiply(x.List(), y, sr)
 }
 
+// MultiplyFrontier computes y ← A·x over sr with frontier-form output:
+// the result lands in the output frontier's list, and engines with
+// native output support (Bucket, GraphMat, Hybrid) emit the bitmap
+// representation in the same pass — a later bitmap consumer of y (for
+// example feeding it back as the next input of a direction-optimized
+// loop) pays no list→bitmap conversion. Engines that only speak lists
+// are wrapped; their output bitmap stays lazy.
+func (m *Multiplier) MultiplyFrontier(x, y *Frontier, sr Semiring) {
+	engine.MultiplyInto(m.eng, x, y, sr)
+}
+
+// MultiplyFrontierMasked computes y ← ⟨A·x, mask⟩ with frontier-form
+// output: the mask is pushed into the engine's merge/accumulate step
+// (all registered engines support the pushdown) and the surviving
+// result is emitted exactly as in MultiplyFrontier.
+func (m *Multiplier) MultiplyFrontierMasked(x, y *Frontier, sr Semiring, mask *BitVector, complement bool) {
+	engine.MultiplyIntoMasked(m.eng, x, y, sr, mask, complement)
+}
+
+// OutputRep reports the representation this multiplier's engine emits
+// natively into output frontiers: "bitmap" means MultiplyFrontier
+// populates list and bitmap in one pass, "list" means the bitmap is
+// built lazily (and counted) if demanded.
+func (m *Multiplier) OutputRep() engine.Rep { return engine.OutputRepOf(m.eng) }
+
 // MultiplyBatch computes ys[q] ← A·xs[q] for a batch of input vectors
 // over sr, reusing the ys' storage (len(xs) must equal len(ys), and
 // the ys must be pairwise distinct). Engines with a native batch path
@@ -256,10 +340,12 @@ func (m *Multiplier) MultiplyBatch(xs, ys []*Vector, sr Semiring) {
 	engine.MultiplyBatch(m.eng, xs, ys, sr)
 }
 
-// MultiplyMasked computes y ← ⟨A·x, mask⟩ with the mask applied during
-// the merge step (engines implementing the masked extension — the
-// Bucket engine; other algorithms return a plain product filtered
-// afterwards).
+// MultiplyMasked computes y ← ⟨A·x, mask⟩ with the mask pushed down
+// into the engine's merge/accumulate step — every registered engine
+// (Bucket, the four baselines and Hybrid) implements the masked
+// extension, so masked graph algorithms compare all of them. An
+// unregistered engine without mask support would get a plain product
+// filtered afterwards.
 func (m *Multiplier) MultiplyMasked(x, y *Vector, sr Semiring, mask *BitVector, complement bool) {
 	if bm, ok := m.eng.(engine.MaskedEngine); ok {
 		bm.MultiplyMasked(x, y, sr, mask, complement)
@@ -333,6 +419,16 @@ func BFS(m *Multiplier, source Index) *BFSResult {
 	return algorithms.BFS(m.eng, m.a.NumCols, source, false)
 }
 
+// BFSMasked runs BFS with the visited-set filter pushed into the
+// multiply as an output mask (paper §V's GraphBLAS masking) and the
+// levels pipelined through output frontiers: each level's result is
+// fed back as the next input, with zero list→bitmap conversions when
+// the engine emits output bitmaps natively. Results are identical to
+// BFS; every registered engine is supported.
+func BFSMasked(m *Multiplier, source Index) *BFSResult {
+	return algorithms.BFSMasked(m.eng, m.a.NumCols, source)
+}
+
 // MultiBFS runs one breadth-first search per source concurrently,
 // expanding all live frontiers of a level through one batched multiply
 // (see Multiplier.MultiplyBatch). The trees are identical to running
@@ -397,6 +493,15 @@ type (
 // multiplier's (undirected) graph and returns the sweep-cut cluster.
 func LocalCluster(m *Multiplier, seed Index, opt ACLOptions) *ACLResult {
 	return algorithms.ACL(m.eng, algorithms.Degrees(m.a), seed, opt)
+}
+
+// MultiCluster runs the ACL push algorithm from k seeds in lockstep,
+// expanding all live push frontiers of a round through one batched
+// multiply (see Multiplier.MultiplyBatch). Results are identical to
+// running LocalCluster per seed; the batch amortizes per-call engine
+// setup across the seeds' small push frontiers.
+func MultiCluster(m *Multiplier, seeds []Index, opt ACLOptions) []*ACLResult {
+	return algorithms.MultiCluster(m.eng, algorithms.Degrees(m.a), seeds, opt)
 }
 
 // MaximalMatching computes a maximal matching of the bipartite graph
