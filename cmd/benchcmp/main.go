@@ -1,0 +1,150 @@
+// Command benchcmp compares two benchmark runs captured as
+// `go test -json` output and reports per-benchmark ns/op deltas, in
+// the spirit of benchstat reduced to what CI needs: a table, a
+// threshold, and an exit code.
+//
+// Usage:
+//
+//	benchcmp -old prev/BENCH.json -new BENCH.json [-threshold 10] [-fail]
+//
+// Benchmarks appearing in only one file are reported but never
+// regressions. With -fail the exit code is 1 when any benchmark's
+// ns/op regressed by more than -threshold percent; without it the tool
+// only prints (CI turns the output into annotations), because
+// single-rep benchmark numbers on shared runners are noisy enough that
+// a hard gate would flake.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// event is the subset of test2json's output events we read.
+type event struct {
+	Action string `json:"Action"`
+	Output string `json:"Output"`
+}
+
+// benchLine matches a benchmark result line: name, iteration count,
+// ns/op. Extra custom metrics on the same line are ignored.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([0-9.]+) ns/op`)
+
+// parse reads a `go test -json` file and returns mean ns/op per
+// benchmark name (averaging duplicate runs of the same name).
+func parse(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	// Concatenate every output event's text first: test2json splits a
+	// benchmark result across events (the padded name, then the
+	// "N ... ns/op" tail), so results only form complete lines after
+	// reassembly.
+	var text strings.Builder
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		var ev event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			// Tolerate plain-text bench output interleaved in the file.
+			text.Write(line)
+			text.WriteByte('\n')
+			continue
+		}
+		if ev.Action == "output" {
+			text.WriteString(ev.Output)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	sums := map[string]float64{}
+	counts := map[string]int{}
+	for _, line := range strings.Split(text.String(), "\n") {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			continue
+		}
+		sums[m[1]] += ns
+		counts[m[1]]++
+	}
+	for name := range sums {
+		sums[name] /= float64(counts[name])
+	}
+	return sums, nil
+}
+
+func main() {
+	var (
+		oldPath   = flag.String("old", "", "previous run's go test -json output (required)")
+		newPath   = flag.String("new", "", "current run's go test -json output (required)")
+		threshold = flag.Float64("threshold", 10, "regression threshold in percent")
+		failFlag  = flag.Bool("fail", false, "exit 1 when a regression exceeds the threshold")
+	)
+	flag.Parse()
+	if *oldPath == "" || *newPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	oldNs, err := parse(*oldPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcmp: %v\n", err)
+		os.Exit(2)
+	}
+	newNs, err := parse(*newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcmp: %v\n", err)
+		os.Exit(2)
+	}
+
+	names := make([]string, 0, len(newNs))
+	for name := range newNs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	regressions := 0
+	fmt.Printf("%-64s %14s %14s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	for _, name := range names {
+		nv := newNs[name]
+		ov, ok := oldNs[name]
+		if !ok {
+			fmt.Printf("%-64s %14s %14.0f %9s\n", name, "-", nv, "new")
+			continue
+		}
+		delta := (nv - ov) / ov * 100
+		marker := ""
+		if delta > *threshold {
+			marker = "  REGRESSION"
+			regressions++
+		}
+		fmt.Printf("%-64s %14.0f %14.0f %+8.1f%%%s\n", name, ov, nv, delta, marker)
+	}
+	for name := range oldNs {
+		if _, ok := newNs[name]; !ok {
+			fmt.Printf("%-64s %14.0f %14s %9s\n", name, oldNs[name], "-", "gone")
+		}
+	}
+	if regressions > 0 {
+		fmt.Printf("\n%d benchmark(s) regressed more than %.0f%% ns/op\n", regressions, *threshold)
+		if *failFlag {
+			os.Exit(1)
+		}
+	}
+}

@@ -6,6 +6,7 @@
 //	graphalgo -matrix graph.mtx -algo bfs -source 0
 //	graphalgo -matrix graph.mtx -algo bfsmasked -source 0
 //	graphalgo -matrix graph.mtx -algo multibfs -sources 0,7,42
+//	graphalgo -matrix graph.mtx -algo multibfsmasked -sources 0,7,42
 //	graphalgo -matrix graph.mtx -algo components
 //	graphalgo -matrix graph.mtx -algo pagerank
 //	graphalgo -matrix graph.mtx -algo mis
@@ -63,6 +64,7 @@ var algoTable = []algoEntry{
 	{name: "bfs", run: runBFS},
 	{name: "bfsmasked", run: runBFSMasked},
 	{name: "multibfs", run: runMultiBFS, needsSources: true},
+	{name: "multibfsmasked", run: runMultiBFSMasked, needsSources: true},
 	{name: "components", run: runComponents},
 	{name: "pagerank", run: runPageRank},
 	{name: "mis", run: runMIS},
@@ -124,8 +126,12 @@ func main() {
 		CalibrationCache: *cachePath,
 		Recalibrate:      *recalibrate,
 	}
+	mu, err := spmspv.NewMultiplier(a, spmspv.WithAlgorithm(alg), spmspv.WithEngineOptions(opt))
+	if err != nil {
+		fatal("%v", err)
+	}
 	ctx := &runCtx{
-		mu:     spmspv.NewWithAlgorithm(a, alg, opt),
+		mu:     mu,
 		a:      a,
 		alg:    alg,
 		opt:    opt,
@@ -175,7 +181,16 @@ func printBFS(res *spmspv.BFSResult, n spmspv.Index) {
 }
 
 func runMultiBFS(ctx *runCtx) {
-	res := spmspv.MultiBFS(ctx.mu, ctx.sources)
+	printMultiBFS(ctx, spmspv.MultiBFS(ctx.mu, ctx.sources))
+}
+
+func runMultiBFSMasked(ctx *runCtx) {
+	printMultiBFS(ctx, spmspv.MultiBFSMasked(ctx.mu, ctx.sources))
+	outConv, native := spmspv.FrontierOutputStats()
+	fmt.Printf("output frontiers: %d native bitmaps, %d deferred conversions\n", native, outConv)
+}
+
+func printMultiBFS(ctx *runCtx, res *spmspv.MultiBFSResult) {
 	for s, src := range ctx.sources {
 		reached := 0
 		maxLevel := int32(0)
@@ -218,7 +233,11 @@ func runComponents(ctx *runCtx) {
 
 func runPageRank(ctx *runCtx) {
 	norm := spmspv.NormalizeColumns(ctx.a)
-	res := spmspv.PageRank(spmspv.NewWithAlgorithm(norm, ctx.alg, ctx.opt), spmspv.PageRankOptions{})
+	numu, err := spmspv.NewMultiplier(norm, spmspv.WithAlgorithm(ctx.alg), spmspv.WithEngineOptions(ctx.opt))
+	if err != nil {
+		fatal("%v", err)
+	}
+	res := spmspv.PageRank(numu, spmspv.PageRankOptions{})
 	fmt.Printf("converged in %d iterations\n", res.Iterations)
 	type vr struct {
 		v spmspv.Index

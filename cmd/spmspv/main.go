@@ -26,7 +26,7 @@ func main() {
 		vectorPath = flag.String("vector", "", "sparse vector file (required)")
 		outPath    = flag.String("out", "", "output path (default stdout)")
 		algName    = flag.String("algorithm", "bucket", strings.Join(spmspv.EngineNames(), ", "))
-		srName     = flag.String("semiring", "arithmetic", "arithmetic, minplus, maxplus, boolean, bfs")
+		srName     = flag.String("semiring", "arithmetic", strings.Join(spmspv.SemiringNames(), ", "))
 		threads    = flag.Int("threads", 0, "worker threads (0 = GOMAXPROCS)")
 		cachePath  = flag.String("calibration-cache", spmspv.DefaultCalibrationCachePath(),
 			"hybrid threshold cache file (empty disables persistence)")
@@ -43,15 +43,9 @@ func main() {
 	if !ok {
 		fatal("unknown algorithm %q (have: %s)", *algName, strings.Join(spmspv.EngineNames(), ", "))
 	}
-	sr, ok := map[string]spmspv.Semiring{
-		"arithmetic": spmspv.Arithmetic,
-		"minplus":    spmspv.MinPlus,
-		"maxplus":    spmspv.MaxPlus,
-		"boolean":    spmspv.BoolOrAnd,
-		"bfs":        spmspv.MinSelect2nd,
-	}[*srName]
+	sr, ok := spmspv.ParseSemiring(*srName)
 	if !ok {
-		fatal("unknown semiring %q", *srName)
+		fatal("unknown semiring %q (have: %s)", *srName, strings.Join(spmspv.SemiringNames(), ", "))
 	}
 
 	mf, err := os.Open(*matrixPath)
@@ -78,13 +72,20 @@ func main() {
 			a.NumRows, a.NumCols, x.N)
 	}
 
-	mu := spmspv.NewWithAlgorithm(a, alg, spmspv.Options{
-		Threads:          *threads,
-		SortOutput:       true,
-		CalibrationCache: *cachePath,
-		Recalibrate:      *recalibrate,
-	})
-	y := mu.Multiply(x, sr)
+	mu, err := spmspv.NewMultiplier(a,
+		spmspv.WithAlgorithm(alg),
+		spmspv.WithThreads(*threads),
+		spmspv.WithSortOutput(true),
+		spmspv.WithCalibrationCache(*cachePath, *recalibrate),
+	)
+	if err != nil {
+		fatal("%v", err)
+	}
+	// One descriptor-driven multiply; the result is read from the
+	// output frontier's list.
+	yf := spmspv.NewOutputFrontier(a.NumRows)
+	mu.Mult(spmspv.NewFrontier(x), yf, sr, spmspv.Desc{Output: spmspv.OutputList})
+	y := yf.List()
 
 	out := os.Stdout
 	if *outPath != "" {

@@ -35,22 +35,56 @@
 //	x := spmspv.NewVector(4, 1)
 //	x.Append(0, 10) // x(0) = 10
 //
-//	mu := spmspv.New(a, spmspv.Options{})
-//	y := mu.Multiply(x, spmspv.Arithmetic) // y(1) = 20
+//	mu, _ := spmspv.NewMultiplier(a)
+//	yf := mu.NewOutputFrontier()
+//	mu.Mult(spmspv.NewFrontier(x), yf, spmspv.Arithmetic, spmspv.Desc{})
+//	// yf.List() has y(1) = 20
 //
 // Multiplication is semiring-generic: pass Arithmetic for numerics,
 // MinPlus for shortest paths, MinSelect2nd for BFS parents, BoolOrAnd
-// for reachability.
+// for reachability — or name one in Desc.Semiring, the wire form.
+//
+// # One multiply: Mult and the descriptor
+//
+// Mult(x, y, sr, d) is the single multiply entry point, parameterized
+// by a GraphBLAS-style descriptor (the CombBLAS shape: one primitive,
+// capabilities as parameters) instead of one method per capability.
+// The JSON-serializable Desc carries the mask and its polarity, the
+// accumulate switch, the transpose (§II-A left multiplication), the
+// requested output representation, the batch width and the semiring
+// name; MultBatch is the same call over a batch with per-slot masks.
+// The legacy Multiply* methods remain as thin deprecated wrappers:
+//
+//	Multiply(x, sr) / MultiplyInto(x, y, sr)   →  Mult(xf, yf, sr, Desc{})
+//	MultiplyMasked(x, y, sr, mask, comp)       →  Mult(xf, yf, sr, Desc{Mask: mask, Complement: comp})
+//	MultiplyFrontier(xf, yf, sr)               →  Mult(xf, yf, sr, Desc{})
+//	MultiplyFrontierMasked(xf, yf, sr, m, c)   →  Mult(xf, yf, sr, Desc{Mask: m, Complement: c})
+//	MultiplyFrontierInto(xf, y, sr)            →  Mult(xf, yf, sr, Desc{Output: OutputList})
+//	MultiplyLeft(x, sr)                        →  Mult(xf, yf, sr, Desc{Transpose: true})
+//	MultiplyAccum/MultiplyAccumInto            →  Mult(xf, yf, sr, Desc{Accum: true}) (yf's prior contents accumulate)
+//	MultiplyBatch(xs, ys, sr)                  →  MultBatch(xfs, yfs, sr, Desc{})
+//	MultiplyBatchInto (ROADMAP item)           →  MultBatch(xfs, yfs, sr, Desc{}) — slot bitmaps now emitted natively
+//
+// Capability negotiation is compiled, not repeated: the Multiplier
+// caches one execution plan per descriptor shape (mask? accum? output
+// representation?), resolving the optional engine interfaces once, so
+// steady-state Mult calls perform no type assertions — within noise of
+// the specialized legacy methods. Request/Response wrap a whole call
+// as JSON (Multiplier.Do executes one), the wire contract for the
+// planned network service.
 //
 // # Architecture: the engine layer
 //
 // Every algorithm implements internal/engine.Engine — Multiply over a
 // semiring plus deterministic work counters — and registers a
 // constructor with the internal/engine registry from init (the
-// database/sql driver pattern). The public facade, the graph
-// algorithms, the benchmark harness and the commands all construct
-// engines exclusively through that registry; NewWithAlgorithm is a thin
-// wrapper over it, and Algorithms lists what is registered.
+// database/sql driver pattern), together with its short CLI aliases
+// (ParseAlgorithm and EngineNames both derive from the registry). The
+// public facade, the graph algorithms, the benchmark harness and the
+// commands all construct engines exclusively through that registry;
+// NewMultiplier(a, opts...) is the constructor — functional options,
+// an error (not a silent Bucket fallback) for unregistered algorithms
+// — and Algorithms lists what is registered.
 //
 // # Concurrency contract
 //
@@ -104,14 +138,18 @@
 //
 // # Batched multiplies and multi-source BFS
 //
-// Multiplier.MultiplyBatch multiplies a batch of frontiers in one
-// pass. The bucket engine shares its Estimate/bucket-sizing pass,
-// workspace checkout and merge scheduling across the batch — the
-// per-frontier marginal cost approaches the pure O(df) work term,
-// which is what the sparse ramp-up levels of a multi-source BFS are
-// dominated by — while engines without a native batch path run an
-// equivalent loop; results are always exactly those of the loop.
-// MultiBFS runs one BFS per source through a single batched engine.
+// Multiplier.MultBatch multiplies a batch of frontiers in one pass.
+// The bucket engine shares its Estimate/bucket-sizing pass, workspace
+// checkout and merge scheduling across the batch — the per-frontier
+// marginal cost approaches the pure O(df) work term, which is what the
+// sparse ramp-up levels of a multi-source BFS are dominated by — while
+// engines without a native batch path run an equivalent loop; results
+// are always exactly those of the loop. The batched Step 3 emits every
+// slot's output bitmap natively (and per-slot masks push into the
+// batched merge), so MultiBFSMasked — one masked BFS per source, all
+// expanded through one batched call per level — is conversion-free
+// end to end, exactly like single-source BFSMasked. MultiBFS runs the
+// plain (refining) variant.
 //
 // # Semiring op specialization
 //

@@ -32,7 +32,11 @@ func main() {
 	}
 	fmt.Printf("%-15s %12s %12s %14s %12s\n", "algorithm", "time", "reached", "frontier-max", "total-work")
 	for _, alg := range algos {
-		mu := spmspv.NewWithAlgorithm(a, alg, spmspv.Options{Threads: *threads, SortOutput: true})
+		mu, err := spmspv.NewMultiplier(a, spmspv.WithAlgorithm(alg),
+			spmspv.WithThreads(*threads), spmspv.WithSortOutput(true))
+		if err != nil {
+			panic(err)
+		}
 		start := time.Now()
 		res := spmspv.BFS(mu, 0)
 		elapsed := time.Since(start)
@@ -54,7 +58,10 @@ func main() {
 
 	// Show the frontier evolution — the sparse-to-dense-to-sparse wave
 	// that makes SpMSpV (not SpMV) the right primitive.
-	mu := spmspv.New(a, spmspv.Options{Threads: *threads, SortOutput: true})
+	mu, err := spmspv.NewMultiplier(a, spmspv.WithThreads(*threads), spmspv.WithSortOutput(true))
+	if err != nil {
+		panic(err)
+	}
 	res := spmspv.BFS(mu, 0)
 	fmt.Println("\nBFS frontier sizes by level:")
 	for lvl, f := range res.FrontierSizes {

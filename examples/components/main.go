@@ -46,7 +46,10 @@ func main() {
 		panic(err)
 	}
 
-	mu := spmspv.New(a, spmspv.Options{SortOutput: true})
+	mu, err := spmspv.NewMultiplier(a, spmspv.WithSortOutput(true))
+	if err != nil {
+		panic(err)
+	}
 	labels := spmspv.ConnectedComponents(mu)
 
 	sizes := map[spmspv.Index]int{}

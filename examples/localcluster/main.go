@@ -47,7 +47,10 @@ func main() {
 	}
 	fmt.Printf("graph: %v (4 planted communities of %d)\n\n", a, per)
 
-	mu := spmspv.New(a, spmspv.Options{SortOutput: true})
+	mu, err := spmspv.NewMultiplier(a, spmspv.WithSortOutput(true))
+	if err != nil {
+		panic(err)
+	}
 	seed := spmspv.Index(per + 7) // inside community 1
 	res := spmspv.LocalCluster(mu, seed, spmspv.ACLOptions{Alpha: 0.15, Epsilon: 1e-7})
 

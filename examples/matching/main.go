@@ -30,7 +30,10 @@ func main() {
 	}
 	fmt.Printf("bipartite graph: %d rows, %d cols, %d edges\n", *nr, *nc, a.NNZ())
 
-	mu := spmspv.New(a, spmspv.Options{SortOutput: true})
+	mu, err := spmspv.NewMultiplier(a, spmspv.WithSortOutput(true))
+	if err != nil {
+		panic(err)
+	}
 	rowMate, colMate := spmspv.MaximalMatching(mu)
 
 	size := 0

@@ -19,7 +19,10 @@ func main() {
 	a := spmspv.TriangularMesh(*rows, *cols, 7)
 	fmt.Printf("graph: %v\n", a)
 
-	mu := spmspv.New(a, spmspv.Options{SortOutput: true})
+	mu, err := spmspv.NewMultiplier(a, spmspv.WithSortOutput(true))
+	if err != nil {
+		panic(err)
+	}
 	inSet := spmspv.MaximalIndependentSet(mu, 42)
 
 	count := 0

@@ -1,8 +1,10 @@
 // MultiBFS: run k breadth-first searches through ONE batched SpMSpV
 // engine and compare against k sequential single-source runs — the
-// batched multi-frontier workload enabled by Multiplier.MultiplyBatch
+// batched multi-frontier workload enabled by Multiplier.MultBatch
 // (the Estimate pass and engine setup are shared across the k
-// frontiers of every level).
+// frontiers of every level). The masked variant (MultiBFSMasked)
+// additionally pushes each search's visited filter into the batch and
+// emits every slot's output bitmap natively.
 //
 //	go run ./examples/multibfs [-scale 14] [-k 8] [-threads 4] [-engine bucket|hybrid]
 package main
@@ -32,7 +34,11 @@ func main() {
 		fmt.Printf("unknown engine %q\n", *engName)
 		return
 	}
-	mu := spmspv.NewWithAlgorithm(a, alg, spmspv.Options{Threads: *threads, SortOutput: true})
+	mu, err := spmspv.NewMultiplier(a, spmspv.WithAlgorithm(alg),
+		spmspv.WithThreads(*threads), spmspv.WithSortOutput(true))
+	if err != nil {
+		panic(err)
+	}
 
 	sources := spmspv.SpreadSources(a.NumCols, 0, *k)
 
@@ -41,6 +47,12 @@ func main() {
 	start := time.Now()
 	res := spmspv.MultiBFS(mu, sources)
 	batched := time.Since(start)
+
+	// Masked batched: every search's visited filter pushed into the
+	// batched multiply, outputs pipelined with natively emitted bitmaps.
+	start = time.Now()
+	masked := spmspv.MultiBFSMasked(mu, sources)
+	maskedTime := time.Since(start)
 
 	// Sequential baseline: the same searches one by one.
 	start = time.Now()
@@ -54,6 +66,8 @@ func main() {
 	fmt.Printf("%-28s %12v\n", fmt.Sprintf("%d sequential BFS runs", *k), sequential)
 	fmt.Printf("%-28s %12v  (%.2fx)\n", "batched MultiBFS", batched,
 		float64(sequential)/float64(batched))
+	fmt.Printf("%-28s %12v  (%.2fx)\n", "batched MultiBFSMasked", maskedTime,
+		float64(sequential)/float64(maskedTime))
 
 	fmt.Printf("\n%-10s %10s %8s\n", "source", "reached", "depth")
 	for s, src := range sources {
@@ -67,9 +81,10 @@ func main() {
 				}
 			}
 		}
-		// Sanity: batched trees must match the sequential ones.
+		// Sanity: batched trees (plain and masked) must match the
+		// sequential ones.
 		for v, l := range singles[s].Levels {
-			if res.Levels[s][v] != l {
+			if res.Levels[s][v] != l || masked.Levels[s][v] != l {
 				fmt.Printf("MISMATCH at source %d vertex %d\n", src, v)
 				return
 			}

@@ -26,7 +26,10 @@ func main() {
 	fmt.Printf("graph: %v\n\n", a)
 
 	norm := spmspv.NormalizeColumns(a)
-	mu := spmspv.New(norm, spmspv.Options{SortOutput: true})
+	mu, err := spmspv.NewMultiplier(norm, spmspv.WithSortOutput(true))
+	if err != nil {
+		panic(err)
+	}
 	res := spmspv.PageRank(mu, spmspv.PageRankOptions{Damping: 0.85, Tol: 1e-10})
 
 	fmt.Printf("converged in %d iterations; active set per iteration:\n", res.Iterations)

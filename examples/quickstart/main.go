@@ -43,17 +43,30 @@ func main() {
 	x.Append(7, 5)
 
 	// The default engine is the paper's SpMSpV-bucket algorithm.
-	mu := spmspv.New(a, spmspv.Options{SortOutput: true})
+	mu, err := spmspv.NewMultiplier(a, spmspv.WithSortOutput(true))
+	if err != nil {
+		panic(err)
+	}
 
-	y := mu.Multiply(x, spmspv.Arithmetic)
+	// Mult is the one descriptor-driven multiply: the input rides in a
+	// Frontier, the result lands in an output Frontier, and every
+	// capability (mask, accumulate, transpose, output representation)
+	// is a Desc field. The zero Desc is a plain multiply.
+	xf := spmspv.NewFrontier(x)
+	yf := mu.NewOutputFrontier()
+	mu.Mult(xf, yf, spmspv.Arithmetic, spmspv.Desc{})
+	y := yf.List()
 	fmt.Println("\ny = A·x over (+, ×):")
 	for k, i := range y.Ind {
 		fmt.Printf("  y[%d] = %g\n", i, y.Val[k])
 	}
 
 	// The same multiplication over the tropical semiring computes
-	// single-step shortest-path relaxations instead.
-	y = mu.Multiply(x, spmspv.MinPlus)
+	// single-step shortest-path relaxations instead — and a semiring
+	// can be named through the descriptor, exactly as a network request
+	// would carry it.
+	mu.Mult(xf, yf, spmspv.Semiring{}, spmspv.Desc{Semiring: "minplus"})
+	y = yf.List()
 	fmt.Println("\ny = A·x over (min, +):")
 	for k, i := range y.Ind {
 		fmt.Printf("  y[%d] = %g\n", i, y.Val[k])

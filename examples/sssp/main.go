@@ -39,7 +39,10 @@ func main() {
 	}
 	fmt.Printf("graph: %v\n", a)
 
-	mu := spmspv.New(a, spmspv.Options{SortOutput: true})
+	mu, err := spmspv.NewMultiplier(a, spmspv.WithSortOutput(true))
+	if err != nil {
+		panic(err)
+	}
 	dist := spmspv.SSSP(mu, 0)
 
 	reached, maxDist, sum := 0, 0.0, 0.0

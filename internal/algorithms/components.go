@@ -34,8 +34,11 @@ func ConnectedComponents(mult Multiplier, n sparse.Index) []sparse.Index {
 	xf := sparse.NewFrontier(x)
 	yf := sparse.NewOutputFrontier(n)
 
+	d := engine.Desc{Output: engine.OutputList}
+	plan := engine.CompilePlan(mult, d.Shape())
+
 	for xf.NNZ() > 0 {
-		engine.MultiplyIntoList(mult, xf, yf, semiring.MinSelect2nd)
+		plan.Mult(xf, yf, semiring.MinSelect2nd, d)
 		yf.Refine(func(i sparse.Index, v float64) (float64, bool) {
 			if l := sparse.Index(v); l < labels[i] {
 				labels[i] = l

@@ -4,6 +4,7 @@ import (
 	"math"
 	"sort"
 
+	"spmspv/internal/engine"
 	"spmspv/internal/semiring"
 	"spmspv/internal/sparse"
 )
@@ -118,8 +119,9 @@ func (st *aclState) absorb(y *sparse.SpVec) {
 
 // sweepCut orders the touched vertices by p(v)/deg(v) and stores the
 // lowest-conductance prefix into res. The per-prefix cut update probes
-// each added vertex's neighborhood with one singleton SpMSpV.
-func sweepCut(mult Multiplier, degrees []int64, totalVol int64, p map[sparse.Index]float64, res *ACLResult, x, y *sparse.SpVec) {
+// each added vertex's neighborhood with one singleton SpMSpV through
+// the caller's compiled list-output plan.
+func sweepCut(plan *engine.Plan, degrees []int64, totalVol int64, p map[sparse.Index]float64, res *ACLResult, x *sparse.SpVec, xf, yf *sparse.Frontier) {
 	n := sparse.Index(len(degrees))
 	type pv struct {
 		v     sparse.Index
@@ -147,9 +149,10 @@ func sweepCut(mult Multiplier, degrees []int64, totalVol int64, p map[sparse.Ind
 		// via SpMSpV on a singleton vector.
 		x.Reset(n)
 		x.Append(e.v, 1)
-		mult.Multiply(x, y, semiring.Arithmetic)
+		xf.SetList(x)
+		plan.Mult(xf, yf, semiring.Arithmetic, engine.Desc{Output: engine.OutputList})
 		var internal int64
-		for _, u := range y.Ind {
+		for _, u := range yf.List().Ind {
 			if inSet[u] {
 				internal++
 			}

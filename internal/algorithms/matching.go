@@ -1,6 +1,7 @@
 package algorithms
 
 import (
+	"spmspv/internal/engine"
 	"spmspv/internal/semiring"
 	"spmspv/internal/sparse"
 )
@@ -37,9 +38,16 @@ func MaximalMatching(mult, multT Multiplier, nr, nc sparse.Index) (rowMate, colM
 	}
 
 	x := sparse.NewSpVec(nc, int(nc))
-	y := sparse.NewSpVec(nr, 0)
 	accept := sparse.NewSpVec(nr, 0)
-	back := sparse.NewSpVec(nc, 0)
+	// Forward (A) and backward (Aᵀ) rounds each run through their own
+	// compiled list-output plan.
+	d := engine.Desc{Output: engine.OutputList}
+	plan := engine.CompilePlan(mult, d.Shape())
+	planT := engine.CompilePlan(multT, d.Shape())
+	xf := sparse.NewFrontier(x)
+	yf := sparse.NewOutputFrontier(nr)
+	acceptf := sparse.NewFrontier(accept)
+	backf := sparse.NewOutputFrontier(nc)
 
 	// Candidate columns that may still find a partner.
 	active := make([]sparse.Index, 0, nc)
@@ -54,7 +62,9 @@ func MaximalMatching(mult, multT Multiplier, nr, nc sparse.Index) (rowMate, colM
 		for _, j := range active {
 			x.Append(j, float64(j))
 		}
-		mult.Multiply(x, y, semiring.MinSelect2nd)
+		xf.SetList(x)
+		plan.Mult(xf, yf, semiring.MinSelect2nd, d)
+		y := yf.List()
 
 		// Step 2: unmatched rows accept their minimum proposer.
 		accept.Reset(nr)
@@ -76,7 +86,9 @@ func MaximalMatching(mult, multT Multiplier, nr, nc sparse.Index) (rowMate, colM
 		// accepting row among its neighbors; matching (j, back(j)) is
 		// conflict-free because each row accepts at most one column and
 		// each column takes at most one row.
-		multT.Multiply(accept, back, semiring.MinSelect2nd)
+		acceptf.SetList(accept)
+		planT.Mult(acceptf, backf, semiring.MinSelect2nd, d)
+		back := backf.List()
 		for k, j := range back.Ind {
 			if colMate[j] >= 0 {
 				continue

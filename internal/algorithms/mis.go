@@ -4,6 +4,7 @@ import (
 	"math"
 	"math/rand"
 
+	"spmspv/internal/engine"
 	"spmspv/internal/semiring"
 	"spmspv/internal/sparse"
 )
@@ -33,8 +34,11 @@ func MaximalIndependentSet(mult Multiplier, n sparse.Index, seed int64) []bool {
 	prio := make([]float64, n)
 	minNbr := make([]float64, n)
 	x := sparse.NewSpVec(n, int(n))
-	y := sparse.NewSpVec(n, 0)
 	winners := sparse.NewSpVec(n, 0)
+	xf := sparse.NewFrontier(x)
+	yf := sparse.NewOutputFrontier(n)
+	d := engine.Desc{Output: engine.OutputList}
+	plan := engine.CompilePlan(mult, d.Shape())
 
 	for remaining > 0 {
 		// Draw fresh priorities for the candidates; ties are broken by
@@ -48,7 +52,9 @@ func MaximalIndependentSet(mult Multiplier, n sparse.Index, seed int64) []bool {
 		}
 
 		// y(i) = min priority among candidate neighbors of i.
-		mult.Multiply(x, y, semiring.MinSelect2nd)
+		xf.SetList(x)
+		plan.Mult(xf, yf, semiring.MinSelect2nd, d)
+		y := yf.List()
 		for i := range minNbr {
 			minNbr[i] = math.Inf(1)
 		}
@@ -71,7 +77,9 @@ func MaximalIndependentSet(mult Multiplier, n sparse.Index, seed int64) []bool {
 		}
 
 		// Remove the winners' neighbors from the pool.
-		mult.Multiply(winners, y, semiring.BoolOrAnd)
+		xf.SetList(winners)
+		plan.Mult(xf, yf, semiring.BoolOrAnd, d)
+		y = yf.List()
 		for _, i := range y.Ind {
 			if candidate[i] {
 				candidate[i] = false

@@ -39,13 +39,20 @@ func MultiCluster(mult Multiplier, degrees []int64, seeds []sparse.Index, opt AC
 	}
 
 	// live maps batch slot → state; converged seeds are compacted away.
+	// The push rounds run through one compiled list-output batch plan:
+	// each slot's gather rebuilds its input vector in place, so the
+	// wrapping frontier is re-pointed (SetList) before every round.
 	live := append([]*aclState(nil), states...)
 	xs := make([]*sparse.SpVec, len(live))
-	ys := make([]*sparse.SpVec, len(live))
+	xfs := make([]*sparse.Frontier, len(live))
+	yfs := make([]*sparse.Frontier, len(live))
 	for q := range live {
 		xs[q] = sparse.NewSpVec(n, 16)
-		ys[q] = sparse.NewSpVec(n, 0)
+		xfs[q] = sparse.NewFrontier(xs[q])
+		yfs[q] = sparse.NewOutputFrontier(n)
 	}
+	d := engine.Desc{Output: engine.OutputList}
+	plan := engine.CompilePlan(mult, d.Shape())
 
 	for round := 0; round < opt.MaxIter && len(live) > 0; round++ {
 		// Gather every live seed's active vertices, dropping seeds with
@@ -54,31 +61,35 @@ func MultiCluster(mult Multiplier, degrees []int64, seeds []sparse.Index, opt AC
 		for q, st := range live {
 			xs[q].Reset(n)
 			if st.gather(xs[q], degrees, opt) {
-				live[w], xs[w], ys[w] = st, xs[q], ys[q]
+				live[w], xs[w] = st, xs[q]
 				w++
 			}
 		}
-		live, xs, ys = live[:w], xs[:w], ys[:w]
+		live, xs = live[:w], xs[:w]
 		if len(live) == 0 {
 			break
 		}
+		for q := range xs {
+			xfs[q].SetList(xs[q])
+		}
 		// One batched SpMSpV spreads every seed's pushes at once.
-		engine.MultiplyBatch(mult, xs, ys, semiring.Arithmetic)
+		plan.MultBatch(xfs[:w], yfs[:w], semiring.Arithmetic, d)
 		for q, st := range live {
-			st.absorb(ys[q])
+			st.absorb(yfs[q].List())
 		}
 	}
 
 	// Sweep cuts per seed (sequential: each probes single columns).
 	var totalVol int64
-	for _, d := range degrees {
-		totalVol += d
+	for _, deg := range degrees {
+		totalVol += deg
 	}
 	x := sparse.NewSpVec(n, 1)
-	y := sparse.NewSpVec(n, 0)
+	xf := sparse.NewFrontier(x)
+	yf := sparse.NewOutputFrontier(n)
 	for _, st := range states {
 		st.res.PPR = st.p
-		sweepCut(mult, degrees, totalVol, st.p, st.res, x, y)
+		sweepCut(plan, degrees, totalVol, st.p, st.res, x, xf, yf)
 	}
 	return results
 }

@@ -3,6 +3,7 @@ package algorithms
 import (
 	"math"
 
+	"spmspv/internal/engine"
 	"spmspv/internal/semiring"
 	"spmspv/internal/sparse"
 )
@@ -94,18 +95,26 @@ func PageRank(mult Multiplier, n sparse.Index, opt PageRankOptions) *PageRankRes
 		delta.Append(i, init)
 		res.Ranks[i] = init
 	}
-	y := sparse.NewSpVec(n, 0)
+	// The iteration runs through one compiled list-output plan: delta is
+	// rebuilt in place every round (SetList invalidates any stale bitmap
+	// in O(nnz)), the product lands in the output frontier's list.
+	df := sparse.NewFrontier(delta)
+	yf := sparse.NewOutputFrontier(n)
+	d := engine.Desc{Output: engine.OutputList}
+	plan := engine.CompilePlan(mult, d.Shape())
 
 	for iter := 0; iter < opt.MaxIter && delta.NNZ() > 0; iter++ {
 		res.ActiveCounts = append(res.ActiveCounts, delta.NNZ())
 		res.Iterations++
-		mult.Multiply(delta, y, semiring.Arithmetic)
+		df.SetList(delta)
+		plan.Mult(df, yf, semiring.Arithmetic, d)
+		y := yf.List()
 		delta.Reset(n)
 		for k, i := range y.Ind {
-			d := opt.Damping * y.Val[k]
-			res.Ranks[i] += d
-			if math.Abs(d) > opt.Tol {
-				delta.Append(i, d)
+			dv := opt.Damping * y.Val[k]
+			res.Ranks[i] += dv
+			if math.Abs(dv) > opt.Tol {
+				delta.Append(i, dv)
 			}
 		}
 	}

@@ -3,6 +3,7 @@ package algorithms
 import (
 	"math"
 
+	"spmspv/internal/engine"
 	"spmspv/internal/semiring"
 	"spmspv/internal/sparse"
 )
@@ -29,10 +30,15 @@ func SSSP(mult Multiplier, n sparse.Index, source sparse.Index) []float64 {
 
 	x := sparse.NewSpVec(n, 1)
 	x.Append(source, 0)
-	y := sparse.NewSpVec(n, 0)
+	xf := sparse.NewFrontier(x)
+	yf := sparse.NewOutputFrontier(n)
+	d := engine.Desc{Output: engine.OutputList}
+	plan := engine.CompilePlan(mult, d.Shape())
 
 	for x.NNZ() > 0 {
-		mult.Multiply(x, y, semiring.MinPlus)
+		xf.SetList(x)
+		plan.Mult(xf, yf, semiring.MinPlus, d)
+		y := yf.List()
 		x.Reset(n)
 		for k, i := range y.Ind {
 			if y.Val[k] < dist[i] {

@@ -26,7 +26,7 @@ func init() {
 	enginepkg.Register(enginepkg.SortBased, "SpMSpV-sort",
 		func(a *sparse.CSC, opt enginepkg.Options) enginepkg.Engine {
 			return NewSortBased(a, opt.Threads)
-		})
+		}, "sort")
 }
 
 // Compile-time checks: every baseline supports the masked extension

@@ -33,17 +33,74 @@ import (
 // scatter. Every other option (threads, buckets, sorting, scheduling,
 // SplitEvenly) behaves as in Multiply.
 func (mu *Multiplier) MultiplyBatch(xs, ys []*sparse.SpVec, sr semiring.Semiring) {
+	mu.multiplyBatchLists(xs, ys, sr, nil, false, nil)
+}
+
+// MultiplyBatchInto computes ys[q] ← A·xs[q] into the output frontiers
+// through the batched bucket algorithm, emitting every slot's output
+// bitmap natively: the batched Step 3's per-(frontier, bucket) copy
+// scatters each bucket's unique indices into the slot's bitmap as it
+// writes the list — the batch analogue of MultiplyInto, so multi-source
+// frontier pipelines pay zero list→bitmap output conversions.
+func (mu *Multiplier) MultiplyBatchInto(xs, ys []*sparse.Frontier, sr semiring.Semiring) {
+	mu.multiplyBatchFrontiers(xs, ys, sr, nil, false)
+}
+
+// MultiplyBatchIntoMasked computes ys[q] ← ⟨A·xs[q], masks[q]⟩ into the
+// output frontiers (nil mask slots run unmasked): each slot's mask is
+// pushed into that frontier's segment of the batched merge, and the
+// surviving results are emitted list+bitmap in one pass exactly as in
+// MultiplyBatchInto.
+func (mu *Multiplier) MultiplyBatchIntoMasked(xs, ys []*sparse.Frontier, sr semiring.Semiring, masks []*sparse.BitVec, complement bool) {
+	mu.multiplyBatchFrontiers(xs, ys, sr, masks, complement)
+}
+
+func (mu *Multiplier) multiplyBatchFrontiers(xs, ys []*sparse.Frontier, sr semiring.Semiring, masks []*sparse.BitVec, complement bool) {
+	if len(xs) != len(ys) {
+		panic(fmt.Sprintf("core: batch with %d inputs but %d outputs", len(xs), len(ys)))
+	}
+	xl := make([]*sparse.SpVec, len(xs))
+	yl := make([]*sparse.SpVec, len(ys))
+	ob := make([]*sparse.BitVec, len(ys))
+	for q := range xs {
+		xl[q] = xs[q].List()
+		yl[q] = ys[q].BeginOutput()
+		ob[q] = ys[q].OutputBits(mu.A.NumRows)
+	}
+	mu.multiplyBatchLists(xl, yl, sr, masks, complement, ob)
+	for q := range ys {
+		ys[q].FinishOutput(true)
+	}
+}
+
+// multiplyBatchLists is the shared batched entry point: per-frontier
+// masks (nil slots unmasked) ride into the merge step and per-frontier
+// output bitmaps (nil means list only) into Step 3.
+func (mu *Multiplier) multiplyBatchLists(xs, ys []*sparse.SpVec, sr semiring.Semiring, masks []*sparse.BitVec, complement bool, outBits []*sparse.BitVec) {
 	if len(xs) != len(ys) {
 		panic(fmt.Sprintf("core: MultiplyBatch with %d inputs but %d outputs", len(xs), len(ys)))
 	}
-	switch len(xs) {
-	case 0:
-		return
-	case 1:
-		mu.Multiply(xs[0], ys[0], sr)
+	if masks != nil && len(masks) != len(xs) {
+		panic(fmt.Sprintf("core: batch with %d inputs but %d masks", len(xs), len(masks)))
+	}
+	if len(xs) == 0 {
 		return
 	}
 	ws := mu.pool.Get().(*Workspace)
+
+	// Optional per-frontier side arrays are sliced alongside the batch.
+	subMasks := func(lo, hi int) []*sparse.BitVec {
+		if masks == nil {
+			return nil
+		}
+		return masks[lo:hi]
+	}
+	subBits := func(lo, hi int) []*sparse.BitVec {
+		if outBits == nil {
+			return nil
+		}
+		return outBits[lo:hi]
+	}
 
 	// Segment the batch so one segment's bucket storage stays within
 	// the single-call bound (≈ nnz(A) entries, the paper's §III-A
@@ -62,12 +119,12 @@ func (mu *Multiplier) MultiplyBatch(xs, ys []*sparse.SpVec, sr semiring.Semiring
 	for q := range xs {
 		w := frontierWork(mu.A, xs[q])
 		if q > lo && acc+w > budget {
-			runBatchSegment(mu.A, xs[lo:q], ys[lo:q], sr, ws, mu.Opt)
+			runBatchSegment(mu.A, xs[lo:q], ys[lo:q], sr, ws, mu.Opt, subMasks(lo, q), complement, subBits(lo, q))
 			lo, acc = q, 0
 		}
 		acc += w
 	}
-	runBatchSegment(mu.A, xs[lo:], ys[lo:], sr, ws, mu.Opt)
+	runBatchSegment(mu.A, xs[lo:], ys[lo:], sr, ws, mu.Opt, subMasks(lo, len(xs)), complement, subBits(lo, len(xs)))
 	mu.retire(ws)
 }
 
@@ -83,15 +140,22 @@ func frontierWork(a *sparse.CSC, x *sparse.SpVec) int64 {
 
 // runBatchSegment multiplies one budget-bounded segment through the
 // shared workspace; singleton segments take the single-call path.
-func runBatchSegment(a *sparse.CSC, xs, ys []*sparse.SpVec, sr semiring.Semiring, ws *Workspace, opt Options) {
+func runBatchSegment(a *sparse.CSC, xs, ys []*sparse.SpVec, sr semiring.Semiring, ws *Workspace, opt Options, masks []*sparse.BitVec, complement bool, outBits []*sparse.BitVec) {
 	if len(xs) == 1 {
-		multiply(a, xs[0], ys[0], sr, ws, opt, nil, false, nil)
+		var mk, ob *sparse.BitVec
+		if masks != nil {
+			mk = masks[0]
+		}
+		if outBits != nil {
+			ob = outBits[0]
+		}
+		multiply(a, xs[0], ys[0], sr, ws, opt, mk, complement, ob)
 		return
 	}
-	multiplyBatch(a, xs, ys, sr, ws, opt)
+	multiplyBatch(a, xs, ys, sr, ws, opt, masks, complement, outBits)
 }
 
-func multiplyBatch(a *sparse.CSC, xs, ys []*sparse.SpVec, sr semiring.Semiring, ws *Workspace, opt Options) {
+func multiplyBatch(a *sparse.CSC, xs, ys []*sparse.SpVec, sr semiring.Semiring, ws *Workspace, opt Options, masks []*sparse.BitVec, complement bool, outBits []*sparse.BitVec) {
 	opt = opt.WithDefaults()
 	m := a.NumRows
 	k := len(xs)
@@ -226,7 +290,9 @@ func multiplyBatch(a *sparse.CSC, xs, ys []*sparse.SpVec, sr semiring.Semiring, 
 	// same worker (the row range — hence the SPA slots — is what must
 	// not be shared), under k distinct epochs; unique values are copied
 	// out to uval immediately because the next frontier reuses the same
-	// SPA rows before the output step runs.
+	// SPA rows before the output step runs. A slot with a mask takes the
+	// masked merge — the same §V pushdown as the single-call path,
+	// applied per frontier segment.
 	base := ws.epochBlock(uint32(k))
 	mergeBody := func(w, b int) {
 		ctr := &ws.Counters[w]
@@ -239,7 +305,11 @@ func multiplyBatch(a *sparse.CSC, xs, ys []*sparse.SpVec, sr semiring.Semiring, 
 			}
 			ents := ws.entries[lo:hi]
 			u := ws.uind[lo:lo]
-			u = mergeEpoch(sr, ws, ents, u, base+uint32(q))
+			if masks != nil && masks[q] != nil {
+				u = mergeMasked(sr, ws, ents, u, base+uint32(q), masks[q], complement)
+			} else {
+				u = mergeEpoch(sr, ws, ents, u, base+uint32(q))
+			}
 			ws.uindCount[bq] = int64(len(u))
 			ctr.SPAInit += int64(len(u))
 			ctr.SPAUpdates += int64(len(ents)) - int64(len(u))
@@ -301,11 +371,22 @@ func multiplyBatch(a *sparse.CSC, xs, ys []*sparse.SpVec, sr semiring.Semiring, 
 			if cnt == 0 {
 				continue
 			}
-			y := ys[bq/nb]
+			q := bq / nb
+			y := ys[q]
 			off := ws.uindOffset[bq]
 			start := ws.bucketStart[bq]
 			copy(y.Ind[off:off+cnt], ws.uind[start:start+cnt])
 			copy(y.Val[off:off+cnt], ws.uval[start:start+cnt])
+			if outBits != nil && outBits[q] != nil {
+				// Native bitmap emission, batched: bucket bq owns the
+				// row range [b·2^shift, (b+1)·2^shift) of frontier q,
+				// so SetRangeFrom's boundary-word atomics make the
+				// concurrent per-slot fill race-free exactly as in the
+				// single-call Step 3.
+				bLo := sparse.Index(bq%nb) << shift
+				outBits[q].SetRangeFrom(y.Ind[off:off+cnt], y.Val[off:off+cnt],
+					bLo, bLo+(sparse.Index(1)<<shift))
+			}
 			ctr.OutputWritten += cnt
 		}
 	})

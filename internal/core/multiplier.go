@@ -100,6 +100,7 @@ var (
 	_ engine.FrontierEngine     = (*Multiplier)(nil)
 	_ engine.BatchEngine        = (*Multiplier)(nil)
 	_ engine.MaskedOutputEngine = (*Multiplier)(nil)
+	_ engine.BatchOutputEngine  = (*Multiplier)(nil)
 )
 
 // retire folds the workspace's per-call work into the multiplier's

@@ -5,12 +5,13 @@ import (
 	"spmspv/internal/sparse"
 )
 
-// The bucket engine registers itself under engine.Bucket; importing
-// this package is what makes the default algorithm constructible
-// through the registry.
+// The bucket engine registers itself under engine.Bucket — with the
+// short CLI alias "bucket" — so importing this package is what makes
+// the default algorithm constructible through the registry and
+// nameable through engine.Parse.
 func init() {
 	engine.Register(engine.Bucket, "SpMSpV-bucket",
 		func(a *sparse.CSC, opt engine.Options) engine.Engine {
 			return NewMultiplier(a, opt)
-		})
+		}, "bucket")
 }

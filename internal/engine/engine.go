@@ -16,6 +16,7 @@ package engine
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 
 	"spmspv/internal/perf"
@@ -99,9 +100,9 @@ type FrontierEngine interface {
 // output bitmap natively in the same pass — so a consumer that prefers
 // the bitmap (GraphMat's matrix-driven loop, a hybrid engine's dense
 // levels) reads it with no list→bitmap conversion ever running.
-// Engines that only speak lists are served by the package-level
-// MultiplyInto wrapper, which runs the list multiply into the
-// frontier and leaves the bitmap lazy.
+// Engines that only speak lists are served by CompilePlan's list
+// fallback, which runs the list multiply into the frontier and leaves
+// the bitmap lazy.
 type OutputEngine interface {
 	Engine
 	// OutputRep reports the richest representation MultiplyInto
@@ -138,80 +139,30 @@ func OutputRepOf(e Engine) Rep {
 	return RepList
 }
 
-// MultiplyInto computes y ← A·x into the output frontier through e:
-// natively when e implements OutputEngine, otherwise via the fallback
-// wrapper — the list multiply (frontier-aware when e reads frontiers)
-// runs into the frontier's list and the bitmap stays lazy. This is the
-// uniform entry point frontier pipelines use so every registered
-// engine writes frontier outputs.
-func MultiplyInto(e Engine, x, y *sparse.Frontier, sr semiring.Semiring) {
-	if oe, ok := e.(OutputEngine); ok {
-		oe.MultiplyInto(x, y, sr)
-		return
-	}
-	MultiplyIntoList(e, x, y, sr)
-}
+// Frontier-output execution — which of the optional interfaces above a
+// given engine implements, and how to degrade when it doesn't — is
+// compiled once per (engine, shape) by CompilePlan (plan.go); the Plan
+// is the uniform entry point frontier pipelines use, so every
+// registered engine writes frontier outputs with no per-call type
+// assertions.
 
-// MultiplyIntoList computes y ← A·x into the output frontier through
-// the list-only path even when e could emit the bitmap natively: the
-// frontier-aware list multiply runs into the frontier's list and the
-// bitmap stays lazy. Callers that immediately shrink the output's
-// support (plain BFS's unvisited filter, components' improved-label
-// filter) use this — a natively emitted bitmap would be erased before
-// any consumer could read it, so emitting it would be pure waste.
-func MultiplyIntoList(e Engine, x, y *sparse.Frontier, sr semiring.Semiring) {
-	list := y.BeginOutput()
-	if fe, ok := e.(FrontierEngine); ok {
-		fe.MultiplyFrontier(x, list, sr)
-	} else {
-		e.Multiply(x.List(), list, sr)
-	}
-	y.FinishOutput(false)
-}
-
-// MultiplyIntoMasked computes y ← ⟨A·x, mask⟩ into the output frontier
-// through e, degrading gracefully with the engine's capabilities:
-// native masked-output pushdown, then a masked list multiply, then —
-// for engines with no mask support at all — a plain multiply filtered
-// after the fact (same results, the work the pushdown avoids).
-func MultiplyIntoMasked(e Engine, x, y *sparse.Frontier, sr semiring.Semiring, mask *sparse.BitVec, complement bool) {
-	if moe, ok := e.(MaskedOutputEngine); ok {
-		moe.MultiplyIntoMasked(x, y, sr, mask, complement)
-		return
-	}
-	list := y.BeginOutput()
-	if me, ok := e.(MaskedEngine); ok {
-		me.MultiplyMasked(x.List(), list, sr, mask, complement)
-	} else {
-		if fe, ok := e.(FrontierEngine); ok {
-			fe.MultiplyFrontier(x, list, sr)
-		} else {
-			e.Multiply(x.List(), list, sr)
-		}
-		sparse.FilterMaskInPlace(list, mask, complement)
-	}
-	y.FinishOutput(false)
-}
-
-// MultiplyBatchInto runs a batch of frontier-output multiplies through
-// e: the lists go through the engine's native batch path (or the
-// Multiply loop) and every output frontier completes its output pass
-// with the bitmap lazy — batched callers trade native bitmaps for the
-// shared Estimate pass. len(xs) must equal len(ys).
-func MultiplyBatchInto(e Engine, xs, ys []*sparse.Frontier, sr semiring.Semiring) {
-	if len(xs) != len(ys) {
-		panic(fmt.Sprintf("engine: MultiplyBatchInto with %d inputs but %d outputs", len(xs), len(ys)))
-	}
-	xl := make([]*sparse.SpVec, len(xs))
-	yl := make([]*sparse.SpVec, len(ys))
-	for q := range xs {
-		xl[q] = xs[q].List()
-		yl[q] = ys[q].BeginOutput()
-	}
-	MultiplyBatch(e, xl, yl, sr)
-	for q := range ys {
-		ys[q].FinishOutput(false)
-	}
+// BatchOutputEngine is the optional extension for engines whose
+// batched multiply writes frontier-form outputs natively: the batched
+// Step 3 emits list and bitmap in one pass per slot, and the masked
+// variant pushes one output mask per slot into the batched merge. This
+// is what makes multi-source direction-optimized pipelines (masked
+// MultiBFS) conversion-free: every slot's output bitmap is ready for
+// the next level's matrix-driven side without a list→bitmap conversion
+// ever running.
+type BatchOutputEngine interface {
+	Engine
+	// MultiplyBatchInto computes ys[q] ← A·xs[q] into the output
+	// frontiers, emitting each slot's bitmap natively.
+	MultiplyBatchInto(xs, ys []*sparse.Frontier, sr semiring.Semiring)
+	// MultiplyBatchIntoMasked computes ys[q] ← ⟨A·xs[q], masks[q]⟩ into
+	// the output frontiers (nil slots run unmasked); complement inverts
+	// every mask test.
+	MultiplyBatchIntoMasked(xs, ys []*sparse.Frontier, sr semiring.Semiring, masks []*sparse.BitVec, complement bool)
 }
 
 // BatchEngine is the optional extension for engines that multiply a
@@ -282,8 +233,9 @@ func (a Algorithm) String() string {
 type Constructor func(a *sparse.CSC, opt Options) Engine
 
 type regEntry struct {
-	name string
-	ctor Constructor
+	name    string
+	ctor    Constructor
+	aliases []string
 }
 
 var (
@@ -291,10 +243,17 @@ var (
 	registry = map[Algorithm]regEntry{}
 )
 
-// Register makes an algorithm constructible through New. It is intended
-// to be called from the implementing package's init; registering the
-// same Algorithm twice panics, as with database/sql drivers.
-func Register(alg Algorithm, name string, ctor Constructor) {
+// Register makes an algorithm constructible through New and resolvable
+// through Parse. It is intended to be called from the implementing
+// package's init; registering the same Algorithm twice panics, as with
+// database/sql drivers.
+//
+// aliases are optional short CLI names ("bucket", "sort") registered
+// alongside the canonical Table I name: Parse accepts them and Names
+// lists them first, so the one registration call is the single source
+// of truth for construction, parsing, and flag help — there is no
+// separate alias table to keep in sync.
+func Register(alg Algorithm, name string, ctor Constructor, aliases ...string) {
 	regMu.Lock()
 	defer regMu.Unlock()
 	if _, dup := registry[alg]; dup {
@@ -303,7 +262,70 @@ func Register(alg Algorithm, name string, ctor Constructor) {
 	if ctor == nil {
 		panic("engine: Register with nil constructor")
 	}
-	registry[alg] = regEntry{name: name, ctor: ctor}
+	registry[alg] = regEntry{name: name, ctor: ctor, aliases: aliases}
+}
+
+// Parse resolves an engine name — a registered canonical name matched
+// case-insensitively ("CombBLAS-SPA", "graphmat", ...) or a registered
+// short alias ("bucket", "sort", "hybrid") — to its Algorithm. Anything
+// that registers is reachable here without touching this function. An
+// unknown name returns (0, false); callers must check ok rather than
+// use the zero Algorithm, which happens to be Bucket.
+func Parse(name string) (Algorithm, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	for _, alg := range registeredLocked() {
+		e := registry[alg]
+		if strings.EqualFold(e.name, name) {
+			return alg, true
+		}
+		for _, a := range e.aliases {
+			if strings.EqualFold(a, name) {
+				return alg, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// Names returns every name Parse accepts, in a stable order: the
+// registered short aliases first (in ascending Algorithm order), then
+// the canonical names (lowercased) not already covered by an alias.
+// CLIs derive their -engine/-algorithm help from this, so a newly
+// registered engine shows up without touching any flag text.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	var names []string
+	seen := map[string]bool{}
+	add := func(n string) {
+		n = strings.ToLower(n)
+		if !seen[n] {
+			seen[n] = true
+			names = append(names, n)
+		}
+	}
+	algs := registeredLocked()
+	for _, alg := range algs {
+		for _, a := range registry[alg].aliases {
+			add(a)
+		}
+	}
+	for _, alg := range algs {
+		add(registry[alg].name)
+	}
+	return names
+}
+
+// registeredLocked returns the registered algorithms in ascending
+// order; the caller must hold regMu.
+func registeredLocked() []Algorithm {
+	algs := make([]Algorithm, 0, len(registry))
+	for a := range registry {
+		algs = append(algs, a)
+	}
+	sort.Slice(algs, func(i, j int) bool { return algs[i] < algs[j] })
+	return algs
 }
 
 // New constructs the selected algorithm's engine for a. It returns an
@@ -324,10 +346,5 @@ func New(a *sparse.CSC, alg Algorithm, opt Options) (Engine, error) {
 func Registered() []Algorithm {
 	regMu.RLock()
 	defer regMu.RUnlock()
-	algs := make([]Algorithm, 0, len(registry))
-	for a := range registry {
-		algs = append(algs, a)
-	}
-	sort.Slice(algs, func(i, j int) bool { return algs[i] < algs[j] })
-	return algs
+	return registeredLocked()
 }

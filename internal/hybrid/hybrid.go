@@ -37,7 +37,7 @@ func init() {
 	engine.Register(engine.Hybrid, "Hybrid",
 		func(a *sparse.CSC, opt engine.Options) engine.Engine {
 			return New(a, opt)
-		})
+		}, "hybrid")
 }
 
 // Engine is the direction-switching SpMSpV engine. Output is always
@@ -225,6 +225,55 @@ func (h *Engine) MultiplyBatch(xs, ys []*sparse.SpVec, sr semiring.Semiring) {
 	}
 }
 
+// MultiplyBatchInto computes ys[q] ← A·xs[q] into the output frontiers,
+// routing each slot by its own density: dense slots run the
+// matrix-driven side's native frontier output, the sparse remainder
+// runs the bucket engine's batched native-output multiply — every
+// slot's bitmap is emitted natively either way, so multi-source
+// direction-optimized pipelines stay conversion-free.
+func (h *Engine) MultiplyBatchInto(xs, ys []*sparse.Frontier, sr semiring.Semiring) {
+	h.multiplyBatchInto(xs, ys, sr, nil, false)
+}
+
+// MultiplyBatchIntoMasked is MultiplyBatchInto with one output mask per
+// slot (nil slots unmasked) pushed down on whichever side the slot
+// takes.
+func (h *Engine) MultiplyBatchIntoMasked(xs, ys []*sparse.Frontier, sr semiring.Semiring, masks []*sparse.BitVec, complement bool) {
+	h.multiplyBatchInto(xs, ys, sr, masks, complement)
+}
+
+func (h *Engine) multiplyBatchInto(xs, ys []*sparse.Frontier, sr semiring.Semiring, masks []*sparse.BitVec, complement bool) {
+	var bxs, bys []*sparse.Frontier
+	var bmasks []*sparse.BitVec
+	anyMask := false
+	for q := range xs {
+		var mk *sparse.BitVec
+		if masks != nil {
+			mk = masks[q]
+		}
+		if h.matrixDriven(xs[q].NNZ()) {
+			h.switches.Add(1)
+			if mk != nil {
+				h.matrix.MultiplyIntoMasked(xs[q], ys[q], sr, mk, complement)
+			} else {
+				h.matrix.MultiplyInto(xs[q], ys[q], sr)
+			}
+			continue
+		}
+		bxs = append(bxs, xs[q])
+		bys = append(bys, ys[q])
+		bmasks = append(bmasks, mk)
+		anyMask = anyMask || mk != nil
+	}
+	switch {
+	case len(bxs) == 0:
+	case anyMask:
+		h.bucket.MultiplyBatchIntoMasked(bxs, bys, sr, bmasks, complement)
+	default:
+		h.bucket.MultiplyBatchInto(bxs, bys, sr)
+	}
+}
+
 // Switches reports how many calls took the matrix-driven path since
 // the last ResetCounters.
 func (h *Engine) Switches() int64 { return h.switches.Load() }
@@ -256,4 +305,5 @@ var (
 	_ engine.FrontierEngine     = (*Engine)(nil)
 	_ engine.BatchEngine        = (*Engine)(nil)
 	_ engine.MaskedOutputEngine = (*Engine)(nil)
+	_ engine.BatchOutputEngine  = (*Engine)(nil)
 )

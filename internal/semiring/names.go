@@ -1,0 +1,46 @@
+package semiring
+
+import "strings"
+
+// The name table maps wire/CLI names to the predefined semirings. It is
+// the single source of truth for every place a semiring is named rather
+// than passed as a value: the spmspv CLI's -semiring flag, the
+// descriptor's Semiring field, and the network request contract — a
+// semiring is two function values, which do not serialize, so the wire
+// speaks names and ByName is the decoder.
+var named = []struct {
+	alias string
+	sr    Semiring
+}{
+	{"arithmetic", Arithmetic},
+	{"minplus", MinPlus},
+	{"maxplus", MaxPlus},
+	{"boolean", BoolOrAnd},
+	{"bfs", MinSelect2nd},
+	{"maxselect2nd", MaxSelect2nd},
+	{"minselect1st", MinSelect1st},
+}
+
+// ByName resolves a semiring name — a short alias ("arithmetic",
+// "minplus", "maxplus", "boolean", "bfs", ...) or a predefined
+// semiring's canonical Name ("tropical(min,+)"), matched
+// case-insensitively — to its Semiring. Unknown names return
+// (Semiring{}, false).
+func ByName(name string) (Semiring, bool) {
+	for _, e := range named {
+		if strings.EqualFold(e.alias, name) || strings.EqualFold(e.sr.Name, name) {
+			return e.sr, true
+		}
+	}
+	return Semiring{}, false
+}
+
+// Names returns every short alias ByName accepts, in table order — the
+// list CLIs print in their -semiring help.
+func Names() []string {
+	names := make([]string, len(named))
+	for i, e := range named {
+		names[i] = e.alias
+	}
+	return names
+}

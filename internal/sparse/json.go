@@ -1,0 +1,58 @@
+package sparse
+
+import (
+	"encoding/json"
+	"math/bits"
+)
+
+// JSON wire forms for the vector types that ride in multiply request
+// descriptors. SpVec marshals fine with the default encoding (all its
+// fields are exported); BitVec's word array and cached set count are
+// representation details, so it marshals as its logical content — the
+// dimension plus the set (index, value) pairs — which is also far more
+// compact for the sparse masks requests actually carry.
+
+// bitVecWire is the JSON form of a BitVec.
+type bitVecWire struct {
+	N   Index     `json:"n"`
+	Ind []Index   `json:"ind,omitempty"`
+	Val []float64 `json:"val,omitempty"`
+}
+
+// MarshalJSON encodes the bitvector as {"n": dim, "ind": [...],
+// "val": [...]} with the set positions in ascending order.
+func (b *BitVec) MarshalJSON() ([]byte, error) {
+	w := bitVecWire{N: b.N}
+	for wi, word := range b.Words {
+		for word != 0 {
+			bit := word & (-word)
+			i := Index(wi<<6) + Index(bits.TrailingZeros64(bit))
+			w.Ind = append(w.Ind, i)
+			w.Val = append(w.Val, b.Val[i])
+			word &^= bit
+		}
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON decodes the wire form, rebuilding the word array and
+// set count. Missing "val" entries default to zero values.
+func (b *BitVec) UnmarshalJSON(data []byte) error {
+	var w bitVecWire
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	fresh := NewBitVec(w.N)
+	x := &SpVec{N: w.N, Ind: w.Ind, Val: w.Val}
+	if len(x.Val) < len(x.Ind) {
+		pad := make([]float64, len(x.Ind))
+		copy(pad, x.Val)
+		x.Val = pad
+	}
+	if err := x.Validate(); err != nil {
+		return err
+	}
+	fresh.SetFrom(x)
+	*b = *fresh
+	return nil
+}

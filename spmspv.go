@@ -1,8 +1,9 @@
 package spmspv
 
 import (
+	"errors"
+	"fmt"
 	"io"
-	"strings"
 	"sync"
 
 	"spmspv/internal/algorithms"
@@ -49,11 +50,19 @@ type (
 	// Frontier is a sparse vector carried in whichever representation
 	// the consuming engine prefers (list or bitmap), with the bitmap
 	// materialized lazily at most once and shared across consumers.
-	// Frontiers are also the engines' output format (MultiplyFrontier):
-	// output-capable engines emit list and bitmap in one pass.
+	// Frontiers are also the engines' output format (Mult): output-
+	// capable engines emit list and bitmap in one pass.
 	Frontier = sparse.Frontier
 	// Rep identifies a frontier representation (list or bitmap).
 	Rep = engine.Rep
+	// Desc is the GraphBLAS-style descriptor that parameterizes Mult
+	// and MultBatch: mask + complement, accumulate, transpose (left
+	// multiplication), requested output representation, batch width and
+	// semiring name in one JSON-serializable value — the wire contract
+	// of a multiply request (see Request).
+	Desc = engine.Desc
+	// OutputMode is a Desc's output-representation request.
+	OutputMode = engine.OutputMode
 	// BFSResult is the output of the matrix-based BFS.
 	BFSResult = algorithms.BFSResult
 	// MultiBFSResult is the output of the batched multi-source BFS.
@@ -81,6 +90,29 @@ var (
 	// MinSelect1st is (min, select1st): pull edge attributes.
 	MinSelect1st = semiring.MinSelect1st
 )
+
+// The OutputMode values a Desc can request (see engine.OutputMode).
+const (
+	// OutputAuto asks for the richest representation the engine emits
+	// natively (list+bitmap for the output-capable engines).
+	OutputAuto = engine.OutputAuto
+	// OutputList asks for the list only; the bitmap stays lazy.
+	OutputList = engine.OutputList
+	// OutputBitmap guarantees a materialized bitmap on return.
+	OutputBitmap = engine.OutputBitmap
+)
+
+// ParseSemiring resolves a semiring name — a short alias
+// ("arithmetic", "minplus", "maxplus", "boolean", "bfs", ...) or a
+// predefined semiring's canonical Name — to its Semiring, matched
+// case-insensitively. This is the decoder behind Desc.Semiring: wire
+// requests name their semiring because function values do not
+// serialize.
+func ParseSemiring(name string) (Semiring, bool) { return semiring.ByName(name) }
+
+// SemiringNames returns every short alias ParseSemiring accepts — the
+// list the CLIs print in their -semiring help.
+func SemiringNames() []string { return semiring.Names() }
 
 // NewTriples returns an empty m×n coordinate list with capacity nnzCap.
 func NewTriples(m, n Index, nnzCap int) *Triples { return sparse.NewTriples(m, n, nnzCap) }
@@ -142,50 +174,22 @@ const (
 func Algorithms() []Algorithm { return engine.Registered() }
 
 // ParseAlgorithm resolves an algorithm name — a registered name
-// matched case-insensitively ("CombBLAS-SPA", "graphmat", "hybrid",
-// ...) or a short CLI alias ("bucket", "sort") — to its Algorithm.
-// Anything registered with the engine registry is reachable here
-// without touching this function. An unknown name returns (0, false);
-// callers must check ok rather than use the zero Algorithm, which
-// happens to be Bucket.
-func ParseAlgorithm(name string) (Algorithm, bool) {
-	switch strings.ToLower(name) {
-	case "bucket":
-		return Bucket, true
-	case "sort":
-		return SortBased, true
-	case "hybrid":
-		return Hybrid, true
-	}
-	for _, alg := range engine.Registered() {
-		if strings.EqualFold(alg.String(), name) {
-			return alg, true
-		}
-	}
-	return 0, false
-}
+// matched case-insensitively ("CombBLAS-SPA", "graphmat", ...) or a
+// registered short CLI alias ("bucket", "sort", "hybrid") — to its
+// Algorithm. Names and aliases both live in the engine registry (one
+// Register call per engine is the single source of truth), so anything
+// registered is reachable here without touching this function. An
+// unknown name returns (0, false); callers must check ok rather than
+// use the zero Algorithm, which happens to be Bucket.
+func ParseAlgorithm(name string) (Algorithm, bool) { return engine.Parse(name) }
 
 // EngineNames returns every engine name ParseAlgorithm accepts, in a
-// stable order: the short CLI aliases first, then the registered
-// Table I names (lowercased) that are not already covered by an
-// alias. CLIs derive their -engine/-algorithm help strings from this,
-// so a newly registered engine shows up without touching any flag
-// text.
-func EngineNames() []string {
-	names := []string{"bucket", "sort", "hybrid"}
-	seen := map[string]bool{}
-	for _, n := range names {
-		seen[n] = true
-	}
-	for _, alg := range engine.Registered() {
-		n := strings.ToLower(alg.String())
-		if !seen[n] {
-			seen[n] = true
-			names = append(names, n)
-		}
-	}
-	return names
-}
+// stable order: the registered short CLI aliases first, then the
+// registered Table I names (lowercased) that are not already covered
+// by an alias. CLIs derive their -engine/-algorithm help strings from
+// this, so a newly registered engine shows up without touching any
+// flag text.
+func EngineNames() []string { return engine.Names() }
 
 // DefaultCalibrationCachePath returns the conventional on-disk
 // location for the Hybrid engine's calibrated-threshold cache
@@ -208,28 +212,108 @@ func ResetFrontierStats() { sparse.ResetFrontierConversions() }
 
 // Multiplier is a reusable SpMSpV engine bound to one matrix. Reuse
 // across calls is the intended pattern — iterative graph algorithms
-// call Multiply thousands of times and all buffers are recycled, per
-// the paper's preallocation strategy (§III-A).
+// call Mult thousands of times and all buffers are recycled, per the
+// paper's preallocation strategy (§III-A).
 //
 // A Multiplier is safe for concurrent use by multiple goroutines: the
 // underlying engines pool their per-call workspaces, the lazily-built
-// transpose engine is constructed exactly once, and work counters are
-// aggregated race-free. Parallelism also exists inside each call, so a
-// single caller still saturates the machine.
+// transpose engine and the per-shape plans are constructed exactly
+// once, and work counters are aggregated race-free. Parallelism also
+// exists inside each call, so a single caller still saturates the
+// machine.
 type Multiplier struct {
 	a   *Matrix
 	eng engine.Engine
 	alg Algorithm
 	opt Options
 
+	// plans caches one compiled engine.Plan per descriptor shape: the
+	// capability negotiation (which optional engine extensions exist,
+	// how to degrade) runs once per shape, not once per call.
+	plans sync.Map // engine.Shape → *engine.Plan
+
 	leftOnce sync.Once
-	left     *Multiplier // lazily built Aᵀ engine for MultiplyLeft
+	left     *Multiplier // lazily built Aᵀ engine for Desc.Transpose
 
 	accumPool sync.Pool // *Vector scratch for MultiplyAccumInto
 }
 
+// Option configures NewMultiplier. Options compose left to right;
+// WithEngineOptions replaces the whole engine-options struct, so apply
+// it before the field-level options it would otherwise overwrite.
+type Option func(*multiplierConfig)
+
+type multiplierConfig struct {
+	alg Algorithm
+	opt Options
+}
+
+// WithAlgorithm selects the SpMSpV engine (default Bucket).
+func WithAlgorithm(alg Algorithm) Option {
+	return func(c *multiplierConfig) { c.alg = alg }
+}
+
+// WithEngineOptions replaces the engine-construction options wholesale
+// — the escape hatch for the long tail of bucket-engine knobs
+// (staging, scheduling, the ∞-sentinel ablation...).
+func WithEngineOptions(opt Options) Option {
+	return func(c *multiplierConfig) { c.opt = opt }
+}
+
+// WithThreads sets the worker thread count (≤ 0 means GOMAXPROCS).
+func WithThreads(n int) Option {
+	return func(c *multiplierConfig) { c.opt.Threads = n }
+}
+
+// WithSortOutput selects whether results carry strictly increasing
+// indices.
+func WithSortOutput(sorted bool) Option {
+	return func(c *multiplierConfig) { c.opt.SortOutput = sorted }
+}
+
+// WithHybridThreshold pins the Hybrid engine's direction-switch
+// threshold (zero calibrates at construction, negative pins the
+// vector-driven side).
+func WithHybridThreshold(th float64) Option {
+	return func(c *multiplierConfig) { c.opt.HybridThreshold = th }
+}
+
+// WithCalibrationCache sets the on-disk calibrated-threshold cache the
+// Hybrid engine consults at construction; recalibrate forces the probe
+// multiplies to re-run even on a cache hit.
+func WithCalibrationCache(path string, recalibrate bool) Option {
+	return func(c *multiplierConfig) {
+		c.opt.CalibrationCache = path
+		c.opt.Recalibrate = recalibrate
+	}
+}
+
+// NewMultiplier returns a multiplier for a, configured by functional
+// options. Unlike the deprecated NewWithAlgorithm — whose documented
+// wart was a SILENT fallback to the Bucket engine when the requested
+// algorithm had no registered constructor — construction reports
+// failure: an unregistered algorithm (usually a missing import of the
+// implementing package) or a nil matrix is an error, not a different
+// engine than the one asked for.
+func NewMultiplier(a *Matrix, opts ...Option) (*Multiplier, error) {
+	if a == nil {
+		return nil, errors.New("spmspv: NewMultiplier with nil matrix")
+	}
+	cfg := multiplierConfig{alg: Bucket}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	eng, err := engine.New(a, cfg.alg, cfg.opt)
+	if err != nil {
+		return nil, fmt.Errorf("spmspv: constructing engine: %w", err)
+	}
+	return &Multiplier{a: a, eng: eng, alg: cfg.alg, opt: cfg.opt}, nil
+}
+
 // New returns a bucket-algorithm multiplier for a with the given
-// options. It is shorthand for NewWithAlgorithm(a, Bucket, opt).
+// options.
+//
+// Deprecated: use NewMultiplier(a, WithEngineOptions(opt)).
 func New(a *Matrix, opt Options) *Multiplier {
 	return NewWithAlgorithm(a, Bucket, opt)
 }
@@ -243,25 +327,116 @@ func New(a *Matrix, opt Options) *Multiplier {
 // Fallback contract: an Algorithm value with no registered constructor
 // SILENTLY falls back to the Bucket engine — the returned multiplier
 // reports Algorithm() == Bucket, which is how callers detect that the
-// fallback fired. (Construction cannot fail: the facade always
-// registers Bucket, and iterative callers should not need an error
-// path for a condition that is a build-wiring bug.) Use ParseAlgorithm
-// to validate names before construction.
+// fallback fired. Use ParseAlgorithm to validate names before
+// construction.
+//
+// Deprecated: use NewMultiplier(a, WithAlgorithm(alg),
+// WithEngineOptions(opt)), which reports an unregistered algorithm as
+// an error instead of silently constructing a different engine.
 func NewWithAlgorithm(a *Matrix, alg Algorithm, opt Options) *Multiplier {
-	eng, err := engine.New(a, alg, opt)
+	m, err := NewMultiplier(a, WithAlgorithm(alg), WithEngineOptions(opt))
 	if err != nil {
-		alg = Bucket
-		eng, err = engine.New(a, alg, opt)
+		m, err = NewMultiplier(a, WithEngineOptions(opt))
 		if err != nil {
 			// The bucket engine is always registered via this package's
 			// core import; reaching here means a broken build.
 			panic(err)
 		}
 	}
-	return &Multiplier{a: a, eng: eng, alg: alg, opt: opt}
+	return m
+}
+
+// Mult is the single descriptor-driven multiply: y ← ⟨op(A)·x, mask⟩
+// over sr, where every capability is a Desc field instead of a method —
+// op(A) is Aᵀ under d.Transpose (paper §II-A left multiplication), the
+// mask is pushed into the engine's merge step (§V), d.Accum switches
+// overwrite to y ← y ⊕ product, and d.Output selects the result
+// representation. The zero Desc is a plain multiply with the engine's
+// richest native output.
+//
+// Capability negotiation runs off the hot path: the plan for each
+// descriptor shape — which optional engine interfaces exist and how to
+// degrade — is compiled once per Multiplier and cached, so steady-state
+// calls perform no type assertions. A zero-valued sr resolves
+// d.Semiring by name (the wire form); an explicit sr always wins.
+//
+// Mult panics on an inconsistent descriptor (Complement without a
+// mask, an unresolvable semiring) exactly as the slice-length checks
+// panic: these are programming errors, not runtime conditions. Network
+// servers validate with Desc.Validate / Request first.
+func (m *Multiplier) Mult(x, y *Frontier, sr Semiring, d Desc) {
+	if d.Transpose {
+		d.Transpose = false
+		m.transposed().Mult(x, y, sr, d)
+		return
+	}
+	sr = resolveSemiring(sr, d)
+	m.planFor(d.Shape()).Mult(x, y, sr, d)
+}
+
+// MultBatch is Mult over a batch: ys[q] ← ⟨op(A)·xs[q], mask_q⟩ for
+// every q, with per-slot masks from d.Masks (or d.Mask shared).
+// Engines with a native batch path amortize their per-call setup
+// across the slots (the bucket engine shares one Estimate/sizing pass
+// and emits every slot's output bitmap from the batched Step 3; the
+// hybrid engine routes each slot by its own density). Results are
+// always exactly those of the equivalent loop of Mult calls.
+func (m *Multiplier) MultBatch(xs, ys []*Frontier, sr Semiring, d Desc) {
+	if d.Transpose {
+		d.Transpose = false
+		m.transposed().MultBatch(xs, ys, sr, d)
+		return
+	}
+	sr = resolveSemiring(sr, d)
+	m.planFor(d.Shape()).MultBatch(xs, ys, sr, d)
+}
+
+// Plan returns the multiplier's cached compiled plan for a descriptor
+// shape — the handle loop-heavy callers can hold to make the per-call
+// overhead of Mult (one map load) disappear entirely.
+func (m *Multiplier) Plan(d Desc) *engine.Plan { return m.planFor(d.Shape()) }
+
+// planFor returns the cached plan for shape s, compiling it on first
+// use.
+func (m *Multiplier) planFor(s engine.Shape) *engine.Plan {
+	if p, ok := m.plans.Load(s); ok {
+		return p.(*engine.Plan)
+	}
+	p, _ := m.plans.LoadOrStore(s, engine.CompilePlan(m.eng, s))
+	return p.(*engine.Plan)
+}
+
+// transposed returns the multiplier bound to Aᵀ with the same algorithm
+// and options, building it exactly once — concurrent first callers
+// block until it is ready.
+func (m *Multiplier) transposed() *Multiplier {
+	m.leftOnce.Do(func() {
+		m.left = NewWithAlgorithm(m.a.Transpose(), m.alg, m.opt)
+	})
+	return m.left
+}
+
+// resolveSemiring applies the precedence rule: an explicit semiring
+// argument wins; a zero-valued argument falls back to the descriptor's
+// semiring name.
+func resolveSemiring(sr Semiring, d Desc) Semiring {
+	if sr.Add != nil || sr.Mul != nil {
+		return sr
+	}
+	if d.Semiring == "" {
+		panic("spmspv: Mult requires a semiring (pass one, or name one in Desc.Semiring)")
+	}
+	named, ok := semiring.ByName(d.Semiring)
+	if !ok {
+		panic(fmt.Sprintf("spmspv: unknown semiring %q in Desc", d.Semiring))
+	}
+	return named
 }
 
 // Multiply computes and returns y ← A·x over sr.
+//
+// Deprecated: use Mult with a zero Desc (or MultiplyInto when only a
+// list vector is wanted); Multiply remains for one-shot callers.
 func (m *Multiplier) Multiply(x *Vector, sr Semiring) *Vector {
 	y := sparse.NewSpVec(0, 0)
 	m.eng.Multiply(x, y, sr)
@@ -269,6 +444,10 @@ func (m *Multiplier) Multiply(x *Vector, sr Semiring) *Vector {
 }
 
 // MultiplyInto computes y ← A·x over sr, reusing y's storage.
+//
+// Deprecated: use Mult with a zero Desc. MultiplyInto is the bare
+// list-vector primitive underneath it and stays as the thin back-compat
+// wrapper.
 func (m *Multiplier) MultiplyInto(x, y *Vector, sr Semiring) {
 	m.eng.Multiply(x, y, sr)
 }
@@ -296,6 +475,9 @@ func (m *Multiplier) NewOutputFrontier() *Frontier {
 // the list for the vector-driven engines, the shared lazily-built
 // bitmap for GraphMat (and the Hybrid engine's matrix-driven calls).
 // Engines without frontier support read the list.
+//
+// Deprecated: use Mult with Desc{Output: OutputList} and read the
+// output frontier's List.
 func (m *Multiplier) MultiplyFrontierInto(x *Frontier, y *Vector, sr Semiring) {
 	if fe, ok := m.eng.(engine.FrontierEngine); ok {
 		fe.MultiplyFrontier(x, y, sr)
@@ -307,20 +489,21 @@ func (m *Multiplier) MultiplyFrontierInto(x *Frontier, y *Vector, sr Semiring) {
 // MultiplyFrontier computes y ← A·x over sr with frontier-form output:
 // the result lands in the output frontier's list, and engines with
 // native output support (Bucket, GraphMat, Hybrid) emit the bitmap
-// representation in the same pass — a later bitmap consumer of y (for
-// example feeding it back as the next input of a direction-optimized
-// loop) pays no list→bitmap conversion. Engines that only speak lists
-// are wrapped; their output bitmap stays lazy.
+// representation in the same pass.
+//
+// Deprecated: use Mult with a zero Desc — identical semantics through
+// the cached plan.
 func (m *Multiplier) MultiplyFrontier(x, y *Frontier, sr Semiring) {
-	engine.MultiplyInto(m.eng, x, y, sr)
+	m.Mult(x, y, sr, Desc{})
 }
 
 // MultiplyFrontierMasked computes y ← ⟨A·x, mask⟩ with frontier-form
 // output: the mask is pushed into the engine's merge/accumulate step
-// (all registered engines support the pushdown) and the surviving
-// result is emitted exactly as in MultiplyFrontier.
+// and the surviving result is emitted exactly as in MultiplyFrontier.
+//
+// Deprecated: use Mult with Desc{Mask: mask, Complement: complement}.
 func (m *Multiplier) MultiplyFrontierMasked(x, y *Frontier, sr Semiring, mask *BitVector, complement bool) {
-	engine.MultiplyIntoMasked(m.eng, x, y, sr, mask, complement)
+	m.Mult(x, y, sr, Desc{Mask: mask, Complement: complement})
 }
 
 // OutputRep reports the representation this multiplier's engine emits
@@ -336,6 +519,9 @@ func (m *Multiplier) OutputRep() engine.Rep { return engine.OutputRepOf(m.eng) }
 // the batch; the Hybrid engine routes each frontier by density — run
 // it; every other engine runs an equivalent loop of Multiply calls.
 // Results are always exactly those of the loop.
+//
+// Deprecated: use MultBatch with a zero Desc (wrap the vectors with
+// NewFrontier / NewOutputFrontier).
 func (m *Multiplier) MultiplyBatch(xs, ys []*Vector, sr Semiring) {
 	engine.MultiplyBatch(m.eng, xs, ys, sr)
 }
@@ -346,6 +532,8 @@ func (m *Multiplier) MultiplyBatch(xs, ys []*Vector, sr Semiring) {
 // extension, so masked graph algorithms compare all of them. An
 // unregistered engine without mask support would get a plain product
 // filtered afterwards.
+//
+// Deprecated: use Mult with Desc{Mask: mask, Complement: complement}.
 func (m *Multiplier) MultiplyMasked(x, y *Vector, sr Semiring, mask *BitVector, complement bool) {
 	if bm, ok := m.eng.(engine.MaskedEngine); ok {
 		bm.MultiplyMasked(x, y, sr, mask, complement)
@@ -361,15 +549,17 @@ func (m *Multiplier) MultiplyMasked(x, y *Vector, sr Semiring, mask *BitVector, 
 // so an engine bound to the cached transpose runs the same algorithm.
 // The transpose and its engine are built exactly once, on first use —
 // concurrent first callers block until it is ready — and reused.
+//
+// Deprecated: use Mult with Desc{Transpose: true}.
 func (m *Multiplier) MultiplyLeft(x *Vector, sr Semiring) *Vector {
-	m.leftOnce.Do(func() {
-		m.left = NewWithAlgorithm(m.a.Transpose(), m.alg, m.opt)
-	})
-	return m.left.Multiply(x, sr)
+	return m.transposed().Multiply(x, sr)
 }
 
 // MultiplyAccum computes y ← accum ⊕ (A·x) where ⊕ is the semiring's
 // Add — the GraphBLAS accumulate pattern. accum is not modified.
+//
+// Deprecated: use Mult with Desc{Accum: true} — the output frontier's
+// prior contents are the accumulator.
 func (m *Multiplier) MultiplyAccum(x, accum *Vector, sr Semiring) *Vector {
 	y := sparse.NewSpVec(0, 0)
 	m.MultiplyAccumInto(x, accum, y, sr)
@@ -383,6 +573,8 @@ func (m *Multiplier) MultiplyAccum(x, accum *Vector, sr Semiring) *Vector {
 // merge, so a steady-state loop of calls allocates only when the
 // output outgrows y's capacity (unsorted inputs fall back to a
 // map-based union).
+//
+// Deprecated: use Mult with Desc{Accum: true}.
 func (m *Multiplier) MultiplyAccumInto(x, accum, y *Vector, sr Semiring) {
 	prod, _ := m.accumPool.Get().(*Vector)
 	if prod == nil {
@@ -436,6 +628,17 @@ func BFSMasked(m *Multiplier, source Index) *BFSResult {
 // sources.
 func MultiBFS(m *Multiplier, sources []Index) *MultiBFSResult {
 	return algorithms.MultiBFS(m.eng, m.a.NumCols, sources, false)
+}
+
+// MultiBFSMasked is MultiBFS with every search's visited filter pushed
+// into the batched multiply as a per-slot output mask and the levels
+// pipelined through output frontiers — the multi-source form of
+// BFSMasked. With a batch-output engine (bucket, hybrid) every slot's
+// output bitmap is emitted natively by the batched Step 3, so a
+// direction-optimized multi-source pipeline performs zero list→bitmap
+// output conversions. Trees are identical to running BFS per source.
+func MultiBFSMasked(m *Multiplier, sources []Index) *MultiBFSResult {
+	return algorithms.MultiBFSMasked(m.eng, m.a.NumCols, sources)
 }
 
 // SpreadSources picks k BFS roots spread evenly across the vertex

@@ -203,6 +203,62 @@ func TestBFSPipelineZeroOutputConversions(t *testing.T) {
 			t.Fatalf("pipeline BFS level[%d] = %d, plain = %d", v, got.Levels[v], ref.Levels[v])
 		}
 	}
+
+	// The multi-source batch path: MultiBFSMasked expands all searches
+	// through batched masked multiplies, and the batched Step 3 (bucket
+	// side) plus GraphMat's per-piece copy (matrix-driven slots) emit
+	// every slot's output bitmap natively — the whole k-wide
+	// direction-optimized pipeline performs zero output conversions too.
+	sources := spmspv.SpreadSources(a.NumCols, 0, 4)
+	spmspv.ResetFrontierStats()
+	mu.ResetCounters()
+	multi := spmspv.MultiBFSMasked(mu, sources)
+	c = mu.Counters()
+	if c.DirectionSwitches == 0 {
+		t.Fatal("no batch slot took the matrix-driven side; the multi-source test exercises nothing")
+	}
+	if c.OutputConversions != 0 {
+		t.Fatalf("multi-source pipeline performed %d output conversions, want 0", c.OutputConversions)
+	}
+	if outConv, native = spmspv.FrontierOutputStats(); outConv != 0 {
+		t.Fatalf("multi-source process-wide output conversions = %d, want 0", outConv)
+	} else if native == 0 {
+		t.Fatal("multi-source run emitted no native output bitmaps")
+	}
+	for s, src := range sources {
+		srcRef := spmspv.BFS(spmspv.NewWithAlgorithm(a, spmspv.Bucket, engineOptions(1)), src)
+		for v := range srcRef.Levels {
+			if multi.Levels[s][v] != srcRef.Levels[v] {
+				t.Fatalf("multi-source pipeline source %d: level[%d] = %d, plain = %d",
+					src, v, multi.Levels[s][v], srcRef.Levels[v])
+			}
+		}
+	}
+}
+
+// TestMultiBFSMaskedAllEngines checks the masked multi-source BFS —
+// batched per-slot masks through MultBatch — against plain BFS on
+// every registered engine (engines without native batch/mask support
+// run through the plan's degradation paths).
+func TestMultiBFSMaskedAllEngines(t *testing.T) {
+	a := spmspv.RMAT(spmspv.DefaultRMAT(10), 13)
+	sources := []spmspv.Index{0, 5, a.NumCols / 2}
+	refs := make([]*spmspv.BFSResult, len(sources))
+	for s, src := range sources {
+		refs[s] = spmspv.BFS(spmspv.NewWithAlgorithm(a, spmspv.Bucket, engineOptions(1)), src)
+	}
+	for _, alg := range spmspv.Algorithms() {
+		mu := spmspv.NewWithAlgorithm(a, alg, engineOptions(2))
+		got := spmspv.MultiBFSMasked(mu, sources)
+		for s := range sources {
+			for v := range refs[s].Levels {
+				if got.Levels[s][v] != refs[s].Levels[v] {
+					t.Fatalf("%v source %d: level[%d] = %d, want %d",
+						alg, sources[s], v, got.Levels[s][v], refs[s].Levels[v])
+				}
+			}
+		}
+	}
 }
 
 // TestConcurrentMultiplyFrontier hammers the frontier-output path of

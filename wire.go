@@ -1,0 +1,158 @@
+package spmspv
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Request is the wire form of one descriptor-driven multiply — the
+// JSON contract the planned cmd/spmspv-serve network service speaks,
+// usable today by any caller that wants to hand a whole multiply
+// around as data. A request is a matrix reference, one input vector
+// (X) or a batch (Xs), and the Desc; the semiring travels by name in
+// the Desc because function values do not serialize.
+//
+// Exactly one of X and Xs must be set: X executes through Mult, Xs
+// through MultBatch.
+type Request struct {
+	// Matrix names the matrix the request multiplies against — a
+	// server-side identifier (the per-matrix engine cache key), unused
+	// for in-process execution against an explicit Multiplier.
+	Matrix string `json:"matrix,omitempty"`
+	// X is the input vector of a single multiply.
+	X *Vector `json:"x,omitempty"`
+	// Xs is the input batch of a MultBatch request.
+	Xs []*Vector `json:"xs,omitempty"`
+	// Desc carries every capability switch, the output-representation
+	// request and the semiring name.
+	Desc Desc `json:"desc"`
+}
+
+// Response is the wire form of a multiply result: Y for single
+// requests, Ys for batches, plus the representation the payload
+// carries. Do always serializes the list form (currently the only
+// representation with a wire encoding), so OutputRep is "list"; a
+// streaming transport that ships bitmaps can widen it.
+type Response struct {
+	Y         *Vector   `json:"y,omitempty"`
+	Ys        []*Vector `json:"ys,omitempty"`
+	OutputRep string    `json:"output_rep,omitempty"`
+}
+
+// DecodeRequest parses a JSON-encoded Request.
+func DecodeRequest(data []byte) (*Request, error) {
+	var req Request
+	if err := json.Unmarshal(data, &req); err != nil {
+		return nil, fmt.Errorf("spmspv: decoding request: %w", err)
+	}
+	return &req, nil
+}
+
+// Validate checks the request against the multiplier-independent rules
+// plus the dimensions of the matrix it will run against: nrows×ncols
+// are op(A)'s dimensions BEFORE the descriptor's transpose is applied.
+// It returns the first violation; a valid request cannot make Do (or
+// Mult underneath it) panic.
+func (r *Request) Validate(nrows, ncols Index) error {
+	if err := r.Desc.Validate(); err != nil {
+		return err
+	}
+	if (r.X == nil) == (r.Xs == nil) {
+		return fmt.Errorf("spmspv: request must set exactly one of x and xs")
+	}
+	if r.X != nil && r.Desc.Masks != nil {
+		return fmt.Errorf("spmspv: single request with per-slot masks (use desc.mask)")
+	}
+	if r.Desc.Semiring == "" {
+		return fmt.Errorf("spmspv: request descriptor must name a semiring")
+	}
+	if _, ok := ParseSemiring(r.Desc.Semiring); !ok {
+		return fmt.Errorf("spmspv: unknown semiring %q", r.Desc.Semiring)
+	}
+	inDim, outDim := ncols, nrows
+	if r.Desc.Transpose {
+		inDim, outDim = nrows, ncols
+	}
+	checkVec := func(x *Vector, what string) error {
+		if x == nil {
+			return fmt.Errorf("spmspv: nil %s in request", what)
+		}
+		if x.N != inDim {
+			return fmt.Errorf("spmspv: %s has dimension %d, want %d", what, x.N, inDim)
+		}
+		return x.Validate()
+	}
+	if r.X != nil {
+		if err := checkVec(r.X, "x"); err != nil {
+			return err
+		}
+	}
+	for q, x := range r.Xs {
+		if err := checkVec(x, fmt.Sprintf("xs[%d]", q)); err != nil {
+			return err
+		}
+	}
+	if r.Xs != nil && r.Desc.BatchWidth > 0 && r.Desc.BatchWidth != len(r.Xs) {
+		return fmt.Errorf("spmspv: request has %d inputs but batch_width %d", len(r.Xs), r.Desc.BatchWidth)
+	}
+	if r.Xs != nil && r.Desc.Masks != nil && len(r.Desc.Masks) != len(r.Xs) {
+		return fmt.Errorf("spmspv: request has %d inputs but %d masks", len(r.Xs), len(r.Desc.Masks))
+	}
+	checkMask := func(mk *BitVector, what string) error {
+		if mk != nil && mk.N < outDim {
+			return fmt.Errorf("spmspv: %s has dimension %d, want ≥ %d", what, mk.N, outDim)
+		}
+		return nil
+	}
+	if err := checkMask(r.Desc.Mask, "mask"); err != nil {
+		return err
+	}
+	for q, mk := range r.Desc.Masks {
+		if err := checkMask(mk, fmt.Sprintf("masks[%d]", q)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Do executes a wire request against this multiplier and returns the
+// response — the in-process form of what cmd/spmspv-serve will do per
+// connection. The request is validated first, so malformed requests
+// come back as errors rather than panics; Request.Matrix is ignored
+// (the caller already resolved it to this multiplier).
+func (m *Multiplier) Do(req *Request) (*Response, error) {
+	if req == nil {
+		return nil, fmt.Errorf("spmspv: nil request")
+	}
+	if err := req.Validate(m.a.NumRows, m.a.NumCols); err != nil {
+		return nil, err
+	}
+	outDim := m.a.NumRows
+	if req.Desc.Transpose {
+		outDim = m.a.NumCols
+	}
+	// The response serializes the list representation, so execute with
+	// the list-output shape: honoring a bitmap request would build a
+	// bitmap the encoder immediately discards.
+	d := req.Desc
+	d.Output = OutputList
+	resp := &Response{OutputRep: OutputList.String()}
+	if req.X != nil {
+		yf := NewOutputFrontier(outDim)
+		m.Mult(NewFrontier(req.X), yf, Semiring{}, d)
+		resp.Y = yf.List()
+		return resp, nil
+	}
+	xs := make([]*Frontier, len(req.Xs))
+	ys := make([]*Frontier, len(req.Xs))
+	for q, x := range req.Xs {
+		xs[q] = NewFrontier(x)
+		ys[q] = NewOutputFrontier(outDim)
+	}
+	m.MultBatch(xs, ys, Semiring{}, d)
+	resp.Ys = make([]*Vector, len(ys))
+	for q, yf := range ys {
+		resp.Ys[q] = yf.List()
+	}
+	return resp, nil
+}

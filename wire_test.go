@@ -1,0 +1,156 @@
+// Tests for the wire-ready Request/Response contract: JSON round
+// trips, validation, and in-process execution through Multiplier.Do.
+package spmspv_test
+
+import (
+	"encoding/json"
+	"math/rand"
+	"strings"
+	"testing"
+
+	spmspv "spmspv"
+	"spmspv/internal/testutil"
+)
+
+func wireMultiplier(t *testing.T) (*spmspv.Multiplier, *spmspv.Matrix, *rand.Rand) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(61))
+	a := testutil.RandomCSC(rng, 220, 180, 4)
+	mu, err := spmspv.NewMultiplier(a, spmspv.WithEngineOptions(engineOptions(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mu, a, rng
+}
+
+// TestRequestDoSingle executes a JSON-decoded single request and
+// checks the result against Mult with the same descriptor.
+func TestRequestDoSingle(t *testing.T) {
+	mu, a, rng := wireMultiplier(t)
+	x := testutil.RandomVector(rng, a.NumCols, 50, true)
+	mask := randomMask(rng, a.NumRows, 0.5)
+
+	req := &spmspv.Request{
+		Matrix: "test-matrix",
+		X:      x,
+		Desc:   spmspv.Desc{Mask: mask, Complement: true, Semiring: "arithmetic"},
+	}
+	data, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := spmspv.DecodeRequest(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := mu.Do(decoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := maskedOracle(a, x, spmspv.Arithmetic, mask, true)
+	if resp.Y == nil || !resp.Y.EqualValues(want, 1e-9) {
+		t.Fatal("wire request result diverged from oracle")
+	}
+	if resp.OutputRep == "" {
+		t.Fatal("response missing output representation")
+	}
+	// The response itself round-trips.
+	rdata, err := json.Marshal(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var resp2 spmspv.Response
+	if err := json.Unmarshal(rdata, &resp2); err != nil {
+		t.Fatal(err)
+	}
+	if !resp2.Y.EqualValues(want, 1e-9) {
+		t.Fatal("response lost precision across JSON")
+	}
+}
+
+// TestRequestDoBatch executes a batch request with per-slot masks.
+func TestRequestDoBatch(t *testing.T) {
+	mu, a, rng := wireMultiplier(t)
+	const k = 3
+	xs := make([]*spmspv.Vector, k)
+	masks := make([]*spmspv.BitVector, k)
+	for q := range xs {
+		xs[q] = testutil.RandomVector(rng, a.NumCols, 10+q*40, true)
+		if q != 1 { // slot 1 unmasked: mixed batches are legal
+			masks[q] = randomMask(rng, a.NumRows, 0.4)
+		}
+	}
+	req := &spmspv.Request{
+		Xs:   xs,
+		Desc: spmspv.Desc{Masks: masks, Complement: true, BatchWidth: k, Semiring: "bfs"},
+	}
+	resp, err := mu.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Ys) != k {
+		t.Fatalf("batch response has %d outputs, want %d", len(resp.Ys), k)
+	}
+	for q := range xs {
+		want := baselinesReference(a, xs[q], spmspv.MinSelect2nd, masks[q], true)
+		if !resp.Ys[q].EqualValues(want, 1e-9) {
+			t.Fatalf("batch slot %d diverged from oracle", q)
+		}
+	}
+}
+
+// baselinesReference is descOracle without an accumulator, tolerating a
+// nil mask.
+func baselinesReference(a *spmspv.Matrix, x *spmspv.Vector, sr spmspv.Semiring, mask *spmspv.BitVector, complement bool) *spmspv.Vector {
+	return descOracle(a, x, sr, mask, complement, nil)
+}
+
+// TestRequestDoTranspose runs a transposed (left-multiplication)
+// request; the input dimension flips to the row count.
+func TestRequestDoTranspose(t *testing.T) {
+	mu, a, rng := wireMultiplier(t)
+	x := testutil.RandomVector(rng, a.NumRows, 30, true)
+	resp, err := mu.Do(&spmspv.Request{
+		X:    x,
+		Desc: spmspv.Desc{Transpose: true, Semiring: "arithmetic"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mu.MultiplyLeft(x, spmspv.Arithmetic)
+	if !resp.Y.EqualValues(want, 1e-9) {
+		t.Fatal("transposed wire request diverged from MultiplyLeft")
+	}
+}
+
+// TestRequestValidation pins the error contract: every malformed
+// request comes back as an error naming the problem, never a panic.
+func TestRequestValidation(t *testing.T) {
+	mu, a, rng := wireMultiplier(t)
+	good := testutil.RandomVector(rng, a.NumCols, 10, true)
+	cases := []struct {
+		name string
+		req  *spmspv.Request
+		want string
+	}{
+		{"nil", nil, "nil request"},
+		{"neither x nor xs", &spmspv.Request{Desc: spmspv.Desc{Semiring: "arithmetic"}}, "exactly one"},
+		{"both x and xs", &spmspv.Request{X: good, Xs: []*spmspv.Vector{good}, Desc: spmspv.Desc{Semiring: "arithmetic"}}, "exactly one"},
+		{"no semiring", &spmspv.Request{X: good}, "semiring"},
+		{"unknown semiring", &spmspv.Request{X: good, Desc: spmspv.Desc{Semiring: "nope"}}, "unknown semiring"},
+		{"dimension mismatch", &spmspv.Request{X: testutil.RandomVector(rng, 7, 3, true), Desc: spmspv.Desc{Semiring: "arithmetic"}}, "dimension"},
+		{"complement without mask", &spmspv.Request{X: good, Desc: spmspv.Desc{Complement: true, Semiring: "arithmetic"}}, "Complement"},
+		{"short mask", &spmspv.Request{X: good, Desc: spmspv.Desc{Mask: spmspv.NewBitVector(3), Semiring: "arithmetic"}}, "mask"},
+		{"batch width mismatch", &spmspv.Request{Xs: []*spmspv.Vector{good}, Desc: spmspv.Desc{BatchWidth: 5, Semiring: "arithmetic"}}, "batch_width"},
+		{"single with per-slot masks", &spmspv.Request{X: good, Desc: spmspv.Desc{Masks: []*spmspv.BitVector{spmspv.NewBitVector(a.NumRows)}, Semiring: "arithmetic"}}, "per-slot masks"},
+	}
+	for _, c := range cases {
+		_, err := mu.Do(c.req)
+		if err == nil {
+			t.Fatalf("%s: Do accepted a malformed request", c.name)
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Fatalf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
