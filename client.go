@@ -1,0 +1,183 @@
+package spmspv
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// Client speaks the spmspv-serve HTTP API and implements the same
+// Executor shape as the in-process Store — Do for one multiply, Run
+// for a program — so algorithm code written against an Executor (see
+// ProgramBFS) is transport-agnostic: hand it a Store to run locally,
+// a Client to run against a server, and it cannot tell the
+// difference, down to the *WireError values failures produce.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// ClientOption configures NewClient.
+type ClientOption func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client (timeouts,
+// transports, test doubles).
+func WithHTTPClient(hc *http.Client) ClientOption {
+	return func(c *Client) { c.hc = hc }
+}
+
+// NewClient returns a client for the server at baseURL (e.g.
+// "http://localhost:8090").
+func NewClient(baseURL string, opts ...ClientOption) *Client {
+	c := &Client{base: strings.TrimRight(baseURL, "/"), hc: http.DefaultClient}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// roundTrip POSTs/GETs and decodes the JSON reply into out. A non-2xx
+// status is decoded through errOf, which extracts the wire error from
+// whatever envelope the endpoint uses.
+func (c *Client) roundTrip(method, path string, body io.Reader, contentType string, out any, errOf func([]byte) *WireError) error {
+	req, err := http.NewRequest(method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("spmspv: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return fmt.Errorf("spmspv: reading %s %s response: %w", method, path, err)
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		if we := errOf(data); we != nil {
+			return we
+		}
+		return fmt.Errorf("spmspv: %s %s: HTTP %d: %s", method, path, resp.StatusCode, data)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(data, out); err != nil {
+		return fmt.Errorf("spmspv: decoding %s %s response: %w", method, path, err)
+	}
+	return nil
+}
+
+// envelopeError extracts the {"error": {...}} envelope of the matrix-
+// management endpoints.
+func envelopeError(data []byte) *WireError {
+	var body errorBody
+	if json.Unmarshal(data, &body) == nil && body.Err != nil {
+		return body.Err
+	}
+	return nil
+}
+
+// Do executes one multiply request on the server (POST /v1/mult).
+func (c *Client) Do(req *Request) (*Response, error) {
+	data, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("spmspv: encoding request: %w", err)
+	}
+	var resp Response
+	err = c.roundTrip(http.MethodPost, "/v1/mult", bytes.NewReader(data), "application/json", &resp,
+		func(data []byte) *WireError {
+			var r Response
+			if json.Unmarshal(data, &r) == nil && r.Err != nil {
+				return r.Err
+			}
+			return nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Err != nil {
+		return nil, resp.Err
+	}
+	return &resp, nil
+}
+
+// Run executes a program on the server (POST /v1/program).
+func (c *Client) Run(p *Program) (*ProgramResponse, error) {
+	data, err := json.Marshal(p)
+	if err != nil {
+		return nil, fmt.Errorf("spmspv: encoding program: %w", err)
+	}
+	var resp ProgramResponse
+	err = c.roundTrip(http.MethodPost, "/v1/program", bytes.NewReader(data), "application/json", &resp,
+		func(data []byte) *WireError {
+			var r ProgramResponse
+			if json.Unmarshal(data, &r) == nil && r.Err != nil {
+				return r.Err
+			}
+			return nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Err != nil {
+		return nil, resp.Err
+	}
+	return &resp, nil
+}
+
+// PutMatrix uploads a matrix under name (POST /v1/matrices/{name}),
+// shipped in the compact binary wire form.
+func (c *Client) PutMatrix(name string, a *Matrix) (*StoreStat, error) {
+	var buf bytes.Buffer
+	if err := EncodeMatrixBinary(&buf, a); err != nil {
+		return nil, err
+	}
+	var stat StoreStat
+	err := c.roundTrip(http.MethodPost, "/v1/matrices/"+name, &buf, "application/octet-stream", &stat, envelopeError)
+	if err != nil {
+		return nil, err
+	}
+	return &stat, nil
+}
+
+// Matrices lists the server's registered matrices with their serving
+// counters (GET /v1/matrices).
+func (c *Client) Matrices() ([]StoreStat, error) {
+	var stats []StoreStat
+	if err := c.roundTrip(http.MethodGet, "/v1/matrices", nil, "", &stats, envelopeError); err != nil {
+		return nil, err
+	}
+	return stats, nil
+}
+
+// Matrix reports one registered matrix (GET /v1/matrices/{name}).
+func (c *Client) Matrix(name string) (*StoreStat, error) {
+	var stat StoreStat
+	if err := c.roundTrip(http.MethodGet, "/v1/matrices/"+name, nil, "", &stat, envelopeError); err != nil {
+		return nil, err
+	}
+	return &stat, nil
+}
+
+// DeleteMatrix unregisters a matrix (DELETE /v1/matrices/{name}).
+func (c *Client) DeleteMatrix(name string) error {
+	return c.roundTrip(http.MethodDelete, "/v1/matrices/"+name, nil, "", nil, envelopeError)
+}
+
+// BFS runs a whole breadth-first search from source on the named
+// server-side matrix as one program round trip (see ProgramBFS); the
+// matrix's dimension is fetched from the registry first.
+func (c *Client) BFS(matrix string, source Index) (*BFSResult, error) {
+	stat, err := c.Matrix(matrix)
+	if err != nil {
+		return nil, err
+	}
+	return ProgramBFS(c, matrix, stat.Cols, source, 0)
+}

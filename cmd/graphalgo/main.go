@@ -42,10 +42,10 @@ import (
 
 // runCtx hands one algorithm runner everything main resolved.
 type runCtx struct {
+	st      *spmspv.Store
 	mu      *spmspv.Multiplier
 	a       *spmspv.Matrix
 	alg     spmspv.Algorithm
-	opt     spmspv.Options
 	source  spmspv.Index
 	sources []spmspv.Index
 	topK    int
@@ -106,35 +106,34 @@ func main() {
 		fatal("unknown engine %q (have: %s)", *engName, strings.Join(spmspv.EngineNames(), ", "))
 	}
 
-	f, err := os.Open(*matrixPath)
+	// Matrix loading and engine setup go through the serving layer's
+	// store — the same loader (Matrix Market, JSON-wire or binary-wire
+	// files) and lazily-cached file→matrix→engine path as cmd/spmspv
+	// and spmspv-serve.
+	st := spmspv.NewStore(
+		spmspv.WithAlgorithm(alg),
+		spmspv.WithThreads(*threads),
+		spmspv.WithSortOutput(true),
+		spmspv.WithCalibrationCache(*cachePath, *recalibrate),
+	)
+	if err := st.PutFile("graph", *matrixPath); err != nil {
+		fatal("reading matrix: %v", err)
+	}
+	mu, err := st.Load("graph")
 	if err != nil {
 		fatal("%v", err)
 	}
-	a, err := spmspv.ReadMatrixMarket(f)
-	f.Close()
-	if err != nil {
-		fatal("reading matrix: %v", err)
-	}
+	a := mu.Matrix()
 	if a.NumRows != a.NumCols {
 		fatal("adjacency matrix must be square, got %dx%d", a.NumRows, a.NumCols)
 	}
 	fmt.Fprintf(os.Stderr, "graphalgo: %s, engine=%s\n", a.String(), alg)
 
-	opt := spmspv.Options{
-		Threads:          *threads,
-		SortOutput:       true,
-		CalibrationCache: *cachePath,
-		Recalibrate:      *recalibrate,
-	}
-	mu, err := spmspv.NewMultiplier(a, spmspv.WithAlgorithm(alg), spmspv.WithEngineOptions(opt))
-	if err != nil {
-		fatal("%v", err)
-	}
 	ctx := &runCtx{
+		st:     st,
 		mu:     mu,
 		a:      a,
 		alg:    alg,
-		opt:    opt,
 		source: spmspv.Index(*source),
 		topK:   *topK,
 	}
@@ -232,8 +231,10 @@ func runComponents(ctx *runCtx) {
 }
 
 func runPageRank(ctx *runCtx) {
-	norm := spmspv.NormalizeColumns(ctx.a)
-	numu, err := spmspv.NewMultiplier(norm, spmspv.WithAlgorithm(ctx.alg), spmspv.WithEngineOptions(ctx.opt))
+	if err := ctx.st.Put("graph-norm", spmspv.NormalizeColumns(ctx.a)); err != nil {
+		fatal("%v", err)
+	}
+	numu, err := ctx.st.Load("graph-norm")
 	if err != nil {
 		fatal("%v", err)
 	}

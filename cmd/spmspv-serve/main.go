@@ -1,0 +1,134 @@
+// Command spmspv-serve serves the SpMSpV engine layer over HTTP: a
+// matrix registry with one cached, shared engine per matrix, the
+// single-multiply endpoint with request coalescing, and the multi-op
+// program endpoint that runs whole frontier loops (a BFS, a k-step
+// walk) server-side.
+//
+// Usage:
+//
+//	spmspv-serve -addr :8090 -preload web=graph.mtx -preload rmat=r.spmb \
+//	             [-engine hybrid] [-threads 4] [-batch-window 500us] [-batch-size 8]
+//
+// Preloaded matrices accept Matrix Market, JSON-wire or binary-wire
+// files (sniffed); more matrices can be uploaded at runtime:
+//
+//	curl -X POST --data-binary @graph.mtx localhost:8090/v1/matrices/web
+//	curl localhost:8090/v1/matrices
+//	curl -X POST -d '{"matrix":"web","x":{"N":4,"Ind":[0],"Val":[1],"Sorted":true},
+//	                  "desc":{"semiring":"arithmetic"}}' localhost:8090/v1/mult
+//
+// Concurrent single-vector requests against the same matrix coalesce
+// into batched multiplies (bounded by -batch-window / -batch-size);
+// per-matrix request, coalescing and latency counters are reported on
+// GET /v1/matrices and logged at shutdown. SIGINT/SIGTERM drain
+// in-flight requests before exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	spmspv "spmspv"
+)
+
+// preloads collects repeated -preload name=path flags.
+type preloads []struct{ name, path string }
+
+func (p *preloads) String() string { return fmt.Sprint(*p) }
+
+func (p *preloads) Set(s string) error {
+	name, path, ok := strings.Cut(s, "=")
+	if !ok || name == "" || path == "" {
+		return fmt.Errorf("want name=path, got %q", s)
+	}
+	*p = append(*p, struct{ name, path string }{name, path})
+	return nil
+}
+
+func main() {
+	var pre preloads
+	var (
+		addr    = flag.String("addr", ":8090", "listen address")
+		engName = flag.String("engine", "bucket", strings.Join(spmspv.EngineNames(), ", "))
+		threads = flag.Int("threads", 0, "worker threads per multiply (0 = GOMAXPROCS)")
+		window  = flag.Duration("batch-window", 500*time.Microsecond,
+			"how long the first request of a coalescing window waits for company (0 disables)")
+		batch     = flag.Int("batch-size", 8, "max requests per coalesced MultBatch (≤1 disables)")
+		cachePath = flag.String("calibration-cache", spmspv.DefaultCalibrationCachePath(),
+			"hybrid threshold cache file (empty disables persistence)")
+		recalibrate = flag.Bool("recalibrate", false,
+			"re-run hybrid threshold calibration even on a cache hit")
+	)
+	flag.Var(&pre, "preload", "name=path matrix to load at boot (repeatable)")
+	flag.Parse()
+
+	alg, ok := spmspv.ParseAlgorithm(*engName)
+	if !ok {
+		log.Fatalf("spmspv-serve: unknown engine %q (have: %s)", *engName, strings.Join(spmspv.EngineNames(), ", "))
+	}
+
+	store := spmspv.NewStore(
+		spmspv.WithAlgorithm(alg),
+		spmspv.WithThreads(*threads),
+		spmspv.WithSortOutput(true),
+		spmspv.WithCalibrationCache(*cachePath, *recalibrate),
+	)
+	for _, p := range pre {
+		if err := store.PutFile(p.name, p.path); err != nil {
+			log.Fatalf("spmspv-serve: preloading %s: %v", p.name, err)
+		}
+		// Build the engine (and any hybrid calibration) at boot rather
+		// than on the first request.
+		mu, err := store.Load(p.name)
+		if err != nil {
+			log.Fatalf("spmspv-serve: building engine for %s: %v", p.name, err)
+		}
+		log.Printf("spmspv-serve: preloaded %s: %s (engine %s)", p.name, mu.Matrix(), alg)
+	}
+
+	srv := spmspv.NewServer(store,
+		spmspv.WithBatchWindow(*window),
+		spmspv.WithBatchSize(*batch),
+	)
+	hs := &http.Server{Addr: *addr, Handler: srv}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("spmspv-serve: listening on %s (engine %s, batch window %v, batch size %d)",
+			*addr, alg, *window, *batch)
+		errc <- hs.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		if !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("spmspv-serve: %v", err)
+		}
+	case <-ctx.Done():
+		log.Printf("spmspv-serve: shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(shutdownCtx); err != nil {
+			log.Printf("spmspv-serve: shutdown: %v", err)
+		}
+	}
+
+	for _, stat := range store.StatsAll() {
+		s := stat.Serve
+		log.Printf("spmspv-serve: %s: %d requests (%d failed), %d coalesced in %d batches, avg %v max %v",
+			stat.Name, s.Requests, s.Failures, s.Coalesced, s.Batches,
+			time.Duration(s.AvgLatencyNS), time.Duration(s.MaxLatencyNS))
+	}
+}

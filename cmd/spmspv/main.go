@@ -48,15 +48,24 @@ func main() {
 		fatal("unknown semiring %q (have: %s)", *srName, strings.Join(spmspv.SemiringNames(), ", "))
 	}
 
-	mf, err := os.Open(*matrixPath)
+	// The matrix goes through the serving layer's store: one loader
+	// (Matrix Market, JSON-wire or binary-wire files all work) and one
+	// file→matrix→engine setup path shared with graphalgo and
+	// spmspv-serve.
+	st := spmspv.NewStore(
+		spmspv.WithAlgorithm(alg),
+		spmspv.WithThreads(*threads),
+		spmspv.WithSortOutput(true),
+		spmspv.WithCalibrationCache(*cachePath, *recalibrate),
+	)
+	if err := st.PutFile("matrix", *matrixPath); err != nil {
+		fatal("reading matrix: %v", err)
+	}
+	mu, err := st.Load("matrix")
 	if err != nil {
 		fatal("%v", err)
 	}
-	defer mf.Close()
-	a, err := spmspv.ReadMatrixMarket(mf)
-	if err != nil {
-		fatal("reading matrix: %v", err)
-	}
+	a := mu.Matrix()
 
 	vf, err := os.Open(*vectorPath)
 	if err != nil {
@@ -70,16 +79,6 @@ func main() {
 	if x.N != a.NumCols {
 		fatal("dimension mismatch: matrix is %dx%d, vector has dimension %d",
 			a.NumRows, a.NumCols, x.N)
-	}
-
-	mu, err := spmspv.NewMultiplier(a,
-		spmspv.WithAlgorithm(alg),
-		spmspv.WithThreads(*threads),
-		spmspv.WithSortOutput(true),
-		spmspv.WithCalibrationCache(*cachePath, *recalibrate),
-	)
-	if err != nil {
-		fatal("%v", err)
 	}
 	// One descriptor-driven multiply; the result is read from the
 	// output frontier's list.

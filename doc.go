@@ -70,8 +70,45 @@
 // representation?), resolving the optional engine interfaces once, so
 // steady-state Mult calls perform no type assertions — within noise of
 // the specialized legacy methods. Request/Response wrap a whole call
-// as JSON (Multiplier.Do executes one), the wire contract for the
-// planned network service.
+// as JSON (Multiplier.Do executes one) — the wire contract the serving
+// layer speaks.
+//
+// # Serving: Store, Server, Program, Client
+//
+// The serving layer turns the in-process engine into a network
+// service, in four pieces that stack on the wire contract:
+//
+//	Client ──HTTP──> Server (/v1/mult, /v1/program, /v1/matrices)
+//	   \                |    request coalescing → MultBatch
+//	    \               v
+//	     +──same──>  Store   named matrices, one cached
+//	      Executor      |    Multiplier (plans + calibration)
+//	      interface     v    per matrix, serve counters
+//	                Multiplier.Do / Mult / MultBatch
+//
+// A Store (NewStore) is the registry of named matrices: Put/PutFile
+// register, Load lazily builds and caches ONE shared Multiplier per
+// matrix — legal because of the concurrency contract below — so every
+// request reuses its compiled plans and calibrated hybrid threshold,
+// and a warm store answers repeat traffic with zero plan compilations.
+// Matrices travel in three encodings (Matrix Market, a JSON wire form,
+// a compact binary form), sniffed by one decoder, so they can be
+// uploaded, not just preloaded from disk.
+//
+// A Server (NewServer) mounts the store over HTTP. Concurrent
+// single-vector requests against the same matrix coalesce into one
+// MultBatch through a bounded batching window (WithBatchWindow /
+// WithBatchSize), amortizing per-call engine setup across callers that
+// never see each other. A Program is the multi-op wire form: ops whose
+// inputs reference earlier ops' outputs ("$0"-style), so a whole BFS
+// level loop or k-step walk runs server-side in one round trip
+// (ProgramBFS builds the unrolled BFS; StopOnEmpty terminates it at
+// the true depth). A Client implements the same Do/Run surface as the
+// Store (the Executor interface), so algorithm code is
+// transport-agnostic, and failures carry structured wire errors
+// (Response.Err: code + message) either way. cmd/spmspv-serve wires it
+// all together with -preload, graceful shutdown and per-matrix
+// request/latency counters.
 //
 // # Architecture: the engine layer
 //

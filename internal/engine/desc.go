@@ -112,7 +112,12 @@ type Desc struct {
 	// and caches the transpose engine on first use.
 	Transpose bool `json:"transpose,omitempty"`
 	// Output selects the requested output representation (see
-	// OutputMode).
+	// OutputMode). On the wire this also selects the Response payload:
+	// OutputBitmap makes Multiplier.Do answer with the bitmap wire form
+	// (Response.YBits / YsBits) and OutputRep "bitmap"; OutputAuto and
+	// OutputList both serialize the list form — auto's "richest native
+	// representation" is an in-process concept, and building a bitmap
+	// the encoder would discard helps no one.
 	Output OutputMode `json:"output,omitempty"`
 	// BatchWidth, when positive, declares the batch width of a
 	// MultBatch request — wire requests state it so servers can

@@ -3,10 +3,20 @@ package engine
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"spmspv/internal/semiring"
 	"spmspv/internal/sparse"
 )
+
+// planCompilations counts CompilePlan invocations process-wide. Tests
+// (and capacity audits) read it to pin that plan caching actually
+// works: a warm Multiplier served from a matrix store must answer
+// repeat requests with zero new compilations.
+var planCompilations atomic.Int64
+
+// PlanCompilations returns the process-wide count of CompilePlan calls.
+func PlanCompilations() int64 { return planCompilations.Load() }
 
 // Plan is a compiled execution strategy for one (engine, Shape) pair:
 // the capability negotiation — which of the optional Engine extensions
@@ -99,6 +109,7 @@ func (p *Plan) putVec(v *sparse.SpVec) { p.scratch.Put(v) }
 // returned plan is the shape's entire execution strategy; nothing about
 // e is re-discovered per call.
 func CompilePlan(e Engine, s Shape) *Plan {
+	planCompilations.Add(1)
 	p := &Plan{shape: s, e: e}
 
 	// Capability probe — the type assertions that used to run per call,

@@ -1,0 +1,136 @@
+package sparse
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// randomTestCSC builds a small random matrix directly from triples.
+func randomTestCSC(t *testing.T, rng *rand.Rand, m, n Index, nnz int) *CSC {
+	t.Helper()
+	tr := NewTriples(m, n, nnz)
+	for k := 0; k < nnz; k++ {
+		tr.Append(Index(rng.Intn(int(m))), Index(rng.Intn(int(n))), rng.NormFloat64())
+	}
+	a, err := NewCSCFromTriples(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestMatrixWireRoundTrips(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, a := range []*CSC{
+		randomTestCSC(t, rng, 37, 23, 140),
+		randomTestCSC(t, rng, 1, 1, 1),
+		{NumRows: 4, NumCols: 3, ColPtr: []int64{0, 0, 0, 0}}, // empty
+	} {
+		var jb, bb bytes.Buffer
+		if err := EncodeMatrixJSON(&jb, a); err != nil {
+			t.Fatal(err)
+		}
+		if err := EncodeMatrixBinary(&bb, a); err != nil {
+			t.Fatal(err)
+		}
+		fromJSON, err := DecodeMatrixJSON(bytes.NewReader(jb.Bytes()))
+		if err != nil {
+			t.Fatalf("decoding JSON form: %v", err)
+		}
+		fromBin, err := DecodeMatrixBinary(bytes.NewReader(bb.Bytes()))
+		if err != nil {
+			t.Fatalf("decoding binary form: %v", err)
+		}
+		if !a.Equal(fromJSON) {
+			t.Errorf("%s: JSON round trip changed the matrix", a)
+		}
+		if !a.Equal(fromBin) {
+			t.Errorf("%s: binary round trip changed the matrix", a)
+		}
+		// The sniffing decoder must route both (and a Matrix Market
+		// body) correctly, including with leading whitespace.
+		for name, body := range map[string][]byte{
+			"json":   append([]byte("\n  "), jb.Bytes()...),
+			"binary": bb.Bytes(),
+		} {
+			got, err := DecodeMatrix(bytes.NewReader(body))
+			if err != nil {
+				t.Fatalf("DecodeMatrix(%s): %v", name, err)
+			}
+			if !a.Equal(got) {
+				t.Errorf("DecodeMatrix(%s) changed the matrix", name)
+			}
+		}
+	}
+}
+
+func TestDecodeMatrixSniffsMatrixMarket(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	a := randomTestCSC(t, rng, 20, 20, 60)
+	var mm bytes.Buffer
+	if err := WriteMatrixMarket(&mm, a); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeMatrix(bytes.NewReader(mm.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumRows != got.NumRows || a.NumCols != got.NumCols || a.NNZ() != got.NNZ() {
+		t.Fatalf("Matrix Market round trip: got %s, want %s", got, a)
+	}
+}
+
+func TestDecodeMatrixRejectsCorruptInput(t *testing.T) {
+	cases := map[string]string{
+		"garbage":      "hello world",
+		"empty":        "",
+		"truncatedBin": "SPMB\x01\x00\x00\x00",
+		"badJSON":      `{"nrows": 2, "ncols": 2, "colptr": [0, 1]}`, // colptr too short
+		"oobRow":       `{"nrows": 2, "ncols": 1, "colptr": [0,1], "rowidx": [5], "val": [1]}`,
+		"decreasing":   `{"nrows": 3, "ncols": 2, "colptr": [0,2,1], "rowidx": [0,1], "val": [1,1]}`,
+		"valMismatch":  `{"nrows": 3, "ncols": 1, "colptr": [0,2], "rowidx": [0,1], "val": [1]}`,
+	}
+	for name, body := range cases {
+		if _, err := DecodeMatrix(strings.NewReader(body)); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+}
+
+func TestDecodeMatrixBinaryRejectsHostileHeaders(t *testing.T) {
+	encode := func() []byte {
+		var b bytes.Buffer
+		a := &CSC{NumRows: 1, NumCols: 1, ColPtr: []int64{0, 1}, RowIdx: []Index{0}, Val: []float64{1}}
+		if err := EncodeMatrixBinary(&b, a); err != nil {
+			t.Fatal(err)
+		}
+		return b.Bytes()
+	}
+	// Header layout: 4 magic + 4 version, then nrows/ncols/nnz int64s.
+	const nrowsOff, ncolsOff, nnzOff = 8, 16, 24
+	corrupt := func(off int, val uint64) []byte {
+		data := encode()
+		for i := 0; i < 8; i++ {
+			data[off+i] = byte(val >> (8 * i))
+		}
+		return data
+	}
+	cases := map[string][]byte{
+		// Negative nnz.
+		"negativeNNZ": corrupt(nnzOff, ^uint64(0)),
+		// nnz far beyond the body: must error when the stream runs dry,
+		// with memory growth bounded by the delivered bytes.
+		"lyingNNZ": corrupt(nnzOff, 1<<40),
+		// Dimensions that cannot fit the int32 Index: rejecting beats
+		// silently truncating into a wrong-but-valid matrix.
+		"overflowRows": corrupt(nrowsOff, 1<<32+10),
+		"overflowCols": corrupt(ncolsOff, 1<<40),
+	}
+	for name, data := range cases {
+		if _, err := DecodeMatrixBinary(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+}

@@ -1,0 +1,388 @@
+package spmspv
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"time"
+
+	"spmspv/internal/sparse"
+)
+
+// Executor is the transport-agnostic serving surface: the same
+// Do/Run pair is implemented by the in-process Store, and by Client
+// over HTTP — so algorithm code written against an Executor (see
+// ProgramBFS) runs unchanged locally or remotely, and errors surface
+// as the same *WireError values either way.
+type Executor interface {
+	// Do executes one multiply request.
+	Do(req *Request) (*Response, error)
+	// Run executes a multi-op program.
+	Run(p *Program) (*ProgramResponse, error)
+}
+
+// Program is the multi-op wire contract: a short straight-line list of
+// ops whose inputs may reference prior ops' outputs ("$0"-style refs),
+// so an iterative kernel — a BFS level loop, a k-step random walk, a
+// PageRank power iteration — runs server-side without shipping
+// frontiers back and forth. Intermediate results live on the server as
+// Frontiers (list + lazily shared bitmap), so a mask_ref consumes the
+// producing op's bitmap exactly as an in-process pipeline would.
+//
+// Execution is sequential and stops early when StopOnEmpty is set and
+// a mult op produces an empty vector — the standard termination test
+// of frontier loops — so an unrolled loop may be issued at its worst-
+// case depth and costs only the iterations the input actually needs.
+type Program struct {
+	// Matrix names the default matrix mult ops run against; an op's own
+	// Matrix field overrides it.
+	Matrix string `json:"matrix,omitempty"`
+	// Ops is the straight-line op list; op k's output is "$k".
+	Ops []ProgramOp `json:"ops"`
+	// StopOnEmpty halts execution after a mult op whose output has no
+	// entries; the response reports how many ops executed.
+	StopOnEmpty bool `json:"stop_on_empty,omitempty"`
+}
+
+// ProgramOp is one step of a Program. Op selects the kind:
+//
+//   - "mult" (the default, also implied by ""): y ← ⟨op(A)·x, mask⟩
+//     per Desc, exactly one multiply request's worth of work. The
+//     input is X (literal) or XRef; MaskRef may name a prior op whose
+//     output's support becomes Desc.Mask.
+//   - "input": introduces a literal vector (X) as this op's output —
+//     the seed of a ref chain.
+//   - "indices": y(i) = i for every i in the input's support — the BFS
+//     "frontier values become the vertices' own ids" step.
+//   - "union": the element-wise union of XRef and YRef (values added
+//     where both present) — visited-set maintenance.
+type ProgramOp struct {
+	// Op is the op kind: "mult" (default), "input", "indices", "union".
+	Op string `json:"op,omitempty"`
+	// Matrix overrides the program's default matrix (mult only).
+	Matrix string `json:"matrix,omitempty"`
+	// X is a literal input vector (input ops; mult ops without XRef).
+	X *Vector `json:"x,omitempty"`
+	// XRef names a prior op's output ("$3") as the input.
+	XRef string `json:"x_ref,omitempty"`
+	// YRef names the second operand of a union op.
+	YRef string `json:"y_ref,omitempty"`
+	// MaskRef names a prior op whose output's support is the output
+	// mask of this mult (polarity from Desc.Complement). Mutually
+	// exclusive with a literal Desc.Mask.
+	MaskRef string `json:"mask_ref,omitempty"`
+	// Desc parameterizes a mult op exactly as in a Request; wire rules
+	// apply (the semiring travels by name).
+	Desc Desc `json:"desc"`
+	// Emit returns this op's output in the response. Ops without Emit
+	// compute server-side state only — the point of the program form.
+	Emit bool `json:"emit,omitempty"`
+}
+
+// ProgramResult is one emitted op output.
+type ProgramResult struct {
+	// Op is the index of the op that produced Y.
+	Op int     `json:"op"`
+	Y  *Vector `json:"y"`
+}
+
+// ProgramResponse is the wire form of a program's results: the emitted
+// outputs of the ops that executed, in op order, plus how many ops ran
+// (less than len(Ops) when StopOnEmpty fired).
+type ProgramResponse struct {
+	Results []ProgramResult `json:"results,omitempty"`
+	Steps   int             `json:"steps"`
+	Err     *WireError      `json:"error,omitempty"`
+}
+
+// DecodeProgram parses a JSON-encoded Program.
+func DecodeProgram(data []byte) (*Program, error) {
+	var p Program
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, fmt.Errorf("spmspv: decoding program: %w", err)
+	}
+	return &p, nil
+}
+
+// parseRef parses a "$k" op reference.
+func parseRef(s string) (int, bool) {
+	if len(s) < 2 || s[0] != '$' {
+		return 0, false
+	}
+	k, err := strconv.Atoi(s[1:])
+	if err != nil || k < 0 {
+		return 0, false
+	}
+	return k, true
+}
+
+// checkRef validates that ref names an op strictly before index k.
+func checkRef(ref string, k int, what string) error {
+	j, ok := parseRef(ref)
+	if !ok {
+		return fmt.Errorf("spmspv: op %d: bad %s %q (want \"$k\")", k, what, ref)
+	}
+	if j >= k {
+		return fmt.Errorf("spmspv: op %d: %s %q does not name an earlier op", k, what, ref)
+	}
+	return nil
+}
+
+// Validate checks the program's matrix-independent structure: known op
+// kinds, refs that point strictly backwards, exactly one input per op
+// that needs one, and the wire descriptor rules for every mult op.
+// Dimension agreement with the named matrices is checked at execution,
+// where the matrices are known.
+func (p *Program) Validate() error {
+	if len(p.Ops) == 0 {
+		return fmt.Errorf("spmspv: program with no ops")
+	}
+	for k, op := range p.Ops {
+		switch op.Op {
+		case "", "mult":
+			if (op.X == nil) == (op.XRef == "") {
+				return fmt.Errorf("spmspv: op %d: mult needs exactly one of x and x_ref", k)
+			}
+			if op.XRef != "" {
+				if err := checkRef(op.XRef, k, "x_ref"); err != nil {
+					return err
+				}
+			}
+			if op.MaskRef != "" {
+				if op.Desc.Mask != nil {
+					return fmt.Errorf("spmspv: op %d: both mask_ref and desc.mask set", k)
+				}
+				if err := checkRef(op.MaskRef, k, "mask_ref"); err != nil {
+					return err
+				}
+			}
+			if op.Desc.Masks != nil {
+				return fmt.Errorf("spmspv: op %d: per-slot masks in a program op (ops are single multiplies)", k)
+			}
+			if op.Desc.Accum {
+				return fmt.Errorf("spmspv: op %d: desc.accumulate in a program op (accumulate with a union op instead)", k)
+			}
+			if op.Desc.Complement && op.Desc.Mask == nil && op.MaskRef == "" {
+				return fmt.Errorf("spmspv: op %d: desc.complement without a mask", k)
+			}
+			if op.Desc.Semiring == "" {
+				return fmt.Errorf("spmspv: op %d: mult must name a semiring", k)
+			}
+			if _, ok := ParseSemiring(op.Desc.Semiring); !ok {
+				return fmt.Errorf("spmspv: op %d: unknown semiring %q", k, op.Desc.Semiring)
+			}
+		case "input":
+			if op.X == nil {
+				return fmt.Errorf("spmspv: op %d: input without x", k)
+			}
+			if err := op.X.Validate(); err != nil {
+				return fmt.Errorf("spmspv: op %d: %w", k, err)
+			}
+		case "indices":
+			if op.XRef == "" {
+				return fmt.Errorf("spmspv: op %d: indices needs x_ref", k)
+			}
+			if err := checkRef(op.XRef, k, "x_ref"); err != nil {
+				return err
+			}
+		case "union":
+			if op.XRef == "" || op.YRef == "" {
+				return fmt.Errorf("spmspv: op %d: union needs x_ref and y_ref", k)
+			}
+			if err := checkRef(op.XRef, k, "x_ref"); err != nil {
+				return err
+			}
+			if err := checkRef(op.YRef, k, "y_ref"); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("spmspv: op %d: unknown op kind %q", k, op.Op)
+		}
+	}
+	return nil
+}
+
+// Run executes a program against the store's matrices — the in-process
+// form of POST /v1/program. Structural validation runs first; op
+// outputs are kept server-side as frontiers between ops (so a
+// mask_ref shares the producing op's bitmap), and only Emit'd outputs
+// are copied into the response. Errors come back as *WireError.
+func (st *Store) Run(p *Program) (*ProgramResponse, error) {
+	if p == nil {
+		return nil, wireErrorf(CodeBadRequest, "nil program")
+	}
+	if err := p.Validate(); err != nil {
+		return nil, wireErrorf(CodeInvalidRequest, "%v", err)
+	}
+	outs := make([]*Frontier, len(p.Ops))
+	steps := len(p.Ops)
+
+ops:
+	for k := range p.Ops {
+		op := &p.Ops[k]
+		switch op.Op {
+		case "input":
+			outs[k] = NewFrontier(op.X)
+		case "indices":
+			j, _ := parseRef(op.XRef)
+			src := outs[j].List()
+			y := sparse.NewSpVec(src.N, src.NNZ())
+			for _, i := range src.Ind {
+				y.Append(i, float64(i))
+			}
+			y.Sorted = src.Sorted
+			outs[k] = NewFrontier(y)
+		case "union":
+			jx, _ := parseRef(op.XRef)
+			jy, _ := parseRef(op.YRef)
+			ax, ay := outs[jx].List(), outs[jy].List()
+			if ax.N != ay.N {
+				return nil, wireErrorf(CodeInvalidRequest,
+					"op %d: union of dimensions %d and %d", k, ax.N, ay.N)
+			}
+			outs[k] = NewFrontier(sparse.EwiseAdd(ax, ay, nil))
+		default: // mult
+			name := op.Matrix
+			if name == "" {
+				name = p.Matrix
+			}
+			mu, stats, err := st.load(name)
+			if err != nil {
+				return nil, err
+			}
+			a := mu.Matrix()
+			d := op.Desc
+			var xf *Frontier
+			if op.XRef != "" {
+				j, _ := parseRef(op.XRef)
+				xf = outs[j]
+			} else {
+				xf = NewFrontier(op.X)
+			}
+			if op.MaskRef != "" {
+				j, _ := parseRef(op.MaskRef)
+				d.Mask = outs[j].Bits()
+			}
+			// Request-level validation pinned to this matrix's
+			// dimensions: a valid op cannot make Mult panic.
+			r := &Request{X: xf.List(), Desc: d}
+			if err := r.Validate(a.NumRows, a.NumCols); err != nil {
+				stats.Observe(0, true)
+				return nil, wireErrorf(CodeInvalidRequest, "op %d: %v", k, err)
+			}
+			outDim := a.NumRows
+			if d.Transpose {
+				outDim = a.NumCols
+			}
+			yf := NewOutputFrontier(outDim)
+			t := time.Now()
+			mu.Mult(xf, yf, Semiring{}, d)
+			stats.Observe(time.Since(t), false)
+			outs[k] = yf
+			if p.StopOnEmpty && yf.NNZ() == 0 {
+				steps = k + 1
+				break ops
+			}
+		}
+	}
+
+	resp := &ProgramResponse{Steps: steps}
+	for k := 0; k < steps; k++ {
+		if p.Ops[k].Emit {
+			resp.Results = append(resp.Results, ProgramResult{Op: k, Y: outs[k].List()})
+		}
+	}
+	return resp, nil
+}
+
+// ProgramBFS builds and runs the unrolled masked-BFS program — the
+// multi-level BFS as ONE round trip: level k is a complemented-mask
+// (min, select2nd) multiply against the visited set, followed by a
+// union op extending the visited set and an indices op forming the
+// next frontier, all referencing each other server-side. maxLevels
+// bounds the unroll (≤ 0 means n, the worst case — a path graph);
+// StopOnEmpty terminates execution at the true BFS depth, so the
+// worst-case unroll costs only the levels the graph has.
+//
+// ex is any Executor — a Client for a remote server, a Store for the
+// in-process form — and the result is identical to algorithms.BFS on
+// the same matrix.
+func ProgramBFS(ex Executor, matrix string, n Index, source Index, maxLevels int) (*BFSResult, error) {
+	if source < 0 || source >= n {
+		return nil, fmt.Errorf("spmspv: BFS source %d out of range [0,%d)", source, n)
+	}
+	if maxLevels <= 0 {
+		maxLevels = int(n)
+	}
+	x := NewVector(n, 1)
+	x.Append(source, float64(source))
+
+	prog := &Program{Matrix: matrix, StopOnEmpty: true}
+	prog.Ops = append(prog.Ops, ProgramOp{Op: "input", X: x}) // $0: frontier = visited = {source}
+	frontier, visited := 0, 0
+	var multOps []int
+	for level := 0; level < maxLevels; level++ {
+		prog.Ops = append(prog.Ops, ProgramOp{
+			XRef:    ref(frontier),
+			MaskRef: ref(visited),
+			Desc:    Desc{Complement: true, Semiring: "bfs"},
+			Emit:    true,
+		})
+		y := len(prog.Ops) - 1
+		multOps = append(multOps, y)
+		prog.Ops = append(prog.Ops, ProgramOp{Op: "union", XRef: ref(visited), YRef: ref(y)})
+		visited = len(prog.Ops) - 1
+		prog.Ops = append(prog.Ops, ProgramOp{Op: "indices", XRef: ref(y)})
+		frontier = len(prog.Ops) - 1
+	}
+
+	resp, err := ex.Run(prog)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &BFSResult{
+		Parents: make([]Index, n),
+		Levels:  make([]int32, n),
+	}
+	for i := range res.Parents {
+		res.Parents[i] = -1
+		res.Levels[i] = -1
+	}
+	res.Parents[source] = source
+	res.Levels[source] = 0
+
+	emitted := make(map[int]*Vector, len(resp.Results))
+	for _, r := range resp.Results {
+		emitted[r.Op] = r.Y
+	}
+	res.FrontierSizes = append(res.FrontierSizes, 1)
+	level := int32(0)
+	done := false
+	for _, opIdx := range multOps {
+		if opIdx >= resp.Steps {
+			break
+		}
+		y, ok := emitted[opIdx]
+		if !ok {
+			return nil, fmt.Errorf("spmspv: program response missing emitted op %d", opIdx)
+		}
+		level++
+		for k, i := range y.Ind {
+			res.Levels[i] = level
+			res.Parents[i] = Index(y.Val[k])
+		}
+		if y.NNZ() == 0 {
+			done = true
+			break
+		}
+		res.FrontierSizes = append(res.FrontierSizes, y.NNZ())
+	}
+	if !done && resp.Steps == len(prog.Ops) {
+		return nil, fmt.Errorf("spmspv: BFS did not terminate within %d levels (raise maxLevels)", maxLevels)
+	}
+	return res, nil
+}
+
+// ref formats an op reference.
+func ref(k int) string { return "$" + strconv.Itoa(k) }

@@ -1,0 +1,248 @@
+// Tests for the multi-op Program wire contract: structural
+// validation, op semantics (mult chains over refs, union, indices,
+// mask_ref, stop_on_empty), and the in-process executor on the store.
+package spmspv_test
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+
+	spmspv "spmspv"
+	"spmspv/internal/baselines"
+	"spmspv/internal/testutil"
+)
+
+func TestProgramValidate(t *testing.T) {
+	x := testutil.VectorWithIndices(10, 3)
+	mult := func(xref string) spmspv.ProgramOp {
+		return spmspv.ProgramOp{XRef: xref, Desc: spmspv.Desc{Semiring: "arithmetic"}}
+	}
+	cases := map[string]*spmspv.Program{
+		"empty":         {},
+		"forwardRef":    {Ops: []spmspv.ProgramOp{mult("$1"), {Op: "input", X: x}}},
+		"selfRef":       {Ops: []spmspv.ProgramOp{mult("$0")}},
+		"badRef":        {Ops: []spmspv.ProgramOp{mult("zero")}},
+		"unknownOp":     {Ops: []spmspv.ProgramOp{{Op: "teleport", X: x}}},
+		"noInput":       {Ops: []spmspv.ProgramOp{{Desc: spmspv.Desc{Semiring: "arithmetic"}}}},
+		"bothInputs":    {Ops: []spmspv.ProgramOp{{X: x, XRef: "$0", Desc: spmspv.Desc{Semiring: "arithmetic"}}}},
+		"noSemiring":    {Ops: []spmspv.ProgramOp{{X: x}}},
+		"badSemiring":   {Ops: []spmspv.ProgramOp{{X: x, Desc: spmspv.Desc{Semiring: "rings-of-power"}}}},
+		"accumOp":       {Ops: []spmspv.ProgramOp{{X: x, Desc: spmspv.Desc{Semiring: "arithmetic", Accum: true}}}},
+		"inputNoX":      {Ops: []spmspv.ProgramOp{{Op: "input"}}},
+		"unionOneRef":   {Ops: []spmspv.ProgramOp{{Op: "input", X: x}, {Op: "union", XRef: "$0"}}},
+		"indicesNoRef":  {Ops: []spmspv.ProgramOp{{Op: "indices"}}},
+		"complementRaw": {Ops: []spmspv.ProgramOp{{X: x, Desc: spmspv.Desc{Semiring: "arithmetic", Complement: true}}}},
+	}
+	for name, p := range cases {
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: validated", name)
+		}
+	}
+
+	good := &spmspv.Program{Ops: []spmspv.ProgramOp{
+		{Op: "input", X: x},
+		{XRef: "$0", MaskRef: "$0", Desc: spmspv.Desc{Complement: true, Semiring: "bfs"}, Emit: true},
+		{Op: "union", XRef: "$0", YRef: "$1"},
+		{Op: "indices", XRef: "$1"},
+	}}
+	if err := good.Validate(); err != nil {
+		t.Errorf("well-formed program rejected: %v", err)
+	}
+	// The wire form round-trips.
+	data, err := json.Marshal(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := spmspv.DecodeProgram(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := decoded.Validate(); err != nil {
+		t.Errorf("decoded program rejected: %v", err)
+	}
+}
+
+// TestProgramMultChain pins ref semantics: y = A·(A·x) through two
+// chained mult ops equals the sequential reference applied twice.
+func TestProgramMultChain(t *testing.T) {
+	// Chaining needs a square matrix.
+	rng := rand.New(rand.NewSource(41))
+	sq := testutil.RandomCSC(rng, 80, 80, 4)
+	st := spmspv.NewStore(spmspv.WithEngineOptions(engineOptions(2)))
+	if err := st.Put("sq", sq); err != nil {
+		t.Fatal(err)
+	}
+	x := testutil.RandomVector(rng, sq.NumCols, 25, true)
+
+	resp, err := st.Run(&spmspv.Program{
+		Matrix: "sq",
+		Ops: []spmspv.ProgramOp{
+			{Op: "input", X: x},
+			{XRef: "$0", Desc: spmspv.Desc{Semiring: "arithmetic"}},
+			{XRef: "$1", Desc: spmspv.Desc{Semiring: "arithmetic"}, Emit: true},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Steps != 3 || len(resp.Results) != 1 || resp.Results[0].Op != 2 {
+		t.Fatalf("resp = steps %d, results %v", resp.Steps, resp.Results)
+	}
+	want := baselines.Reference(sq, baselines.Reference(sq, x, spmspv.Arithmetic), spmspv.Arithmetic)
+	if !resp.Results[0].Y.EqualValues(want, 1e-9) {
+		t.Error("chained mult differs from reference A·(A·x)")
+	}
+}
+
+// TestProgramUnionAndIndices pins the two non-mult op kinds.
+func TestProgramUnionAndIndices(t *testing.T) {
+	st, _, _ := storeWithMatrix(t, "g")
+	xa := testutil.VectorWithIndices(10, 1, 3, 5)
+	xb := testutil.VectorWithIndices(10, 3, 7)
+
+	resp, err := st.Run(&spmspv.Program{Ops: []spmspv.ProgramOp{
+		{Op: "input", X: xa},
+		{Op: "input", X: xb},
+		{Op: "union", XRef: "$0", YRef: "$1", Emit: true},
+		{Op: "indices", XRef: "$2", Emit: true},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	union, indices := resp.Results[0].Y, resp.Results[1].Y
+	wantInd := []spmspv.Index{1, 3, 5, 7}
+	if union.NNZ() != len(wantInd) {
+		t.Fatalf("union nnz = %d, want %d", union.NNZ(), len(wantInd))
+	}
+	for k, i := range wantInd {
+		if union.Ind[k] != i {
+			t.Errorf("union.Ind[%d] = %d, want %d", k, union.Ind[k], i)
+		}
+		if indices.Ind[k] != i || indices.Val[k] != float64(i) {
+			t.Errorf("indices[%d] = (%d, %g), want (%d, %g)", k, indices.Ind[k], indices.Val[k], i, float64(i))
+		}
+	}
+	// Overlapping entry 3 combined with +: both inputs carry value 1.
+	if union.Val[1] != 2 {
+		t.Errorf("union value at overlap = %g, want 2", union.Val[1])
+	}
+}
+
+// TestProgramStopOnEmpty pins early termination: ops after an empty
+// mult output do not execute and are absent from the results.
+func TestProgramStopOnEmpty(t *testing.T) {
+	st, _, _ := storeWithMatrix(t, "g")
+	// A 5-vertex square matrix with a single edge 0→1: the second hop
+	// from vertex 1 is empty.
+	tr := spmspv.NewTriples(5, 5, 1)
+	tr.Append(1, 0, 1)
+	sq, err := spmspv.NewMatrix(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put("edge", sq); err != nil {
+		t.Fatal(err)
+	}
+
+	x := testutil.VectorWithIndices(5, 0)
+	resp, err := st.Run(&spmspv.Program{
+		Matrix:      "edge",
+		StopOnEmpty: true,
+		Ops: []spmspv.ProgramOp{
+			{Op: "input", X: x},
+			{XRef: "$0", Desc: spmspv.Desc{Semiring: "arithmetic"}, Emit: true}, // → {1}
+			{XRef: "$1", Desc: spmspv.Desc{Semiring: "arithmetic"}, Emit: true}, // → {} stops
+			{XRef: "$2", Desc: spmspv.Desc{Semiring: "arithmetic"}, Emit: true}, // never runs
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Steps != 3 {
+		t.Fatalf("Steps = %d, want 3", resp.Steps)
+	}
+	if len(resp.Results) != 2 {
+		t.Fatalf("got %d results, want 2", len(resp.Results))
+	}
+	if resp.Results[0].Y.NNZ() != 1 || resp.Results[1].Y.NNZ() != 0 {
+		t.Errorf("hop sizes = %d, %d; want 1, 0", resp.Results[0].Y.NNZ(), resp.Results[1].Y.NNZ())
+	}
+}
+
+// TestProgramErrors pins execution-time failures: unknown matrices and
+// dimension mismatches come back as coded wire errors, not panics.
+func TestProgramErrors(t *testing.T) {
+	st, a, rng := storeWithMatrix(t, "g")
+
+	_, err := st.Run(&spmspv.Program{Matrix: "nope", Ops: []spmspv.ProgramOp{
+		{X: testutil.RandomVector(rng, a.NumCols, 5, true), Desc: spmspv.Desc{Semiring: "arithmetic"}},
+	}})
+	if we := spmspv.AsWireError(err); err == nil || we.Code != spmspv.CodeUnknownMatrix {
+		t.Errorf("unknown matrix: err %v", err)
+	}
+
+	_, err = st.Run(&spmspv.Program{Matrix: "g", Ops: []spmspv.ProgramOp{
+		{X: testutil.RandomVector(rng, a.NumCols+7, 5, true), Desc: spmspv.Desc{Semiring: "arithmetic"}},
+	}})
+	if we := spmspv.AsWireError(err); err == nil || we.Code != spmspv.CodeInvalidRequest {
+		t.Errorf("dimension mismatch: err %v", err)
+	}
+
+	// Structural failure: reported before anything executes.
+	_, err = st.Run(&spmspv.Program{Matrix: "g", Ops: []spmspv.ProgramOp{
+		{XRef: "$4", Desc: spmspv.Desc{Semiring: "arithmetic"}},
+	}})
+	if we := spmspv.AsWireError(err); err == nil || we.Code != spmspv.CodeInvalidRequest {
+		t.Errorf("forward ref: err %v", err)
+	}
+}
+
+// TestProgramBFSInProcess runs the unrolled-BFS program against the
+// Store executor on every registered engine and compares with the
+// in-process BFS — the transport-agnostic half of the e2e BFS test
+// (server_test.go drives the same program through Client/httptest).
+func TestProgramBFSInProcess(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	a := testutil.RandomCSC(rng, 150, 150, 3)
+	for _, alg := range spmspv.Algorithms() {
+		st := spmspv.NewStore(spmspv.WithAlgorithm(alg), spmspv.WithEngineOptions(engineOptions(2)))
+		if err := st.Put("g", a); err != nil {
+			t.Fatal(err)
+		}
+		mu, err := st.Load("g")
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := spmspv.BFS(mu, 0)
+		got, err := spmspv.ProgramBFS(st, "g", a.NumCols, 0, 0)
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		compareBFS(t, alg.String(), got, want)
+	}
+}
+
+// compareBFS fails the test unless two BFS results are identical.
+func compareBFS(t *testing.T, label string, got, want *spmspv.BFSResult) {
+	t.Helper()
+	if len(got.Levels) != len(want.Levels) {
+		t.Fatalf("%s: %d levels, want %d", label, len(got.Levels), len(want.Levels))
+	}
+	for v := range want.Levels {
+		if got.Levels[v] != want.Levels[v] {
+			t.Fatalf("%s: level[%d] = %d, want %d", label, v, got.Levels[v], want.Levels[v])
+		}
+		if got.Parents[v] != want.Parents[v] {
+			t.Fatalf("%s: parent[%d] = %d, want %d", label, v, got.Parents[v], want.Parents[v])
+		}
+	}
+	if len(got.FrontierSizes) != len(want.FrontierSizes) {
+		t.Fatalf("%s: frontier sizes %v, want %v", label, got.FrontierSizes, want.FrontierSizes)
+	}
+	for k := range want.FrontierSizes {
+		if got.FrontierSizes[k] != want.FrontierSizes[k] {
+			t.Fatalf("%s: frontier sizes %v, want %v", label, got.FrontierSizes, want.FrontierSizes)
+		}
+	}
+}

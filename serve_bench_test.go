@@ -1,0 +1,102 @@
+// BenchmarkServeCoalesce measures the serving path's request
+// coalescing: concurrent single-vector mult requests against one
+// matrix, pushed through the full HTTP handler (decode, validate,
+// batcher, encode) at batching windows of 1, 4 and 8 requests.
+// Window 1 disables coalescing — every request executes alone — so
+// the sweep isolates what the shared MultBatch (one bucket
+// Estimate/sizing pass per batch instead of per request) buys at the
+// service level. EXPERIMENTS.md records the trajectory; CI uploads
+// the JSON so cmd/benchcmp gates serving-path regressions like the
+// multiply path.
+package spmspv_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	spmspv "spmspv"
+	"spmspv/internal/testutil"
+)
+
+func BenchmarkServeCoalesce(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	a := spmspv.ErdosRenyi(1<<14, 8, 99)
+
+	// Pre-marshaled request bodies with distinct frontiers, so the
+	// benchmark measures serving, not JSON construction.
+	const nBodies = 64
+	bodies := make([][]byte, nBodies)
+	// Sparse frontiers (the BFS-round regime): per-call engine setup —
+	// the bucket Estimate/sizing pass, workspace checkout — is the
+	// dominant cost there, which is exactly what coalescing amortizes.
+	for i := range bodies {
+		req := &spmspv.Request{
+			Matrix: "g",
+			X:      testutil.RandomVector(rng, a.NumCols, 16, true),
+			Desc:   spmspv.Desc{Semiring: "arithmetic"},
+		}
+		data, err := json.Marshal(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bodies[i] = data
+	}
+
+	for _, batch := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("batch%d", batch), func(b *testing.B) {
+			// A multi-threaded engine, as a serving host would run: the
+			// per-call parallel-section spawn/join is then the dominant
+			// per-request setup, and it is paid once per coalesced batch
+			// instead of once per request.
+			st := spmspv.NewStore(spmspv.WithEngineOptions(engineOptions(4)))
+			if err := st.Put("g", a); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := st.Load("g"); err != nil {
+				b.Fatal(err)
+			}
+			// A short window: concurrent submissions gather within
+			// microseconds, while stragglers (the drain at the end of the
+			// run) pay at most 100µs before flushing alone.
+			srv := spmspv.NewServer(st,
+				spmspv.WithBatchSize(batch),
+				spmspv.WithBatchWindow(100*time.Microsecond),
+			)
+
+			// 8-way concurrent callers regardless of GOMAXPROCS: request
+			// concurrency is what fills batching windows, and a serving
+			// host is I/O-concurrent even when compute-serial.
+			b.SetParallelism(8)
+			var worker atomic.Int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := int(worker.Add(1)) * 7919
+				for pb.Next() {
+					i++
+					r := httptest.NewRequest(http.MethodPost, "/v1/mult",
+						bytes.NewReader(bodies[i%nBodies]))
+					w := httptest.NewRecorder()
+					srv.ServeHTTP(w, r)
+					if w.Code != http.StatusOK {
+						b.Errorf("HTTP %d: %s", w.Code, w.Body.String())
+						return
+					}
+				}
+			})
+			b.StopTimer()
+
+			coalesced, batches := srv.BatcherStats()
+			if n := int64(b.N); n > 0 {
+				b.ReportMetric(float64(coalesced)/float64(n), "coalesced/op")
+				_ = batches
+			}
+		})
+	}
+}

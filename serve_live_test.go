@@ -1,0 +1,82 @@
+// TestLiveServe drives a REAL spmspv-serve process — not an httptest
+// handler — through the Client: upload, BFS-as-one-program, counters,
+// delete. It needs a running server and is skipped unless
+// SPMSPV_SERVE_URL points at one; CI boots `spmspv-serve` and runs
+// exactly this test against it, covering the binary's flag plumbing,
+// the real TCP transport and graceful lifecycle that in-process tests
+// cannot see.
+//
+//	spmspv-serve -addr 127.0.0.1:18090 &
+//	SPMSPV_SERVE_URL=http://127.0.0.1:18090 go test -run TestLiveServe .
+package spmspv_test
+
+import (
+	"os"
+	"testing"
+
+	spmspv "spmspv"
+)
+
+func TestLiveServe(t *testing.T) {
+	url := os.Getenv("SPMSPV_SERVE_URL")
+	if url == "" {
+		t.Skip("SPMSPV_SERVE_URL not set; run against a live spmspv-serve to enable")
+	}
+	c := spmspv.NewClient(url)
+
+	// The server may have preloaded matrices; the test uploads its own
+	// so it is self-contained.
+	a := spmspv.Grid2D(24, 24)
+	if _, err := c.PutMatrix("live-test-grid", a); err != nil {
+		t.Fatalf("uploading to %s: %v", url, err)
+	}
+	defer func() {
+		if err := c.DeleteMatrix("live-test-grid"); err != nil {
+			t.Errorf("cleanup delete: %v", err)
+		}
+	}()
+
+	stats, err := c.Matrices()
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, s := range stats {
+		if s.Name == "live-test-grid" {
+			found = true
+			if s.NNZ != a.NNZ() {
+				t.Errorf("uploaded nnz %d, want %d", s.NNZ, a.NNZ())
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("uploaded matrix missing from %v", stats)
+	}
+
+	// Whole multi-level BFS in one program round trip, versus the
+	// in-process result on the identical matrix.
+	mu, err := spmspv.NewMultiplier(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := spmspv.BFS(mu, 0)
+	got, err := c.BFS("live-test-grid", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareBFS(t, "live", got, want)
+
+	// The grid's diameter means a real multi-level search ran.
+	if len(want.FrontierSizes) < 10 {
+		t.Fatalf("grid BFS only had %d levels; test graph too easy", len(want.FrontierSizes))
+	}
+
+	// The serving counters saw the program's multiplies.
+	stat, err := c.Matrix("live-test-grid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stat.Serve.Requests < int64(len(want.FrontierSizes)) {
+		t.Errorf("served requests %d < BFS levels %d", stat.Serve.Requests, len(want.FrontierSizes))
+	}
+}

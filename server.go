@@ -1,0 +1,391 @@
+package spmspv
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"spmspv/internal/sparse"
+)
+
+// Server is the HTTP transport over a Store — the spmspv-serve
+// surface. It mounts:
+//
+//	POST   /v1/matrices/{name}   upload a matrix (Matrix Market, JSON
+//	                             or binary wire form, sniffed)
+//	GET    /v1/matrices          list matrices with serving counters
+//	GET    /v1/matrices/{name}   one matrix's entry
+//	DELETE /v1/matrices/{name}   unregister
+//	POST   /v1/mult              execute one Request
+//	POST   /v1/program           execute one Program
+//
+// Concurrent single-vector mult requests against the same matrix (and
+// a compatible descriptor) are coalesced into one MultBatch through a
+// bounded batching window: the first request in a window waits at most
+// BatchWindow for company, and a window flushes early the moment
+// BatchSize requests have gathered — so the bucket engine's one
+// Estimate/sizing pass (and workspace checkout) is amortized across
+// the batch exactly as in the multi-source algorithms, invisible to
+// each caller. Requests whose descriptor cannot ride a batch
+// (accumulate, per-slot masks, bitmap responses) execute directly.
+type Server struct {
+	store    *Store
+	mux      *http.ServeMux
+	window   time.Duration
+	maxBatch int
+	maxBody  int64
+	batchers sync.Map // batch key (string) → *multBatcher
+}
+
+// ServerOption configures NewServer.
+type ServerOption func(*Server)
+
+// WithBatchWindow bounds how long the first request of a coalescing
+// window waits for company (default 500µs). Zero disables coalescing.
+func WithBatchWindow(d time.Duration) ServerOption {
+	return func(s *Server) { s.window = d }
+}
+
+// WithBatchSize caps how many requests one MultBatch flush carries
+// (default 8); a full window flushes immediately. Values ≤ 1 disable
+// coalescing.
+func WithBatchSize(n int) ServerOption {
+	return func(s *Server) { s.maxBatch = n }
+}
+
+// WithMaxBodyBytes caps request body sizes (default 1 GiB — matrix
+// uploads are the big ones).
+func WithMaxBodyBytes(n int64) ServerOption {
+	return func(s *Server) { s.maxBody = n }
+}
+
+// NewServer returns the HTTP handler serving st.
+func NewServer(st *Store, opts ...ServerOption) *Server {
+	s := &Server{
+		store:    st,
+		window:   500 * time.Microsecond,
+		maxBatch: 8,
+		maxBody:  1 << 30,
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/matrices/{name}", s.handlePutMatrix)
+	s.mux.HandleFunc("GET /v1/matrices", s.handleListMatrices)
+	s.mux.HandleFunc("GET /v1/matrices/{name}", s.handleGetMatrix)
+	s.mux.HandleFunc("DELETE /v1/matrices/{name}", s.handleDeleteMatrix)
+	s.mux.HandleFunc("POST /v1/mult", s.handleMult)
+	s.mux.HandleFunc("POST /v1/program", s.handleProgram)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// statusOf maps wire error codes to HTTP statuses.
+func statusOf(we *WireError) int {
+	switch we.Code {
+	case CodeUnknownMatrix:
+		return http.StatusNotFound
+	case CodeBadRequest, CodeInvalidRequest:
+		return http.StatusBadRequest
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// errorBody is the error envelope of the matrix-management endpoints
+// (mult and program responses carry the error inline instead).
+type errorBody struct {
+	Err *WireError `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	we := AsWireError(err)
+	writeJSON(w, statusOf(we), errorBody{Err: we})
+}
+
+func (s *Server) handlePutMatrix(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	// Reject a bad name before paying for the body: uploads run to a
+	// GiB, name validation is microseconds.
+	if err := validStoreName(name); err != nil {
+		writeError(w, wireErrorf(CodeInvalidRequest, "%v", err))
+		return
+	}
+	a, err := sparse.DecodeMatrix(http.MaxBytesReader(w, r.Body, s.maxBody))
+	if err != nil {
+		writeError(w, wireErrorf(CodeBadRequest, "decoding matrix: %v", err))
+		return
+	}
+	if err := s.store.Put(name, a); err != nil {
+		writeError(w, wireErrorf(CodeInvalidRequest, "%v", err))
+		return
+	}
+	stat, err := s.store.Stats(name)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, stat)
+}
+
+func (s *Server) handleListMatrices(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.store.StatsAll())
+}
+
+func (s *Server) handleGetMatrix(w http.ResponseWriter, r *http.Request) {
+	stat, err := s.store.Stats(r.PathValue("name"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, stat)
+}
+
+func (s *Server) handleDeleteMatrix(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if !s.store.Delete(name) {
+		writeError(w, wireErrorf(CodeUnknownMatrix, "matrix %q is not registered", name))
+		return
+	}
+	// Evict the matrix's batchers so churn (upload → serve → delete)
+	// does not accumulate idle batcher entries forever. A batcher
+	// holding in-flight requests still flushes — the timer closure
+	// keeps it alive — and simply reports the matrix unknown.
+	prefix := name + "|"
+	s.batchers.Range(func(key, _ any) bool {
+		if strings.HasPrefix(key.(string), prefix) {
+			s.batchers.Delete(key)
+		}
+		return true
+	})
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleMult(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.maxBody))
+	if err != nil {
+		writeMultError(w, wireErrorf(CodeBadRequest, "reading request: %v", err))
+		return
+	}
+	req, err := DecodeRequest(body)
+	if err != nil {
+		writeMultError(w, wireErrorf(CodeBadRequest, "%v", err))
+		return
+	}
+	resp, err := s.do(req)
+	if err != nil {
+		writeMultError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// writeMultError writes a mult failure as a Response carrying the
+// structured wire error.
+func writeMultError(w http.ResponseWriter, err error) {
+	we := AsWireError(err)
+	writeJSON(w, statusOf(we), &Response{Err: we})
+}
+
+func (s *Server) handleProgram(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.maxBody))
+	if err != nil {
+		writeProgramError(w, wireErrorf(CodeBadRequest, "reading program: %v", err))
+		return
+	}
+	p, err := DecodeProgram(body)
+	if err != nil {
+		writeProgramError(w, wireErrorf(CodeBadRequest, "%v", err))
+		return
+	}
+	resp, err := s.store.Run(p)
+	if err != nil {
+		writeProgramError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func writeProgramError(w http.ResponseWriter, err error) {
+	we := AsWireError(err)
+	writeJSON(w, statusOf(we), &ProgramResponse{Err: we})
+}
+
+// do routes one request: through the coalescing batcher when it
+// qualifies, directly through the store otherwise.
+func (s *Server) do(req *Request) (*Response, error) {
+	if !s.coalescable(req) {
+		return s.store.Do(req)
+	}
+	return s.doCoalesced(req)
+}
+
+// coalescable reports whether a request may ride a shared MultBatch:
+// single-vector, list-form response, no accumulate (an accumulator
+// cannot be shared), with any mask becoming a per-slot batch mask.
+func (s *Server) coalescable(req *Request) bool {
+	return s.maxBatch > 1 && s.window > 0 &&
+		req.X != nil && !req.Desc.Accum && req.Desc.Masks == nil &&
+		req.Desc.Output != OutputBitmap
+}
+
+// doCoalesced validates the request immediately (so malformed requests
+// fail fast and cannot poison a batch), then submits it to the batcher
+// for its (matrix, descriptor-compatibility) key.
+func (s *Server) doCoalesced(req *Request) (*Response, error) {
+	mu, stats, err := s.store.load(req.Matrix)
+	if err != nil {
+		return nil, err
+	}
+	a := mu.Matrix()
+	t := time.Now()
+	if err := req.Validate(a.NumRows, a.NumCols); err != nil {
+		stats.Observe(time.Since(t), true)
+		return nil, wireErrorf(CodeInvalidRequest, "%v", err)
+	}
+	sr, _ := ParseSemiring(req.Desc.Semiring)
+	key := fmt.Sprintf("%s|%s|t=%v|c=%v", req.Matrix, strings.ToLower(sr.Name),
+		req.Desc.Transpose, req.Desc.Complement)
+	bi, _ := s.batchers.LoadOrStore(key, &multBatcher{server: s, matrix: req.Matrix})
+	b := bi.(*multBatcher)
+
+	out := b.submit(req.X, req.Desc)
+	stats.Observe(time.Since(t), out.err != nil)
+	if out.err != nil {
+		return nil, out.err
+	}
+	return &Response{Y: out.y, OutputRep: OutputList.String()}, nil
+}
+
+// multBatcher coalesces validated single-vector requests that share a
+// batch key into MultBatch flushes. The first pending request arms a
+// window timer; reaching the server's batch size flushes immediately.
+type multBatcher struct {
+	server *Server
+	matrix string
+
+	mu      sync.Mutex
+	pending []*pendingMult
+}
+
+type pendingMult struct {
+	x    *Vector
+	desc Desc
+	done chan batchOut
+}
+
+type batchOut struct {
+	y   *Vector
+	err error
+}
+
+// submit enqueues one request and blocks until its slot's result.
+func (b *multBatcher) submit(x *Vector, d Desc) batchOut {
+	p := &pendingMult{x: x, desc: d, done: make(chan batchOut, 1)}
+	b.mu.Lock()
+	b.pending = append(b.pending, p)
+	n := len(b.pending)
+	if n >= b.server.maxBatch {
+		batch := b.pending
+		b.pending = nil
+		b.mu.Unlock()
+		b.flush(batch)
+	} else {
+		if n == 1 {
+			time.AfterFunc(b.server.window, b.flushWindow)
+		}
+		b.mu.Unlock()
+	}
+	return <-p.done
+}
+
+// flushWindow fires when a window timer expires: it takes whatever has
+// gathered (possibly nothing, if a size-triggered flush beat it).
+func (b *multBatcher) flushWindow() {
+	b.mu.Lock()
+	batch := b.pending
+	b.pending = nil
+	b.mu.Unlock()
+	if len(batch) > 0 {
+		b.flush(batch)
+	}
+}
+
+// flush executes one gathered batch through MultBatch and delivers
+// each slot's result. The multiplier is resolved per flush, so a
+// matrix replaced in the store between windows is picked up.
+func (b *multBatcher) flush(batch []*pendingMult) {
+	defer func() {
+		if r := recover(); r != nil {
+			for _, p := range batch {
+				p.done <- batchOut{err: wireErrorf(CodeInternal, "batched multiply: %v", r)}
+			}
+		}
+	}()
+	mu, stats, err := b.server.store.load(b.matrix)
+	if err != nil {
+		for _, p := range batch {
+			p.done <- batchOut{err: err}
+		}
+		return
+	}
+	a := mu.Matrix()
+	d := batch[0].desc
+	outDim := a.NumRows
+	if d.Transpose {
+		outDim = a.NumCols
+	}
+
+	xs := make([]*Frontier, len(batch))
+	ys := make([]*Frontier, len(batch))
+	hasMask := false
+	masks := make([]*BitVector, len(batch))
+	for q, p := range batch {
+		xs[q] = NewFrontier(p.x)
+		ys[q] = NewOutputFrontier(outDim)
+		masks[q] = p.desc.Mask
+		if p.desc.Mask != nil {
+			hasMask = true
+		}
+	}
+	bd := Desc{
+		Semiring:  d.Semiring,
+		Transpose: d.Transpose,
+		Output:    OutputList,
+	}
+	if hasMask {
+		bd.Masks = masks
+		bd.Complement = d.Complement
+	}
+	mu.MultBatch(xs, ys, Semiring{}, bd)
+	stats.ObserveBatch(len(batch))
+	for q, p := range batch {
+		p.done <- batchOut{y: ys[q].List()}
+	}
+}
+
+// BatcherStats reports process-level coalescing totals summed over
+// every matrix: how many requests rode shared batches and how many
+// flushes were issued. (Per-matrix splits live on the StoreStats.)
+func (s *Server) BatcherStats() (coalesced, batches int64) {
+	for _, stat := range s.store.StatsAll() {
+		coalesced += stat.Serve.Coalesced
+		batches += stat.Serve.Batches
+	}
+	return
+}

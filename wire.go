@@ -2,6 +2,7 @@ package spmspv
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 )
 
@@ -30,13 +31,65 @@ type Request struct {
 
 // Response is the wire form of a multiply result: Y for single
 // requests, Ys for batches, plus the representation the payload
-// carries. Do always serializes the list form (currently the only
-// representation with a wire encoding), so OutputRep is "list"; a
-// streaming transport that ships bitmaps can widen it.
+// actually carries. A request whose descriptor asks for OutputBitmap
+// is answered in the bitmap wire form (YBits / YsBits, the sparse
+// ind/val encoding of BitVector) with OutputRep "bitmap"; every other
+// request — OutputAuto included, since "richest native representation"
+// is an in-process concept the wire cannot express more cheaply than
+// the list — is answered in list form with OutputRep "list".
+//
+// Err carries a structured wire error (code + message) when the
+// request failed, so clients distinguish validation failures from
+// unknown matrices from server faults without parsing transport-level
+// status text.
 type Response struct {
-	Y         *Vector   `json:"y,omitempty"`
-	Ys        []*Vector `json:"ys,omitempty"`
-	OutputRep string    `json:"output_rep,omitempty"`
+	Y         *Vector      `json:"y,omitempty"`
+	Ys        []*Vector    `json:"ys,omitempty"`
+	YBits     *BitVector   `json:"y_bits,omitempty"`
+	YsBits    []*BitVector `json:"ys_bits,omitempty"`
+	OutputRep string       `json:"output_rep,omitempty"`
+	Err       *WireError   `json:"error,omitempty"`
+}
+
+// WireError is the structured error form responses carry: a stable
+// machine-readable code plus a human-readable message. It implements
+// error, so the same value flows through in-process Store calls and
+// HTTP round trips — algorithm code sees identical failures either
+// way.
+type WireError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// The wire error codes.
+const (
+	// CodeBadRequest: the payload could not be decoded at all.
+	CodeBadRequest = "bad_request"
+	// CodeInvalidRequest: the payload decoded but failed validation
+	// (Request.Validate, Program.Validate, dimension mismatches).
+	CodeInvalidRequest = "invalid_request"
+	// CodeUnknownMatrix: the named matrix is not registered.
+	CodeUnknownMatrix = "unknown_matrix"
+	// CodeInternal: the server failed executing a well-formed request.
+	CodeInternal = "internal"
+)
+
+// Error implements the error interface.
+func (e *WireError) Error() string { return e.Code + ": " + e.Message }
+
+// wireErrorf builds a WireError with a formatted message.
+func wireErrorf(code, format string, args ...any) *WireError {
+	return &WireError{Code: code, Message: fmt.Sprintf(format, args...)}
+}
+
+// AsWireError coerces an error into its structured wire form: a
+// *WireError passes through, anything else becomes CodeInternal.
+func AsWireError(err error) *WireError {
+	var we *WireError
+	if errors.As(err, &we) {
+		return we
+	}
+	return &WireError{Code: CodeInternal, Message: err.Error()}
 }
 
 // DecodeRequest parses a JSON-encoded Request.
@@ -62,6 +115,15 @@ func (r *Request) Validate(nrows, ncols Index) error {
 	}
 	if r.X != nil && r.Desc.Masks != nil {
 		return fmt.Errorf("spmspv: single request with per-slot masks (use desc.mask)")
+	}
+	if r.Xs != nil && r.Desc.Accum {
+		// Batch accumulate has no native engine path (it would degrade
+		// to a sequential slot loop), and over the wire the accumulator —
+		// the output's prior contents — cannot ride along at all: the
+		// server's outputs always start empty, so the combination is at
+		// best a silent plain multiply. Programs are the server-side home
+		// for accumulate loops: op outputs persist between ops.
+		return fmt.Errorf("spmspv: batch request with desc.accumulate (accumulator state cannot ride the wire; use a program)")
 	}
 	if r.Desc.Semiring == "" {
 		return fmt.Errorf("spmspv: request descriptor must name a semiring")
@@ -131,16 +193,24 @@ func (m *Multiplier) Do(req *Request) (*Response, error) {
 	if req.Desc.Transpose {
 		outDim = m.a.NumCols
 	}
-	// The response serializes the list representation, so execute with
-	// the list-output shape: honoring a bitmap request would build a
-	// bitmap the encoder immediately discards.
+	// The response serializes the representation the descriptor asked
+	// for: OutputBitmap ships the bitmap wire form, everything else the
+	// list — honoring "auto" with a bitmap would build one the encoder
+	// immediately discards.
 	d := req.Desc
-	d.Output = OutputList
-	resp := &Response{OutputRep: OutputList.String()}
+	wantBits := d.Output == OutputBitmap
+	if !wantBits {
+		d.Output = OutputList
+	}
+	resp := &Response{OutputRep: d.Output.String()}
 	if req.X != nil {
 		yf := NewOutputFrontier(outDim)
 		m.Mult(NewFrontier(req.X), yf, Semiring{}, d)
-		resp.Y = yf.List()
+		if wantBits {
+			resp.YBits = yf.Bits()
+		} else {
+			resp.Y = yf.List()
+		}
 		return resp, nil
 	}
 	xs := make([]*Frontier, len(req.Xs))
@@ -150,9 +220,16 @@ func (m *Multiplier) Do(req *Request) (*Response, error) {
 		ys[q] = NewOutputFrontier(outDim)
 	}
 	m.MultBatch(xs, ys, Semiring{}, d)
-	resp.Ys = make([]*Vector, len(ys))
-	for q, yf := range ys {
-		resp.Ys[q] = yf.List()
+	if wantBits {
+		resp.YsBits = make([]*BitVector, len(ys))
+		for q, yf := range ys {
+			resp.YsBits[q] = yf.Bits()
+		}
+	} else {
+		resp.Ys = make([]*Vector, len(ys))
+		for q, yf := range ys {
+			resp.Ys[q] = yf.List()
+		}
 	}
 	return resp, nil
 }

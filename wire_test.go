@@ -154,3 +154,116 @@ func TestRequestValidation(t *testing.T) {
 		}
 	}
 }
+
+// TestRequestValidateRejectsBatchAccum is the regression test for the
+// missing validation rule: a batch request combining desc.accumulate
+// with xs has no native engine path and no way to ship the
+// accumulator state, so Validate must reject it — as an error, before
+// anything executes.
+func TestRequestValidateRejectsBatchAccum(t *testing.T) {
+	mu, a, rng := wireMultiplier(t)
+	req := &spmspv.Request{
+		Xs: []*spmspv.Vector{
+			testutil.RandomVector(rng, a.NumCols, 10, true),
+			testutil.RandomVector(rng, a.NumCols, 10, true),
+		},
+		Desc: spmspv.Desc{Accum: true, Semiring: "arithmetic"},
+	}
+	if err := req.Validate(a.NumRows, a.NumCols); err == nil {
+		t.Fatal("Validate accepted accumulate + xs")
+	} else if !strings.Contains(err.Error(), "accumulate") {
+		t.Fatalf("error %q does not name the accumulate rule", err)
+	}
+	if _, err := mu.Do(req); err == nil {
+		t.Fatal("Do accepted accumulate + xs")
+	}
+	// Single accumulate requests remain legal (the wire accumulator is
+	// the empty output, i.e. a plain multiply — still well-defined).
+	single := &spmspv.Request{
+		X:    testutil.RandomVector(rng, a.NumCols, 10, true),
+		Desc: spmspv.Desc{Accum: true, Semiring: "arithmetic"},
+	}
+	if _, err := mu.Do(single); err != nil {
+		t.Fatalf("single accumulate request rejected: %v", err)
+	}
+}
+
+// TestRequestDoBitmapResponse pins the bitmap wire form: a request
+// whose descriptor asks for OutputBitmap is answered with YBits (the
+// sparse ind/val BitVector encoding), OutputRep "bitmap", and the
+// payload round-trips through JSON carrying exactly the list-form
+// result's support and values.
+func TestRequestDoBitmapResponse(t *testing.T) {
+	mu, a, rng := wireMultiplier(t)
+	x := testutil.RandomVector(rng, a.NumCols, 40, true)
+
+	listResp, err := mu.Do(&spmspv.Request{X: x, Desc: spmspv.Desc{Semiring: "arithmetic"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bitResp, err := mu.Do(&spmspv.Request{
+		X:    x,
+		Desc: spmspv.Desc{Semiring: "arithmetic", Output: spmspv.OutputBitmap},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bitResp.OutputRep != "bitmap" || bitResp.YBits == nil || bitResp.Y != nil {
+		t.Fatalf("bitmap response: rep %q, y_bits %v, y %v",
+			bitResp.OutputRep, bitResp.YBits != nil, bitResp.Y != nil)
+	}
+
+	data, err := json.Marshal(bitResp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded spmspv.Response
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.YBits.Count() != listResp.Y.NNZ() {
+		t.Fatalf("bitmap support %d, list support %d", decoded.YBits.Count(), listResp.Y.NNZ())
+	}
+	for k, i := range listResp.Y.Ind {
+		v, ok := decoded.YBits.Get(i)
+		if !ok || v != listResp.Y.Val[k] {
+			t.Fatalf("bitmap[%d] = (%g,%v), list has %g", i, v, ok, listResp.Y.Val[k])
+		}
+	}
+
+	// Batch form: per-slot bitmaps.
+	batchResp, err := mu.Do(&spmspv.Request{
+		Xs:   []*spmspv.Vector{x, x},
+		Desc: spmspv.Desc{Semiring: "arithmetic", Output: spmspv.OutputBitmap},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batchResp.YsBits) != 2 || batchResp.Ys != nil {
+		t.Fatalf("batch bitmap response: ys_bits %d, ys %v", len(batchResp.YsBits), batchResp.Ys != nil)
+	}
+	for q, bits := range batchResp.YsBits {
+		if bits.Count() != listResp.Y.NNZ() {
+			t.Fatalf("slot %d bitmap support %d, want %d", q, bits.Count(), listResp.Y.NNZ())
+		}
+	}
+}
+
+// TestWireErrorRoundTrip pins the structured wire error form.
+func TestWireErrorRoundTrip(t *testing.T) {
+	resp := &spmspv.Response{Err: &spmspv.WireError{Code: spmspv.CodeUnknownMatrix, Message: "matrix \"g\" is not registered"}}
+	data, err := json.Marshal(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded spmspv.Response
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Err == nil || decoded.Err.Code != spmspv.CodeUnknownMatrix {
+		t.Fatalf("decoded error %+v", decoded.Err)
+	}
+	if !strings.Contains(decoded.Err.Error(), "unknown_matrix") {
+		t.Errorf("Error() = %q, want the code in it", decoded.Err.Error())
+	}
+}
