@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"sync/atomic"
 )
 
 // Client speaks the spmspv-serve HTTP API and implements the same
@@ -18,6 +19,12 @@ import (
 type Client struct {
 	base string
 	hc   *http.Client
+	// wire is the preferred mult/program wire form (ContentTypeBinary
+	// by default); jsonOnly latches true the first time a server
+	// rejects the binary form, so every later call goes straight to
+	// JSON instead of re-paying a failed round trip per request.
+	wire     string
+	jsonOnly atomic.Bool
 }
 
 // ClientOption configures NewClient.
@@ -29,14 +36,38 @@ func WithHTTPClient(hc *http.Client) ClientOption {
 	return func(c *Client) { c.hc = hc }
 }
 
+// WithWire sets the wire form the client offers on /v1/mult and
+// /v1/program: ContentTypeBinary (the default — with an automatic,
+// sticky fallback to JSON when the server does not speak it) or
+// ContentTypeJSON to pin the JSON form outright.
+func WithWire(contentType string) ClientOption {
+	return func(c *Client) {
+		if contentType == ContentTypeJSON {
+			c.wire = ContentTypeJSON
+		} else {
+			c.wire = ContentTypeBinary
+		}
+	}
+}
+
 // NewClient returns a client for the server at baseURL (e.g.
 // "http://localhost:8090").
 func NewClient(baseURL string, opts ...ClientOption) *Client {
-	c := &Client{base: strings.TrimRight(baseURL, "/"), hc: http.DefaultClient}
+	c := &Client{
+		base: strings.TrimRight(baseURL, "/"),
+		hc:   http.DefaultClient,
+		wire: ContentTypeBinary,
+	}
 	for _, o := range opts {
 		o(c)
 	}
 	return c
+}
+
+// useBinary reports whether the next mult/program call should attempt
+// the binary wire form.
+func (c *Client) useBinary() bool {
+	return c.wire == ContentTypeBinary && !c.jsonOnly.Load()
 }
 
 // roundTrip POSTs/GETs and decodes the JSON reply into out. A non-2xx
@@ -50,6 +81,10 @@ func (c *Client) roundTrip(method, path string, body io.Reader, contentType stri
 	if contentType != "" {
 		req.Header.Set("Content-Type", contentType)
 	}
+	// Pin the JSON reply explicitly: a server whose default wire is
+	// binary (spmspv-serve -wire binary) would otherwise answer a
+	// preference-free request in a form this path cannot decode.
+	req.Header.Set("Accept", ContentTypeJSON)
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return fmt.Errorf("spmspv: %s %s: %w", method, path, err)
@@ -84,8 +119,81 @@ func envelopeError(data []byte) *WireError {
 	return nil
 }
 
-// Do executes one multiply request on the server (POST /v1/mult).
+// binaryRoundTrip POSTs the binary envelope enc writes and decodes the
+// reply by its Content-Type — binary through dec, JSON through
+// encoding/json. downgrade=true means the server does not speak the
+// binary form — 406/415, an old JSON-only server answering
+// 400/bad_request because it cannot parse the envelope, or a reply in
+// no recognizable form — and the caller should retry as JSON; both
+// endpoints are pure computation, so the retry is safe.
+func binaryRoundTrip[T any](c *Client, path string, enc func(io.Writer) error, dec func(io.Reader) (*T, error), errOf func(*T) *WireError) (out *T, downgrade bool, err error) {
+	var buf bytes.Buffer
+	if err := enc(&buf); err != nil {
+		return nil, false, err
+	}
+	req, err := http.NewRequest(http.MethodPost, c.base+path, &buf)
+	if err != nil {
+		return nil, false, err
+	}
+	req.Header.Set("Content-Type", ContentTypeBinary)
+	req.Header.Set("Accept", ContentTypeBinary+", "+ContentTypeJSON)
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, false, fmt.Errorf("spmspv: POST %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotAcceptable || resp.StatusCode == http.StatusUnsupportedMediaType {
+		io.Copy(io.Discard, resp.Body)
+		return nil, true, nil
+	}
+	if mediaType(resp.Header.Get("Content-Type")) == ContentTypeBinary {
+		out, err := dec(resp.Body)
+		if err != nil {
+			return nil, false, fmt.Errorf("spmspv: decoding POST %s response: %w", path, err)
+		}
+		return out, false, nil
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, false, fmt.Errorf("spmspv: reading POST %s response: %w", path, err)
+	}
+	var v T
+	if json.Unmarshal(data, &v) == nil {
+		if we := errOf(&v); we != nil {
+			if we.Code == CodeBadRequest && resp.StatusCode == http.StatusBadRequest {
+				return nil, true, nil // old server: could not parse the envelope at all
+			}
+			return &v, false, nil
+		}
+		if resp.StatusCode >= 200 && resp.StatusCode <= 299 {
+			return &v, false, nil
+		}
+	}
+	if resp.StatusCode >= 200 && resp.StatusCode <= 299 {
+		return nil, true, nil // 2xx in no form we recognize — fall back to JSON
+	}
+	return nil, false, fmt.Errorf("spmspv: POST %s: HTTP %d: %s", path, resp.StatusCode, data)
+}
+
+// Do executes one multiply request on the server (POST /v1/mult),
+// negotiating the binary wire form first (see WithWire).
 func (c *Client) Do(req *Request) (*Response, error) {
+	if c.useBinary() {
+		resp, downgrade, err := binaryRoundTrip(c, "/v1/mult",
+			func(w io.Writer) error { return EncodeRequestBinary(w, req) },
+			DecodeResponseBinary,
+			func(r *Response) *WireError { return r.Err })
+		if !downgrade {
+			if err != nil {
+				return nil, err
+			}
+			if resp.Err != nil {
+				return nil, resp.Err
+			}
+			return resp, nil
+		}
+		c.jsonOnly.Store(true)
+	}
 	data, err := json.Marshal(req)
 	if err != nil {
 		return nil, fmt.Errorf("spmspv: encoding request: %w", err)
@@ -108,8 +216,25 @@ func (c *Client) Do(req *Request) (*Response, error) {
 	return &resp, nil
 }
 
-// Run executes a program on the server (POST /v1/program).
+// Run executes a program on the server (POST /v1/program),
+// negotiating the binary wire form first (see WithWire).
 func (c *Client) Run(p *Program) (*ProgramResponse, error) {
+	if c.useBinary() {
+		resp, downgrade, err := binaryRoundTrip(c, "/v1/program",
+			func(w io.Writer) error { return EncodeProgramBinary(w, p) },
+			DecodeProgramResponseBinary,
+			func(r *ProgramResponse) *WireError { return r.Err })
+		if !downgrade {
+			if err != nil {
+				return nil, err
+			}
+			if resp.Err != nil {
+				return nil, resp.Err
+			}
+			return resp, nil
+		}
+		c.jsonOnly.Store(true)
+	}
 	data, err := json.Marshal(p)
 	if err != nil {
 		return nil, fmt.Errorf("spmspv: encoding program: %w", err)

@@ -62,7 +62,9 @@ func main() {
 		threads = flag.Int("threads", 0, "worker threads per multiply (0 = GOMAXPROCS)")
 		window  = flag.Duration("batch-window", 500*time.Microsecond,
 			"how long the first request of a coalescing window waits for company (0 disables)")
-		batch     = flag.Int("batch-size", 8, "max requests per coalesced MultBatch (≤1 disables)")
+		batch = flag.Int("batch-size", 8, "max requests per coalesced MultBatch (≤1 disables)")
+		wire  = flag.String("wire", "json",
+			"default response wire form (json, binary) when a request has no Accept preference")
 		cachePath = flag.String("calibration-cache", spmspv.DefaultCalibrationCachePath(),
 			"hybrid threshold cache file (empty disables persistence)")
 		recalibrate = flag.Bool("recalibrate", false,
@@ -74,6 +76,15 @@ func main() {
 	alg, ok := spmspv.ParseAlgorithm(*engName)
 	if !ok {
 		log.Fatalf("spmspv-serve: unknown engine %q (have: %s)", *engName, strings.Join(spmspv.EngineNames(), ", "))
+	}
+	var defaultWire string
+	switch *wire {
+	case "json":
+		defaultWire = spmspv.ContentTypeJSON
+	case "binary":
+		defaultWire = spmspv.ContentTypeBinary
+	default:
+		log.Fatalf("spmspv-serve: unknown wire form %q (want json or binary)", *wire)
 	}
 
 	store := spmspv.NewStore(
@@ -98,6 +109,7 @@ func main() {
 	srv := spmspv.NewServer(store,
 		spmspv.WithBatchWindow(*window),
 		spmspv.WithBatchSize(*batch),
+		spmspv.WithDefaultWire(defaultWire),
 	)
 	hs := &http.Server{Addr: *addr, Handler: srv}
 

@@ -72,7 +72,9 @@ func main() {
 		fatal("%v", err)
 	}
 	defer vf.Close()
-	x, err := spmspv.ReadVector(vf)
+	// DecodeVector sniffs the encoding — binary SPVB, JSON, or the
+	// "index value" text form — so any wire dump works as input.
+	x, err := spmspv.DecodeVector(vf)
 	if err != nil {
 		fatal("reading vector: %v", err)
 	}

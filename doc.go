@@ -79,11 +79,12 @@
 // service, in four pieces that stack on the wire contract:
 //
 //	Client ──HTTP──> Server (/v1/mult, /v1/program, /v1/matrices)
-//	   \                |    request coalescing → MultBatch
-//	    \               v
-//	     +──same──>  Store   named matrices, one cached
-//	      Executor      |    Multiplier (plans + calibration)
-//	      interface     v    per matrix, serve counters
+//	   \    JSON or     |    Accept/Content-Type negotiation,
+//	    \   binary      |    request coalescing → MultBatch
+//	     \  wire        v
+//	      +──same──> Store   named matrices, one cached
+//	       Executor     |    Multiplier (plans + calibration)
+//	       interface    v    per matrix, serve counters
 //	                Multiplier.Do / Mult / MultBatch
 //
 // A Store (NewStore) is the registry of named matrices: Put/PutFile
@@ -109,6 +110,17 @@
 // (Response.Err: code + message) either way. cmd/spmspv-serve wires it
 // all together with -preload, graceful shutdown and per-matrix
 // request/latency counters.
+//
+// Both request endpoints speak two wire forms, negotiated per request:
+// JSON (the default for clients that express no preference) and a
+// binary envelope (ContentTypeBinary) that keeps the structured header
+// as JSON but ships every vector as a framed SPVB section — raw
+// little-endian arrays, bitmap outputs as raw uint64 words — removing
+// the per-request float-formatting tax that dominated JSON serving.
+// The server sniffs request bodies and honors Accept; the Client
+// negotiates binary by default with a sticky JSON fallback for old
+// servers; cmd/spmspv-serve's -wire flag sets the server default.
+// DecodeVector sniffs SPVB vs JSON vs text, mirroring DecodeMatrix.
 //
 // # Architecture: the engine layer
 //

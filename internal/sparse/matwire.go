@@ -137,7 +137,15 @@ const (
 // magic, version, dimensions, nnz, the sorted flag, then the colptr /
 // rowidx / val arrays back to back.
 func EncodeMatrixBinary(w io.Writer, a *CSC) error {
-	bw := bufio.NewWriter(w)
+	bw := getEncWriter(w)
+	if err := encodeMatrix(bw, a); err != nil {
+		putEncWriter(bw)
+		return err
+	}
+	return putEncWriter(bw)
+}
+
+func encodeMatrix(bw *bufio.Writer, a *CSC) error {
 	if _, err := bw.WriteString(matrixMagic); err != nil {
 		return err
 	}
@@ -174,7 +182,7 @@ func EncodeMatrixBinary(w io.Writer, a *CSC) error {
 			return err
 		}
 	}
-	return bw.Flush()
+	return nil
 }
 
 // DecodeMatrixBinary parses the framed binary form and validates the

@@ -1,0 +1,335 @@
+package sparse
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// randomTestVec builds a random sorted sparse vector.
+func randomTestVec(rng *rand.Rand, n Index, nnz int) *SpVec {
+	perm := rng.Perm(int(n))
+	if nnz > int(n) {
+		nnz = int(n)
+	}
+	idx := append([]int(nil), perm[:nnz]...)
+	v := NewSpVec(n, nnz)
+	sortInts(idx)
+	for _, i := range idx {
+		v.Append(Index(i), rng.NormFloat64())
+	}
+	v.Sorted = true
+	return v
+}
+
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j-1] > a[j]; j-- {
+			a[j-1], a[j] = a[j], a[j-1]
+		}
+	}
+}
+
+func TestVectorWireRoundTrips(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	unsorted := &SpVec{N: 50, Ind: []Index{9, 3, 9, 40}, Val: []float64{1, 2, 3, 4}}
+	cases := []*SpVec{
+		randomTestVec(rng, 200, 17), // sparse payload
+		randomTestVec(rng, 100, 90), // dense payload (nnz > 2n/3)
+		NewSpVec(64, 0),             // empty
+		NewSpVec(0, 0),              // zero-dimension
+		unsorted,                    // duplicates, must stay sparse
+		randomTestVec(rng, 1000, 999),
+	}
+	for _, v := range cases {
+		var bb bytes.Buffer
+		if err := EncodeVectorBinary(&bb, v); err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeVectorBinary(bytes.NewReader(bb.Bytes()))
+		if err != nil {
+			t.Fatalf("%s: decoding binary form: %v", v, err)
+		}
+		if !got.EqualValues(v, 0) {
+			t.Errorf("%s: binary round trip changed the vector", v)
+		}
+		// The sniffing decoder routes the binary frame, the JSON form
+		// (with leading whitespace) and the text form.
+		sniffed, err := DecodeVector(bytes.NewReader(bb.Bytes()))
+		if err != nil {
+			t.Fatalf("%s: DecodeVector(binary): %v", v, err)
+		}
+		if !sniffed.EqualValues(v, 0) {
+			t.Errorf("%s: DecodeVector(binary) changed the vector", v)
+		}
+	}
+}
+
+func TestDecodeVectorSniffsAllThreeForms(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	v := randomTestVec(rng, 80, 12)
+
+	var bin bytes.Buffer
+	if err := EncodeVectorBinary(&bin, v); err != nil {
+		t.Fatal(err)
+	}
+	var txt bytes.Buffer
+	if err := WriteVector(&txt, v); err != nil {
+		t.Fatal(err)
+	}
+	jsonBody := []byte("\n  {\"N\": 80, \"Ind\": [2, 5], \"Val\": [1.5, -2], \"Sorted\": true}")
+
+	for name, body := range map[string][]byte{
+		"binary": bin.Bytes(),
+		"text":   txt.Bytes(),
+	} {
+		got, err := DecodeVector(bytes.NewReader(body))
+		if err != nil {
+			t.Fatalf("DecodeVector(%s): %v", name, err)
+		}
+		if !got.EqualValues(v, 0) {
+			t.Errorf("DecodeVector(%s) changed the vector", name)
+		}
+	}
+	got, err := DecodeVector(bytes.NewReader(jsonBody))
+	if err != nil {
+		t.Fatalf("DecodeVector(json): %v", err)
+	}
+	if got.N != 80 || got.NNZ() != 2 || got.Ind[1] != 5 || got.Val[1] != -2 {
+		t.Errorf("DecodeVector(json) = %s", got)
+	}
+}
+
+func TestBitVecWireRoundTrips(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	valued := NewBitVec(130)
+	valued.SetFrom(randomTestVec(rng, 130, 40))
+	supportOnly := NewBitVec(200)
+	zeros := NewSpVec(200, 3)
+	zeros.Append(0, 0)
+	zeros.Append(64, 0)
+	zeros.Append(199, 0)
+	supportOnly.SetFrom(zeros)
+	empty := NewBitVec(77)
+
+	for name, b := range map[string]*BitVec{
+		"valued": valued, "supportOnly": supportOnly, "empty": empty,
+	} {
+		var bb bytes.Buffer
+		if err := EncodeBitVecBinary(&bb, b); err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeBitVecBinary(bytes.NewReader(bb.Bytes()))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got.N != b.N || got.Count() != b.Count() {
+			t.Fatalf("%s: round trip n=%d count=%d, want n=%d count=%d",
+				name, got.N, got.Count(), b.N, b.Count())
+		}
+		for i := Index(0); i < b.N; i++ {
+			gv, gok := got.Get(i)
+			wv, wok := b.Get(i)
+			if gok != wok || gv != wv {
+				t.Fatalf("%s: entry %d: got (%v,%v), want (%v,%v)", name, i, gv, gok, wv, wok)
+			}
+		}
+	}
+
+	// A support-only bitmap frame carries no float payload at all:
+	// header + words only.
+	var bb bytes.Buffer
+	if err := EncodeBitVecBinary(&bb, supportOnly); err != nil {
+		t.Fatal(err)
+	}
+	wantLen := 4 + 4 + 1 + 8 + 8 + 1 + 8*len(supportOnly.Words)
+	if bb.Len() != wantLen {
+		t.Errorf("support-only bitmap frame is %d bytes, want %d (words only)", bb.Len(), wantLen)
+	}
+}
+
+// TestVectorWireCrossDecode pins the payload-kind cross paths: a
+// sparse frame decodes into a bitmap and a bitmap frame into a list.
+func TestVectorWireCrossDecode(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	v := randomTestVec(rng, 150, 20)
+
+	var vb bytes.Buffer
+	if err := EncodeVectorBinary(&vb, v); err != nil {
+		t.Fatal(err)
+	}
+	b, err := DecodeBitVecBinary(bytes.NewReader(vb.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Count() != v.NNZ() {
+		t.Fatalf("sparse→bitmap count %d, want %d", b.Count(), v.NNZ())
+	}
+
+	bm := NewBitVec(150)
+	bm.SetFrom(v)
+	var bbb bytes.Buffer
+	if err := EncodeBitVecBinary(&bbb, bm); err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeVectorBinary(bytes.NewReader(bbb.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.EqualValues(v, 0) {
+		t.Error("bitmap→list decode changed the vector")
+	}
+}
+
+func TestDecodeVectorRejectsCorruptInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	v := randomTestVec(rng, 90, 10)
+	var bb bytes.Buffer
+	if err := EncodeVectorBinary(&bb, v); err != nil {
+		t.Fatal(err)
+	}
+	full := bb.Bytes()
+
+	cases := map[string][]byte{
+		"badMagic":      []byte("SPVX\x01\x00\x00\x00\x00"),
+		"badVersion":    []byte("SPVB\x09\x00\x00\x00\x00"),
+		"badKind":       []byte("SPVB\x01\x00\x00\x00\x07"),
+		"truncatedHead": full[:7],
+		"truncatedBody": full[:len(full)-5],
+		"empty":         {},
+	}
+	for name, body := range cases {
+		if _, err := DecodeVectorBinary(bytes.NewReader(body)); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+		if _, err := DecodeBitVecBinary(bytes.NewReader(body)); err == nil {
+			t.Errorf("%s: bitmap-decoded without error", name)
+		}
+	}
+
+	// JSON forms that must fail validation.
+	for name, body := range map[string]string{
+		"oobIndex":    `{"N": 4, "Ind": [9], "Val": [1], "Sorted": true}`,
+		"lenMismatch": `{"N": 4, "Ind": [1, 2], "Val": [1]}`,
+		"notSorted":   `{"N": 4, "Ind": [2, 1], "Val": [1, 1], "Sorted": true}`,
+	} {
+		if _, err := DecodeVector(strings.NewReader(body)); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+}
+
+func TestDecodeVectorBinaryRejectsHostileHeaders(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	v := randomTestVec(rng, 90, 10)
+	encode := func() []byte {
+		var b bytes.Buffer
+		if err := EncodeVectorBinary(&b, v); err != nil {
+			t.Fatal(err)
+		}
+		return b.Bytes()
+	}
+	// Frame layout: 4 magic + 4 version + 1 kind, then n int64, nnz int64.
+	const nOff, nnzOff = 9, 17
+	corrupt := func(off int, val uint64) []byte {
+		data := encode()
+		for i := 0; i < 8; i++ {
+			data[off+i] = byte(val >> (8 * i))
+		}
+		return data
+	}
+	cases := map[string][]byte{
+		"negativeNNZ": corrupt(nnzOff, ^uint64(0)),
+		"lyingNNZ":    corrupt(nnzOff, 1<<40), // must error when the body runs dry
+		"overflowDim": corrupt(nOff, 1<<32+10),
+		"negativeDim": corrupt(nOff, ^uint64(3)),
+	}
+	for name, data := range cases {
+		if _, err := DecodeVectorBinary(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+
+	// A bitmap frame whose header count disagrees with the words, or
+	// with bits set beyond the dimension, must be rejected.
+	bm := NewBitVec(70)
+	one := NewSpVec(70, 1)
+	one.Append(3, 1.5)
+	bm.SetFrom(one)
+	var bb bytes.Buffer
+	if err := EncodeBitVecBinary(&bb, bm); err != nil {
+		t.Fatal(err)
+	}
+	data := bb.Bytes()
+	// Bitmap layout: 9 header + n int64 + nset int64 + hasVals byte + words.
+	lie := append([]byte(nil), data...)
+	binary.LittleEndian.PutUint64(lie[17:], 5) // claim 5 set bits
+	if _, err := DecodeBitVecBinary(bytes.NewReader(lie)); err == nil {
+		t.Error("bitmap with lying set count decoded without error")
+	}
+	tail := append([]byte(nil), data...)
+	tail[26+8] |= 0x80 // set a bit in word 1 beyond n=70 → bit 127
+	if _, err := DecodeBitVecBinary(bytes.NewReader(tail)); err == nil {
+		t.Error("bitmap with bits beyond the dimension decoded without error")
+	}
+}
+
+// FuzzVectorWire hardens the binary vector/frontier codec: arbitrary
+// bytes must either be rejected or decode into a vector that validates
+// and survives an encode/decode round trip — truncated and corrupt
+// frames error, never panic. Mirrors the matrix wire tests.
+func FuzzVectorWire(f *testing.F) {
+	rng := rand.New(rand.NewSource(17))
+	seed := func(v *SpVec) {
+		var b bytes.Buffer
+		if err := EncodeVectorBinary(&b, v); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b.Bytes())
+	}
+	seed(randomTestVec(rng, 64, 9))  // sparse
+	seed(randomTestVec(rng, 48, 40)) // dense
+	seed(NewSpVec(10, 0))            // empty
+	bm := NewBitVec(130)
+	bm.SetFrom(randomTestVec(rng, 130, 33))
+	var bb bytes.Buffer
+	if err := EncodeBitVecBinary(&bb, bm); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(bb.Bytes()) // bitmap with values
+	f.Add([]byte("SPVB"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, err := DecodeVectorBinary(bytes.NewReader(data))
+		if err == nil {
+			if verr := v.Validate(); verr != nil {
+				t.Fatalf("decoder accepted invalid vector: %v", verr)
+			}
+			var out bytes.Buffer
+			if err := EncodeVectorBinary(&out, v); err != nil {
+				t.Fatalf("re-encode failed: %v", err)
+			}
+			w, err := DecodeVectorBinary(bytes.NewReader(out.Bytes()))
+			if err != nil {
+				t.Fatalf("round trip failed: %v", err)
+			}
+			if !w.EqualValues(v, 0) {
+				t.Fatal("round trip changed the vector")
+			}
+		}
+		// The bitmap decoder must be equally panic-free on the same
+		// input, whatever the payload kind claims.
+		if b, err := DecodeBitVecBinary(bytes.NewReader(data)); err == nil {
+			var out bytes.Buffer
+			if err := EncodeBitVecBinary(&out, b); err != nil {
+				t.Fatalf("bitmap re-encode failed: %v", err)
+			}
+			if _, err := DecodeBitVecBinary(bytes.NewReader(out.Bytes())); err != nil {
+				t.Fatalf("bitmap round trip failed: %v", err)
+			}
+		}
+	})
+}

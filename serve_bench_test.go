@@ -30,9 +30,12 @@ func BenchmarkServeCoalesce(b *testing.B) {
 	a := spmspv.ErdosRenyi(1<<14, 8, 99)
 
 	// Pre-marshaled request bodies with distinct frontiers, so the
-	// benchmark measures serving, not JSON construction.
+	// benchmark measures serving, not JSON construction — in both wire
+	// forms, so the json-vs-binary split is measured on the identical
+	// request stream.
 	const nBodies = 64
 	bodies := make([][]byte, nBodies)
+	binBodies := make([][]byte, nBodies)
 	// Sparse frontiers (the BFS-round regime): per-call engine setup —
 	// the bucket Estimate/sizing pass, workspace checkout — is the
 	// dominant cost there, which is exactly what coalescing amortizes.
@@ -47,10 +50,33 @@ func BenchmarkServeCoalesce(b *testing.B) {
 			b.Fatal(err)
 		}
 		bodies[i] = data
+		var buf bytes.Buffer
+		if err := spmspv.EncodeRequestBinary(&buf, req); err != nil {
+			b.Fatal(err)
+		}
+		binBodies[i] = buf.Bytes()
 	}
 
+	type dim struct {
+		name   string
+		batch  int
+		bodies [][]byte
+		accept string
+	}
+	var dims []dim
 	for _, batch := range []int{1, 4, 8} {
-		b.Run(fmt.Sprintf("batch%d", batch), func(b *testing.B) {
+		// The original names stay JSON, so the CI artifact series is
+		// continuous; the -binary twins measure the negotiated wire on
+		// the same batch sweep.
+		dims = append(dims,
+			dim{fmt.Sprintf("batch%d", batch), batch, bodies, spmspv.ContentTypeJSON},
+			dim{fmt.Sprintf("batch%d-binary", batch), batch, binBodies, spmspv.ContentTypeBinary},
+		)
+	}
+
+	for _, d := range dims {
+		batch, reqBodies, accept := d.batch, d.bodies, d.accept
+		b.Run(d.name, func(b *testing.B) {
 			// A multi-threaded engine, as a serving host would run: the
 			// per-call parallel-section spawn/join is then the dominant
 			// per-request setup, and it is paid once per coalesced batch
@@ -74,6 +100,7 @@ func BenchmarkServeCoalesce(b *testing.B) {
 			// concurrency is what fills batching windows, and a serving
 			// host is I/O-concurrent even when compute-serial.
 			b.SetParallelism(8)
+			b.ReportAllocs()
 			var worker atomic.Int64
 			b.ResetTimer()
 			b.RunParallel(func(pb *testing.PB) {
@@ -81,7 +108,8 @@ func BenchmarkServeCoalesce(b *testing.B) {
 				for pb.Next() {
 					i++
 					r := httptest.NewRequest(http.MethodPost, "/v1/mult",
-						bytes.NewReader(bodies[i%nBodies]))
+						bytes.NewReader(reqBodies[i%nBodies]))
+					r.Header.Set("Accept", accept)
 					w := httptest.NewRecorder()
 					srv.ServeHTTP(w, r)
 					if w.Code != http.StatusOK {

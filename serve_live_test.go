@@ -1,10 +1,10 @@
 // TestLiveServe drives a REAL spmspv-serve process — not an httptest
 // handler — through the Client: upload, BFS-as-one-program, counters,
-// delete. It needs a running server and is skipped unless
-// SPMSPV_SERVE_URL points at one; CI boots `spmspv-serve` and runs
-// exactly this test against it, covering the binary's flag plumbing,
-// the real TCP transport and graceful lifecycle that in-process tests
-// cannot see.
+// delete, once per wire form. It needs a running server and is skipped
+// unless SPMSPV_SERVE_URL points at one; CI boots `spmspv-serve` and
+// runs exactly this test against it, covering the binary's flag
+// plumbing, the real TCP transport and graceful lifecycle that
+// in-process tests cannot see.
 //
 //	spmspv-serve -addr 127.0.0.1:18090 &
 //	SPMSPV_SERVE_URL=http://127.0.0.1:18090 go test -run TestLiveServe .
@@ -22,16 +22,28 @@ func TestLiveServe(t *testing.T) {
 	if url == "" {
 		t.Skip("SPMSPV_SERVE_URL not set; run against a live spmspv-serve to enable")
 	}
-	c := spmspv.NewClient(url)
+	// Once per wire form: the JSON run pins the compatibility path an
+	// unversioned client sees, the binary run the negotiated fast path.
+	for _, wire := range []string{"json", "binary"} {
+		t.Run(wire, func(t *testing.T) {
+			ct := spmspv.ContentTypeJSON
+			if wire == "binary" {
+				ct = spmspv.ContentTypeBinary
+			}
+			liveServeOnce(t, url, "live-test-grid-"+wire, spmspv.NewClient(url, spmspv.WithWire(ct)))
+		})
+	}
+}
 
+func liveServeOnce(t *testing.T, url, name string, c *spmspv.Client) {
 	// The server may have preloaded matrices; the test uploads its own
 	// so it is self-contained.
 	a := spmspv.Grid2D(24, 24)
-	if _, err := c.PutMatrix("live-test-grid", a); err != nil {
+	if _, err := c.PutMatrix(name, a); err != nil {
 		t.Fatalf("uploading to %s: %v", url, err)
 	}
 	defer func() {
-		if err := c.DeleteMatrix("live-test-grid"); err != nil {
+		if err := c.DeleteMatrix(name); err != nil {
 			t.Errorf("cleanup delete: %v", err)
 		}
 	}()
@@ -42,7 +54,7 @@ func TestLiveServe(t *testing.T) {
 	}
 	found := false
 	for _, s := range stats {
-		if s.Name == "live-test-grid" {
+		if s.Name == name {
 			found = true
 			if s.NNZ != a.NNZ() {
 				t.Errorf("uploaded nnz %d, want %d", s.NNZ, a.NNZ())
@@ -60,7 +72,7 @@ func TestLiveServe(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := spmspv.BFS(mu, 0)
-	got, err := c.BFS("live-test-grid", 0)
+	got, err := c.BFS(name, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +84,7 @@ func TestLiveServe(t *testing.T) {
 	}
 
 	// The serving counters saw the program's multiplies.
-	stat, err := c.Matrix("live-test-grid")
+	stat, err := c.Matrix(name)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package spmspv
 
 import (
+	"bufio"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -38,6 +39,7 @@ type Server struct {
 	window   time.Duration
 	maxBatch int
 	maxBody  int64
+	wire     string   // response form when the client expresses no preference
 	batchers sync.Map // batch key (string) → *multBatcher
 }
 
@@ -63,6 +65,21 @@ func WithMaxBodyBytes(n int64) ServerOption {
 	return func(s *Server) { s.maxBody = n }
 }
 
+// WithDefaultWire sets the response wire form used when a client
+// expresses no preference — no Accept header, or "*/*". Must be
+// ContentTypeJSON (the default, so unversioned clients keep working)
+// or ContentTypeBinary. A client's explicit Accept always overrides
+// this.
+func WithDefaultWire(contentType string) ServerOption {
+	return func(s *Server) {
+		if contentType == ContentTypeBinary {
+			s.wire = ContentTypeBinary
+		} else {
+			s.wire = ContentTypeJSON
+		}
+	}
+}
+
 // NewServer returns the HTTP handler serving st.
 func NewServer(st *Store, opts ...ServerOption) *Server {
 	s := &Server{
@@ -70,6 +87,7 @@ func NewServer(st *Store, opts ...ServerOption) *Server {
 		window:   500 * time.Microsecond,
 		maxBatch: 8,
 		maxBody:  1 << 30,
+		wire:     ContentTypeJSON,
 	}
 	for _, o := range opts {
 		o(s)
@@ -96,6 +114,8 @@ func statusOf(we *WireError) int {
 		return http.StatusNotFound
 	case CodeBadRequest, CodeInvalidRequest:
 		return http.StatusBadRequest
+	case CodeNotAcceptable:
+		return http.StatusNotAcceptable
 	default:
 		return http.StatusInternalServerError
 	}
@@ -176,54 +196,170 @@ func (s *Server) handleDeleteMatrix(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusNoContent)
 }
 
-func (s *Server) handleMult(w http.ResponseWriter, r *http.Request) {
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.maxBody))
-	if err != nil {
-		writeMultError(w, wireErrorf(CodeBadRequest, "reading request: %v", err))
+// acceptedWire negotiates the response wire form from the Accept
+// header: the first supported type in listed order wins, "*/*" (and
+// "application/*") selects the server default, an absent header
+// selects the default, and a header naming no producible type at all
+// fails negotiation (406).
+func (s *Server) acceptedWire(r *http.Request) (string, bool) {
+	accept := r.Header.Get("Accept")
+	if accept == "" {
+		return s.wire, true
+	}
+	wildcard := false
+	for _, part := range strings.Split(accept, ",") {
+		switch mediaType(part) {
+		case ContentTypeJSON:
+			return ContentTypeJSON, true
+		case ContentTypeBinary:
+			return ContentTypeBinary, true
+		case "*/*", "application/*":
+			wildcard = true
+		}
+	}
+	if wildcard {
+		return s.wire, true
+	}
+	return "", false
+}
+
+// mediaType extracts the lowercase media type from one Accept /
+// Content-Type element, dropping parameters (";q=0.9", "; charset=…").
+func mediaType(ct string) string {
+	if i := strings.IndexByte(ct, ';'); i >= 0 {
+		ct = ct[:i]
+	}
+	return strings.ToLower(strings.TrimSpace(ct))
+}
+
+// reqReaderPool recycles the buffered readers the mult/program
+// handlers sniff and decode request bodies through, subject to the
+// same knob as the encode pools (SetWireBufferPooling).
+var reqReaderPool = sync.Pool{New: func() any { return bufio.NewReaderSize(nil, 16<<10) }}
+
+func getReqReader(r io.Reader) *bufio.Reader {
+	if !WireBufferPoolingEnabled() {
+		return bufio.NewReaderSize(r, 16<<10)
+	}
+	br := reqReaderPool.Get().(*bufio.Reader)
+	br.Reset(r)
+	return br
+}
+
+func putReqReader(br *bufio.Reader) {
+	if WireBufferPoolingEnabled() {
+		br.Reset(nil)
+		reqReaderPool.Put(br)
+	}
+}
+
+// writeWire streams v to the client in the negotiated wire form. The
+// binary encoders write through a pooled buffered writer straight onto
+// the response — no intermediate per-response []byte — and the JSON
+// encoder streams likewise.
+func writeWire(w http.ResponseWriter, status int, wire string, v any) {
+	if wire != ContentTypeBinary {
+		writeJSON(w, status, v)
 		return
 	}
-	req, err := DecodeRequest(body)
+	w.Header().Set("Content-Type", ContentTypeBinary)
+	w.WriteHeader(status)
+	switch t := v.(type) {
+	case *Response:
+		EncodeResponseBinary(w, t)
+	case *ProgramResponse:
+		EncodeProgramResponseBinary(w, t)
+	default:
+		// Only the two message types above negotiate binary; falling
+		// here is a programming error, not a client one.
+		json.NewEncoder(w).Encode(v)
+	}
+}
+
+func (s *Server) handleMult(w http.ResponseWriter, r *http.Request) {
+	wire, ok := s.acceptedWire(r)
+	if !ok {
+		writeMultError(w, ContentTypeJSON, wireErrorf(CodeNotAcceptable,
+			"no supported type in Accept %q (offer %s or %s)",
+			r.Header.Get("Accept"), ContentTypeJSON, ContentTypeBinary))
+		return
+	}
+	br := getReqReader(http.MaxBytesReader(w, r.Body, s.maxBody))
+	req, err := decodeWireRequest(br)
+	putReqReader(br)
 	if err != nil {
-		writeMultError(w, wireErrorf(CodeBadRequest, "%v", err))
+		writeMultError(w, wire, wireErrorf(CodeBadRequest, "%v", err))
 		return
 	}
 	resp, err := s.do(req)
 	if err != nil {
-		writeMultError(w, err)
+		writeMultError(w, wire, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, resp)
+	writeWire(w, http.StatusOK, wire, resp)
+}
+
+// decodeWireRequest sniffs the body's encoding — the SPRQ envelope
+// magic or JSON — and decodes accordingly, so the endpoint accepts
+// both forms without a flag, exactly like the matrix upload endpoint.
+func decodeWireRequest(br *bufio.Reader) (*Request, error) {
+	head, _ := br.Peek(4)
+	if string(head) == requestMagic {
+		return DecodeRequestBinary(br)
+	}
+	var req Request
+	if err := json.NewDecoder(br).Decode(&req); err != nil {
+		return nil, fmt.Errorf("spmspv: decoding request: %w", err)
+	}
+	return &req, nil
 }
 
 // writeMultError writes a mult failure as a Response carrying the
-// structured wire error.
-func writeMultError(w http.ResponseWriter, err error) {
+// structured wire error, in the negotiated wire form.
+func writeMultError(w http.ResponseWriter, wire string, err error) {
 	we := AsWireError(err)
-	writeJSON(w, statusOf(we), &Response{Err: we})
+	writeWire(w, statusOf(we), wire, &Response{Err: we})
 }
 
 func (s *Server) handleProgram(w http.ResponseWriter, r *http.Request) {
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.maxBody))
-	if err != nil {
-		writeProgramError(w, wireErrorf(CodeBadRequest, "reading program: %v", err))
+	wire, ok := s.acceptedWire(r)
+	if !ok {
+		writeProgramError(w, ContentTypeJSON, wireErrorf(CodeNotAcceptable,
+			"no supported type in Accept %q (offer %s or %s)",
+			r.Header.Get("Accept"), ContentTypeJSON, ContentTypeBinary))
 		return
 	}
-	p, err := DecodeProgram(body)
+	br := getReqReader(http.MaxBytesReader(w, r.Body, s.maxBody))
+	p, err := decodeWireProgram(br)
+	putReqReader(br)
 	if err != nil {
-		writeProgramError(w, wireErrorf(CodeBadRequest, "%v", err))
+		writeProgramError(w, wire, wireErrorf(CodeBadRequest, "%v", err))
 		return
 	}
 	resp, err := s.store.Run(p)
 	if err != nil {
-		writeProgramError(w, err)
+		writeProgramError(w, wire, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, resp)
+	writeWire(w, http.StatusOK, wire, resp)
 }
 
-func writeProgramError(w http.ResponseWriter, err error) {
+// decodeWireProgram sniffs the SPPG envelope magic vs JSON.
+func decodeWireProgram(br *bufio.Reader) (*Program, error) {
+	head, _ := br.Peek(4)
+	if string(head) == programMagic {
+		return DecodeProgramBinary(br)
+	}
+	var p Program
+	if err := json.NewDecoder(br).Decode(&p); err != nil {
+		return nil, fmt.Errorf("spmspv: decoding program: %w", err)
+	}
+	return &p, nil
+}
+
+func writeProgramError(w http.ResponseWriter, wire string, err error) {
 	we := AsWireError(err)
-	writeJSON(w, statusOf(we), &ProgramResponse{Err: we})
+	writeWire(w, statusOf(we), wire, &ProgramResponse{Err: we})
 }
 
 // do routes one request: through the coalescing batcher when it

@@ -139,6 +139,16 @@ func WriteMatrixMarket(w io.Writer, a *Matrix) error { return sparse.WriteMatrix
 func ReadVector(r io.Reader) (*Vector, error)  { return sparse.ReadVector(r) }
 func WriteVector(w io.Writer, v *Vector) error { return sparse.WriteVector(w, v) }
 
+// DecodeVector reads a vector in any supported encoding — the SPVB
+// binary frame, JSON, or the "index value" text form — sniffed from
+// the leading bytes, mirroring DecodeMatrix. CLI and file paths use it
+// so either wire encoding works without a flag.
+func DecodeVector(r io.Reader) (*Vector, error) { return sparse.DecodeVector(r) }
+
+// EncodeVectorBinary writes v as the framed SPVB binary form — the
+// compact encoding the binary serving wire carries vectors in.
+func EncodeVectorBinary(w io.Writer, v *Vector) error { return sparse.EncodeVectorBinary(w, v) }
+
 // ComputeStats derives Table IV-style statistics for an adjacency
 // matrix (pseudo-diameter via double-sweep BFS from source).
 func ComputeStats(name string, a *Matrix, source Index) Stats {

@@ -70,6 +70,9 @@ const (
 	CodeInvalidRequest = "invalid_request"
 	// CodeUnknownMatrix: the named matrix is not registered.
 	CodeUnknownMatrix = "unknown_matrix"
+	// CodeNotAcceptable: the Accept header named no wire form the
+	// server can produce (offer ContentTypeJSON or ContentTypeBinary).
+	CodeNotAcceptable = "not_acceptable"
 	// CodeInternal: the server failed executing a well-formed request.
 	CodeInternal = "internal"
 )
