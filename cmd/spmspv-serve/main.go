@@ -69,6 +69,8 @@ func main() {
 			"hybrid threshold cache file (empty disables persistence)")
 		recalibrate = flag.Bool("recalibrate", false,
 			"re-run hybrid threshold calibration even on a cache hit")
+		maxBitmap = flag.Int64("max-bitmap-dim", 0,
+			"largest bitmap (mask) dimension request decoding will materialize (0 = built-in default)")
 	)
 	flag.Var(&pre, "preload", "name=path matrix to load at boot (repeatable)")
 	flag.Parse()
@@ -76,6 +78,9 @@ func main() {
 	alg, ok := spmspv.ParseAlgorithm(*engName)
 	if !ok {
 		log.Fatalf("spmspv-serve: unknown engine %q (have: %s)", *engName, strings.Join(spmspv.EngineNames(), ", "))
+	}
+	if *maxBitmap != 0 {
+		spmspv.SetMaxBitmapDim(*maxBitmap)
 	}
 	var defaultWire string
 	switch *wire {

@@ -2,6 +2,7 @@ package sparse
 
 import (
 	"encoding/json"
+	"fmt"
 	"math/bits"
 )
 
@@ -42,7 +43,15 @@ func (b *BitVec) UnmarshalJSON(data []byte) error {
 	if err := json.Unmarshal(data, &w); err != nil {
 		return err
 	}
-	fresh := NewBitVec(w.N)
+	// Validate the claimed dimension before NewBitVec materializes O(n)
+	// storage from it: this decode runs on the serving path (request
+	// masks), where n is attacker-controlled.
+	if w.N < 0 {
+		return fmt.Errorf("sparse: negative bitmap dimension %d", w.N)
+	}
+	if err := checkBitVecDim(int64(w.N)); err != nil {
+		return err
+	}
 	x := &SpVec{N: w.N, Ind: w.Ind, Val: w.Val}
 	if len(x.Val) < len(x.Ind) {
 		pad := make([]float64, len(x.Ind))
@@ -52,6 +61,7 @@ func (b *BitVec) UnmarshalJSON(data []byte) error {
 	if err := x.Validate(); err != nil {
 		return err
 	}
+	fresh := NewBitVec(w.N)
 	fresh.SetFrom(x)
 	*b = *fresh
 	return nil

@@ -44,6 +44,42 @@ const (
 	vecKindBitmap = uint8(2)
 )
 
+// DefaultMaxBitVecDim is the default decode-side bound on the
+// dimension of a bitmap the wire decoders will materialize. The list
+// decoders need no such bound — their storage grows only as the stream
+// actually delivers bytes — but a decoded BitVec is O(n) dense storage
+// (n/64 words plus n values) sized from a header-claimed dimension, so
+// without a bound a ~40-byte hostile frame could force a multi-GiB
+// allocation. 1<<27 entries (≈1.1 GiB materialized) matches the
+// serving layer's default 1 GiB body cap: a matrix large enough to
+// make a bigger mask meaningful could not have been uploaded either.
+const DefaultMaxBitVecDim = 1 << 27
+
+// maxBitVecDim is the active bound; see SetMaxBitVecDim.
+var maxBitVecDim atomic.Int64
+
+func init() { maxBitVecDim.Store(DefaultMaxBitVecDim) }
+
+// SetMaxBitVecDim bounds the dimension the wire decoders (binary and
+// JSON alike) will materialize a bitmap for, in entries (default
+// DefaultMaxBitVecDim). Deployments genuinely serving larger
+// dimensions raise it; values ≤ 0 restore the default.
+func SetMaxBitVecDim(n int64) {
+	if n <= 0 {
+		n = DefaultMaxBitVecDim
+	}
+	maxBitVecDim.Store(n)
+}
+
+// checkBitVecDim rejects a bitmap materialization beyond the decode
+// bound before any O(n) allocation happens.
+func checkBitVecDim(n int64) error {
+	if lim := maxBitVecDim.Load(); n > lim {
+		return fmt.Errorf("sparse: bitmap dimension %d exceeds the decode limit %d (raise with SetMaxBitVecDim)", n, lim)
+	}
+	return nil
+}
+
 // encodePooling gates the sync.Pool'd bufio writers the binary
 // encoders borrow. It exists so benchmarks can measure the pooled and
 // unpooled encode paths as independent dimensions; production callers
@@ -87,8 +123,9 @@ func putEncWriter(bw *bufio.Writer) error {
 // EncodeVectorBinary writes v as an SPVB frame, choosing the sparse or
 // dense payload by size: dense (8 bytes/index) undercuts sparse
 // (12 bytes/entry) once nnz > 2n/3. Dense is only chosen for sorted
-// vectors — an unsorted list may carry duplicate indices, which a
-// scatter would silently collapse.
+// vectors with no explicitly stored zero — an unsorted list may carry
+// duplicate indices a scatter would silently collapse, and a stored
+// zero is indistinguishable from absence in the dense payload.
 func EncodeVectorBinary(w io.Writer, v *SpVec) error {
 	bw := getEncWriter(w)
 	if err := encodeVector(bw, v); err != nil {
@@ -120,6 +157,18 @@ func EncodeBitVecFrame(bw *bufio.Writer, b *BitVec) error { return encodeBitVec(
 // the form envelope encoders embed (they own the buffering).
 func encodeVector(bw *bufio.Writer, v *SpVec) error {
 	dense := v.Sorted && int64(v.NNZ())*12 > int64(v.N)*8
+	if dense {
+		// The dense payload encodes absence as 0.0, so an explicitly
+		// stored zero (±0, e.g. exact cancellation the semiring kept)
+		// cannot ride it — the decoder would drop the entry, changing
+		// nnz and support across the wire. Such vectors stay sparse.
+		for _, x := range v.Val {
+			if x == 0 {
+				dense = false
+				break
+			}
+		}
+	}
 	if _, err := bw.WriteString(vectorMagic); err != nil {
 		return err
 	}
@@ -317,12 +366,22 @@ func DecodeBitVecBinary(r io.Reader) (*BitVec, error) {
 		if err != nil {
 			return nil, err
 		}
+		// The list decode is bounded by delivered bytes, but NewBitVec
+		// materializes O(n) from the claimed dimension — a sparse frame
+		// with nnz=0 backs that claim with no body bytes at all, so it
+		// gets the same decode bound as the bitmap payload.
+		if err := checkBitVecDim(int64(v.N)); err != nil {
+			return nil, err
+		}
 		b := NewBitVec(v.N)
 		b.SetFrom(v)
 		return b, nil
 	case vecKindDense:
 		v, err := decodeDensePayload(br)
 		if err != nil {
+			return nil, err
+		}
+		if err := checkBitVecDim(int64(v.N)); err != nil {
 			return nil, err
 		}
 		b := NewBitVec(v.N)
@@ -409,8 +468,11 @@ func decodeBitmapPayload(br *bufio.Reader) (*BitVec, error) {
 	if n < 0 || n > maxWireDim || nset < 0 || nset > n {
 		return nil, fmt.Errorf("sparse: implausible bitmap header n=%d nset=%d", n, nset)
 	}
+	if err := checkBitVecDim(n); err != nil {
+		return nil, err
+	}
 	nwords := (n + 63) / 64
-	b := &BitVec{N: Index(n), Val: make([]float64, n)}
+	b := &BitVec{N: Index(n)}
 	var buf [8]byte
 	b.Words, err = readChunked(make([]uint64, 0, min(nwords, sliceChunk)), nwords, func() (uint64, error) {
 		_, e := io.ReadFull(br, buf[:8])
@@ -432,6 +494,10 @@ func decodeBitmapPayload(br *bufio.Reader) (*BitVec, error) {
 		return nil, fmt.Errorf("sparse: bitmap header claims %d set bits, words have %d", nset, count)
 	}
 	b.setCount(count)
+	// The O(n) value array is sized from the header too, so allocate it
+	// only now — after the stream actually delivered all n/64 words —
+	// never on the strength of the header alone.
+	b.Val = make([]float64, n)
 	if hasVals != 0 {
 		for wi, word := range b.Words {
 			for word != 0 {

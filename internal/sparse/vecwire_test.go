@@ -3,6 +3,8 @@ package sparse
 import (
 	"bytes"
 	"encoding/binary"
+	"encoding/json"
+	"math"
 	"math/rand"
 	"strings"
 	"testing"
@@ -35,12 +37,22 @@ func sortInts(a []int) {
 func TestVectorWireRoundTrips(t *testing.T) {
 	rng := rand.New(rand.NewSource(11))
 	unsorted := &SpVec{N: 50, Ind: []Index{9, 3, 9, 40}, Val: []float64{1, 2, 3, 4}}
+	// A near-full vector carrying explicitly stored zeros (exact
+	// cancellation): it would win the dense size race, but the dense
+	// payload cannot distinguish a stored zero from absence, so it must
+	// ride sparse and keep its nnz across the wire.
+	withZeros := NewSpVec(9, 9)
+	for i := 0; i < 9; i++ {
+		withZeros.Append(Index(i), float64(i-3)) // entry 3 holds +0.0
+	}
+	withZeros.Val[5] = math.Copysign(0, -1) // and entry 5 holds -0.0
 	cases := []*SpVec{
 		randomTestVec(rng, 200, 17), // sparse payload
 		randomTestVec(rng, 100, 90), // dense payload (nnz > 2n/3)
 		NewSpVec(64, 0),             // empty
 		NewSpVec(0, 0),              // zero-dimension
 		unsorted,                    // duplicates, must stay sparse
+		withZeros,                   // stored ±0, must stay sparse
 		randomTestVec(rng, 1000, 999),
 	}
 	for _, v := range cases {
@@ -54,6 +66,9 @@ func TestVectorWireRoundTrips(t *testing.T) {
 		}
 		if !got.EqualValues(v, 0) {
 			t.Errorf("%s: binary round trip changed the vector", v)
+		}
+		if got.NNZ() != v.NNZ() {
+			t.Errorf("%s: binary round trip changed nnz %d → %d", v, v.NNZ(), got.NNZ())
 		}
 		// The sniffing decoder routes the binary frame, the JSON form
 		// (with leading whitespace) and the text form.
@@ -273,6 +288,87 @@ func TestDecodeVectorBinaryRejectsHostileHeaders(t *testing.T) {
 	tail[26+8] |= 0x80 // set a bit in word 1 beyond n=70 → bit 127
 	if _, err := DecodeBitVecBinary(bytes.NewReader(tail)); err == nil {
 		t.Error("bitmap with bits beyond the dimension decoded without error")
+	}
+}
+
+// TestBitVecDecodeBoundsAllocation pins the decode-side bound on
+// bitmap materialization: a tiny frame claiming a huge dimension is
+// rejected before any O(n) allocation — on the bitmap payload itself
+// and on the sparse→bitmap fallback, whose ~40-byte frame (nnz=0)
+// backs the claimed dimension with no body bytes at all.
+func TestBitVecDecodeBoundsAllocation(t *testing.T) {
+	frame := func(kind uint8, n, second int64, flag uint8) []byte {
+		var b bytes.Buffer
+		b.WriteString(vectorMagic)
+		var w [8]byte
+		binary.LittleEndian.PutUint32(w[:4], vectorVersion)
+		b.Write(w[:4])
+		b.WriteByte(kind)
+		binary.LittleEndian.PutUint64(w[:], uint64(n))
+		b.Write(w[:])
+		binary.LittleEndian.PutUint64(w[:], uint64(second))
+		b.Write(w[:])
+		b.WriteByte(flag)
+		return b.Bytes()
+	}
+	huge := int64(1) << 30 // past the default decode limit, under maxWireDim
+
+	hostile := frame(vecKindBitmap, huge, 0, 0)
+	if _, err := DecodeBitVecBinary(bytes.NewReader(hostile)); err == nil || !strings.Contains(err.Error(), "decode limit") {
+		t.Errorf("hostile bitmap header: err = %v, want decode-limit error", err)
+	}
+	if _, err := DecodeVectorBinary(bytes.NewReader(hostile)); err == nil {
+		t.Error("hostile bitmap header decoded as a vector without error")
+	}
+
+	// A sparse frame with a huge dimension and nnz=0 is a legitimate
+	// (if odd) list vector — but materializing it as a bitmap is an
+	// O(n) allocation and must hit the same limit.
+	sp := frame(vecKindSparse, huge, 0, 1)
+	if _, err := DecodeVectorBinary(bytes.NewReader(sp)); err != nil {
+		t.Errorf("sparse frame with huge dimension: list decode: %v", err)
+	}
+	if _, err := DecodeBitVecBinary(bytes.NewReader(sp)); err == nil || !strings.Contains(err.Error(), "decode limit") {
+		t.Errorf("sparse→bitmap fallback: err = %v, want decode-limit error", err)
+	}
+
+	// The limit is a knob: lowering it rejects a bitmap the default
+	// admits, and restoring the default re-admits it.
+	bm := NewBitVec(130)
+	one := NewSpVec(130, 1)
+	one.Append(99, 2.5)
+	bm.SetFrom(one)
+	var bb bytes.Buffer
+	if err := EncodeBitVecBinary(&bb, bm); err != nil {
+		t.Fatal(err)
+	}
+	SetMaxBitVecDim(100)
+	defer SetMaxBitVecDim(0)
+	if _, err := DecodeBitVecBinary(bytes.NewReader(bb.Bytes())); err == nil {
+		t.Error("decode under a lowered limit succeeded")
+	}
+	SetMaxBitVecDim(0)
+	if _, err := DecodeBitVecBinary(bytes.NewReader(bb.Bytes())); err != nil {
+		t.Errorf("decode after restoring the default limit: %v", err)
+	}
+}
+
+// TestBitVecJSONRejectsHostileDimensions pins the same bound (and a
+// negative-dimension check) on the JSON form, which decodes request
+// masks on the serving path too.
+func TestBitVecJSONRejectsHostileDimensions(t *testing.T) {
+	var b BitVec
+	if err := json.Unmarshal([]byte(`{"n": -1}`), &b); err == nil {
+		t.Error("negative bitmap dimension unmarshaled without error")
+	}
+	if err := json.Unmarshal([]byte(`{"n": 1073741824}`), &b); err == nil {
+		t.Error("huge bitmap dimension unmarshaled without error")
+	}
+	if err := json.Unmarshal([]byte(`{"n": 64, "ind": [3], "val": [1.5]}`), &b); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := b.Get(3); !ok || v != 1.5 || b.Count() != 1 {
+		t.Errorf("well-formed bitmap JSON decoded to count=%d, entry 3 = (%v, %v)", b.Count(), v, ok)
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -200,27 +201,68 @@ func (s *Server) handleDeleteMatrix(w http.ResponseWriter, r *http.Request) {
 // header: the first supported type in listed order wins, "*/*" (and
 // "application/*") selects the server default, an absent header
 // selects the default, and a header naming no producible type at all
-// fails negotiation (406).
+// fails negotiation (406). An element with an explicit q=0 weight is
+// "not acceptable" per RFC 9110 — it is excluded rather than offered,
+// including from what a wildcard may select.
 func (s *Server) acceptedWire(r *http.Request) (string, bool) {
 	accept := r.Header.Get("Accept")
 	if accept == "" {
 		return s.wire, true
 	}
 	wildcard := false
+	var jsonRefused, binRefused bool
 	for _, part := range strings.Split(accept, ",") {
-		switch mediaType(part) {
+		mt, qZero := acceptElem(part)
+		switch mt {
 		case ContentTypeJSON:
+			if qZero {
+				jsonRefused = true
+				continue
+			}
 			return ContentTypeJSON, true
 		case ContentTypeBinary:
+			if qZero {
+				binRefused = true
+				continue
+			}
 			return ContentTypeBinary, true
 		case "*/*", "application/*":
-			wildcard = true
+			if !qZero {
+				wildcard = true
+			}
 		}
 	}
 	if wildcard {
-		return s.wire, true
+		if s.wire == ContentTypeBinary && !binRefused {
+			return ContentTypeBinary, true
+		}
+		if !jsonRefused {
+			return ContentTypeJSON, true
+		}
+		if !binRefused {
+			return ContentTypeBinary, true
+		}
 	}
 	return "", false
+}
+
+// acceptElem splits one Accept element into its media type and whether
+// it carries an explicit q=0 weight (in any of its RFC forms: q=0,
+// q=0., q=0.000). A malformed q parameter is ignored, leaving the
+// element acceptable.
+func acceptElem(part string) (mt string, qZero bool) {
+	params := strings.Split(part, ";")
+	mt = strings.ToLower(strings.TrimSpace(params[0]))
+	for _, p := range params[1:] {
+		p = strings.TrimSpace(p)
+		if len(p) < 2 || (p[0] != 'q' && p[0] != 'Q') || p[1] != '=' {
+			continue
+		}
+		if q, err := strconv.ParseFloat(strings.TrimSpace(p[2:]), 64); err == nil && q == 0 {
+			qZero = true
+		}
+	}
+	return mt, qZero
 }
 
 // mediaType extracts the lowercase media type from one Accept /

@@ -214,6 +214,12 @@ func TestServeWireNegotiationMatrix(t *testing.T) {
 		// Wildcard → server default; q-params must not confuse parsing.
 		{"wildcard", binBody, spmspv.ContentTypeBinary, "*/*", spmspv.ContentTypeJSON},
 		{"qParams", binBody, spmspv.ContentTypeBinary, spmspv.ContentTypeBinary + ";q=0.9, */*;q=0.1", spmspv.ContentTypeBinary},
+		// q=0 means "not acceptable" (RFC 9110): a type refused that way
+		// is excluded even when listed first…
+		{"qZeroJSON", binBody, spmspv.ContentTypeBinary, spmspv.ContentTypeJSON + ";q=0, " + spmspv.ContentTypeBinary, spmspv.ContentTypeBinary},
+		// …and a wildcard may not resurrect it: the server default
+		// (JSON) is refused here, so the wildcard yields binary.
+		{"qZeroWildcard", binBody, spmspv.ContentTypeBinary, spmspv.ContentTypeJSON + ";q=0, */*", spmspv.ContentTypeBinary},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -245,8 +251,19 @@ func TestServeWireNegotiationMatrix(t *testing.T) {
 		})
 	}
 
-	// Unsatisfiable Accept → 406 with the structured code.
+	// Unsatisfiable Accept → 406 with the structured code; refusing
+	// every producible type with q=0 is just as unsatisfiable.
 	t.Run("notAcceptable", func(t *testing.T) {
+		for _, accept := range []string{
+			"text/html",
+			spmspv.ContentTypeJSON + ";q=0",
+			spmspv.ContentTypeJSON + ";q=0, " + spmspv.ContentTypeBinary + ";q=0.0, */*",
+		} {
+			resp, _ := postRaw(t, ts.URL+"/v1/mult", spmspv.ContentTypeJSON, accept, jsonBody)
+			if resp.StatusCode != http.StatusNotAcceptable {
+				t.Fatalf("Accept %q: HTTP %d, want 406", accept, resp.StatusCode)
+			}
+		}
 		resp, data := postRaw(t, ts.URL+"/v1/mult", spmspv.ContentTypeJSON, "text/html", jsonBody)
 		if resp.StatusCode != http.StatusNotAcceptable {
 			t.Fatalf("HTTP %d, want 406", resp.StatusCode)
@@ -257,6 +274,49 @@ func TestServeWireNegotiationMatrix(t *testing.T) {
 		}
 		if out.Err == nil || out.Err.Code != spmspv.CodeNotAcceptable {
 			t.Fatalf("error envelope %+v, want code %q", out.Err, spmspv.CodeNotAcceptable)
+		}
+	})
+
+	// A ~40-byte binary request whose mask section claims a huge bitmap
+	// dimension must come back 400 immediately — the decoder rejects the
+	// dimension before materializing O(n) storage from it, so a hostile
+	// header cannot force a multi-GiB allocation server-side.
+	t.Run("hostileMaskDim", func(t *testing.T) {
+		var buf bytes.Buffer
+		header := []byte(`{"matrix":"g","desc":{"semiring":"arithmetic"}}` + "\n")
+		buf.WriteString("SPRQ")
+		le := func(n uint32) {
+			var w [4]byte
+			w[0], w[1], w[2], w[3] = byte(n), byte(n>>8), byte(n>>16), byte(n>>24)
+			buf.Write(w[:])
+		}
+		le(1) // envelope version
+		le(uint32(len(header)))
+		buf.Write(header)
+		le(1)                         // one section
+		buf.Write([]byte{2})          // role 2: desc.mask (bitmap-typed)
+		le(0)                         // idx
+		buf.Write([]byte{1})          // present
+		buf.WriteString("SPVB")       // hostile SPVB bitmap frame follows
+		le(1)                         // vector version
+		buf.Write([]byte{2})          // kind 2: bitmap
+		var w8 [8]byte
+		for i, n := 0, uint64(1)<<30; i < 8; i++ {
+			w8[i] = byte(n >> (8 * i))
+		}
+		buf.Write(w8[:])              // n = 2^30, far past the decode limit
+		buf.Write(make([]byte, 8))    // nset = 0
+		buf.Write([]byte{0})          // no values — and no words delivered
+		resp, data := postRaw(t, ts.URL+"/v1/mult", spmspv.ContentTypeBinary, spmspv.ContentTypeJSON, buf.Bytes())
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("HTTP %d: %s", resp.StatusCode, data)
+		}
+		var out spmspv.Response
+		if err := json.Unmarshal(data, &out); err != nil {
+			t.Fatal(err)
+		}
+		if out.Err == nil || out.Err.Code != spmspv.CodeBadRequest || !strings.Contains(out.Err.Message, "decode limit") {
+			t.Fatalf("error envelope %+v, want bad_request mentioning the decode limit", out.Err)
 		}
 	})
 

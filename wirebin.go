@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 
 	"spmspv/internal/sparse"
 )
@@ -114,14 +115,25 @@ func putHeaderBuf(b *bytes.Buffer) {
 // can measure the pooled and unpooled encode paths as independent
 // levers; servers leave it on.
 func SetWireBufferPooling(on bool) {
-	wireBufferPooling = on
+	wireBufferPooling.Store(on)
 	sparse.SetEncodePooling(on)
 }
 
 // WireBufferPoolingEnabled reports the current pooling setting.
-func WireBufferPoolingEnabled() bool { return wireBufferPooling }
+func WireBufferPoolingEnabled() bool { return wireBufferPooling.Load() }
 
-var wireBufferPooling = true
+var wireBufferPooling atomic.Bool
+
+func init() { wireBufferPooling.Store(true) }
+
+// SetMaxBitmapDim bounds the dimension the wire decoders (binary and
+// JSON alike) will materialize a bitmap payload — a request mask, a
+// bitmap output — for. Bitmap decode allocates O(n) storage from a
+// header-claimed dimension, so the bound is what keeps a tiny hostile
+// request from forcing a huge allocation; the default
+// (sparse.DefaultMaxBitVecDim, 1<<27 entries) matches the server's
+// default 1 GiB body cap. Values ≤ 0 restore the default.
+func SetMaxBitmapDim(n int64) { sparse.SetMaxBitVecDim(n) }
 
 // encodeEnvelope streams one envelope: magic, version, JSON header,
 // then the sections as SPVB frames, through one pooled buffered
