@@ -12,7 +12,9 @@
 // (runtime vs nnz(x)), fig4 (BFS strong scaling, full suite), fig5
 // (KNL-analogue subset), fig6 (step breakdown), ablation (§III-A/B
 // design choices), masked and hybrid (§V extensions), batch (batched
-// multi-frontier multiply), or all.
+// multi-frontier multiply), scaling (Step-2 scheduler comparison:
+// static vs dynamic vs work-stealing, with idle/steal counters), or
+// all.
 package main
 
 import (
@@ -28,7 +30,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "which experiment to run (table3, table4, tables12, fig2, fig3, fig4, fig5, fig6, ablation, masked, hybrid, batch, all)")
+		experiment = flag.String("experiment", "all", "which experiment to run (table3, table4, tables12, fig2, fig3, fig4, fig5, fig6, ablation, masked, hybrid, batch, scaling, all)")
 		scale      = flag.Int("scale", 14, "log2 of stand-in graph vertex counts")
 		threads    = flag.String("threads", "1,2,4,8", "comma-separated thread counts to sweep")
 		reps       = flag.Int("reps", 3, "timed repetitions per measurement")
@@ -68,6 +70,7 @@ func main() {
 		{"masked", func() { bench.Masked(w, cfg) }},
 		{"hybrid", func() { bench.Hybrid(w, cfg) }},
 		{"batch", func() { bench.Batch(w, cfg) }},
+		{"scaling", func() { bench.Scaling(w, cfg) }},
 		{"spmv", func() { bench.SpMVCrossover(w, cfg) }},
 	}
 

@@ -7,7 +7,7 @@
 // Usage:
 //
 //	spmspv-serve -addr :8090 -preload web=graph.mtx -preload rmat=r.spmb \
-//	             [-engine hybrid] [-threads 4] [-batch-window 500us] [-batch-size 8]
+//	             [-engine hybrid] [-threads 4] [-par-workers 8] [-batch-window 500us] [-batch-size 8]
 //
 // Preloaded matrices accept Matrix Market, JSON-wire or binary-wire
 // files (sniffed); more matrices can be uploaded at runtime:
@@ -57,10 +57,12 @@ func (p *preloads) Set(s string) error {
 func main() {
 	var pre preloads
 	var (
-		addr    = flag.String("addr", ":8090", "listen address")
-		engName = flag.String("engine", "bucket", strings.Join(spmspv.EngineNames(), ", "))
-		threads = flag.Int("threads", 0, "worker threads per multiply (0 = GOMAXPROCS)")
-		window  = flag.Duration("batch-window", 500*time.Microsecond,
+		addr       = flag.String("addr", ":8090", "listen address")
+		engName    = flag.String("engine", "bucket", strings.Join(spmspv.EngineNames(), ", "))
+		threads    = flag.Int("threads", 0, "worker threads per multiply (0 = GOMAXPROCS)")
+		parWorkers = flag.Int("par-workers", -1,
+			"process-wide executor pool workers shared by all multiplies (-1 = default GOMAXPROCS-1, 0 = run every multiply inline)")
+		window = flag.Duration("batch-window", 500*time.Microsecond,
 			"how long the first request of a coalescing window waits for company (0 disables)")
 		batch = flag.Int("batch-size", 8, "max requests per coalesced MultBatch (≤1 disables)")
 		wire  = flag.String("wire", "json",
@@ -81,6 +83,9 @@ func main() {
 	}
 	if *maxBitmap != 0 {
 		spmspv.SetMaxBitmapDim(*maxBitmap)
+	}
+	if *parWorkers >= 0 {
+		spmspv.SetExecutorWorkers(*parWorkers)
 	}
 	var defaultWire string
 	switch *wire {

@@ -141,13 +141,46 @@
 // concurrent Multiply / MultiplyInto / MultiplyMasked / MultiplyLeft /
 // MultiplyAccumInto calls from any number of goroutines. Per-call
 // scratch state (the bucket workspace of §III-A, the baselines'
-// row-split SPAs, heaps and bitvectors) is borrowed from a sync.Pool
-// per call, so a single iterative caller keeps the paper's
-// preallocate-once behavior while N concurrent callers transiently hold
-// N pooled workspaces; work counters are folded into one aggregate
-// under a lock when each call retires, and the transpose engine behind
-// MultiplyLeft is built exactly once. Parallelism also exists inside
-// each call (Options.Threads), so throughput can be scaled either way.
+// row-split SPAs, heaps and bitvectors) lives in a fixed array of
+// slot-pinned workspaces (internal/par.Slots): a caller claims the
+// lowest free slot, so a single iterative caller reuses slot 0's warm
+// workspace every call — the paper's preallocate-once behavior — and
+// up to GOMAXPROCS concurrent callers each hold a stable, cache-warm
+// slot. Callers beyond that spill to a sync.Pool fallback (slot -1),
+// so oversubscription degrades to pooled allocation instead of
+// blocking. Work counters are folded into one aggregate under a lock
+// when each call retires, and the transpose engine behind MultiplyLeft
+// is built exactly once. Parallelism also exists inside each call
+// (Options.Threads), so throughput can be scaled either way.
+//
+// # Scheduler: the persistent work-stealing executor
+//
+// All intra-call parallelism runs on one process-wide pool of
+// long-lived workers (internal/par), sized GOMAXPROCS-1 so the
+// calling goroutine always participates as worker 0; SetExecutorWorkers
+// (or spmspv-serve's -par-workers flag) resizes it at startup, and
+// n <= 0 forces every parallel region inline. A fork-join Run hands
+// each worker a bounded work-stealing deque of task ranges: a worker
+// drains its own deque front-to-back and steals from the back of a
+// victim's when empty, so the engines can over-decompose (about 8
+// chunks per worker) and irregular degree distributions rebalance
+// without per-call goroutine spawns. At Threads <= 1, or when the pool
+// is empty, dispatch is a plain inline loop with zero scheduling
+// overhead.
+//
+// Worker ids are job-local and dense (0..p-1, stable for the duration
+// of one Run barrier), so per-job state may be indexed by worker id —
+// but ids are NOT stable across jobs; state that must survive a call
+// is pinned by slot through par.Slots instead. Chunk identity, never
+// the executing worker, determines where an output entry lands, so
+// results are bit-identical across the static, dynamic and stealing
+// schedules (Options.MergeSched / the facade's SchedStatic,
+// SchedDynamic, SchedStealing) and across runs. Counters therefore
+// split into deterministic work counters (unchanged at a fixed thread
+// count) and scheduling observability — ChunkClaims, Steals, IdleNs —
+// which "go test"-style variance is allowed to move;
+// "spmspv-bench -experiment scaling" sweeps all three schedules and
+// reports ns/op, claims, steals and per-thread idle time.
 //
 // # Frontier representations
 //

@@ -1,8 +1,6 @@
 package baselines
 
 import (
-	"sync"
-
 	"spmspv/internal/par"
 	"spmspv/internal/perf"
 	"spmspv/internal/semiring"
@@ -19,14 +17,15 @@ import (
 // competitive for very sparse inputs.
 //
 // The row-split pieces are immutable after construction; the per-call
-// mergers and output buffers live in a pooled heapState, so one
-// CombBLASHeap is safe for concurrent Multiply calls.
+// mergers and output buffers live in a slot-pinned heapState (warm
+// state reuse, pool overflow — see par.Slots), so one CombBLASHeap is
+// safe for concurrent Multiply calls.
 type CombBLASHeap struct {
 	pieces []*sparse.DCSC
 	m, n   sparse.Index
 	t      int
 
-	pool sync.Pool // *heapState
+	states *par.Slots[heapState]
 
 	counterAgg
 }
@@ -51,7 +50,7 @@ func NewCombBLASHeap(a *sparse.CSC, t int) *CombBLASHeap {
 		n:      a.NumCols,
 		t:      t,
 	}
-	c.pool.New = func() any {
+	c.states = par.NewSlots(par.Threads(0), func() *heapState {
 		st := &heapState{
 			mergers: make([]*spa.KWayMerger, t),
 			outInd:  make([][]sparse.Index, t),
@@ -63,13 +62,13 @@ func NewCombBLASHeap(a *sparse.CSC, t int) *CombBLASHeap {
 			st.mergers[w] = spa.NewKWayMerger(64)
 		}
 		return st
-	}
+	})
 	return c
 }
 
-func (c *CombBLASHeap) retire(st *heapState) {
+func (c *CombBLASHeap) retire(st *heapState, slot int) {
 	c.retireCounters(st.ctr)
-	c.pool.Put(st)
+	c.states.Put(st, slot)
 }
 
 // Multiply computes y ← A·x; the output is sorted (heap merging emits
@@ -86,7 +85,7 @@ func (c *CombBLASHeap) MultiplyMasked(x, y *sparse.SpVec, sr semiring.Semiring, 
 }
 
 func (c *CombBLASHeap) run(x, y *sparse.SpVec, sr semiring.Semiring, mask *sparse.BitVec, complement bool) {
-	st := c.pool.Get().(*heapState)
+	st, slot := c.states.Get()
 	y.Reset(c.m)
 	par.ForStatic(c.t, c.t, func(_, lo, hi int) {
 		for w := lo; w < hi; w++ {
@@ -116,7 +115,7 @@ func (c *CombBLASHeap) run(x, y *sparse.SpVec, sr semiring.Semiring, mask *spars
 		}
 	})
 	y.Sorted = true
-	c.retire(st)
+	c.retire(st, slot)
 }
 
 func (c *CombBLASHeap) multiplyPiece(st *heapState, w int, x *sparse.SpVec, sr semiring.Semiring, mask *sparse.BitVec, complement bool) {

@@ -1,8 +1,6 @@
 package baselines
 
 import (
-	"sync"
-
 	"spmspv/internal/par"
 	"spmspv/internal/perf"
 	"spmspv/internal/radix"
@@ -24,14 +22,15 @@ import (
 // false for the ablation that removes the second cost.
 //
 // The row-split pieces are immutable after construction; all per-call
-// scratch lives in a pooled spaState, so one CombBLASSPA is safe for
-// concurrent Multiply calls.
+// scratch lives in a slot-pinned spaState (warm state reuse, pool
+// overflow — see par.Slots), so one CombBLASSPA is safe for concurrent
+// Multiply calls.
 type CombBLASSPA struct {
 	pieces []*sparse.DCSC
 	m, n   sparse.Index
 	t      int
 
-	pool sync.Pool // *spaState
+	states *par.Slots[spaState]
 
 	// FullInit selects the paper-faithful full SPA initialization
 	// (default true). Flip it only while no Multiply is in flight.
@@ -64,7 +63,7 @@ func NewCombBLASSPA(a *sparse.CSC, t int) *CombBLASSPA {
 		t:        t,
 		FullInit: true,
 	}
-	c.pool.New = func() any {
+	c.states = par.NewSlots(par.Threads(0), func() *spaState {
 		st := &spaState{
 			spaVal:  make([][]float64, t),
 			spaTag:  make([][]uint32, t),
@@ -79,15 +78,15 @@ func NewCombBLASSPA(a *sparse.CSC, t int) *CombBLASSPA {
 			st.spaTag[w] = make([]uint32, d.NumRows)
 		}
 		return st
-	}
+	})
 	return c
 }
 
 // retire folds the state's per-worker counters into the aggregate and
-// returns the state to the pool.
-func (c *CombBLASSPA) retire(st *spaState) {
+// releases the state's slot.
+func (c *CombBLASSPA) retire(st *spaState, slot int) {
 	c.retireCounters(st.ctr)
-	c.pool.Put(st)
+	c.states.Put(st, slot)
 }
 
 // Multiply computes y ← A·x. The output is sorted (CombBLAS keeps its
@@ -104,7 +103,7 @@ func (c *CombBLASSPA) MultiplyMasked(x, y *sparse.SpVec, sr semiring.Semiring, m
 }
 
 func (c *CombBLASSPA) run(x, y *sparse.SpVec, sr semiring.Semiring, mask *sparse.BitVec, complement bool) {
-	st := c.pool.Get().(*spaState)
+	st, slot := c.states.Get()
 	y.Reset(c.m)
 	par.ForStatic(c.t, c.t, func(_, lo, hi int) {
 		for w := lo; w < hi; w++ {
@@ -140,7 +139,7 @@ func (c *CombBLASSPA) run(x, y *sparse.SpVec, sr semiring.Semiring, mask *sparse
 	// Pieces cover increasing row ranges and each piece's indices are
 	// sorted, so the concatenation is globally sorted.
 	y.Sorted = true
-	c.retire(st)
+	c.retire(st, slot)
 }
 
 func (c *CombBLASSPA) multiplyPiece(st *spaState, w int, x *sparse.SpVec, sr semiring.Semiring, mask *sparse.BitVec, complement bool) {

@@ -1,8 +1,6 @@
 package baselines
 
 import (
-	"sync"
-
 	enginepkg "spmspv/internal/engine"
 	"spmspv/internal/par"
 	"spmspv/internal/perf"
@@ -28,15 +26,16 @@ import (
 // the conversion is skipped entirely.
 //
 // The row-split pieces are immutable after construction; the frontier
-// bitmaps and the per-thread SPAs live in pools, so one GraphMat is
-// safe for concurrent Multiply calls.
+// bitmaps live in a pool and the per-thread SPAs in a slot-pinned
+// gmState (warm state reuse, pool overflow — see par.Slots), so one
+// GraphMat is safe for concurrent Multiply calls.
 type GraphMat struct {
 	pieces []*sparse.DCSC
 	m, n   sparse.Index
 	t      int
 
-	pool  sync.Pool // *gmState
-	fpool *sparse.FrontierPool
+	states *par.Slots[gmState]
+	fpool  *sparse.FrontierPool
 
 	counterAgg
 }
@@ -63,7 +62,7 @@ func NewGraphMat(a *sparse.CSC, t int) *GraphMat {
 		t:      t,
 		fpool:  sparse.NewFrontierPool(a.NumCols),
 	}
-	g.pool.New = func() any {
+	g.states = par.NewSlots(par.Threads(0), func() *gmState {
 		st := &gmState{
 			spaVal:  make([][]float64, t),
 			spaTag:  make([][]uint32, t),
@@ -78,13 +77,13 @@ func NewGraphMat(a *sparse.CSC, t int) *GraphMat {
 			st.spaTag[w] = make([]uint32, d.NumRows)
 		}
 		return st
-	}
+	})
 	return g
 }
 
-func (g *GraphMat) retire(st *gmState) {
+func (g *GraphMat) retire(st *gmState, slot int) {
 	g.retireCounters(st.ctr)
-	g.pool.Put(st)
+	g.states.Put(st, slot)
 }
 
 // PreferredRep reports the bitmap input representation GraphMat's
@@ -147,7 +146,7 @@ func (g *GraphMat) MultiplyIntoMasked(x, y *sparse.Frontier, sr semiring.Semirin
 // optionally native bitmap) out, with an optional output mask applied
 // per piece.
 func (g *GraphMat) run(fr *sparse.Frontier, y *sparse.SpVec, outBits *sparse.BitVec, sr semiring.Semiring, mask *sparse.BitVec, complement bool) {
-	st := g.pool.Get().(*gmState)
+	st, slot := g.states.Get()
 	y.Reset(g.m)
 	if fr.Materialize() {
 		// The conversion scans the f input entries, the same O(f) cost
@@ -201,7 +200,7 @@ func (g *GraphMat) run(fr *sparse.Frontier, y *sparse.SpVec, outBits *sparse.Bit
 		}
 	})
 	y.Sorted = true
-	g.retire(st)
+	g.retire(st, slot)
 }
 
 func (g *GraphMat) multiplyPiece(st *gmState, bits *sparse.BitVec, w int, sr semiring.Semiring, mask *sparse.BitVec, complement bool) {

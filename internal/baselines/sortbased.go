@@ -1,8 +1,6 @@
 package baselines
 
 import (
-	"sync"
-
 	"spmspv/internal/par"
 	"spmspv/internal/perf"
 	"spmspv/internal/radix"
@@ -18,13 +16,13 @@ import (
 // sorted output and no per-thread matrix partitioning.
 //
 // The matrix is shared read-only; the gather/sort/prune buffers live in
-// a pooled sortState, so one SortBased is safe for concurrent Multiply
-// calls.
+// a slot-pinned sortState (warm state reuse, pool overflow — see
+// par.Slots), so one SortBased is safe for concurrent Multiply calls.
 type SortBased struct {
 	a *sparse.CSC
 	t int
 
-	pool sync.Pool // *sortState
+	states *par.Slots[sortState]
 
 	counterAgg
 }
@@ -46,7 +44,7 @@ type sortState struct {
 func NewSortBased(a *sparse.CSC, t int) *SortBased {
 	t = par.Threads(t)
 	s := &SortBased{a: a, t: t}
-	s.pool.New = func() any {
+	s.states = par.NewSlots(par.Threads(0), func() *sortState {
 		return &sortState{
 			bounds: make([]int64, t+1),
 			outInd: make([][]sparse.Index, t),
@@ -54,13 +52,13 @@ func NewSortBased(a *sparse.CSC, t int) *SortBased {
 			outOff: make([]int64, t+1),
 			ctr:    make([]perf.Counters, t),
 		}
-	}
+	})
 	return s
 }
 
-func (s *SortBased) retire(st *sortState) {
+func (s *SortBased) retire(st *sortState, slot int) {
 	s.retireCounters(st.ctr)
-	s.pool.Put(st)
+	s.states.Put(st, slot)
 }
 
 // Multiply computes y ← A·x; the output is sorted.
@@ -81,7 +79,7 @@ func (s *SortBased) run(x, y *sparse.SpVec, sr semiring.Semiring, mask *sparse.B
 	if f == 0 {
 		return
 	}
-	st := s.pool.Get().(*sortState)
+	st, slot := s.states.Get()
 	t := s.t
 	if t > f {
 		t = f
@@ -178,7 +176,7 @@ func (s *SortBased) run(x, y *sparse.SpVec, sr semiring.Semiring, mask *sparse.B
 		}
 	})
 	y.Sorted = true
-	s.retire(st)
+	s.retire(st, slot)
 }
 
 // Name identifies the algorithm in benchmark tables.

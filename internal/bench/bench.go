@@ -204,6 +204,10 @@ func divideCounters(c *perf.Counters, n int64) {
 	c.SyncEvents /= n
 	c.DirectionSwitches /= n
 	c.FrontierConversions /= n
+	c.OutputConversions /= n
+	c.ChunkClaims /= n
+	c.Steals /= n
+	c.IdleNs /= n
 }
 
 // Table accumulates rows and renders fixed-width plain text.

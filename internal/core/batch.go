@@ -86,7 +86,7 @@ func (mu *Multiplier) multiplyBatchLists(xs, ys []*sparse.SpVec, sr semiring.Sem
 	if len(xs) == 0 {
 		return
 	}
-	ws := mu.pool.Get().(*Workspace)
+	ws, slot := mu.ws.Get()
 
 	// Optional per-frontier side arrays are sliced alongside the batch.
 	subMasks := func(lo, hi int) []*sparse.BitVec {
@@ -125,7 +125,7 @@ func (mu *Multiplier) multiplyBatchLists(xs, ys []*sparse.SpVec, sr semiring.Sem
 		acc += w
 	}
 	runBatchSegment(mu.A, xs[lo:], ys[lo:], sr, ws, mu.Opt, subMasks(lo, len(xs)), complement, subBits(lo, len(xs)))
-	mu.retire(ws)
+	mu.retire(ws, slot)
 }
 
 // frontierWork returns the number of matrix entries frontier x selects
@@ -202,26 +202,32 @@ func multiplyBatch(a *sparse.CSC, xs, ys []*sparse.SpVec, sr semiring.Semiring, 
 		nb = 1
 	}
 	NB := k * nb
-	ws.ensure(m, t, NB)
+	nc := stepChunks(t, int(totalF))
+	ws.ensure(m, t, NB, nc)
+	ex := opt.Exec()
 
 	var timer perf.Timer
 	timer.Start()
 
-	// One split over the concatenated entries: workers get near-equal
-	// shares of the batch's total work (weighted by column nonzeros by
-	// default, the §III-B fix; by entry count under SplitEvenly),
-	// crossing frontier boundaries freely.
+	// One split over the concatenated entries into ~8 stealable chunks
+	// per worker (weighted by column nonzeros by default, the §III-B
+	// fix; by entry count under SplitEvenly), crossing frontier
+	// boundaries freely.
 	if opt.SplitEvenly {
-		ws.ranges = par.EvenRangesInto(int(totalF), t, ws.ranges)
+		ws.ranges = par.EvenRangesInto(int(totalF), nc, ws.ranges)
 	} else {
 		ws.xcum = a.CumulativeColWeights(xAll.Ind, ws.xcum)
-		ws.ranges = par.SplitByWeightInto(ws.xcum, t, ws.ranges)
+		ws.ranges = par.SplitByWeightInto(ws.xcum, nc, ws.ranges)
 	}
 
-	// Estimate (Algorithm 2) for the whole batch: count per (worker,
+	// Estimate (Algorithm 2) for the whole batch: count per (chunk,
 	// frontier, bucket) insertions in one pass.
-	clear(ws.boffset[:t*NB])
-	par.ForRanges(ws.ranges, func(w, lo, hi int) {
+	clear(ws.boffset[:nc*NB])
+	ex.ForChunks(t, nc, nil, func(w, c int) {
+		lo, hi := ws.ranges[c][0], ws.ranges[c][1]
+		if lo >= hi {
+			return
+		}
 		ctr := &ws.Counters[w]
 		var touched int64
 		for q, k2 := frontierAt(ws.batchOff, lo), lo; k2 < hi; {
@@ -232,7 +238,7 @@ func multiplyBatch(a *sparse.CSC, xs, ys []*sparse.SpVec, sr semiring.Semiring, 
 			if int(ws.batchOff[q+1]) < segHi {
 				segHi = int(ws.batchOff[q+1])
 			}
-			row := ws.boffset[w*NB+q*nb : w*NB+(q+1)*nb]
+			row := ws.boffset[c*NB+q*nb : c*NB+(q+1)*nb]
 			for ; k2 < segHi; k2++ {
 				rows, _ := a.Col(xAll.Ind[k2])
 				for _, i := range rows {
@@ -243,18 +249,18 @@ func multiplyBatch(a *sparse.CSC, xs, ys []*sparse.SpVec, sr semiring.Semiring, 
 		}
 		ctr.XScanned += int64(hi - lo)
 		ctr.MatrixTouched += touched
-	})
+	}, &ws.sched)
 
-	// Two-level exclusive prefix: bucket-major, worker-minor, over the
+	// Two-level exclusive prefix: bucket-major, chunk-minor, over the
 	// full (frontier, bucket) space.
 	var total int64
 	for bq := 0; bq < NB; bq++ {
 		ws.bucketStart[bq] = total
-		for w := 0; w < t; w++ {
-			idx := w*NB + bq
-			c := ws.boffset[idx]
+		for c := 0; c < nc; c++ {
+			idx := c*NB + bq
+			cnt := ws.boffset[idx]
 			ws.boffset[idx] = total
-			total += c
+			total += cnt
 		}
 	}
 	ws.bucketStart[NB] = total
@@ -262,10 +268,14 @@ func multiplyBatch(a *sparse.CSC, xs, ys []*sparse.SpVec, sr semiring.Semiring, 
 	ws.ensureUval(total)
 	ws.Steps.Estimate = timer.Lap()
 
-	// Step 1 for the whole batch: each worker scatters its per-frontier
-	// segments through the frontier's cursor row, reusing the
+	// Step 1 for the whole batch: each chunk scatters its per-frontier
+	// segments through the chunk's cursor rows, reusing the
 	// monomorphized kernels.
-	par.ForRanges(ws.ranges, func(w, lo, hi int) {
+	ex.ForChunks(t, nc, nil, func(w, c int) {
+		lo, hi := ws.ranges[c][0], ws.ranges[c][1]
+		if lo >= hi {
+			return
+		}
 		ctr := &ws.Counters[w]
 		var written int64
 		for q, k2 := frontierAt(ws.batchOff, lo), lo; k2 < hi; {
@@ -276,14 +286,14 @@ func multiplyBatch(a *sparse.CSC, xs, ys []*sparse.SpVec, sr semiring.Semiring, 
 			if int(ws.batchOff[q+1]) < segHi {
 				segHi = int(ws.batchOff[q+1])
 			}
-			cur := ws.boffset[w*NB+q*nb : w*NB+(q+1)*nb]
+			cur := ws.boffset[c*NB+q*nb : c*NB+(q+1)*nb]
 			written += scatterRange(a, xAll, sr, ws, cur, k2, segHi, shift)
 			k2 = segHi
 		}
 		ctr.XScanned += int64(hi - lo)
 		ctr.MatrixTouched += written
 		ctr.BucketWrites += written
-	})
+	}, &ws.sched)
 	ws.Steps.Bucket = timer.Lap()
 
 	// Step 2: merge. All k frontiers of one row-range bucket run on the
@@ -323,7 +333,8 @@ func multiplyBatch(a *sparse.CSC, xs, ys []*sparse.SpVec, sr semiring.Semiring, 
 			}
 		}
 	}
-	if opt.MergeSched == SchedDynamic {
+	switch opt.MergeSched {
+	case SchedDynamic:
 		for w := 0; w < t; w++ {
 			ws.sync[w] = 0
 		}
@@ -335,7 +346,9 @@ func multiplyBatch(a *sparse.CSC, xs, ys []*sparse.SpVec, sr semiring.Semiring, 
 		for w := 0; w < t; w++ {
 			ws.Counters[w].SyncEvents += ws.sync[w]
 		}
-	} else {
+	case SchedStealing:
+		ex.ForChunks(t, nb, nil, mergeBody, &ws.sched)
+	default:
 		par.ForStatic(t, nb, func(w, lo, hi int) {
 			for b := lo; b < hi; b++ {
 				mergeBody(w, b)
@@ -364,33 +377,31 @@ func multiplyBatch(a *sparse.CSC, xs, ys []*sparse.SpVec, sr semiring.Semiring, 
 		}
 		y.Sorted = opt.SortOutput || nnzY == 0
 	}
-	par.ForStatic(t, NB, func(w, lo, hi int) {
-		ctr := &ws.Counters[w]
-		for bq := lo; bq < hi; bq++ {
-			cnt := ws.uindCount[bq]
-			if cnt == 0 {
-				continue
-			}
-			q := bq / nb
-			y := ys[q]
-			off := ws.uindOffset[bq]
-			start := ws.bucketStart[bq]
-			copy(y.Ind[off:off+cnt], ws.uind[start:start+cnt])
-			copy(y.Val[off:off+cnt], ws.uval[start:start+cnt])
-			if outBits != nil && outBits[q] != nil {
-				// Native bitmap emission, batched: bucket bq owns the
-				// row range [b·2^shift, (b+1)·2^shift) of frontier q,
-				// so SetRangeFrom's boundary-word atomics make the
-				// concurrent per-slot fill race-free exactly as in the
-				// single-call Step 3.
-				bLo := sparse.Index(bq%nb) << shift
-				outBits[q].SetRangeFrom(y.Ind[off:off+cnt], y.Val[off:off+cnt],
-					bLo, bLo+(sparse.Index(1)<<shift))
-			}
-			ctr.OutputWritten += cnt
+	ex.ForChunks(t, NB, nil, func(w, bq int) {
+		cnt := ws.uindCount[bq]
+		if cnt == 0 {
+			return
 		}
-	})
+		q := bq / nb
+		y := ys[q]
+		off := ws.uindOffset[bq]
+		start := ws.bucketStart[bq]
+		copy(y.Ind[off:off+cnt], ws.uind[start:start+cnt])
+		copy(y.Val[off:off+cnt], ws.uval[start:start+cnt])
+		if outBits != nil && outBits[q] != nil {
+			// Native bitmap emission, batched: bucket bq owns the
+			// row range [b·2^shift, (b+1)·2^shift) of frontier q,
+			// so SetRangeFrom's boundary-word atomics make the
+			// concurrent per-slot fill race-free exactly as in the
+			// single-call Step 3.
+			bLo := sparse.Index(bq%nb) << shift
+			outBits[q].SetRangeFrom(y.Ind[off:off+cnt], y.Val[off:off+cnt],
+				bLo, bLo+(sparse.Index(1)<<shift))
+		}
+		ws.Counters[w].OutputWritten += cnt
+	}, &ws.sched)
 	ws.Steps.Output = timer.Lap()
+	ws.foldSched(t)
 }
 
 // frontierAt returns the frontier owning concatenated position pos.

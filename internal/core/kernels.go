@@ -30,19 +30,25 @@ import (
 // op types still pay off for helpers small enough to inline, e.g. the
 // spa accumulators.)
 
-// bucketStep implements Step 1 of Algorithm 1 with direct writes: every
-// worker re-scans its x range and scatters (row, MULT(x(j), A(i,j)))
-// pairs through its precomputed cursors. No synchronization is needed
-// because the cursor ranges are disjoint by construction.
-func bucketStep(a *sparse.CSC, x *sparse.SpVec, sr semiring.Semiring, ws *Workspace, t, nb int, shift uint) {
-	par.ForRanges(ws.ranges, func(w, lo, hi int) {
-		cur := ws.boffset[w*nb : (w+1)*nb]
+// bucketStep implements Step 1 of Algorithm 1 with direct writes: each
+// chunk re-scans its x range and scatters (row, MULT(x(j), A(i,j)))
+// pairs through the chunk's precomputed cursors. No synchronization is
+// needed because the cursor ranges are disjoint by construction, and
+// because the cursors — not the executing worker — determine where
+// entries land, any worker may claim or steal any chunk.
+func bucketStep(a *sparse.CSC, x *sparse.SpVec, sr semiring.Semiring, ws *Workspace, ex *par.Executor, t, nc, nb int, shift uint) {
+	ex.ForChunks(t, nc, nil, func(w, c int) {
+		lo, hi := ws.ranges[c][0], ws.ranges[c][1]
+		if lo >= hi {
+			return
+		}
+		cur := ws.boffset[c*nb : (c+1)*nb]
 		ctr := &ws.Counters[w]
 		written := scatterRange(a, x, sr, ws, cur, lo, hi, shift)
 		ctr.XScanned += int64(hi - lo)
 		ctr.MatrixTouched += written
 		ctr.BucketWrites += written
-	})
+	}, &ws.sched)
 }
 
 // scatterRange scatters the x entries in [lo, hi) through the cursor
@@ -175,11 +181,18 @@ func scatterFunc(mul func(a, b float64) float64, a *sparse.CSC, x *sparse.SpVec,
 // only when the buffer fills. This ablation path (off by default) keeps
 // the func-valued Mul; the flush bookkeeping, not the multiply,
 // dominates its inner loop.
-func bucketStepStaged(a *sparse.CSC, x *sparse.SpVec, sr semiring.Semiring, ws *Workspace, t, nb int, shift uint, stage int) {
+func bucketStepStaged(a *sparse.CSC, x *sparse.SpVec, sr semiring.Semiring, ws *Workspace, ex *par.Executor, t, nc, nb int, shift uint, stage int) {
 	ws.ensureStaging(t, nb, stage)
 	mul := sr.Mul
-	par.ForRanges(ws.ranges, func(w, lo, hi int) {
-		cur := ws.boffset[w*nb : (w+1)*nb]
+	// The staging slab is per executing worker (one slot owns it for the
+	// chunk's whole run and drains it before the chunk ends); the write
+	// cursors are per chunk, as in the direct path.
+	ex.ForChunks(t, nc, nil, func(w, c int) {
+		lo, hi := ws.ranges[c][0], ws.ranges[c][1]
+		if lo >= hi {
+			return
+		}
+		cur := ws.boffset[c*nb : (c+1)*nb]
 		slab := ws.staging[w*nb*stage : (w+1)*nb*stage]
 		fill := ws.stagingCount[w*nb : (w+1)*nb]
 		for b := range fill {
@@ -214,7 +227,7 @@ func bucketStepStaged(a *sparse.CSC, x *sparse.SpVec, sr semiring.Semiring, ws *
 		ctr.XScanned += int64(hi - lo)
 		ctr.MatrixTouched += written
 		ctr.BucketWrites += written
-	})
+	}, &ws.sched)
 }
 
 // mergeStep implements Step 2 of Algorithm 1: every bucket is merged
@@ -222,7 +235,7 @@ func bucketStepStaged(a *sparse.CSC, x *sparse.SpVec, sr semiring.Semiring, ws *
 // mask, when non-nil, drops entries whose row is excluded (masked
 // SpMSpV, the GraphBLAS extension of paper §V); maskComplement inverts
 // the test.
-func mergeStep(sr semiring.Semiring, ws *Workspace, t, nb int, opt Options, mask *sparse.BitVec, maskComplement bool) {
+func mergeStep(sr semiring.Semiring, ws *Workspace, ex *par.Executor, t, nb int, opt Options, mask *sparse.BitVec, maskComplement bool) {
 	epoch := ws.nextEpoch()
 	body := func(w, b int) {
 		lo, hi := ws.bucketStart[b], ws.bucketStart[b+1]
@@ -267,7 +280,8 @@ func mergeStep(sr semiring.Semiring, ws *Workspace, t, nb int, opt Options, mask
 			ctr.SortedElems += int64(len(u))
 		}
 	}
-	if opt.MergeSched == SchedDynamic {
+	switch opt.MergeSched {
+	case SchedDynamic:
 		for w := 0; w < t; w++ {
 			ws.sync[w] = 0
 		}
@@ -279,7 +293,15 @@ func mergeStep(sr semiring.Semiring, ws *Workspace, t, nb int, opt Options, mask
 		for w := 0; w < t; w++ {
 			ws.Counters[w].SyncEvents += ws.sync[w]
 		}
-	} else {
+	case SchedStealing:
+		// Stealable buckets with initial shares weighted by entry count
+		// (bucketStart is exactly that cumulative weight array): heavy
+		// buckets cluster on few workers up front, and whoever drains
+		// their share first steals from the stragglers.
+		ex.ForChunks(t, nb, ws.bucketStart[:nb+1], func(w, b int) {
+			body(w, b)
+		}, &ws.sched)
+	default:
 		par.ForStatic(t, nb, func(w, lo, hi int) {
 			for b := lo; b < hi; b++ {
 				body(w, b)

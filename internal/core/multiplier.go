@@ -4,26 +4,29 @@ import (
 	"sync"
 
 	"spmspv/internal/engine"
+	"spmspv/internal/par"
 	"spmspv/internal/perf"
 	"spmspv/internal/semiring"
 	"spmspv/internal/sparse"
 )
 
-// Multiplier binds a matrix, a pool of reusable workspaces and options
-// into the uniform Multiply(x, y, sr) shape that the baselines also
-// implement, so graph algorithms and the benchmark harness can treat
-// all SpMSpV engines interchangeably.
+// Multiplier binds a matrix, slot-pinned reusable workspaces and
+// options into the uniform Multiply(x, y, sr) shape that the baselines
+// also implement, so graph algorithms and the benchmark harness can
+// treat all SpMSpV engines interchangeably.
 //
-// A Multiplier is safe for concurrent use: each Multiply borrows a
-// workspace from an internal sync.Pool — one goroutine keeps the
-// paper's single-preallocation behavior (§III-A), N goroutines get N
-// transiently-pooled workspaces — and work counters are aggregated
+// A Multiplier is safe for concurrent use: each Multiply claims a
+// workspace slot from a fixed GOMAXPROCS-sized par.Slots set — one
+// goroutine keeps the paper's single-preallocation behavior (§III-A)
+// and always gets the same warm workspace back; up to GOMAXPROCS
+// concurrent callers each pin a slot, and only callers beyond that
+// spill to a sync.Pool overflow — and work counters are aggregated
 // race-free when the workspace is returned.
 type Multiplier struct {
 	A   *sparse.CSC
 	Opt Options
 
-	pool sync.Pool // *Workspace
+	ws *par.Slots[Workspace]
 
 	mu       sync.Mutex
 	counters perf.Counters // aggregate of all retired calls
@@ -31,25 +34,25 @@ type Multiplier struct {
 }
 
 // NewMultiplier returns a bucket-algorithm multiplier for a; workspaces
-// are pre-sized for the matrix as they enter the pool.
+// are pre-sized for the matrix when their slot is first claimed.
 func NewMultiplier(a *sparse.CSC, opt Options) *Multiplier {
 	mu := &Multiplier{A: a, Opt: opt}
-	mu.pool.New = func() any { return NewWorkspace(a.NumRows, 0) }
+	mu.ws = par.NewSlots(par.Threads(0), func() *Workspace { return NewWorkspace(a.NumRows, 0) })
 	return mu
 }
 
 // Multiply computes y ← A·x over sr with the SpMSpV-bucket algorithm.
 func (mu *Multiplier) Multiply(x, y *sparse.SpVec, sr semiring.Semiring) {
-	ws := mu.pool.Get().(*Workspace)
+	ws, slot := mu.ws.Get()
 	Multiply(mu.A, x, y, sr, ws, mu.Opt)
-	mu.retire(ws)
+	mu.retire(ws, slot)
 }
 
 // MultiplyMasked computes the masked product (see MultiplyMasked).
 func (mu *Multiplier) MultiplyMasked(x, y *sparse.SpVec, sr semiring.Semiring, mask *sparse.BitVec, complement bool) {
-	ws := mu.pool.Get().(*Workspace)
+	ws, slot := mu.ws.Get()
 	MultiplyMasked(mu.A, x, y, sr, mask, complement, ws, mu.Opt)
-	mu.retire(ws)
+	mu.retire(ws, slot)
 }
 
 // PreferredRep reports the list input representation the vector-driven
@@ -72,12 +75,12 @@ func (mu *Multiplier) OutputRep() engine.Rep { return engine.RepBitmap }
 // that prefers the bitmap (a hybrid engine's next dense level) reads
 // it with zero conversions.
 func (mu *Multiplier) MultiplyInto(x, y *sparse.Frontier, sr semiring.Semiring) {
-	ws := mu.pool.Get().(*Workspace)
+	ws, slot := mu.ws.Get()
 	list := y.BeginOutput()
 	bits := y.OutputBits(mu.A.NumRows)
 	native := multiply(mu.A, x.List(), list, sr, ws, mu.Opt, nil, false, bits)
 	y.FinishOutput(native)
-	mu.retire(ws)
+	mu.retire(ws, slot)
 }
 
 // MultiplyIntoMasked computes y ← ⟨A·x, mask⟩ into the output
@@ -85,12 +88,12 @@ func (mu *Multiplier) MultiplyInto(x, y *sparse.Frontier, sr semiring.Semiring) 
 // kills never reach the SPA output) and the surviving result is
 // emitted list+bitmap in one pass.
 func (mu *Multiplier) MultiplyIntoMasked(x, y *sparse.Frontier, sr semiring.Semiring, mask *sparse.BitVec, complement bool) {
-	ws := mu.pool.Get().(*Workspace)
+	ws, slot := mu.ws.Get()
 	list := y.BeginOutput()
 	bits := y.OutputBits(mu.A.NumRows)
 	native := multiply(mu.A, x.List(), list, sr, ws, mu.Opt, mask, complement, bits)
 	y.FinishOutput(native)
-	mu.retire(ws)
+	mu.retire(ws, slot)
 }
 
 // Compile-time checks: the bucket multiplier implements every optional
@@ -104,16 +107,16 @@ var (
 )
 
 // retire folds the workspace's per-call work into the multiplier's
-// aggregate counters under the lock, zeroes it, and returns the
-// workspace to the pool.
-func (mu *Multiplier) retire(ws *Workspace) {
+// aggregate counters under the lock, zeroes it, and releases the
+// workspace's slot (or returns an overflow workspace to the pool).
+func (mu *Multiplier) retire(ws *Workspace, slot int) {
 	c := ws.TotalCounters()
 	ws.ResetCounters()
 	mu.mu.Lock()
 	mu.counters.Merge(&c)
 	mu.steps = ws.Steps
 	mu.mu.Unlock()
-	mu.pool.Put(ws)
+	mu.ws.Put(ws, slot)
 }
 
 // Counters aggregates the work performed since the last ResetCounters.

@@ -61,36 +61,44 @@ func multiply(a *sparse.CSC, x *sparse.SpVec, y *sparse.SpVec, sr semiring.Semir
 	if nb < 1 {
 		nb = 1
 	}
-	ws.ensure(m, t, nb)
+	// Over-decompose the input split into ~8 stealable chunks per worker
+	// (one chunk when t = 1): each chunk owns a private cursor row, so
+	// any executor worker can run any chunk and stealing rebalances
+	// skewed frontiers without changing the bucket layout.
+	nc := stepChunks(t, f)
+	ws.ensure(m, t, nb, nc)
+	ex := opt.Exec()
 
 	var timer perf.Timer
 	timer.Start()
 
-	// Partition the f input nonzeros among t workers. The default
+	// Partition the f input nonzeros among nc chunks. The default
 	// weights each x entry by its column's nonzero count — the §III-B
 	// fix that keeps the span low when a few columns are huge.
 	if opt.SplitEvenly {
-		ws.ranges = par.EvenRangesInto(f, t, ws.ranges)
+		ws.ranges = par.EvenRangesInto(f, nc, ws.ranges)
 	} else {
 		ws.xcum = a.CumulativeColWeights(x.Ind, ws.xcum)
-		ws.ranges = par.SplitByWeightInto(ws.xcum, t, ws.ranges)
+		ws.ranges = par.SplitByWeightInto(ws.xcum, nc, ws.ranges)
 	}
 
 	// Preprocessing (Algorithm 2, ESTIMATE-BUCKETS): count per
-	// (worker, bucket) insertions.
-	estimateBuckets(a, x, ws, t, nb, shift)
+	// (chunk, bucket) insertions.
+	estimateBuckets(a, x, ws, ex, t, nc, nb, shift)
 
 	// Two-level exclusive prefix turns counts into private write
-	// cursors: bucket-major, worker-minor, so entries of one bucket are
-	// contiguous and each worker's slice of each bucket is disjoint.
+	// cursors: bucket-major, chunk-minor, so entries of one bucket are
+	// contiguous and each chunk's slice of each bucket is disjoint —
+	// the bucket layout is therefore identical no matter which worker
+	// executes which chunk.
 	var total int64
 	for b := 0; b < nb; b++ {
 		ws.bucketStart[b] = total
-		for w := 0; w < t; w++ {
-			idx := w*nb + b
-			c := ws.boffset[idx]
+		for c := 0; c < nc; c++ {
+			idx := c*nb + b
+			cnt := ws.boffset[idx]
 			ws.boffset[idx] = total
-			total += c
+			total += cnt
 		}
 	}
 	ws.bucketStart[nb] = total
@@ -99,34 +107,39 @@ func multiply(a *sparse.CSC, x *sparse.SpVec, y *sparse.SpVec, sr semiring.Semir
 
 	// Step 1: scatter scaled columns into buckets, lock-free.
 	if opt.StagingEntries > 0 {
-		bucketStepStaged(a, x, sr, ws, t, nb, shift, opt.StagingEntries)
+		bucketStepStaged(a, x, sr, ws, ex, t, nc, nb, shift, opt.StagingEntries)
 	} else {
-		bucketStep(a, x, sr, ws, t, nb, shift)
+		bucketStep(a, x, sr, ws, ex, t, nc, nb, shift)
 	}
 	ws.Steps.Bucket = timer.Lap()
 
 	// Step 2: merge each bucket independently via the SPA.
-	mergeStep(sr, ws, t, nb, opt, mask, maskComplement)
+	mergeStep(sr, ws, ex, t, nb, opt, mask, maskComplement)
 	ws.Steps.Merge = timer.Lap()
 	ws.Steps.Sort = 0 // folded into Merge; reported separately only by instrumented runs
 
 	// Step 3: concatenate buckets into y through a prefix sum of unique
 	// counts ("using prefix sum on the master thread", Algorithm 1).
-	outputStep(y, outBits, ws, t, nb, shift, opt)
+	outputStep(y, outBits, ws, ex, t, nb, shift, opt)
 	ws.Steps.Output = timer.Lap()
+	ws.foldSched(t)
 	return outBits != nil
 }
 
-// estimateBuckets implements Algorithm 2: each worker scans its range of
-// x and counts how many entries of the selected columns fall into each
-// bucket.
-func estimateBuckets(a *sparse.CSC, x *sparse.SpVec, ws *Workspace, t, nb int, shift uint) {
-	// Zero every worker's counter row up front: workers whose x range is
+// estimateBuckets implements Algorithm 2: each chunk's share of x is
+// scanned — by whichever worker claims or steals the chunk — counting
+// how many entries of the selected columns fall into each bucket.
+func estimateBuckets(a *sparse.CSC, x *sparse.SpVec, ws *Workspace, ex *par.Executor, t, nc, nb int, shift uint) {
+	// Zero every chunk's counter row up front: chunks whose x range is
 	// empty are never invoked, and a stale count from a previous call
 	// would reserve bucket slots that nobody fills.
-	clear(ws.boffset[:t*nb])
-	par.ForRanges(ws.ranges, func(w, lo, hi int) {
-		row := ws.boffset[w*nb : (w+1)*nb]
+	clear(ws.boffset[:nc*nb])
+	ex.ForChunks(t, nc, nil, func(w, c int) {
+		lo, hi := ws.ranges[c][0], ws.ranges[c][1]
+		if lo >= hi {
+			return
+		}
+		row := ws.boffset[c*nb : (c+1)*nb]
 		ctr := &ws.Counters[w]
 		var touched int64
 		for k := lo; k < hi; k++ {
@@ -138,7 +151,7 @@ func estimateBuckets(a *sparse.CSC, x *sparse.SpVec, ws *Workspace, t, nb int, s
 		}
 		ctr.XScanned += int64(hi - lo)
 		ctr.MatrixTouched += touched
-	})
+	}, &ws.sched)
 }
 
 // The bucketStep, bucketStepStaged and mergeStep hot loops live in
@@ -151,7 +164,7 @@ func estimateBuckets(a *sparse.CSC, x *sparse.SpVec, ws *Workspace, t, nb int, s
 // entries into the output bitmap — buckets own disjoint row ranges
 // [b·2^shift, (b+1)·2^shift), so SetRangeFrom's boundary-word atomics
 // make the concurrent fill race-free at any alignment.
-func outputStep(y *sparse.SpVec, outBits *sparse.BitVec, ws *Workspace, t, nb int, shift uint, opt Options) {
+func outputStep(y *sparse.SpVec, outBits *sparse.BitVec, ws *Workspace, ex *par.Executor, t, nb int, shift uint, opt Options) {
 	var nnzY int64
 	for b := 0; b < nb; b++ {
 		ws.uindOffset[b] = nnzY
@@ -166,24 +179,25 @@ func outputStep(y *sparse.SpVec, outBits *sparse.BitVec, ws *Workspace, t, nb in
 		y.Ind = y.Ind[:nnzY]
 		y.Val = y.Val[:nnzY]
 	}
-	par.ForStatic(t, nb, func(w, lo, hi int) {
+	// Stealable per-bucket copies with initial shares weighted by each
+	// bucket's output count (uindOffset is exactly that cumulative
+	// weight array).
+	ex.ForChunks(t, nb, ws.uindOffset[:nb+1], func(w, b int) {
 		ctr := &ws.Counters[w]
-		for b := lo; b < hi; b++ {
-			off := ws.uindOffset[b]
-			start := ws.bucketStart[b]
-			u := ws.uind[start : start+ws.uindCount[b]]
-			for i, ind := range u {
-				y.Ind[off+int64(i)] = ind
-				y.Val[off+int64(i)] = ws.spaVal[ind]
-			}
-			if outBits != nil && len(u) > 0 {
-				bLo := sparse.Index(b) << shift
-				outBits.SetRangeFrom(y.Ind[off:off+int64(len(u))], y.Val[off:off+int64(len(u))],
-					bLo, bLo+(sparse.Index(1)<<shift))
-			}
-			ctr.OutputWritten += int64(len(u))
+		off := ws.uindOffset[b]
+		start := ws.bucketStart[b]
+		u := ws.uind[start : start+ws.uindCount[b]]
+		for i, ind := range u {
+			y.Ind[off+int64(i)] = ind
+			y.Val[off+int64(i)] = ws.spaVal[ind]
 		}
-	})
+		if outBits != nil && len(u) > 0 {
+			bLo := sparse.Index(b) << shift
+			outBits.SetRangeFrom(y.Ind[off:off+int64(len(u))], y.Val[off:off+int64(len(u))],
+				bLo, bLo+(sparse.Index(1)<<shift))
+		}
+		ctr.OutputWritten += int64(len(u))
+	}, &ws.sched)
 	// Buckets cover increasing row ranges; per-bucket sorted uind makes
 	// the concatenation globally sorted.
 	y.Sorted = opt.SortOutput

@@ -57,6 +57,7 @@ func optionMatrix() map[string]Options {
 		"sentinel":       {Threads: 4, UseInfSentinel: true, SortOutput: true},
 		"staged":         {Threads: 4, StagingEntries: 4, SortOutput: true},
 		"static":         {Threads: 4, MergeSched: SchedStatic, SortOutput: true},
+		"stealing":       {Threads: 4, MergeSched: SchedStealing, SortOutput: true},
 		"evensplit":      {Threads: 4, SplitEvenly: true, SortOutput: true},
 		"morethreads":    {Threads: 16, SortOutput: true},
 		"stagedbig":      {Threads: 3, StagingEntries: 64, SortOutput: true},

@@ -36,6 +36,9 @@ const (
 	SchedDynamic = engine.SchedDynamic
 	// SchedStatic assigns contiguous bucket ranges up front.
 	SchedStatic = engine.SchedStatic
+	// SchedStealing runs Step 2 on the work-stealing executor with
+	// entry-weighted initial shares.
+	SchedStealing = engine.SchedStealing
 )
 
 // Options re-exports engine.Options, which documents each knob. The

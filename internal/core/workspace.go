@@ -1,6 +1,7 @@
 package core
 
 import (
+	"spmspv/internal/par"
 	"spmspv/internal/perf"
 	"spmspv/internal/sparse"
 )
@@ -15,9 +16,11 @@ import (
 // vectors, thread counts and options; every buffer grows on demand and
 // never shrinks. It must not be shared by concurrent Multiply calls.
 type Workspace struct {
-	// Per-(thread,bucket) write cursors: boffset[w·nb+b] is where worker
-	// w writes its next entry for bucket b (Algorithm 2's Boffset after
-	// the prefix-sum pass).
+	// Per-(chunk,bucket) write cursors: boffset[c·nb+b] is where Step-1
+	// chunk c writes its next entry for bucket b (Algorithm 2's Boffset
+	// after the prefix-sum pass). Chunks over-decompose the input split
+	// ~8 per worker so the executor can steal them; at t = 1 there is
+	// exactly one chunk.
 	boffset []int64
 	// bucketStart[b] is the first entry slot of bucket b; length nb+1.
 	bucketStart []int64
@@ -40,7 +43,7 @@ type Workspace struct {
 	epoch  uint32
 
 	// xcum holds cumulative column weights for the nonzero-balanced
-	// split; ranges the resulting per-worker x ranges.
+	// split; ranges the resulting per-chunk x ranges.
 	xcum   []int64
 	ranges [][2]int
 
@@ -65,6 +68,11 @@ type Workspace struct {
 	// sync collects per-worker dynamic-scheduling events before they are
 	// merged into Counters.
 	sync []int64
+
+	// sched accumulates the executor's per-slot scheduling stats (chunk
+	// claims, steals, join-barrier idle time) across the call's parallel
+	// regions; foldSched merges them into Counters before retirement.
+	sched par.JobStats
 
 	// Counters accumulates per-worker work counters across calls; reset
 	// with ResetCounters. Steps holds the per-phase wall-clock times of
@@ -101,16 +109,16 @@ func (ws *Workspace) TotalCounters() perf.Counters {
 	return perf.MergeAll(ws.Counters)
 }
 
-// ensure grows the workspace for an m-row matrix, t workers and nb
-// buckets.
-func (ws *Workspace) ensure(m sparse.Index, t, nb int) {
+// ensure grows the workspace for an m-row matrix, t workers, nb buckets
+// and nc Step-1 chunks.
+func (ws *Workspace) ensure(m sparse.Index, t, nb, nc int) {
 	if len(ws.spaVal) < int(m) {
 		ws.spaVal = make([]float64, m)
 		ws.spaTag = make([]uint32, m)
 		ws.epoch = 0
 	}
-	if len(ws.boffset) < t*nb {
-		ws.boffset = make([]int64, t*nb)
+	if len(ws.boffset) < nc*nb {
+		ws.boffset = make([]int64, nc*nb)
 	}
 	if len(ws.bucketStart) < nb+1 {
 		ws.bucketStart = make([]int64, nb+1)
@@ -125,12 +133,45 @@ func (ws *Workspace) ensure(m sparse.Index, t, nb int) {
 	if len(ws.sync) < t {
 		ws.sync = make([]int64, t)
 	}
+	ws.sched.Ensure(t)
 	if len(ws.scratch) < t {
 		old := ws.scratch
 		ws.scratch = make([][]sparse.Index, t)
 		copy(ws.scratch, old)
 	}
 }
+
+// foldSched merges the executor's accumulated scheduling stats into the
+// per-worker counters and clears them for the next call.
+func (ws *Workspace) foldSched(t int) {
+	for w := 0; w < t && w < len(ws.sched.Claims); w++ {
+		ws.Counters[w].ChunkClaims += ws.sched.Claims[w]
+		ws.Counters[w].Steals += ws.sched.Steals[w]
+		ws.Counters[w].IdleNs += ws.sched.IdleNs[w]
+	}
+	ws.sched.Reset()
+}
+
+// stepChunks returns the Step-1 over-decomposition: ~chunksPerWorker
+// chunks per worker so the executor can steal them, clamped to the f
+// splittable input nonzeros, and exactly one chunk when t == 1 so the
+// serial path carries no scheduling machinery at all.
+func stepChunks(t, f int) int {
+	if t <= 1 {
+		return 1
+	}
+	nc := t * chunksPerWorker
+	if nc > f {
+		nc = f
+	}
+	return nc
+}
+
+// chunksPerWorker is the Step-1 over-decomposition factor — the paper
+// over-decomposes into buckets at 4-8 per thread for the same reason:
+// enough pieces that stealing can rebalance a skewed split, few enough
+// that per-chunk cursor rows stay cheap.
+const chunksPerWorker = 8
 
 // ensureEntries grows the bucket and uind storage to hold total entries.
 func (ws *Workspace) ensureEntries(total int64) {

@@ -14,6 +14,10 @@ const (
 	// SchedStatic assigns contiguous bucket ranges up front. Exposed for
 	// the scheduling ablation benchmark.
 	SchedStatic
+	// SchedStealing gives each worker a contiguous bucket share weighted
+	// by entry count and lets idle workers steal from stragglers' deques
+	// — the executor-native schedule (see internal/par's Executor).
+	SchedStealing
 )
 
 // Options configures engine construction. Threads applies to every
@@ -53,9 +57,17 @@ type Options struct {
 	// slot, exactly as in the paper; it exists for fidelity comparisons.
 	UseInfSentinel bool
 
-	// MergeSched selects dynamic (default) or static scheduling of
-	// buckets in Step 2.
+	// MergeSched selects dynamic (default), static or work-stealing
+	// scheduling of buckets in Step 2.
 	MergeSched Sched
+
+	// Executor, when non-nil, runs the engine's parallel regions on a
+	// dedicated executor instead of the process-wide par.Default() pool
+	// — for isolating one engine's concurrency from the rest of the
+	// process (e.g. a tenant with its own thread budget). Nil shares
+	// the default pool, which bounds total goroutine fan-out even when
+	// a server coalesces many concurrent requests.
+	Executor *par.Executor
 
 	// SplitEvenly disables the nonzero-weighted Step-1 work split. By
 	// default work is split "based on nonzeros, as opposed to [entries],
@@ -95,4 +107,13 @@ func (o Options) WithDefaults() Options {
 		o.BucketsPerThread = 4
 	}
 	return o
+}
+
+// Exec resolves the executor the engine's parallel regions run on: the
+// configured one, or the process-wide default pool.
+func (o Options) Exec() *par.Executor {
+	if o.Executor != nil {
+		return o.Executor
+	}
+	return par.Default()
 }

@@ -13,10 +13,10 @@
 // construction (see calibrate.go), so the engine adapts to the matrix
 // and host rather than shipping a magic constant.
 //
-// Both sides are the registry's own pooled, race-safe engines, so one
-// hybrid engine is safe for concurrent Multiply calls; the number of
-// matrix-driven routings is reported through
-// perf.Counters.DirectionSwitches.
+// Both sides are the registry's own slot-pinned, race-safe engines
+// (see par.Slots), so one hybrid engine is safe for concurrent
+// Multiply calls; the number of matrix-driven routings is reported
+// through perf.Counters.DirectionSwitches.
 package hybrid
 
 import (

@@ -1,0 +1,370 @@
+package par
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Executor is a persistent pool of long-lived worker goroutines that
+// execute fork-join parallel loops. It replaces the per-call
+// go+WaitGroup pattern: a Run call packages its tasks as one job,
+// announces it to the pool over a buffered channel, and participates in
+// the work itself, so dispatch costs a few atomics and channel wakes
+// instead of p-1 goroutine spawns.
+//
+// Scheduling is work-stealing over bounded per-slot deques. A job with
+// p slots assigns each slot a contiguous share of the task index space
+// as its deque (one packed head|tail word per slot — a bounded
+// Chase–Lev-style deque specialized to contiguous ranges). Each
+// participant claims a dense slot id in [0, p), pops tasks from the
+// front of its own deque, and when that runs dry steals from the back
+// of sibling deques, so stragglers shed work to idle slots. Every task
+// runs exactly once regardless of how many pool workers are free: the
+// caller always participates and can drain every deque by itself, which
+// also makes nested Run calls deadlock-free.
+//
+// Worker-id stability contract: the slot id passed to fn is dense,
+// unique within the job, and owned by one participant for the whole
+// job, so per-worker state indexed by slot id (counters, scratch
+// buffers, SPA pieces) needs no synchronization. Slot ids are job-local
+// — two consecutive jobs may hand slot 0 to different goroutines — so
+// state that must survive across jobs belongs in Slots, not in
+// slot-indexed arrays.
+type Executor struct {
+	nworkers int
+	runq     chan *job
+	start    sync.Once
+}
+
+// NewExecutor returns an executor with the given number of pool
+// workers. The goroutines are started lazily on the first parallel Run;
+// workers ≤ 0 means no pool workers at all, in which case every Run
+// executes inline on the caller (still correct — just serial).
+func NewExecutor(workers int) *Executor {
+	if workers < 0 {
+		workers = 0
+	}
+	qcap := workers
+	if qcap < 1 {
+		qcap = 1
+	}
+	return &Executor{nworkers: workers, runq: make(chan *job, qcap)}
+}
+
+// Workers reports the pool size (not counting the calling goroutine,
+// which always participates in its own jobs).
+func (e *Executor) Workers() int { return e.nworkers }
+
+var defaultExec atomic.Pointer[Executor]
+
+func init() {
+	defaultExec.Store(NewExecutor(runtime.GOMAXPROCS(0) - 1))
+}
+
+// Default returns the process-wide executor shared by every parallel
+// loop in this package. Its pool holds GOMAXPROCS-1 workers, so one
+// saturating job plus the caller uses every P, while concurrent jobs
+// (a server coalescing many requests) share the same bounded pool
+// instead of oversubscribing the machine with spawned goroutines.
+func Default() *Executor { return defaultExec.Load() }
+
+// SetDefaultWorkers replaces the process-wide executor with one holding
+// n pool workers (n ≤ 0 forces fully inline execution). Call it at
+// startup, before parallel work begins: jobs in flight on the old
+// executor finish there, but any pool goroutines it already started are
+// not reclaimed.
+func SetDefaultWorkers(n int) {
+	defaultExec.Store(NewExecutor(n))
+}
+
+// JobStats accumulates per-slot scheduling statistics across executor
+// jobs. All three slices are indexed by slot id and grown by Ensure;
+// the same JobStats may be passed to many consecutive jobs (stats
+// accumulate) but not to concurrent ones.
+//
+// Claims[w]+Steals[w] sums to the number of tasks slot w executed, and
+// the grand total over slots always equals the number of tasks
+// scheduled — a deterministic quantity. The split between Claims and
+// Steals, and IdleNs, depend on runtime timing.
+type JobStats struct {
+	// Claims counts tasks a slot popped from its own deque.
+	Claims []int64
+	// Steals counts tasks a slot stole from a sibling's deque.
+	Steals []int64
+	// IdleNs accumulates the nanoseconds between a slot's last task
+	// completion and the job's end — time spent waiting at the join
+	// barrier while stragglers finished (for a slot that never ran a
+	// task, the whole job duration).
+	IdleNs []int64
+}
+
+// Ensure grows the stat slices to cover p slots, preserving totals.
+func (st *JobStats) Ensure(p int) {
+	st.Claims = growInt64(st.Claims, p)
+	st.Steals = growInt64(st.Steals, p)
+	st.IdleNs = growInt64(st.IdleNs, p)
+}
+
+// Reset zeroes every accumulated statistic.
+func (st *JobStats) Reset() {
+	clear(st.Claims)
+	clear(st.Steals)
+	clear(st.IdleNs)
+}
+
+func growInt64(s []int64, n int) []int64 {
+	if len(s) >= n {
+		return s
+	}
+	out := make([]int64, n)
+	copy(out, s)
+	return out
+}
+
+// deque is one slot's bounded work queue: a contiguous range [lo, hi)
+// of task indices packed into a single atomic word (lo in the high 32
+// bits). The owner pops from the front, thieves from the back; both
+// sides race through CAS on the one word, and the padding keeps
+// neighboring slots' words off each other's cache line.
+type deque struct {
+	hd atomic.Uint64
+	_  [56]byte
+}
+
+func packRange(lo, hi int) uint64 {
+	return uint64(uint32(lo))<<32 | uint64(uint32(hi))
+}
+
+func unpackRange(v uint64) (lo, hi int) {
+	return int(v >> 32), int(uint32(v))
+}
+
+func (d *deque) popFront() (int, bool) {
+	for {
+		v := d.hd.Load()
+		lo, hi := unpackRange(v)
+		if lo >= hi {
+			return 0, false
+		}
+		if d.hd.CompareAndSwap(v, packRange(lo+1, hi)) {
+			return lo, true
+		}
+	}
+}
+
+func (d *deque) popBack() (int, bool) {
+	for {
+		v := d.hd.Load()
+		lo, hi := unpackRange(v)
+		if lo >= hi {
+			return 0, false
+		}
+		if d.hd.CompareAndSwap(v, packRange(lo, hi-1)) {
+			return hi - 1, true
+		}
+	}
+}
+
+// slotState is one slot's private scheduling-stat scratch, padded so
+// concurrent participants never share a cache line. Written only by the
+// slot's owner; read by the job's caller after the join barrier.
+type slotState struct {
+	claims  int64
+	steals  int64
+	lastEnd int64
+	_       [40]byte
+}
+
+// job is one fork-join parallel loop in flight.
+type job struct {
+	fn      func(slot, task int)
+	deques  []deque
+	nslots  int
+	slots   atomic.Int32 // dense slot allocator
+	pending atomic.Int64 // tasks not yet completed
+	done    chan struct{}
+	stats   []slotState // non-nil only when the caller asked for stats
+}
+
+// participate claims a slot and works until no task remains anywhere.
+// Extra participants (pool workers arriving after the job is fully
+// crewed or fully drained) leave immediately.
+func (j *job) participate() {
+	slot := int(j.slots.Add(1)) - 1
+	if slot >= j.nslots {
+		return
+	}
+	own := &j.deques[slot]
+	for {
+		task, ok := own.popFront()
+		if !ok {
+			break
+		}
+		if j.stats != nil {
+			j.stats[slot].claims++
+		}
+		j.runTask(slot, task)
+	}
+	for {
+		stole := false
+		for i := 1; i < j.nslots; i++ {
+			v := &j.deques[(slot+i)%j.nslots]
+			task, ok := v.popBack()
+			if !ok {
+				continue
+			}
+			if j.stats != nil {
+				j.stats[slot].steals++
+			}
+			j.runTask(slot, task)
+			stole = true
+			break
+		}
+		if !stole {
+			return
+		}
+	}
+}
+
+func (j *job) runTask(slot, task int) {
+	j.fn(slot, task)
+	if j.stats != nil {
+		j.stats[slot].lastEnd = time.Now().UnixNano()
+	}
+	if j.pending.Add(-1) == 0 {
+		close(j.done)
+	}
+}
+
+func (e *Executor) startWorkers() {
+	for i := 0; i < e.nworkers; i++ {
+		go func() {
+			for j := range e.runq {
+				j.participate()
+			}
+		}()
+	}
+}
+
+// Run executes tasks [0, ntasks) on up to p slots, with each slot's
+// initial share an even contiguous range of the task space. fn receives
+// the executing slot id (dense in [0, min(p, ntasks))) and the task
+// index; every task runs exactly once. Run returns after all tasks have
+// completed. st, when non-nil, accumulates per-slot scheduling stats.
+//
+// When p ≤ 1 (or the pool is empty) the loop runs inline on the caller
+// with no scheduling machinery at all.
+func (e *Executor) Run(p, ntasks int, fn func(slot, task int), st *JobStats) {
+	e.run(p, ntasks, nil, fn, st)
+}
+
+// ForChunks is Run with weighted initial shares: cum, when non-nil, is
+// the exclusive cumulative weight array of the nchunks chunks (length
+// nchunks+1, cum[0] = 0), and each slot's initial deque covers a
+// contiguous chunk range of near-equal total weight. Stealing then
+// corrects whatever imbalance the weights failed to predict — the
+// over-decomposition + stealing discipline the paper's 8t bucket split
+// approximates with dynamic scheduling.
+func (e *Executor) ForChunks(p, nchunks int, cum []int64, fn func(worker, chunk int), st *JobStats) {
+	e.run(p, nchunks, cum, fn, st)
+}
+
+// ForChunks runs the weighted stealable chunk loop on the default
+// executor (see Executor.ForChunks).
+func ForChunks(p, nchunks int, cum []int64, fn func(worker, chunk int), st *JobStats) {
+	Default().run(p, nchunks, cum, fn, st)
+}
+
+func (e *Executor) run(p, ntasks int, cum []int64, fn func(slot, task int), st *JobStats) {
+	if ntasks <= 0 {
+		return
+	}
+	if p > ntasks {
+		p = ntasks
+	}
+	if p <= 1 || e.nworkers == 0 {
+		for task := 0; task < ntasks; task++ {
+			fn(0, task)
+		}
+		if st != nil {
+			st.Ensure(1)
+			st.Claims[0] += int64(ntasks)
+		}
+		return
+	}
+
+	j := &job{fn: fn, nslots: p, done: make(chan struct{})}
+	j.pending.Store(int64(ntasks))
+	j.deques = make([]deque, p)
+	assignShares(j.deques, ntasks, cum)
+	var begin int64
+	if st != nil {
+		st.Ensure(p)
+		j.stats = make([]slotState, p)
+		begin = time.Now().UnixNano()
+	}
+
+	e.start.Do(e.startWorkers)
+	helpers := p - 1
+	if helpers > e.nworkers {
+		helpers = e.nworkers
+	}
+announce:
+	for i := 0; i < helpers; i++ {
+		select {
+		case e.runq <- j:
+		default:
+			// Every pool worker is busy; whoever we reached (plus the
+			// caller, who can drain everything alone) finishes the job.
+			break announce
+		}
+	}
+	j.participate()
+	<-j.done
+
+	if st != nil {
+		end := time.Now().UnixNano()
+		for w := 0; w < p; w++ {
+			s := &j.stats[w]
+			st.Claims[w] += s.claims
+			st.Steals[w] += s.steals
+			last := s.lastEnd
+			if last == 0 {
+				last = begin
+			}
+			st.IdleNs[w] += end - last
+		}
+	}
+}
+
+// assignShares writes each slot's initial contiguous task range into
+// its deque: even by count, or balanced by the exclusive cumulative
+// weights cum (the same discipline as SplitByWeight).
+func assignShares(d []deque, ntasks int, cum []int64) {
+	p := len(d)
+	if cum == nil || cum[ntasks] <= 0 {
+		for w := 0; w < p; w++ {
+			d[w].hd.Store(packRange(w*ntasks/p, (w+1)*ntasks/p))
+		}
+		return
+	}
+	total := cum[ntasks]
+	prev := 0
+	for w := 0; w < p; w++ {
+		hi := ntasks
+		if w < p-1 {
+			target := total * int64(w+1) / int64(p)
+			hi = prev + sort.Search(ntasks-prev, func(i int) bool {
+				return cum[prev+i+1] >= target
+			}) + 1
+			if hi > ntasks {
+				hi = ntasks
+			}
+		}
+		d[w].hd.Store(packRange(prev, hi))
+		prev = hi
+	}
+}

@@ -1,18 +1,24 @@
 // Package par provides the fork-join data-parallel primitives used by
-// every algorithm in this repository: static and dynamic parallel loops,
-// weighted range splitting, and prefix sums.
+// every algorithm in this repository: static, dynamic and work-stealing
+// parallel loops, weighted range splitting, and prefix sums.
 //
 // The package plays the role OpenMP plays in the paper's implementation:
 // ForStatic corresponds to "#pragma omp parallel for schedule(static)",
-// ForDynamic to "schedule(dynamic, chunk)". Worker identities are stable
-// integers in [0, p), so callers can keep per-worker state (private SPA
-// pieces, counters) without synchronization.
+// ForDynamic to "schedule(dynamic, chunk)", and ForChunks to the guided
+// over-decomposed schedule the paper's 8t bucket split approximates.
+// Worker identities are stable integers in [0, p), so callers can keep
+// per-worker state (private SPA pieces, counters) without
+// synchronization.
+//
+// All loops execute on a persistent work-stealing Executor (see
+// executor.go) instead of spawning goroutines per call; the p == 1 path
+// of every primitive runs inline on the caller with no scheduling
+// machinery at all.
 package par
 
 import (
 	"runtime"
 	"sort"
-	"sync"
 	"sync/atomic"
 )
 
@@ -40,20 +46,12 @@ func ForStatic(p, n int, fn func(worker, lo, hi int)) {
 		fn(0, 0, n)
 		return
 	}
-	var wg sync.WaitGroup
-	for w := 1; w < p; w++ {
+	Default().Run(p, p, func(_, w int) {
 		lo, hi := w*n/p, (w+1)*n/p
-		if lo == hi {
-			continue
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
+		if lo < hi {
 			fn(w, lo, hi)
-		}(w, lo, hi)
-	}
-	fn(0, 0, n/p)
-	wg.Wait()
+		}
+	}, nil)
 }
 
 // ForRanges executes fn once per pre-computed range. ranges[w] = {lo, hi}.
@@ -74,26 +72,20 @@ func ForRanges(ranges [][2]int, fn func(worker, lo, hi int)) {
 		fn(last, ranges[last][0], ranges[last][1])
 		return
 	}
-	var wg sync.WaitGroup
-	for w, r := range ranges {
-		if r[0] >= r[1] || w == last {
-			continue
+	Default().Run(live, len(ranges), func(_, w int) {
+		if r := ranges[w]; r[0] < r[1] {
+			fn(w, r[0], r[1])
 		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			fn(w, lo, hi)
-		}(w, r[0], r[1])
-	}
-	fn(last, ranges[last][0], ranges[last][1])
-	wg.Wait()
+	}, nil)
 }
 
 // ForDynamic executes fn over [0, n) in chunks of the given size claimed
 // via an atomic counter — the moral equivalent of OpenMP dynamic
-// scheduling. syncEvents, when non-nil, receives one increment per chunk
-// claim per worker (the paper counts these as the synchronization cost of
-// dynamic scheduling).
+// scheduling. syncEvents, when non-nil, receives one increment per
+// productive chunk claim per worker (the paper counts these as the
+// synchronization cost of dynamic scheduling): claims total exactly
+// ⌈n/chunk⌉ across workers — the fetch that discovers the range is
+// exhausted is not a chunk claim.
 func ForDynamic(p, n, chunk int, fn func(worker, lo, hi int), syncEvents []int64) {
 	if n <= 0 {
 		return
@@ -113,11 +105,11 @@ func ForDynamic(p, n, chunk int, fn func(worker, lo, hi int), syncEvents []int64
 		for {
 			hi := atomic.AddInt64(&next, int64(chunk))
 			lo := hi - int64(chunk)
-			if syncEvents != nil {
-				syncEvents[w]++
-			}
 			if lo >= int64(n) {
 				return
+			}
+			if syncEvents != nil {
+				syncEvents[w]++
 			}
 			if hi > int64(n) {
 				hi = int64(n)
@@ -125,16 +117,7 @@ func ForDynamic(p, n, chunk int, fn func(worker, lo, hi int), syncEvents []int64
 			fn(w, int(lo), int(hi))
 		}
 	}
-	var wg sync.WaitGroup
-	for w := 1; w < p; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			body(w)
-		}(w)
-	}
-	body(0)
-	wg.Wait()
+	Default().Run(p, p, func(_, w int) { body(w) }, nil)
 }
 
 // ExclusivePrefixSum converts a in place into its exclusive prefix sum

@@ -1,0 +1,76 @@
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Slots pins up to n lazily-created values to stable slot ids, with a
+// sync.Pool overflow for bursts. It replaces a bare sync.Pool for
+// per-call workspaces: a steady caller reclaims the same slot — and
+// therefore the same warm, fully-grown workspace — on every call
+// (sync.Pool gives no such affinity and may drop workspaces at GC),
+// while more than n concurrent callers spill to the pool instead of
+// blocking.
+//
+// Get scans the slot array front-to-back and CAS-claims the first free
+// slot, so slot 0 is the hottest value; the value itself is created on
+// the slot's first claim. Put with the slot id returned by Get releases
+// the slot (or returns an overflow value to the pool).
+type Slots[T any] struct {
+	state []slotFlag
+	vals  []atomic.Pointer[T]
+	fresh func() *T
+	pool  sync.Pool
+}
+
+// slotFlag is one slot's claim word, padded to its own cache line.
+type slotFlag struct {
+	v atomic.Int32
+	_ [60]byte
+}
+
+// NewSlots returns a slot set of size n (at least 1); fresh builds a
+// value the first time a slot is claimed and for every overflow miss.
+func NewSlots[T any](n int, fresh func() *T) *Slots[T] {
+	if n < 1 {
+		n = 1
+	}
+	s := &Slots[T]{
+		state: make([]slotFlag, n),
+		vals:  make([]atomic.Pointer[T], n),
+		fresh: fresh,
+	}
+	s.pool.New = func() any { return fresh() }
+	return s
+}
+
+// Get claims a free slot and returns its value with the slot id. When
+// every slot is busy — more concurrent callers than slots — it falls
+// back to the overflow pool and returns slot id -1.
+func (s *Slots[T]) Get() (*T, int) {
+	for i := range s.state {
+		if s.state[i].v.Load() == 0 && s.state[i].v.CompareAndSwap(0, 1) {
+			v := s.vals[i].Load()
+			if v == nil {
+				v = s.fresh()
+				s.vals[i].Store(v)
+			}
+			return v, i
+		}
+	}
+	return s.pool.Get().(*T), -1
+}
+
+// Put releases the slot claimed by Get (pass the value and slot id Get
+// returned; -1 routes the value back to the overflow pool).
+func (s *Slots[T]) Put(v *T, slot int) {
+	if slot < 0 {
+		s.pool.Put(v)
+		return
+	}
+	s.state[slot].v.Store(0)
+}
+
+// Len reports the number of pinned slots.
+func (s *Slots[T]) Len() int { return len(s.state) }

@@ -69,6 +69,17 @@ type Counters struct {
 	// output; a frontier pipeline (BFS feeding each level's output back
 	// as the next input) reports 0 here on its dense phases.
 	OutputConversions int64
+
+	// Scheduling statistics from the work-stealing executor, excluded
+	// from Work like the routing stats. ChunkClaims counts chunks a
+	// worker popped from its own deque and Steals chunks it took from a
+	// sibling's; ChunkClaims+Steals summed over workers equals the
+	// number of chunks scheduled (deterministic), while the split
+	// between them and IdleNs — nanoseconds spent waiting at join
+	// barriers after the worker's last chunk — depend on runtime timing.
+	ChunkClaims int64
+	Steals      int64
+	IdleNs      int64
 }
 
 // Merge adds o into c.
@@ -86,6 +97,9 @@ func (c *Counters) Merge(o *Counters) {
 	c.DirectionSwitches += o.DirectionSwitches
 	c.FrontierConversions += o.FrontierConversions
 	c.OutputConversions += o.OutputConversions
+	c.ChunkClaims += o.ChunkClaims
+	c.Steals += o.Steals
+	c.IdleNs += o.IdleNs
 }
 
 // Reset zeroes all counters.
@@ -105,10 +119,11 @@ func (c Counters) Work() int64 {
 // String formats the counters as a compact single-line summary.
 func (c Counters) String() string {
 	return fmt.Sprintf(
-		"xscan=%d probes=%d mat=%d spainit=%d spaupd=%d bucket=%d heap=%d sort=%d out=%d sync=%d switch=%d conv=%d outconv=%d work=%d",
+		"xscan=%d probes=%d mat=%d spainit=%d spaupd=%d bucket=%d heap=%d sort=%d out=%d sync=%d switch=%d conv=%d outconv=%d claims=%d steals=%d idlens=%d work=%d",
 		c.XScanned, c.ColumnsProbed, c.MatrixTouched, c.SPAInit, c.SPAUpdates,
 		c.BucketWrites, c.HeapOps, c.SortedElems, c.OutputWritten, c.SyncEvents,
-		c.DirectionSwitches, c.FrontierConversions, c.OutputConversions, c.Work())
+		c.DirectionSwitches, c.FrontierConversions, c.OutputConversions,
+		c.ChunkClaims, c.Steals, c.IdleNs, c.Work())
 }
 
 // MergeAll aggregates a slice of per-worker counters into one.

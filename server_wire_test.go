@@ -293,20 +293,20 @@ func TestServeWireNegotiationMatrix(t *testing.T) {
 		le(1) // envelope version
 		le(uint32(len(header)))
 		buf.Write(header)
-		le(1)                         // one section
-		buf.Write([]byte{2})          // role 2: desc.mask (bitmap-typed)
-		le(0)                         // idx
-		buf.Write([]byte{1})          // present
-		buf.WriteString("SPVB")       // hostile SPVB bitmap frame follows
-		le(1)                         // vector version
-		buf.Write([]byte{2})          // kind 2: bitmap
+		le(1)                   // one section
+		buf.Write([]byte{2})    // role 2: desc.mask (bitmap-typed)
+		le(0)                   // idx
+		buf.Write([]byte{1})    // present
+		buf.WriteString("SPVB") // hostile SPVB bitmap frame follows
+		le(1)                   // vector version
+		buf.Write([]byte{2})    // kind 2: bitmap
 		var w8 [8]byte
 		for i, n := 0, uint64(1)<<30; i < 8; i++ {
 			w8[i] = byte(n >> (8 * i))
 		}
-		buf.Write(w8[:])              // n = 2^30, far past the decode limit
-		buf.Write(make([]byte, 8))    // nset = 0
-		buf.Write([]byte{0})          // no values — and no words delivered
+		buf.Write(w8[:])           // n = 2^30, far past the decode limit
+		buf.Write(make([]byte, 8)) // nset = 0
+		buf.Write([]byte{0})       // no values — and no words delivered
 		resp, data := postRaw(t, ts.URL+"/v1/mult", spmspv.ContentTypeBinary, spmspv.ContentTypeJSON, buf.Bytes())
 		if resp.StatusCode != http.StatusBadRequest {
 			t.Fatalf("HTTP %d: %s", resp.StatusCode, data)

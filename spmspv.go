@@ -9,6 +9,7 @@ import (
 	"spmspv/internal/algorithms"
 	"spmspv/internal/engine"
 	"spmspv/internal/graphgen"
+	"spmspv/internal/par"
 	"spmspv/internal/perf"
 	"spmspv/internal/semiring"
 	"spmspv/internal/sparse"
@@ -91,6 +92,18 @@ var (
 	MinSelect1st = semiring.MinSelect1st
 )
 
+// The bucket engine's Step-2 merge schedules (Options.MergeSched).
+const (
+	// SchedDynamic claims buckets via an atomic counter (the paper's
+	// default, §III-A).
+	SchedDynamic = engine.SchedDynamic
+	// SchedStatic assigns contiguous bucket ranges up front.
+	SchedStatic = engine.SchedStatic
+	// SchedStealing runs the merge on the persistent work-stealing
+	// executor with entry-weighted initial shares (see internal/par).
+	SchedStealing = engine.SchedStealing
+)
+
 // The OutputMode values a Desc can request (see engine.OutputMode).
 const (
 	// OutputAuto asks for the richest representation the engine emits
@@ -101,6 +114,16 @@ const (
 	// OutputBitmap guarantees a materialized bitmap on return.
 	OutputBitmap = engine.OutputBitmap
 )
+
+// SetExecutorWorkers resizes the process-wide persistent executor that
+// every parallel region runs on (see internal/par): n is the number of
+// long-lived pool workers backing fork-join calls beyond the caller
+// itself (the default is GOMAXPROCS-1), and n ≤ 0 forces every
+// parallel region inline on its calling goroutine. Call it at startup,
+// before parallel work begins. Serving hosts use it (-par-workers on
+// spmspv-serve) to cap total multiply fan-out independently of
+// per-call Options.Threads.
+func SetExecutorWorkers(n int) { par.SetDefaultWorkers(n) }
 
 // ParseSemiring resolves a semiring name — a short alias
 // ("arithmetic", "minplus", "maxplus", "boolean", "bfs", ...) or a

@@ -32,6 +32,9 @@ func TestConcurrentMultiplySharedMultiplier(t *testing.T) {
 		alg := alg
 		t.Run(alg.String(), func(t *testing.T) {
 			t.Parallel()
+			// Parallel subtests must not share the outer rng: give each
+			// its own deterministically seeded source.
+			rng := rand.New(rand.NewSource(42 + int64(alg)))
 			mu := spmspv.NewWithAlgorithm(a, alg, spmspv.Options{Threads: 2, SortOutput: true})
 
 			// Pre-build inputs and expected outputs serially so the
