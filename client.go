@@ -2,12 +2,14 @@ package spmspv
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"strings"
 	"sync/atomic"
+	"time"
 )
 
 // Client speaks the spmspv-serve HTTP API and implements the same
@@ -25,6 +27,24 @@ type Client struct {
 	// JSON instead of re-paying a failed round trip per request.
 	wire     string
 	jsonOnly atomic.Bool
+	// timeout, when positive, bounds every request that arrives without
+	// its own deadline (see WithTimeout).
+	timeout time.Duration
+}
+
+// defaultHTTPClient is the pooled transport shared by every Client
+// that does not bring its own *http.Client. The per-host idle pool is
+// sized for a coordinator holding persistent links to a handful of
+// shard servers under concurrent scatter traffic — net/http's default
+// of 2 idle connections per host would re-dial on every parallel
+// fan-out.
+var defaultHTTPClient = &http.Client{
+	Transport: &http.Transport{
+		Proxy:               http.ProxyFromEnvironment,
+		MaxIdleConns:        128,
+		MaxIdleConnsPerHost: 32,
+		IdleConnTimeout:     90 * time.Second,
+	},
 }
 
 // ClientOption configures NewClient.
@@ -50,18 +70,37 @@ func WithWire(contentType string) ClientOption {
 	}
 }
 
+// WithTimeout bounds every call that arrives without its own deadline:
+// each request runs under a context.WithTimeout of d, so a hung server
+// costs at most d instead of blocking the caller forever. Calls made
+// through DoContext/RunContext with an earlier deadline keep theirs.
+func WithTimeout(d time.Duration) ClientOption {
+	return func(c *Client) { c.timeout = d }
+}
+
 // NewClient returns a client for the server at baseURL (e.g.
 // "http://localhost:8090").
 func NewClient(baseURL string, opts ...ClientOption) *Client {
 	c := &Client{
 		base: strings.TrimRight(baseURL, "/"),
-		hc:   http.DefaultClient,
+		hc:   defaultHTTPClient,
 		wire: ContentTypeBinary,
 	}
 	for _, o := range opts {
 		o(c)
 	}
 	return c
+}
+
+// reqContext applies the client timeout to a context that has no
+// deadline of its own.
+func (c *Client) reqContext(ctx context.Context) (context.Context, context.CancelFunc) {
+	if c.timeout > 0 {
+		if _, ok := ctx.Deadline(); !ok {
+			return context.WithTimeout(ctx, c.timeout)
+		}
+	}
+	return ctx, func() {}
 }
 
 // useBinary reports whether the next mult/program call should attempt
@@ -73,8 +112,10 @@ func (c *Client) useBinary() bool {
 // roundTrip POSTs/GETs and decodes the JSON reply into out. A non-2xx
 // status is decoded through errOf, which extracts the wire error from
 // whatever envelope the endpoint uses.
-func (c *Client) roundTrip(method, path string, body io.Reader, contentType string, out any, errOf func([]byte) *WireError) error {
-	req, err := http.NewRequest(method, c.base+path, body)
+func (c *Client) roundTrip(ctx context.Context, method, path string, body io.Reader, contentType string, out any, errOf func([]byte) *WireError) error {
+	ctx, cancel := c.reqContext(ctx)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
 	if err != nil {
 		return err
 	}
@@ -126,12 +167,14 @@ func envelopeError(data []byte) *WireError {
 // 400/bad_request because it cannot parse the envelope, or a reply in
 // no recognizable form — and the caller should retry as JSON; both
 // endpoints are pure computation, so the retry is safe.
-func binaryRoundTrip[T any](c *Client, path string, enc func(io.Writer) error, dec func(io.Reader) (*T, error), errOf func(*T) *WireError) (out *T, downgrade bool, err error) {
+func binaryRoundTrip[T any](ctx context.Context, c *Client, path string, enc func(io.Writer) error, dec func(io.Reader) (*T, error), errOf func(*T) *WireError) (out *T, downgrade bool, err error) {
 	var buf bytes.Buffer
 	if err := enc(&buf); err != nil {
 		return nil, false, err
 	}
-	req, err := http.NewRequest(http.MethodPost, c.base+path, &buf)
+	ctx, cancel := c.reqContext(ctx)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, &buf)
 	if err != nil {
 		return nil, false, err
 	}
@@ -178,8 +221,16 @@ func binaryRoundTrip[T any](c *Client, path string, enc func(io.Writer) error, d
 // Do executes one multiply request on the server (POST /v1/mult),
 // negotiating the binary wire form first (see WithWire).
 func (c *Client) Do(req *Request) (*Response, error) {
+	return c.DoContext(context.Background(), req)
+}
+
+// DoContext is Do under a caller-supplied context: the request is
+// abandoned — connection torn down, caller unblocked — the moment the
+// context is done. The sharded coordinator's per-attempt retry
+// deadlines ride this.
+func (c *Client) DoContext(ctx context.Context, req *Request) (*Response, error) {
 	if c.useBinary() {
-		resp, downgrade, err := binaryRoundTrip(c, "/v1/mult",
+		resp, downgrade, err := binaryRoundTrip(ctx, c, "/v1/mult",
 			func(w io.Writer) error { return EncodeRequestBinary(w, req) },
 			DecodeResponseBinary,
 			func(r *Response) *WireError { return r.Err })
@@ -199,7 +250,7 @@ func (c *Client) Do(req *Request) (*Response, error) {
 		return nil, fmt.Errorf("spmspv: encoding request: %w", err)
 	}
 	var resp Response
-	err = c.roundTrip(http.MethodPost, "/v1/mult", bytes.NewReader(data), "application/json", &resp,
+	err = c.roundTrip(ctx, http.MethodPost, "/v1/mult", bytes.NewReader(data), "application/json", &resp,
 		func(data []byte) *WireError {
 			var r Response
 			if json.Unmarshal(data, &r) == nil && r.Err != nil {
@@ -219,8 +270,13 @@ func (c *Client) Do(req *Request) (*Response, error) {
 // Run executes a program on the server (POST /v1/program),
 // negotiating the binary wire form first (see WithWire).
 func (c *Client) Run(p *Program) (*ProgramResponse, error) {
+	return c.RunContext(context.Background(), p)
+}
+
+// RunContext is Run under a caller-supplied context (see DoContext).
+func (c *Client) RunContext(ctx context.Context, p *Program) (*ProgramResponse, error) {
 	if c.useBinary() {
-		resp, downgrade, err := binaryRoundTrip(c, "/v1/program",
+		resp, downgrade, err := binaryRoundTrip(ctx, c, "/v1/program",
 			func(w io.Writer) error { return EncodeProgramBinary(w, p) },
 			DecodeProgramResponseBinary,
 			func(r *ProgramResponse) *WireError { return r.Err })
@@ -240,7 +296,7 @@ func (c *Client) Run(p *Program) (*ProgramResponse, error) {
 		return nil, fmt.Errorf("spmspv: encoding program: %w", err)
 	}
 	var resp ProgramResponse
-	err = c.roundTrip(http.MethodPost, "/v1/program", bytes.NewReader(data), "application/json", &resp,
+	err = c.roundTrip(ctx, http.MethodPost, "/v1/program", bytes.NewReader(data), "application/json", &resp,
 		func(data []byte) *WireError {
 			var r ProgramResponse
 			if json.Unmarshal(data, &r) == nil && r.Err != nil {
@@ -265,7 +321,7 @@ func (c *Client) PutMatrix(name string, a *Matrix) (*StoreStat, error) {
 		return nil, err
 	}
 	var stat StoreStat
-	err := c.roundTrip(http.MethodPost, "/v1/matrices/"+name, &buf, "application/octet-stream", &stat, envelopeError)
+	err := c.roundTrip(context.Background(), http.MethodPost, "/v1/matrices/"+name, &buf, "application/octet-stream", &stat, envelopeError)
 	if err != nil {
 		return nil, err
 	}
@@ -276,7 +332,7 @@ func (c *Client) PutMatrix(name string, a *Matrix) (*StoreStat, error) {
 // counters (GET /v1/matrices).
 func (c *Client) Matrices() ([]StoreStat, error) {
 	var stats []StoreStat
-	if err := c.roundTrip(http.MethodGet, "/v1/matrices", nil, "", &stats, envelopeError); err != nil {
+	if err := c.roundTrip(context.Background(), http.MethodGet, "/v1/matrices", nil, "", &stats, envelopeError); err != nil {
 		return nil, err
 	}
 	return stats, nil
@@ -285,7 +341,7 @@ func (c *Client) Matrices() ([]StoreStat, error) {
 // Matrix reports one registered matrix (GET /v1/matrices/{name}).
 func (c *Client) Matrix(name string) (*StoreStat, error) {
 	var stat StoreStat
-	if err := c.roundTrip(http.MethodGet, "/v1/matrices/"+name, nil, "", &stat, envelopeError); err != nil {
+	if err := c.roundTrip(context.Background(), http.MethodGet, "/v1/matrices/"+name, nil, "", &stat, envelopeError); err != nil {
 		return nil, err
 	}
 	return &stat, nil
@@ -293,7 +349,7 @@ func (c *Client) Matrix(name string) (*StoreStat, error) {
 
 // DeleteMatrix unregisters a matrix (DELETE /v1/matrices/{name}).
 func (c *Client) DeleteMatrix(name string) error {
-	return c.roundTrip(http.MethodDelete, "/v1/matrices/"+name, nil, "", nil, envelopeError)
+	return c.roundTrip(context.Background(), http.MethodDelete, "/v1/matrices/"+name, nil, "", nil, envelopeError)
 }
 
 // BFS runs a whole breadth-first search from source on the named

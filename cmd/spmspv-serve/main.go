@@ -9,6 +9,20 @@
 //	spmspv-serve -addr :8090 -preload web=graph.mtx -preload rmat=r.spmb \
 //	             [-engine hybrid] [-threads 4] [-par-workers 8] [-batch-window 500us] [-batch-size 8]
 //
+// Sharded serving: -shards promotes the process to a scatter/gather
+// coordinator over row-range shard backends — either N fresh
+// in-process stores (-shards 3) or remote spmspv-serve workers
+// (-shards http://h1:8090,http://h2:8090). Uploads are row-sliced
+// across the backends and every multiply fans out in parallel, each
+// shard computing its row range of y; GET /v1/shards reports per-shard
+// counters. -shard-of i/n runs a worker that preloads only its own row
+// slice, so a coordinator pointed at the workers discovers the
+// decomposition without re-uploading:
+//
+//	spmspv-serve -addr :8091 -shard-of 0/2 -preload web=graph.mtx &
+//	spmspv-serve -addr :8092 -shard-of 1/2 -preload web=graph.mtx &
+//	spmspv-serve -addr :8090 -shards http://localhost:8091,http://localhost:8092
+//
 // Preloaded matrices accept Matrix Market, JSON-wire or binary-wire
 // files (sniffed); more matrices can be uploaded at runtime:
 //
@@ -33,6 +47,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -73,6 +88,14 @@ func main() {
 			"re-run hybrid threshold calibration even on a cache hit")
 		maxBitmap = flag.Int64("max-bitmap-dim", 0,
 			"largest bitmap (mask) dimension request decoding will materialize (0 = built-in default)")
+		shards = flag.String("shards", "",
+			"serve as a shard coordinator: an integer N for N in-process shards, or comma-separated worker base URLs")
+		shardOf = flag.String("shard-of", "",
+			"serve as shard worker i of n (\"i/n\"): preloads are row-sliced to this worker's piece")
+		shardRetries = flag.Int("shard-retries", 2,
+			"retries per failed shard call before the request fails (coordinator mode)")
+		shardTimeout = flag.Duration("shard-timeout", 30*time.Second,
+			"per-attempt deadline for one shard call (coordinator mode, 0 disables)")
 	)
 	flag.Var(&pre, "preload", "name=path matrix to load at boot (repeatable)")
 	flag.Parse()
@@ -97,26 +120,74 @@ func main() {
 		log.Fatalf("spmspv-serve: unknown wire form %q (want json or binary)", *wire)
 	}
 
-	store := spmspv.NewStore(
+	if *shards != "" && *shardOf != "" {
+		log.Fatalf("spmspv-serve: -shards (coordinator) and -shard-of (worker) are mutually exclusive")
+	}
+	storeOpts := []spmspv.Option{
 		spmspv.WithAlgorithm(alg),
 		spmspv.WithThreads(*threads),
 		spmspv.WithSortOutput(true),
 		spmspv.WithCalibrationCache(*cachePath, *recalibrate),
-	)
-	for _, p := range pre {
-		if err := store.PutFile(p.name, p.path); err != nil {
-			log.Fatalf("spmspv-serve: preloading %s: %v", p.name, err)
-		}
-		// Build the engine (and any hybrid calibration) at boot rather
-		// than on the first request.
-		mu, err := store.Load(p.name)
-		if err != nil {
-			log.Fatalf("spmspv-serve: building engine for %s: %v", p.name, err)
-		}
-		log.Printf("spmspv-serve: preloaded %s: %s (engine %s)", p.name, mu.Matrix(), alg)
 	}
 
-	srv := spmspv.NewServer(store,
+	var backend spmspv.ServingStore
+	switch {
+	case *shards != "":
+		ss, err := buildCoordinator(*shards, storeOpts, *shardRetries, *shardTimeout)
+		if err != nil {
+			log.Fatalf("spmspv-serve: %v", err)
+		}
+		for _, p := range pre {
+			a, err := spmspv.ReadMatrixFile(p.path)
+			if err != nil {
+				log.Fatalf("spmspv-serve: preloading %s: %v", p.name, err)
+			}
+			if err := ss.Put(p.name, a); err != nil {
+				log.Fatalf("spmspv-serve: sharding %s: %v", p.name, err)
+			}
+			log.Printf("spmspv-serve: preloaded %s across %d shards (%dx%d, %d nnz)",
+				p.name, ss.Shards(), a.NumRows, a.NumCols, a.NNZ())
+		}
+		backend = ss
+	default:
+		store := spmspv.NewStore(storeOpts...)
+		piece, npieces, err := parseShardOf(*shardOf)
+		if err != nil {
+			log.Fatalf("spmspv-serve: %v", err)
+		}
+		for _, p := range pre {
+			if npieces > 0 {
+				// Worker mode: register only this worker's row slice, so a
+				// coordinator discovers the decomposition instead of
+				// re-uploading it.
+				a, err := spmspv.ReadMatrixFile(p.path)
+				if err != nil {
+					log.Fatalf("spmspv-serve: preloading %s: %v", p.name, err)
+				}
+				bounds := spmspv.PieceBounds(a.NumRows, npieces)
+				lo, hi := bounds[piece], bounds[piece+1]
+				if hi <= lo {
+					log.Printf("spmspv-serve: %s piece %d/%d is empty, not registered", p.name, piece, npieces)
+					continue
+				}
+				if err := store.Put(p.name, spmspv.RowSlice(a, lo, hi)); err != nil {
+					log.Fatalf("spmspv-serve: preloading %s: %v", p.name, err)
+				}
+			} else if err := store.PutFile(p.name, p.path); err != nil {
+				log.Fatalf("spmspv-serve: preloading %s: %v", p.name, err)
+			}
+			// Build the engine (and any hybrid calibration) at boot rather
+			// than on the first request.
+			mu, err := store.Load(p.name)
+			if err != nil {
+				log.Fatalf("spmspv-serve: building engine for %s: %v", p.name, err)
+			}
+			log.Printf("spmspv-serve: preloaded %s: %s (engine %s)", p.name, mu.Matrix(), alg)
+		}
+		backend = store
+	}
+
+	srv := spmspv.NewServer(backend,
 		spmspv.WithBatchWindow(*window),
 		spmspv.WithBatchSize(*batch),
 		spmspv.WithDefaultWire(defaultWire),
@@ -147,10 +218,73 @@ func main() {
 		}
 	}
 
-	for _, stat := range store.StatsAll() {
+	for _, stat := range backend.StatsAll() {
 		s := stat.Serve
 		log.Printf("spmspv-serve: %s: %d requests (%d failed), %d coalesced in %d batches, avg %v max %v",
 			stat.Name, s.Requests, s.Failures, s.Coalesced, s.Batches,
 			time.Duration(s.AvgLatencyNS), time.Duration(s.MaxLatencyNS))
 	}
+	if ss, ok := backend.(*spmspv.ShardedStore); ok {
+		for _, st := range ss.ShardStats() {
+			s := st.Serve
+			log.Printf("spmspv-serve: shard %d (%s): %d requests (%d failed), %d retries, avg %v max %v",
+				st.Shard, st.Addr, s.Requests, s.Failures, s.Retries,
+				time.Duration(s.AvgLatencyNS), time.Duration(s.MaxLatencyNS))
+		}
+	}
+}
+
+// buildCoordinator interprets the -shards flag: a bare integer N spins
+// up N fresh in-process stores; anything else is a comma-separated list
+// of worker base URLs reached over HTTP.
+func buildCoordinator(spec string, storeOpts []spmspv.Option, retries int, timeout time.Duration) (*spmspv.ShardedStore, error) {
+	shardOpts := []spmspv.ShardOption{
+		spmspv.WithShardRetries(retries),
+		spmspv.WithShardTimeout(timeout),
+	}
+	if n, err := strconv.Atoi(spec); err == nil {
+		if n < 1 {
+			return nil, fmt.Errorf("-shards %d: want at least one shard", n)
+		}
+		return spmspv.NewLocalShardedStore(n, storeOpts, shardOpts...)
+	}
+	urls := strings.Split(spec, ",")
+	backends := make([]spmspv.ShardBackend, 0, len(urls))
+	labels := make([]string, 0, len(urls))
+	for _, u := range urls {
+		u = strings.TrimSpace(u)
+		if u == "" {
+			continue
+		}
+		backends = append(backends, spmspv.NewClient(u, spmspv.WithTimeout(timeout)))
+		labels = append(labels, u)
+	}
+	if len(backends) == 0 {
+		return nil, fmt.Errorf("-shards %q: no worker URLs", spec)
+	}
+	return spmspv.NewShardedStore(backends, append(shardOpts, spmspv.WithShardLabels(labels))...)
+}
+
+// parseShardOf parses the -shard-of "i/n" worker spec. An empty spec
+// returns npieces 0 (not a shard worker).
+func parseShardOf(spec string) (piece, npieces int, err error) {
+	if spec == "" {
+		return 0, 0, nil
+	}
+	is, ns, ok := strings.Cut(spec, "/")
+	if !ok {
+		return 0, 0, fmt.Errorf("-shard-of %q: want i/n", spec)
+	}
+	piece, err = strconv.Atoi(strings.TrimSpace(is))
+	if err != nil {
+		return 0, 0, fmt.Errorf("-shard-of %q: %v", spec, err)
+	}
+	npieces, err = strconv.Atoi(strings.TrimSpace(ns))
+	if err != nil {
+		return 0, 0, fmt.Errorf("-shard-of %q: %v", spec, err)
+	}
+	if npieces < 1 || piece < 0 || piece >= npieces {
+		return 0, 0, fmt.Errorf("-shard-of %q: want 0 <= i < n", spec)
+	}
+	return piece, npieces, nil
 }

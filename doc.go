@@ -78,13 +78,14 @@
 // The serving layer turns the in-process engine into a network
 // service, in four pieces that stack on the wire contract:
 //
-//	Client ──HTTP──> Server (/v1/mult, /v1/program, /v1/matrices)
+//	Client ──HTTP──> Server (/v1/mult, /v1/program, /v1/matrices, /v1/shards)
 //	   \    JSON or     |    Accept/Content-Type negotiation,
 //	    \   binary      |    request coalescing → MultBatch
 //	     \  wire        v
-//	      +──same──> Store   named matrices, one cached
-//	       Executor     |    Multiplier (plans + calibration)
-//	       interface    v    per matrix, serve counters
+//	      +──same──> Store ──or── ShardedStore   row-split scatter/gather
+//	       Executor     |           | | |        coordinator: shard w owns
+//	       interface    |     Store/Client ×N    rows [bounds_w, bounds_w+1),
+//	                    v           |            gather is pure concat
 //	                Multiplier.Do / Mult / MultBatch
 //
 // A Store (NewStore) is the registry of named matrices: Put/PutFile
@@ -110,6 +111,25 @@
 // (Response.Err: code + message) either way. cmd/spmspv-serve wires it
 // all together with -preload, graceful shutdown and per-matrix
 // request/latency counters.
+//
+// A ShardedStore (NewShardedStore / NewLocalShardedStore) is the
+// horizontal version of a Store: the paper's 1D row-split — already
+// the intra-process work division — promoted to the unit of
+// distribution. Put splits a matrix into N contiguous row bands
+// (RowSlice over PieceBounds) and uploads one band per shard backend
+// (in-process Stores or remote spmspv-serve workers via Client); every
+// Do/Run scatters in parallel — shard w computes its rows of y against
+// the full x — and gathers by concatenation, which is exact because
+// row bands are disjoint (transpose is rejected: row pieces of A are
+// column pieces of Aᵀ, whose partial products would need a semiring
+// merge). Failed shard calls retry with exponential backoff
+// (WithShardRetries / WithShardTimeout), so a shard dying mid-program
+// degrades to a retried round; per-shard counters surface on
+// ShardStats and GET /v1/shards. The coordinator satisfies the same
+// ServingStore surface as a Store, so NewServer, coalescing, both wire
+// forms and the Client work unchanged — spmspv-serve's -shards flag
+// serves a coordinator, -shard-of i/n a worker holding one preloaded
+// row slice that coordinators discover lazily.
 //
 // Both request endpoints speak two wire forms, negotiated per request:
 // JSON (the default for clients that express no preference) and a

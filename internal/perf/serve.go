@@ -16,6 +16,7 @@ type ServeStats struct {
 	failures  atomic.Int64
 	coalesced atomic.Int64
 	batches   atomic.Int64
+	retries   atomic.Int64
 	latencyNS atomic.Int64
 	maxLatNS  atomic.Int64
 }
@@ -47,6 +48,15 @@ func (s *ServeStats) ObserveBatch(slots int) {
 	}
 }
 
+// ObserveRetries records n retried calls — the sharded coordinator's
+// requeue rounds land here, one count per shard call re-issued after a
+// retryable failure.
+func (s *ServeStats) ObserveRetries(n int) {
+	if n > 0 {
+		s.retries.Add(int64(n))
+	}
+}
+
 // ServeSnapshot is the JSON-ready reading of a ServeStats.
 type ServeSnapshot struct {
 	// Requests is the number of multiplies served (mult endpoint hits
@@ -59,6 +69,9 @@ type ServeSnapshot struct {
 	Coalesced int64 `json:"coalesced"`
 	// Batches is the number of multi-slot MultBatch flushes issued.
 	Batches int64 `json:"batches"`
+	// Retries is the number of calls re-issued after a retryable
+	// failure (the sharded coordinator's requeue rounds).
+	Retries int64 `json:"retries,omitempty"`
 	// AvgLatencyNS / MaxLatencyNS summarize request wall-clock latency.
 	AvgLatencyNS int64 `json:"avg_latency_ns"`
 	MaxLatencyNS int64 `json:"max_latency_ns"`
@@ -73,6 +86,7 @@ func (s *ServeStats) Snapshot() ServeSnapshot {
 		Failures:     s.failures.Load(),
 		Coalesced:    s.coalesced.Load(),
 		Batches:      s.batches.Load(),
+		Retries:      s.retries.Load(),
 		MaxLatencyNS: s.maxLatNS.Load(),
 	}
 	if snap.Requests > 0 {

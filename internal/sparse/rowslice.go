@@ -1,0 +1,121 @@
+package sparse
+
+import (
+	"math/bits"
+	"sort"
+)
+
+// RowSlice extracts global rows [lo, hi) of a as a standalone CSC
+// matrix with local row ids (global − lo) — the same row decomposition
+// RowSplit performs for the intra-process baselines, promoted to a
+// freestanding piece that can be uploaded, stored and multiplied on its
+// own. Piece w of an nshards-way split is
+//
+//	RowSlice(a, PieceBounds(m, n)[w], PieceBounds(m, n)[w+1])
+//
+// so the sharded serving layer and the in-process row-split baselines
+// agree on which rows every piece owns. Column order, intra-column row
+// order and SortedCols are preserved; multiplying the piece by the full
+// x yields exactly rows [lo, hi) of A·x, shifted to local ids — the
+// property that makes the sharded gather a pure concat.
+//
+// When a has sorted columns, each column's row range is located by
+// binary search, so a slice costs O(nzc·log(colLen) + nnz(piece))
+// rather than a full O(nnz) scan per piece.
+func RowSlice(a *CSC, lo, hi Index) *CSC {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > a.NumRows {
+		hi = a.NumRows
+	}
+	if hi < lo {
+		hi = lo
+	}
+	out := &CSC{
+		NumRows:    hi - lo,
+		NumCols:    a.NumCols,
+		ColPtr:     make([]int64, a.NumCols+1),
+		SortedCols: a.SortedCols,
+	}
+	for j := Index(0); j < a.NumCols; j++ {
+		rows, vals := a.Col(j)
+		if a.SortedCols {
+			b := sort.Search(len(rows), func(k int) bool { return rows[k] >= lo })
+			e := b + sort.Search(len(rows)-b, func(k int) bool { return rows[b+k] >= hi })
+			for k := b; k < e; k++ {
+				out.RowIdx = append(out.RowIdx, rows[k]-lo)
+				out.Val = append(out.Val, vals[k])
+			}
+		} else {
+			for k, i := range rows {
+				if i >= lo && i < hi {
+					out.RowIdx = append(out.RowIdx, i-lo)
+					out.Val = append(out.Val, vals[k])
+				}
+			}
+		}
+		out.ColPtr[j+1] = int64(len(out.RowIdx))
+	}
+	return out
+}
+
+// Slice extracts rows [lo, hi) of the bitvector as a standalone BitVec
+// of dimension hi−lo with local ids — the mask form a row-range shard
+// consumes: an output mask of the full matrix restricted to the rows
+// the shard owns. Values ride along, so a valued mask slices exactly.
+func (b *BitVec) Slice(lo, hi Index) *BitVec {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > b.N {
+		hi = b.N
+	}
+	if hi < lo {
+		hi = lo
+	}
+	out := NewBitVec(hi - lo)
+	if hi == lo {
+		return out
+	}
+	// Word-wise: visit only the set bits of the covered words instead of
+	// testing every row in the range.
+	loWord, hiWord := int(lo)>>6, int(hi-1)>>6
+	for w := loWord; w <= hiWord; w++ {
+		word := b.Words[w]
+		for word != 0 {
+			t := bits.TrailingZeros64(word)
+			word &^= 1 << uint(t)
+			i := Index(w<<6 + t)
+			if i < lo || i >= hi {
+				continue
+			}
+			li := i - lo
+			out.Words[int(li)>>6] |= 1 << (uint(li) & 63)
+			out.Val[li] = b.Val[i]
+			out.nset++
+		}
+	}
+	return out
+}
+
+// OrAt merges src's set bits (and values) into b at row offset off —
+// the gather side of Slice: shard w's local-id output bitmap lands at
+// its global row range with one call per shard. Offsets must keep
+// src within b's dimension; entries already set in b are overwritten.
+func (b *BitVec) OrAt(src *BitVec, off Index) {
+	for w, word := range src.Words {
+		for word != 0 {
+			t := bits.TrailingZeros64(word)
+			word &^= 1 << uint(t)
+			li := Index(w<<6 + t)
+			i := off + li
+			gw, gbit := int(i)>>6, uint(i)&63
+			if b.Words[gw]&(1<<gbit) == 0 {
+				b.nset++
+			}
+			b.Words[gw] |= 1 << gbit
+			b.Val[i] = src.Val[li]
+		}
+	}
+}

@@ -202,12 +202,20 @@ func (p *Program) Validate() error {
 	return nil
 }
 
-// Run executes a program against the store's matrices — the in-process
-// form of POST /v1/program. Structural validation runs first; op
-// outputs are kept server-side as frontiers between ops (so a
-// mask_ref shares the producing op's bitmap), and only Emit'd outputs
-// are copied into the response. Errors come back as *WireError.
-func (st *Store) Run(p *Program) (*ProgramResponse, error) {
+// progMultFunc executes op k's multiply against the named matrix with
+// the resolved input frontier and descriptor (mask refs already bound),
+// returning the output frontier. It is the one step of program
+// execution that differs between backends: the in-process Store runs
+// the engine directly; the ShardedStore scatters the op across its
+// shards and gathers the concatenated result.
+type progMultFunc func(k int, matrix string, xf *Frontier, d Desc) (*Frontier, error)
+
+// runProgramOps is the program interpreter shared by every backend:
+// structural validation, the op loop with "$k" ref resolution (op
+// outputs kept as frontiers so a mask_ref shares the producing op's
+// bitmap), StopOnEmpty early termination, and the Emit'd-outputs
+// response. mult executes the backend-specific multiply ops.
+func runProgramOps(p *Program, mult progMultFunc) (*ProgramResponse, error) {
 	if p == nil {
 		return nil, wireErrorf(CodeBadRequest, "nil program")
 	}
@@ -246,11 +254,6 @@ ops:
 			if name == "" {
 				name = p.Matrix
 			}
-			mu, stats, err := st.load(name)
-			if err != nil {
-				return nil, err
-			}
-			a := mu.Matrix()
 			d := op.Desc
 			var xf *Frontier
 			if op.XRef != "" {
@@ -263,21 +266,10 @@ ops:
 				j, _ := parseRef(op.MaskRef)
 				d.Mask = outs[j].Bits()
 			}
-			// Request-level validation pinned to this matrix's
-			// dimensions: a valid op cannot make Mult panic.
-			r := &Request{X: xf.List(), Desc: d}
-			if err := r.Validate(a.NumRows, a.NumCols); err != nil {
-				stats.Observe(0, true)
-				return nil, wireErrorf(CodeInvalidRequest, "op %d: %v", k, err)
+			yf, err := mult(k, name, xf, d)
+			if err != nil {
+				return nil, err
 			}
-			outDim := a.NumRows
-			if d.Transpose {
-				outDim = a.NumCols
-			}
-			yf := NewOutputFrontier(outDim)
-			t := time.Now()
-			mu.Mult(xf, yf, Semiring{}, d)
-			stats.Observe(time.Since(t), false)
 			outs[k] = yf
 			if p.StopOnEmpty && yf.NNZ() == 0 {
 				steps = k + 1
@@ -293,6 +285,37 @@ ops:
 		}
 	}
 	return resp, nil
+}
+
+// Run executes a program against the store's matrices — the in-process
+// form of POST /v1/program. Structural validation runs first; op
+// outputs are kept server-side as frontiers between ops (so a
+// mask_ref shares the producing op's bitmap), and only Emit'd outputs
+// are copied into the response. Errors come back as *WireError.
+func (st *Store) Run(p *Program) (*ProgramResponse, error) {
+	return runProgramOps(p, func(k int, name string, xf *Frontier, d Desc) (*Frontier, error) {
+		mu, stats, err := st.load(name)
+		if err != nil {
+			return nil, err
+		}
+		a := mu.Matrix()
+		// Request-level validation pinned to this matrix's
+		// dimensions: a valid op cannot make Mult panic.
+		r := &Request{X: xf.List(), Desc: d}
+		if err := r.Validate(a.NumRows, a.NumCols); err != nil {
+			stats.Observe(0, true)
+			return nil, wireErrorf(CodeInvalidRequest, "op %d: %v", k, err)
+		}
+		outDim := a.NumRows
+		if d.Transpose {
+			outDim = a.NumCols
+		}
+		yf := NewOutputFrontier(outDim)
+		t := time.Now()
+		mu.Mult(xf, yf, Semiring{}, d)
+		stats.Observe(time.Since(t), false)
+		return yf, nil
+	})
 }
 
 // ProgramBFS builds and runs the unrolled masked-BFS program — the

@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"spmspv/internal/perf"
 	"spmspv/internal/sparse"
 )
 
@@ -35,7 +36,7 @@ import (
 // each caller. Requests whose descriptor cannot ride a batch
 // (accumulate, per-slot masks, bitmap responses) execute directly.
 type Server struct {
-	store    *Store
+	store    ServingStore
 	mux      *http.ServeMux
 	window   time.Duration
 	maxBatch int
@@ -81,8 +82,26 @@ func WithDefaultWire(contentType string) ServerOption {
 	}
 }
 
-// NewServer returns the HTTP handler serving st.
-func NewServer(st *Store, opts ...ServerOption) *Server {
+// ServingStore is the storage/execution backend a Server fronts: the
+// single-process *Store or the sharded *ShardedStore coordinator. The
+// unexported methods — the pre-validation shapes the coalescing path
+// needs and the batch-flush execution hook — keep implementations
+// inside this package; everything HTTP-visible rides the exported
+// surface.
+type ServingStore interface {
+	Executor
+	Put(name string, a *Matrix) error
+	Delete(name string) bool
+	Stats(name string) (StoreStat, error)
+	StatsAll() []StoreStat
+
+	resolveMult(name string) (nrows, ncols Index, stats *perf.ServeStats, err error)
+	multBatch(name string, xs []*Vector, masks []*BitVector, d Desc) ([]*Vector, error)
+}
+
+// NewServer returns the HTTP handler serving st — a *Store for one
+// box, a *ShardedStore to coordinate a fleet.
+func NewServer(st ServingStore, opts ...ServerOption) *Server {
 	s := &Server{
 		store:    st,
 		window:   500 * time.Microsecond,
@@ -100,7 +119,19 @@ func NewServer(st *Store, opts ...ServerOption) *Server {
 	s.mux.HandleFunc("DELETE /v1/matrices/{name}", s.handleDeleteMatrix)
 	s.mux.HandleFunc("POST /v1/mult", s.handleMult)
 	s.mux.HandleFunc("POST /v1/program", s.handleProgram)
+	s.mux.HandleFunc("GET /v1/shards", s.handleShards)
 	return s
+}
+
+// handleShards reports the coordinator's per-shard counters; a
+// single-process server answers invalid_request.
+func (s *Server) handleShards(w http.ResponseWriter, r *http.Request) {
+	ss, ok := s.store.(interface{ ShardStats() []ShardStat })
+	if !ok {
+		writeError(w, wireErrorf(CodeInvalidRequest, "server is not a shard coordinator"))
+		return
+	}
+	writeJSON(w, http.StatusOK, ss.ShardStats())
 }
 
 // ServeHTTP implements http.Handler.
@@ -426,13 +457,12 @@ func (s *Server) coalescable(req *Request) bool {
 // fail fast and cannot poison a batch), then submits it to the batcher
 // for its (matrix, descriptor-compatibility) key.
 func (s *Server) doCoalesced(req *Request) (*Response, error) {
-	mu, stats, err := s.store.load(req.Matrix)
+	nrows, ncols, stats, err := s.store.resolveMult(req.Matrix)
 	if err != nil {
 		return nil, err
 	}
-	a := mu.Matrix()
 	t := time.Now()
-	if err := req.Validate(a.NumRows, a.NumCols); err != nil {
+	if err := req.Validate(nrows, ncols); err != nil {
 		stats.Observe(time.Since(t), true)
 		return nil, wireErrorf(CodeInvalidRequest, "%v", err)
 	}
@@ -504,9 +534,10 @@ func (b *multBatcher) flushWindow() {
 	}
 }
 
-// flush executes one gathered batch through MultBatch and delivers
-// each slot's result. The multiplier is resolved per flush, so a
-// matrix replaced in the store between windows is picked up.
+// flush executes one gathered batch through the store's multBatch hook
+// and delivers each slot's result. The backend resolves the matrix per
+// flush, so a matrix replaced in the store between windows is picked
+// up; over a sharded backend the whole window rides one scatter.
 func (b *multBatcher) flush(batch []*pendingMult) {
 	defer func() {
 		if r := recover(); r != nil {
@@ -515,45 +546,21 @@ func (b *multBatcher) flush(batch []*pendingMult) {
 			}
 		}
 	}()
-	mu, stats, err := b.server.store.load(b.matrix)
+	xs := make([]*Vector, len(batch))
+	masks := make([]*BitVector, len(batch))
+	for q, p := range batch {
+		xs[q] = p.x
+		masks[q] = p.desc.Mask
+	}
+	ys, err := b.server.store.multBatch(b.matrix, xs, masks, batch[0].desc)
 	if err != nil {
 		for _, p := range batch {
 			p.done <- batchOut{err: err}
 		}
 		return
 	}
-	a := mu.Matrix()
-	d := batch[0].desc
-	outDim := a.NumRows
-	if d.Transpose {
-		outDim = a.NumCols
-	}
-
-	xs := make([]*Frontier, len(batch))
-	ys := make([]*Frontier, len(batch))
-	hasMask := false
-	masks := make([]*BitVector, len(batch))
 	for q, p := range batch {
-		xs[q] = NewFrontier(p.x)
-		ys[q] = NewOutputFrontier(outDim)
-		masks[q] = p.desc.Mask
-		if p.desc.Mask != nil {
-			hasMask = true
-		}
-	}
-	bd := Desc{
-		Semiring:  d.Semiring,
-		Transpose: d.Transpose,
-		Output:    OutputList,
-	}
-	if hasMask {
-		bd.Masks = masks
-		bd.Complement = d.Complement
-	}
-	mu.MultBatch(xs, ys, Semiring{}, bd)
-	stats.ObserveBatch(len(batch))
-	for q, p := range batch {
-		p.done <- batchOut{y: ys[q].List()}
+		p.done <- batchOut{y: ys[q]}
 	}
 }
 

@@ -1,0 +1,728 @@
+package spmspv
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"spmspv/internal/par"
+	"spmspv/internal/perf"
+	"spmspv/internal/sparse"
+)
+
+// ShardBackend is the surface the shard coordinator drives on each
+// shard: an Executor that also manages named matrices. Both *Store
+// (in-process shards) and *Client (remote spmspv-serve shards over the
+// binary wire) satisfy it, so a coordinator mixes local and remote
+// backends freely.
+type ShardBackend interface {
+	Executor
+	PutMatrix(name string, a *Matrix) (*StoreStat, error)
+	DeleteMatrix(name string) error
+	Matrix(name string) (*StoreStat, error)
+}
+
+// contextExecutor is the optional cancellable form of Executor. When a
+// backend offers it (*Store and *Client both do), the coordinator runs
+// each shard attempt under its per-attempt timeout, so a hung shard is
+// abandoned and retried instead of stalling the whole scatter.
+type contextExecutor interface {
+	DoContext(ctx context.Context, req *Request) (*Response, error)
+	RunContext(ctx context.Context, p *Program) (*ProgramResponse, error)
+}
+
+// ShardedStore distributes named matrices across shard backends by row
+// range and serves multiplies as parallel scatter/gather — the
+// paper's row-split decomposition (sparse.RowSplit's PieceBounds,
+// CombBLAS's 1D distribution) promoted from an intra-process trick to
+// the unit of service. Put slices an uploaded matrix with
+// sparse.RowSlice and uploads piece w to backend w; Do and Run fan each
+// multiply out on the internal/par executor, every shard computing its
+// row range of y against the full x, and because row ranges are
+// disjoint the gather is a pure concatenation — no merge semiring, no
+// accumulation pass. Transposed multiplies are the one shape this
+// decomposition cannot serve (row pieces of A are column pieces of Aᵀ,
+// whose partial products overlap and would need a semiring merge); they
+// are rejected with invalid_request.
+//
+// A ShardedStore is an Executor and a ServingStore: Client code,
+// Store.Run programs, internal/algorithms and the HTTP Server all work
+// against it unchanged, coalescing included.
+//
+// Shard calls that fail retryably — transport faults, server-side
+// internal errors, unknown_matrix from a worker that rebooted and is
+// re-preloading — are requeued in bounded backoff rounds (see
+// WithShardRetries), so a shard death mid-BFS degrades to a retried
+// round, not a failed request.
+type ShardedStore struct {
+	backends []ShardBackend
+	labels   []string
+	exec     *par.Executor
+
+	attempts int           // tries per shard call, ≥ 1
+	backoff  time.Duration // sleep before the first retry round, doubling
+	timeout  time.Duration // per-attempt deadline for cancellable backends
+
+	mu   sync.RWMutex
+	mats map[string]*shardedMatrix
+
+	shardStats []*perf.ServeStats
+}
+
+// shardedMatrix is the coordinator's registry entry: the global shape
+// and the row bounds assigning piece w rows [bounds[w], bounds[w+1]).
+type shardedMatrix struct {
+	rows, cols Index
+	nnz        int64
+	bounds     []Index
+	stats      *perf.ServeStats
+}
+
+// ShardOption configures NewShardedStore.
+type ShardOption func(*ShardedStore)
+
+// WithShardRetries sets how many times one shard call is retried after
+// a retryable failure (default 2, so 3 attempts total). 0 disables
+// retry.
+func WithShardRetries(n int) ShardOption {
+	return func(ss *ShardedStore) {
+		if n < 0 {
+			n = 0
+		}
+		ss.attempts = n + 1
+	}
+}
+
+// WithShardBackoff sets the sleep before the first retry round
+// (default 20ms); each further round doubles it. The sleep runs on the
+// coordinating goroutine, never inside executor workers.
+func WithShardBackoff(d time.Duration) ShardOption {
+	return func(ss *ShardedStore) { ss.backoff = d }
+}
+
+// WithShardTimeout bounds each shard attempt (default 30s) for
+// backends that support cancellation; attempts that outlive it are
+// abandoned and count as retryable failures. Zero disables the
+// per-attempt deadline.
+func WithShardTimeout(d time.Duration) ShardOption {
+	return func(ss *ShardedStore) { ss.timeout = d }
+}
+
+// WithShardLabels names the backends for ShardStats reporting (e.g.
+// their URLs). Unlabeled shards report as "shard/i".
+func WithShardLabels(labels []string) ShardOption {
+	return func(ss *ShardedStore) {
+		copy(ss.labels, labels)
+	}
+}
+
+// NewShardedStore returns a coordinator over the given backends. The
+// shard count — and so the row decomposition of every matrix it serves
+// — is fixed at construction.
+func NewShardedStore(backends []ShardBackend, opts ...ShardOption) (*ShardedStore, error) {
+	if len(backends) == 0 {
+		return nil, fmt.Errorf("spmspv: sharded store needs at least one backend")
+	}
+	ss := &ShardedStore{
+		backends:   backends,
+		labels:     make([]string, len(backends)),
+		exec:       par.Default(),
+		attempts:   3,
+		backoff:    20 * time.Millisecond,
+		timeout:    30 * time.Second,
+		mats:       map[string]*shardedMatrix{},
+		shardStats: make([]*perf.ServeStats, len(backends)),
+	}
+	for w := range ss.labels {
+		ss.labels[w] = fmt.Sprintf("shard/%d", w)
+		ss.shardStats[w] = &perf.ServeStats{}
+	}
+	for _, o := range opts {
+		o(ss)
+	}
+	return ss, nil
+}
+
+// NewLocalShardedStore is the in-process form: n fresh *Store shards
+// (each built with storeOpts) behind one coordinator — the single-box
+// configuration the shard benchmarks measure, and a drop-in *Store
+// replacement for testing the scatter/gather path without sockets.
+func NewLocalShardedStore(n int, storeOpts []Option, opts ...ShardOption) (*ShardedStore, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("spmspv: sharded store needs at least one shard, got %d", n)
+	}
+	backends := make([]ShardBackend, n)
+	labels := make([]string, n)
+	for w := range backends {
+		backends[w] = NewStore(storeOpts...)
+		labels[w] = fmt.Sprintf("local/%d", w)
+	}
+	return NewShardedStore(backends, append([]ShardOption{WithShardLabels(labels)}, opts...)...)
+}
+
+// Shards reports the number of shard backends.
+func (ss *ShardedStore) Shards() int { return len(ss.backends) }
+
+// ShardStat is one shard backend's coordinator-side serving counters:
+// every scatter call issued to the shard lands here, with retried
+// calls counted under Serve.Retries.
+type ShardStat struct {
+	Shard int                `json:"shard"`
+	Addr  string             `json:"addr"`
+	Serve perf.ServeSnapshot `json:"serve"`
+}
+
+// ShardStats reports the per-shard counters, in shard order.
+func (ss *ShardedStore) ShardStats() []ShardStat {
+	out := make([]ShardStat, len(ss.backends))
+	for w := range out {
+		out[w] = ShardStat{Shard: w, Addr: ss.labels[w], Serve: ss.shardStats[w].Snapshot()}
+	}
+	return out
+}
+
+// Put slices a into len(backends) row-range pieces and uploads piece w
+// to backend w under the same name — empty pieces (more shards than
+// rows) are simply not uploaded. A failed upload rolls back the pieces
+// that landed, so a failed Put leaves no stragglers.
+func (ss *ShardedStore) Put(name string, a *Matrix) error {
+	if err := validStoreName(name); err != nil {
+		return err
+	}
+	if a == nil {
+		return fmt.Errorf("spmspv: Put with nil matrix")
+	}
+	if err := a.Validate(); err != nil {
+		return err
+	}
+	n := len(ss.backends)
+	bounds := sparse.PieceBounds(a.NumRows, n)
+	errs := make([]error, n)
+	ss.exec.Run(n, n, func(_, w int) {
+		lo, hi := bounds[w], bounds[w+1]
+		if hi <= lo {
+			return
+		}
+		_, errs[w] = ss.backends[w].PutMatrix(name, sparse.RowSlice(a, lo, hi))
+	}, nil)
+	for w, err := range errs {
+		if err != nil {
+			for v := range ss.backends {
+				if bounds[v+1] > bounds[v] && errs[v] == nil {
+					ss.backends[v].DeleteMatrix(name)
+				}
+			}
+			return wireErrorf(CodeInternal, "uploading shard %d of %q: %v", w, name, err)
+		}
+	}
+	ss.mu.Lock()
+	ss.mats[name] = &shardedMatrix{
+		rows: a.NumRows, cols: a.NumCols, nnz: a.NNZ(),
+		bounds: bounds, stats: &perf.ServeStats{},
+	}
+	ss.mu.Unlock()
+	return nil
+}
+
+// Delete unregisters a matrix and best-effort removes its pieces from
+// the shards; it reports whether the name was registered.
+func (ss *ShardedStore) Delete(name string) bool {
+	ss.mu.Lock()
+	sm, ok := ss.mats[name]
+	delete(ss.mats, name)
+	ss.mu.Unlock()
+	if !ok {
+		return false
+	}
+	n := len(ss.backends)
+	ss.exec.Run(n, n, func(_, w int) {
+		if sm.bounds[w+1] > sm.bounds[w] {
+			ss.backends[w].DeleteMatrix(name)
+		}
+	}, nil)
+	return true
+}
+
+// List returns the registered names in sorted order.
+func (ss *ShardedStore) List() []string {
+	ss.mu.RLock()
+	names := make([]string, 0, len(ss.mats))
+	for name := range ss.mats {
+		names = append(names, name)
+	}
+	ss.mu.RUnlock()
+	sort.Strings(names)
+	return names
+}
+
+// Stats reports one matrix's registry entry. Built is true once the
+// coordinator has served at least one multiply against it — the
+// sharded analogue of "the engine exists" — since the per-shard engine
+// builds happen inside the shards.
+func (ss *ShardedStore) Stats(name string) (StoreStat, error) {
+	ss.mu.RLock()
+	sm := ss.mats[name]
+	ss.mu.RUnlock()
+	if sm == nil {
+		if name == "" {
+			return StoreStat{}, wireErrorf(CodeInvalidRequest, "request names no matrix")
+		}
+		return StoreStat{}, wireErrorf(CodeUnknownMatrix, "matrix %q is not registered", name)
+	}
+	return ss.statOf(name, sm), nil
+}
+
+func (ss *ShardedStore) statOf(name string, sm *shardedMatrix) StoreStat {
+	snap := sm.stats.Snapshot()
+	return StoreStat{
+		Name: name, Rows: sm.rows, Cols: sm.cols, NNZ: sm.nnz,
+		Built: snap.Requests > snap.Failures,
+		Serve: snap,
+	}
+}
+
+// StatsAll reports every registered matrix, sorted by name.
+func (ss *ShardedStore) StatsAll() []StoreStat {
+	ss.mu.RLock()
+	stats := make([]StoreStat, 0, len(ss.mats))
+	for name, sm := range ss.mats {
+		stats = append(stats, ss.statOf(name, sm))
+	}
+	ss.mu.RUnlock()
+	sort.Slice(stats, func(i, j int) bool { return stats[i].Name < stats[j].Name })
+	return stats
+}
+
+// lookup resolves a name to its registry entry, falling back to
+// discovery for matrices the shards already hold (see discover).
+func (ss *ShardedStore) lookup(name string) (*shardedMatrix, error) {
+	if name == "" {
+		return nil, wireErrorf(CodeInvalidRequest, "request names no matrix")
+	}
+	ss.mu.RLock()
+	sm := ss.mats[name]
+	ss.mu.RUnlock()
+	if sm != nil {
+		return sm, nil
+	}
+	if err := validStoreName(name); err != nil {
+		return nil, wireErrorf(CodeInvalidRequest, "%v", err)
+	}
+	return ss.discover(name)
+}
+
+// discover reconstructs the registry entry for a matrix the shards
+// already hold — the -shard-of deployment, where worker w preloads its
+// own row slice and the coordinator boots with an empty registry. The
+// per-shard row counts must reproduce PieceBounds of the summed total
+// (workers whose piece is empty hold nothing), which pins the
+// decomposition before any multiply is served against it.
+func (ss *ShardedStore) discover(name string) (*shardedMatrix, error) {
+	n := len(ss.backends)
+	stats := make([]*StoreStat, n)
+	errs := make([]error, n)
+	ss.exec.Run(n, n, func(_, w int) {
+		stats[w], errs[w] = ss.backends[w].Matrix(name)
+	}, nil)
+	var rows Index
+	cols := Index(-1)
+	var nnz int64
+	found := false
+	for w := 0; w < n; w++ {
+		if errs[w] != nil {
+			if AsWireError(errs[w]).Code == CodeUnknownMatrix {
+				continue // legitimately absent iff its piece is empty, checked below
+			}
+			return nil, wireErrorf(CodeInternal, "probing shard %d for %q: %v", w, name, errs[w])
+		}
+		found = true
+		rows += stats[w].Rows
+		nnz += stats[w].NNZ
+		if cols >= 0 && stats[w].Cols != cols {
+			return nil, wireErrorf(CodeInternal,
+				"shards disagree on %q's width: %d vs %d", name, cols, stats[w].Cols)
+		}
+		cols = stats[w].Cols
+	}
+	if !found {
+		return nil, wireErrorf(CodeUnknownMatrix, "matrix %q is not registered on any shard", name)
+	}
+	bounds := sparse.PieceBounds(rows, n)
+	for w := 0; w < n; w++ {
+		var got Index
+		if errs[w] == nil {
+			got = stats[w].Rows
+		}
+		if want := bounds[w+1] - bounds[w]; got != want {
+			return nil, wireErrorf(CodeInternal,
+				"shard %d holds %d rows of %q, want %d of a %d-row %d-way row split",
+				w, got, name, want, rows, n)
+		}
+	}
+	sm := &shardedMatrix{rows: rows, cols: cols, nnz: nnz, bounds: bounds, stats: &perf.ServeStats{}}
+	ss.mu.Lock()
+	if cur, ok := ss.mats[name]; ok {
+		sm = cur // lost a discovery race; keep the established entry
+	} else {
+		ss.mats[name] = sm
+	}
+	ss.mu.Unlock()
+	return sm, nil
+}
+
+// shardCall is one shard's slice of a scatter: the per-shard request
+// (masks sliced to the shard's row range) and, once dispatched, its
+// response or error.
+type shardCall struct {
+	w    int
+	req  *Request
+	resp *Response
+	err  error
+}
+
+// retryableShardErr classifies shard-call failures. Transport faults
+// and server-side internal errors are retryable (the shard may be
+// restarting), and so is unknown_matrix — a rebooted -shard-of worker
+// that re-preloaded its slice answers the retry. Validation errors are
+// deterministic: retrying cannot change them, so they fail the request
+// immediately.
+func retryableShardErr(err error) bool {
+	var we *WireError
+	if !errors.As(err, &we) {
+		return true
+	}
+	switch we.Code {
+	case CodeInternal, CodeUnknownMatrix:
+		return true
+	}
+	return false
+}
+
+// call issues one shard request, under the per-attempt timeout when
+// the backend supports cancellation. In-process stores skip the
+// context: they cannot hang on a transport, so the deadline timer
+// would be pure per-call overhead on the hot path.
+func (ss *ShardedStore) call(w int, req *Request) (*Response, error) {
+	b := ss.backends[w]
+	if _, local := b.(*Store); !local && ss.timeout > 0 {
+		if ce, ok := b.(contextExecutor); ok {
+			ctx, cancel := context.WithTimeout(context.Background(), ss.timeout)
+			defer cancel()
+			return ce.DoContext(ctx, req)
+		}
+	}
+	return b.Do(req)
+}
+
+// dispatch executes every call in parallel on the executor — one
+// attempt per call per round — then requeues the retryable failures in
+// bounded backoff rounds. The backoff sleep runs here, on the
+// coordinating goroutine, so executor workers are never parked under a
+// timer. A non-retryable failure, or a call still failing after the
+// attempt budget, fails the whole scatter with the shard identified in
+// the error.
+func (ss *ShardedStore) dispatch(calls []*shardCall, stats *perf.ServeStats) error {
+	pending := calls
+	backoff := ss.backoff
+	for attempt := 1; ; attempt++ {
+		one := func(c *shardCall) {
+			t := time.Now()
+			c.resp, c.err = ss.call(c.w, c.req)
+			ss.shardStats[c.w].Observe(time.Since(t), c.err != nil)
+		}
+		if len(pending) == 1 {
+			// A single shard needs no fan-out; keep the one-shard
+			// configuration's dispatch cost at a plain call.
+			one(pending[0])
+		} else {
+			ss.exec.Run(len(pending), len(pending), func(_, q int) {
+				one(pending[q])
+			}, nil)
+		}
+		var retry []*shardCall
+		for _, c := range pending {
+			if c.err == nil {
+				continue
+			}
+			if attempt >= ss.attempts || !retryableShardErr(c.err) {
+				we := AsWireError(c.err)
+				return wireErrorf(we.Code, "shard %d (%s): %s", c.w, ss.labels[c.w], we.Message)
+			}
+			retry = append(retry, c)
+		}
+		if len(retry) == 0 {
+			return nil
+		}
+		for _, c := range retry {
+			ss.shardStats[c.w].ObserveRetries(1)
+		}
+		stats.ObserveRetries(len(retry))
+		time.Sleep(backoff)
+		backoff *= 2
+		pending = retry
+	}
+}
+
+// doSharded validates req against the matrix's global shape, scatters
+// it across the shards owning nonempty row ranges, and gathers the
+// row-disjoint results by concatenation (list form) or offset bitmap
+// merge (bitmap form).
+func (ss *ShardedStore) doSharded(sm *shardedMatrix, name string, req *Request) (*Response, error) {
+	if err := req.Validate(sm.rows, sm.cols); err != nil {
+		return nil, wireErrorf(CodeInvalidRequest, "%v", err)
+	}
+	if req.Desc.Transpose {
+		return nil, wireErrorf(CodeInvalidRequest,
+			"transpose multiply cannot be served by a row-sharded matrix: "+
+				"row pieces of A are column pieces of Aᵀ, whose partial products overlap")
+	}
+
+	calls := make([]*shardCall, 0, len(ss.backends))
+	for w := range ss.backends {
+		lo, hi := sm.bounds[w], sm.bounds[w+1]
+		if hi <= lo {
+			continue
+		}
+		d := req.Desc
+		if d.Mask != nil {
+			d.Mask = d.Mask.Slice(lo, hi)
+		}
+		if d.Masks != nil {
+			ms := make([]*BitVector, len(d.Masks))
+			for q, mk := range d.Masks {
+				if mk != nil {
+					ms[q] = mk.Slice(lo, hi)
+				}
+			}
+			d.Masks = ms
+		}
+		calls = append(calls, &shardCall{
+			w:   w,
+			req: &Request{Matrix: name, X: req.X, Xs: req.Xs, Desc: d},
+		})
+	}
+
+	wantBits := req.Desc.Output == OutputBitmap
+	rep := OutputList
+	if wantBits {
+		rep = OutputBitmap
+	}
+	if len(calls) == 0 { // zero-row matrix: nothing to scatter
+		return emptyShardResponse(req, wantBits, rep), nil
+	}
+
+	if err := ss.dispatch(calls, sm.stats); err != nil {
+		return nil, err
+	}
+
+	// Single nonempty shard owning every row: its response IS the
+	// global answer — pass it through with no gather copy, so the
+	// 1-shard configuration costs dispatch alone over a direct Store.
+	if len(calls) == 1 && sm.bounds[calls[0].w] == 0 && sm.bounds[calls[0].w+1] == sm.rows {
+		return calls[0].resp, nil
+	}
+	return ss.gather(sm, req, calls, wantBits, rep)
+}
+
+// emptyShardResponse answers a scatter with no nonempty pieces: the
+// correctly-shaped all-empty result.
+func emptyShardResponse(req *Request, wantBits bool, rep OutputMode) *Response {
+	resp := &Response{OutputRep: rep.String()}
+	switch {
+	case req.X != nil && wantBits:
+		resp.YBits = sparse.NewBitVec(0)
+	case req.X != nil:
+		resp.Y = sparse.NewSpVec(0, 0)
+	case wantBits:
+		resp.YsBits = make([]*BitVector, len(req.Xs))
+		for q := range resp.YsBits {
+			resp.YsBits[q] = sparse.NewBitVec(0)
+		}
+	default:
+		resp.Ys = make([]*Vector, len(req.Xs))
+		for q := range resp.Ys {
+			resp.Ys[q] = sparse.NewSpVec(0, 0)
+		}
+	}
+	return resp
+}
+
+// gather concatenates the shards' row-disjoint results into the global
+// response. List outputs append with the shard's row offset (values
+// are NOT shifted — they carry whatever the semiring computed, e.g.
+// global parent ids under select2nd); bitmap outputs merge by OrAt.
+// Because calls are in ascending shard order and row ranges are
+// disjoint, a concatenation of sorted pieces is itself sorted.
+func (ss *ShardedStore) gather(sm *shardedMatrix, req *Request, calls []*shardCall, wantBits bool, rep OutputMode) (*Response, error) {
+	resp := &Response{OutputRep: rep.String()}
+	width := 1
+	if req.Xs != nil {
+		width = len(req.Xs)
+	}
+	for slot := 0; slot < width; slot++ {
+		if wantBits {
+			yb := sparse.NewBitVec(sm.rows)
+			for _, c := range calls {
+				pb := c.resp.YBits
+				if req.Xs != nil {
+					pb = c.resp.YsBits[slot]
+				}
+				if pb == nil {
+					return nil, wireErrorf(CodeInternal,
+						"shard %d answered without a bitmap payload", c.w)
+				}
+				yb.OrAt(pb, sm.bounds[c.w])
+			}
+			if req.X != nil {
+				resp.YBits = yb
+			} else {
+				resp.YsBits = append(resp.YsBits, yb)
+			}
+			continue
+		}
+		nnz := 0
+		for _, c := range calls {
+			py := c.resp.Y
+			if req.Xs != nil {
+				py = c.resp.Ys[slot]
+			}
+			if py == nil {
+				return nil, wireErrorf(CodeInternal,
+					"shard %d answered without a list payload", c.w)
+			}
+			nnz += py.NNZ()
+		}
+		y := sparse.NewSpVec(sm.rows, nnz)
+		sorted := true
+		for _, c := range calls {
+			py := c.resp.Y
+			if req.Xs != nil {
+				py = c.resp.Ys[slot]
+			}
+			off := sm.bounds[c.w]
+			for k, i := range py.Ind {
+				y.Append(i+off, py.Val[k])
+			}
+			if !py.Sorted {
+				sorted = false
+			}
+		}
+		y.Sorted = sorted
+		if req.X != nil {
+			resp.Y = y
+		} else {
+			resp.Ys = append(resp.Ys, y)
+		}
+	}
+	return resp, nil
+}
+
+// Do executes a wire request as a scatter/gather across the shards —
+// the coordinator's Executor implementation, answer-identical to the
+// single-process Store.Do for every request shape a row decomposition
+// can serve.
+func (ss *ShardedStore) Do(req *Request) (*Response, error) {
+	if req == nil {
+		return nil, wireErrorf(CodeBadRequest, "nil request")
+	}
+	sm, err := ss.lookup(req.Matrix)
+	if err != nil {
+		return nil, err
+	}
+	t := time.Now()
+	resp, err := ss.doSharded(sm, req.Matrix, req)
+	sm.stats.Observe(time.Since(t), err != nil)
+	return resp, err
+}
+
+// DoContext is Do with a pre-flight context check (the per-shard
+// attempts carry their own deadlines).
+func (ss *ShardedStore) DoContext(ctx context.Context, req *Request) (*Response, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, wireErrorf(CodeInternal, "%v", err)
+	}
+	return ss.Do(req)
+}
+
+// Run executes a program with every mult op scattered across the
+// shards — the interpreter (op refs, masks-from-frontiers,
+// StopOnEmpty) is the same code path the single-process Store runs, so
+// program semantics cannot drift between the two.
+func (ss *ShardedStore) Run(p *Program) (*ProgramResponse, error) {
+	return runProgramOps(p, func(k int, name string, xf *Frontier, d Desc) (*Frontier, error) {
+		sm, err := ss.lookup(name)
+		if err != nil {
+			return nil, err
+		}
+		// Op outputs travel as lists regardless of the op's output mode:
+		// the interpreter's frontiers are list-authoritative (a later
+		// mask_ref derives the bitmap lazily, content-identical to an
+		// engine-native one), and "richest native representation" is an
+		// in-process concept the wire cannot ship.
+		d.Output = OutputList
+		req := &Request{Matrix: name, X: xf.List(), Desc: d}
+		t := time.Now()
+		resp, err := ss.doSharded(sm, name, req)
+		sm.stats.Observe(time.Since(t), err != nil)
+		if err != nil {
+			we := AsWireError(err)
+			return nil, wireErrorf(we.Code, "op %d: %s", k, we.Message)
+		}
+		return NewFrontier(resp.Y), nil
+	})
+}
+
+// RunContext is Run with a pre-flight context check (see DoContext).
+func (ss *ShardedStore) RunContext(ctx context.Context, p *Program) (*ProgramResponse, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, wireErrorf(CodeInternal, "%v", err)
+	}
+	return ss.Run(p)
+}
+
+// resolveMult reports the global shape requests are validated against
+// and the matrix's coordinator-side counters — the serving layer's
+// pre-validation hook.
+func (ss *ShardedStore) resolveMult(name string) (Index, Index, *perf.ServeStats, error) {
+	sm, err := ss.lookup(name)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	return sm.rows, sm.cols, sm.stats, nil
+}
+
+// multBatch executes one coalesced flush as a single batched scatter:
+// the whole window rides one request per shard, so coalescing
+// amortizes the per-shard dispatch exactly as it amortizes the
+// engine's sizing pass in-process.
+func (ss *ShardedStore) multBatch(name string, xs []*Vector, masks []*BitVector, d Desc) ([]*Vector, error) {
+	sm, err := ss.lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	hasMask := false
+	for _, mk := range masks {
+		if mk != nil {
+			hasMask = true
+			break
+		}
+	}
+	req := &Request{Matrix: name, Xs: xs, Desc: Desc{
+		Semiring:  d.Semiring,
+		Transpose: d.Transpose,
+		Output:    OutputList,
+	}}
+	if hasMask {
+		req.Desc.Masks = masks
+		req.Desc.Complement = d.Complement
+	}
+	resp, err := ss.doSharded(sm, name, req)
+	if err != nil {
+		return nil, err
+	}
+	sm.stats.ObserveBatch(len(xs))
+	return resp.Ys, nil
+}

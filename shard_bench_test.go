@@ -1,0 +1,68 @@
+// BenchmarkShardedDo measures the scatter/gather coordinator against
+// direct Store.Do on the serving benchmark matrix. The "direct" series
+// is the single-box baseline; "shards1" prices the coordinator's
+// dispatch layer alone (the single-shard passthrough must stay within
+// ~15% of direct); "shards2"/"shards4" show how row-split fan-out
+// scales when every shard computes its own row range of y in parallel.
+// CI uploads BENCH_shard.json so cmd/benchcmp gates the coordinator
+// overhead like every other hot path.
+package spmspv_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	spmspv "spmspv"
+	"spmspv/internal/testutil"
+)
+
+func BenchmarkShardedDo(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	a := spmspv.ErdosRenyi(1<<14, 8, 99)
+
+	const nVecs = 64
+	reqs := make([]*spmspv.Request, nVecs)
+	for i := range reqs {
+		reqs[i] = &spmspv.Request{
+			Matrix: "g",
+			X:      testutil.RandomVector(rng, a.NumCols, 16, true),
+			Desc:   spmspv.Desc{Semiring: "arithmetic"},
+		}
+	}
+
+	run := func(b *testing.B, exec spmspv.Executor) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; b.Loop(); i++ {
+			if _, err := exec.Do(reqs[i%nVecs]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+
+	b.Run("direct", func(b *testing.B) {
+		st := spmspv.NewStore(spmspv.WithEngineOptions(engineOptions(0)))
+		if err := st.Put("g", a); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := st.Load("g"); err != nil {
+			b.Fatal(err)
+		}
+		run(b, st)
+	})
+
+	for _, n := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards%d", n), func(b *testing.B) {
+			ss, err := spmspv.NewLocalShardedStore(n,
+				[]spmspv.Option{spmspv.WithEngineOptions(engineOptions(0))})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := ss.Put("g", a); err != nil {
+				b.Fatal(err)
+			}
+			run(b, ss)
+		})
+	}
+}

@@ -802,6 +802,18 @@ func NewBitVector(n Index) *BitVector { return sparse.NewBitVec(n) }
 
 // Matrix manipulation utilities.
 
+// RowSlice extracts global rows [lo, hi) of a as a standalone matrix
+// with local row ids (global − lo) — the unit of distribution of the
+// sharded serving layer. Piece w of an n-way row split is
+// RowSlice(a, PieceBounds(a.NumRows, n)[w], PieceBounds(a.NumRows, n)[w+1]).
+func RowSlice(a *Matrix, lo, hi Index) *Matrix { return sparse.RowSlice(a, lo, hi) }
+
+// PieceBounds returns the n+1 row bounds of the canonical n-way row
+// decomposition of an m-row matrix — the same split RowSplit uses
+// intra-process and ShardedStore uses across shards, so a worker can
+// compute which rows it owns without talking to the coordinator.
+func PieceBounds(m Index, n int) []Index { return sparse.PieceBounds(m, n) }
+
 // PermuteRows returns P·A (row i moves to perm[i]).
 func PermuteRows(a *Matrix, perm []Index) (*Matrix, error) { return sparse.PermuteRows(a, perm) }
 

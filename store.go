@@ -1,6 +1,7 @@
 package spmspv
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -268,4 +269,115 @@ func (st *Store) Do(req *Request) (*Response, error) {
 	}
 	stats.Observe(time.Since(t), false)
 	return resp, nil
+}
+
+// DoContext is Do with a context. In-process execution cannot be
+// interrupted mid-multiply, so the context is checked once before work
+// begins — enough for the sharded coordinator's per-attempt deadlines
+// to skip work whose caller already gave up.
+func (st *Store) DoContext(ctx context.Context, req *Request) (*Response, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, wireErrorf(CodeInternal, "%v", err)
+	}
+	return st.Do(req)
+}
+
+// RunContext is Run with a context, checked once before execution (see
+// DoContext).
+func (st *Store) RunContext(ctx context.Context, p *Program) (*ProgramResponse, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, wireErrorf(CodeInternal, "%v", err)
+	}
+	return st.Run(p)
+}
+
+// PutMatrix registers a matrix and reports its fresh entry — the
+// in-process form of Client.PutMatrix, so a *Store satisfies the
+// ShardBackend surface and a coordinator mixes local and remote shards
+// freely.
+func (st *Store) PutMatrix(name string, a *Matrix) (*StoreStat, error) {
+	if err := st.Put(name, a); err != nil {
+		return nil, err
+	}
+	stat, err := st.Stats(name)
+	if err != nil {
+		return nil, err
+	}
+	return &stat, nil
+}
+
+// Matrix reports one registered matrix — the in-process form of
+// Client.Matrix.
+func (st *Store) Matrix(name string) (*StoreStat, error) {
+	stat, err := st.Stats(name)
+	if err != nil {
+		return nil, err
+	}
+	return &stat, nil
+}
+
+// DeleteMatrix unregisters a matrix, failing with unknown_matrix when
+// the name is not registered — the in-process form of
+// Client.DeleteMatrix.
+func (st *Store) DeleteMatrix(name string) error {
+	if !st.Delete(name) {
+		return wireErrorf(CodeUnknownMatrix, "matrix %q is not registered", name)
+	}
+	return nil
+}
+
+// resolveMult resolves a name for the serving layer's pre-validation:
+// the dimensions a request is checked against, and the entry's
+// counters. The multiplier is built as a side effect — first touch
+// pays engine construction exactly as Do would.
+func (st *Store) resolveMult(name string) (nrows, ncols Index, stats *perf.ServeStats, err error) {
+	mu, stats, err := st.load(name)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	a := mu.Matrix()
+	return a.NumRows, a.NumCols, stats, nil
+}
+
+// multBatch executes one coalesced flush — every x multiplied against
+// the named matrix under a shared descriptor (semiring, transpose,
+// complement), with optional per-slot masks, answered slot by slot in
+// list form. It is the serving batcher's execution hook, shared by the
+// single-process Store and the sharded coordinator.
+func (st *Store) multBatch(name string, xs []*Vector, masks []*BitVector, d Desc) ([]*Vector, error) {
+	mu, stats, err := st.load(name)
+	if err != nil {
+		return nil, err
+	}
+	a := mu.Matrix()
+	outDim := a.NumRows
+	if d.Transpose {
+		outDim = a.NumCols
+	}
+	xf := make([]*Frontier, len(xs))
+	yf := make([]*Frontier, len(xs))
+	hasMask := false
+	for q := range xs {
+		xf[q] = NewFrontier(xs[q])
+		yf[q] = NewOutputFrontier(outDim)
+		if masks[q] != nil {
+			hasMask = true
+		}
+	}
+	bd := Desc{
+		Semiring:  d.Semiring,
+		Transpose: d.Transpose,
+		Output:    OutputList,
+	}
+	if hasMask {
+		bd.Masks = masks
+		bd.Complement = d.Complement
+	}
+	mu.MultBatch(xf, yf, Semiring{}, bd)
+	stats.ObserveBatch(len(xs))
+	ys := make([]*Vector, len(xs))
+	for q := range yf {
+		ys[q] = yf[q].List()
+	}
+	return ys, nil
 }
