@@ -362,3 +362,104 @@ func (c *Client) BFS(matrix string, source Index) (*BFSResult, error) {
 	}
 	return ProgramBFS(c, matrix, stat.Cols, source, 0)
 }
+
+// PutProgram registers a stored procedure on the server
+// (PUT /v1/programs/{name}): the program ships once — SPPG binary when
+// the client speaks binary, JSON otherwise — is compiled server-side,
+// and every later Invoke carries only the bindings.
+func (c *Client) PutProgram(name string, p *Program) (*ProgramStat, error) {
+	var buf bytes.Buffer
+	contentType := ContentTypeJSON
+	if c.useBinary() {
+		contentType = ContentTypeBinary
+		if err := EncodeProgramBinary(&buf, p); err != nil {
+			return nil, err
+		}
+	} else if err := json.NewEncoder(&buf).Encode(p); err != nil {
+		return nil, fmt.Errorf("spmspv: encoding program: %w", err)
+	}
+	var stat ProgramStat
+	err := c.roundTrip(context.Background(), http.MethodPut, "/v1/programs/"+name, &buf, contentType, &stat, envelopeError)
+	if err != nil {
+		return nil, err
+	}
+	return &stat, nil
+}
+
+// Programs lists the server's stored procedures with their per-program
+// invoke counters (GET /v1/programs).
+func (c *Client) Programs() ([]ProgramStat, error) {
+	var stats []ProgramStat
+	if err := c.roundTrip(context.Background(), http.MethodGet, "/v1/programs", nil, "", &stats, envelopeError); err != nil {
+		return nil, err
+	}
+	return stats, nil
+}
+
+// GetProgram fetches a stored procedure's source form
+// (GET /v1/programs/{name}).
+func (c *Client) GetProgram(name string) (*Program, error) {
+	var p Program
+	if err := c.roundTrip(context.Background(), http.MethodGet, "/v1/programs/"+name, nil, "", &p, envelopeError); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// DeleteProgram unregisters a stored procedure
+// (DELETE /v1/programs/{name}).
+func (c *Client) DeleteProgram(name string) error {
+	return c.roundTrip(context.Background(), http.MethodDelete, "/v1/programs/"+name, nil, "", nil, envelopeError)
+}
+
+// Invoke runs a stored procedure by name with only the bindings on the
+// wire (POST /v1/programs/{name}/invoke), negotiating the binary wire
+// form first (see WithWire).
+func (c *Client) Invoke(name string, inv *InvokeRequest) (*ProgramResponse, error) {
+	return c.InvokeContext(context.Background(), name, inv)
+}
+
+// InvokeContext is Invoke under a caller-supplied context (see
+// DoContext).
+func (c *Client) InvokeContext(ctx context.Context, name string, inv *InvokeRequest) (*ProgramResponse, error) {
+	if inv == nil {
+		inv = &InvokeRequest{}
+	}
+	path := "/v1/programs/" + name + "/invoke"
+	if c.useBinary() {
+		resp, downgrade, err := binaryRoundTrip(ctx, c, path,
+			func(w io.Writer) error { return EncodeInvokeRequestBinary(w, inv) },
+			DecodeProgramResponseBinary,
+			func(r *ProgramResponse) *WireError { return r.Err })
+		if !downgrade {
+			if err != nil {
+				return nil, err
+			}
+			if resp.Err != nil {
+				return nil, resp.Err
+			}
+			return resp, nil
+		}
+		c.jsonOnly.Store(true)
+	}
+	data, err := json.Marshal(inv)
+	if err != nil {
+		return nil, fmt.Errorf("spmspv: encoding invoke request: %w", err)
+	}
+	var resp ProgramResponse
+	err = c.roundTrip(ctx, http.MethodPost, path, bytes.NewReader(data), "application/json", &resp,
+		func(data []byte) *WireError {
+			var r ProgramResponse
+			if json.Unmarshal(data, &r) == nil && r.Err != nil {
+				return r.Err
+			}
+			return nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Err != nil {
+		return nil, resp.Err
+	}
+	return &resp, nil
+}

@@ -224,6 +224,12 @@ func main() {
 			stat.Name, s.Requests, s.Failures, s.Coalesced, s.Batches,
 			time.Duration(s.AvgLatencyNS), time.Duration(s.MaxLatencyNS))
 	}
+	for _, stat := range backend.Programs() {
+		s := stat.Serve
+		log.Printf("spmspv-serve: program %s (%d ops): %d invokes (%d failed), avg %v max %v",
+			stat.Name, stat.Ops, s.Requests, s.Failures,
+			time.Duration(s.AvgLatencyNS), time.Duration(s.MaxLatencyNS))
+	}
 	if ss, ok := backend.(*spmspv.ShardedStore); ok {
 		for _, st := range ss.ShardStats() {
 			s := st.Serve

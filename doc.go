@@ -78,14 +78,17 @@
 // The serving layer turns the in-process engine into a network
 // service, in four pieces that stack on the wire contract:
 //
-//	Client ──HTTP──> Server (/v1/mult, /v1/program, /v1/matrices, /v1/shards)
-//	   \    JSON or     |    Accept/Content-Type negotiation,
-//	    \   binary      |    request coalescing → MultBatch
-//	     \  wire        v
-//	      +──same──> Store ──or── ShardedStore   row-split scatter/gather
-//	       Executor     |           | | |        coordinator: shard w owns
-//	       interface    |     Store/Client ×N    rows [bounds_w, bounds_w+1),
-//	                    v           |            gather is pure concat
+//	Client ──HTTP──> Server (/v1/mult, /v1/program, /v1/programs/{name},
+//	   \    JSON or     |    /v1/matrices, /v1/shards)
+//	    \   binary      |    Accept/Content-Type negotiation,
+//	     \  wire        |    request coalescing → MultBatch
+//	      \             v
+//	       +──same──> Store ──or── ShardedStore   row-split scatter/gather
+//	        Executor    |  \         | | |        coordinator: shard w owns
+//	        interface   |   \  Store/Client ×N    rows [bounds_w, bounds_w+1),
+//	                    |    \       |            gather is pure concat
+//	                    |   programRegistry       named stored procedures,
+//	                    v    (internal/dataflow)  compiled once at PUT
 //	                Multiplier.Do / Mult / MultBatch
 //
 // A Store (NewStore) is the registry of named matrices: Put/PutFile
@@ -101,11 +104,19 @@
 // single-vector requests against the same matrix coalesce into one
 // MultBatch through a bounded batching window (WithBatchWindow /
 // WithBatchSize), amortizing per-call engine setup across callers that
-// never see each other. A Program is the multi-op wire form: ops whose
-// inputs reference earlier ops' outputs ("$0"-style), so a whole BFS
-// level loop or k-step walk runs server-side in one round trip
-// (ProgramBFS builds the unrolled BFS; StopOnEmpty terminates it at
-// the true depth). A Client implements the same Do/Run surface as the
+// never see each other. A Program is the dataflow wire form: ops whose
+// inputs reference earlier ops' outputs ("$0"-style), with scalar
+// registers (reduce/scale/axpy/prune) and bounded loops whose carries
+// ("^i") thread values across iterations and whose until_empty /
+// until_below exits encode convergence — so a whole BFS (BFSProgram,
+// two ops at any depth) or a converging PageRank (PageRankProgram)
+// runs server-side in one round trip, interpreted by
+// internal/dataflow. Programs can also be registered as named stored
+// procedures (PUT /v1/programs/{name}): compiled once at registration,
+// invoked by name with only seed vectors and scalar bindings on the
+// wire (POST .../invoke), with per-program serving counters on GET
+// /v1/programs — warm invoke traffic compiles nothing and ships less
+// than resending the op list. A Client implements the same Do/Run surface as the
 // Store (the Executor interface), so algorithm code is
 // transport-agnostic, and failures carry structured wire errors
 // (Response.Err: code + message) either way. cmd/spmspv-serve wires it

@@ -95,11 +95,16 @@ func PageRank(mult Multiplier, n sparse.Index, opt PageRankOptions) *PageRankRes
 		delta.Append(i, init)
 		res.Ranks[i] = init
 	}
-	// The iteration runs through one compiled list-output plan: delta is
-	// rebuilt in place every round (SetList invalidates any stale bitmap
-	// in O(nnz)), the product lands in the output frontier's list.
+	// The iteration runs through one compiled list-output plan, the
+	// product landing in the output frontier's list. delta is
+	// double-buffered: the frontier's stale-bitmap erase (SetList →
+	// ClearFrom) walks the list the bitmap was built FROM, so the round
+	// that built it must not mutate that list — rebuilding delta in
+	// place would leave ghost bits set for every deactivated vertex,
+	// which bitmap-consuming engines would keep multiplying forever.
 	df := sparse.NewFrontier(delta)
 	yf := sparse.NewOutputFrontier(n)
+	next := sparse.NewSpVec(n, int(n))
 	d := engine.Desc{Output: engine.OutputList}
 	plan := engine.CompilePlan(mult, d.Shape())
 
@@ -109,14 +114,15 @@ func PageRank(mult Multiplier, n sparse.Index, opt PageRankOptions) *PageRankRes
 		df.SetList(delta)
 		plan.Mult(df, yf, semiring.Arithmetic, d)
 		y := yf.List()
-		delta.Reset(n)
+		next.Reset(n)
 		for k, i := range y.Ind {
 			dv := opt.Damping * y.Val[k]
 			res.Ranks[i] += dv
 			if math.Abs(dv) > opt.Tol {
-				delta.Append(i, dv)
+				next.Append(i, dv)
 			}
 		}
+		delta, next = next, delta
 	}
 
 	var sum float64

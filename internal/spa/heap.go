@@ -55,7 +55,18 @@ func (m *KWayMerger) rowOf(s int32) sparse.Index {
 	return seg.rows[seg.pos]
 }
 
-func (m *KWayMerger) less(a, b int32) bool { return m.rowOf(a) < m.rowOf(b) }
+// less orders the heap by current row, breaking ties by segment
+// insertion index. The tie-break pins equal-row accumulation to
+// column order — the same order the SPA engines add in — so results
+// are bit-identical across thread counts and row splits instead of
+// depending on heap shape.
+func (m *KWayMerger) less(a, b int32) bool {
+	ra, rb := m.rowOf(a), m.rowOf(b)
+	if ra != rb {
+		return ra < rb
+	}
+	return a < b
+}
 
 func (m *KWayMerger) siftUp(i int) {
 	h := m.heap

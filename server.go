@@ -95,6 +95,15 @@ type ServingStore interface {
 	Stats(name string) (StoreStat, error)
 	StatsAll() []StoreStat
 
+	// The stored-procedure registry surface (see programs.go): both
+	// backends embed the same programRegistry, differing only in the
+	// mult hook invocations execute under.
+	PutProgram(name string, p *Program) (*ProgramStat, error)
+	GetProgram(name string) (*Program, error)
+	DeleteProgram(name string) bool
+	Programs() []ProgramStat
+	Invoke(name string, inv *InvokeRequest) (*ProgramResponse, error)
+
 	resolveMult(name string) (nrows, ncols Index, stats *perf.ServeStats, err error)
 	multBatch(name string, xs []*Vector, masks []*BitVector, d Desc) ([]*Vector, error)
 }
@@ -119,6 +128,11 @@ func NewServer(st ServingStore, opts ...ServerOption) *Server {
 	s.mux.HandleFunc("DELETE /v1/matrices/{name}", s.handleDeleteMatrix)
 	s.mux.HandleFunc("POST /v1/mult", s.handleMult)
 	s.mux.HandleFunc("POST /v1/program", s.handleProgram)
+	s.mux.HandleFunc("PUT /v1/programs/{name}", s.handlePutProgram)
+	s.mux.HandleFunc("GET /v1/programs", s.handleListPrograms)
+	s.mux.HandleFunc("GET /v1/programs/{name}", s.handleGetProgram)
+	s.mux.HandleFunc("DELETE /v1/programs/{name}", s.handleDeleteProgram)
+	s.mux.HandleFunc("POST /v1/programs/{name}/invoke", s.handleInvoke)
 	s.mux.HandleFunc("GET /v1/shards", s.handleShards)
 	return s
 }
@@ -142,7 +156,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // statusOf maps wire error codes to HTTP statuses.
 func statusOf(we *WireError) int {
 	switch we.Code {
-	case CodeUnknownMatrix:
+	case CodeUnknownMatrix, CodeUnknownProgram:
 		return http.StatusNotFound
 	case CodeBadRequest, CodeInvalidRequest:
 		return http.StatusBadRequest
@@ -342,6 +356,8 @@ func writeWire(w http.ResponseWriter, status int, wire string, v any) {
 		EncodeResponseBinary(w, t)
 	case *ProgramResponse:
 		EncodeProgramResponseBinary(w, t)
+	case *Program:
+		EncodeProgramBinary(w, t)
 	default:
 		// Only the two message types above negotiate binary; falling
 		// here is a programming error, not a client one.
@@ -433,6 +449,107 @@ func decodeWireProgram(br *bufio.Reader) (*Program, error) {
 func writeProgramError(w http.ResponseWriter, wire string, err error) {
 	we := AsWireError(err)
 	writeWire(w, statusOf(we), wire, &ProgramResponse{Err: we})
+}
+
+// handlePutProgram registers a stored procedure: the body (SPPG or
+// JSON, sniffed) is validated AND compiled here, once, so warm invoke
+// traffic runs zero program compilations. 201 answers with the
+// program's registry stat.
+func (s *Server) handlePutProgram(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if err := validRegistryName("program", name); err != nil {
+		writeError(w, wireErrorf(CodeInvalidRequest, "%v", err))
+		return
+	}
+	br := getReqReader(http.MaxBytesReader(w, r.Body, s.maxBody))
+	p, err := decodeWireProgram(br)
+	putReqReader(br)
+	if err != nil {
+		writeError(w, wireErrorf(CodeBadRequest, "%v", err))
+		return
+	}
+	stat, err := s.store.PutProgram(name, p)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, stat)
+}
+
+func (s *Server) handleListPrograms(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.store.Programs())
+}
+
+// handleGetProgram serves a stored procedure's source form back, in
+// the negotiated wire encoding (SPPG or JSON).
+func (s *Server) handleGetProgram(w http.ResponseWriter, r *http.Request) {
+	wire, ok := s.acceptedWire(r)
+	if !ok {
+		writeError(w, wireErrorf(CodeNotAcceptable,
+			"no supported type in Accept %q (offer %s or %s)",
+			r.Header.Get("Accept"), ContentTypeJSON, ContentTypeBinary))
+		return
+	}
+	p, err := s.store.GetProgram(r.PathValue("name"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeWire(w, http.StatusOK, wire, p)
+}
+
+func (s *Server) handleDeleteProgram(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if !s.store.DeleteProgram(name) {
+		writeError(w, wireErrorf(CodeUnknownProgram, "program %q is not registered", name))
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleInvoke runs a stored procedure with the request's bindings —
+// the warm path the registry exists for: no program on the wire, no
+// validation or compilation server-side, just seed vectors in and
+// emitted results out, in the negotiated wire form.
+func (s *Server) handleInvoke(w http.ResponseWriter, r *http.Request) {
+	wire, ok := s.acceptedWire(r)
+	if !ok {
+		writeProgramError(w, ContentTypeJSON, wireErrorf(CodeNotAcceptable,
+			"no supported type in Accept %q (offer %s or %s)",
+			r.Header.Get("Accept"), ContentTypeJSON, ContentTypeBinary))
+		return
+	}
+	br := getReqReader(http.MaxBytesReader(w, r.Body, s.maxBody))
+	inv, err := decodeWireInvoke(br)
+	putReqReader(br)
+	if err != nil {
+		writeProgramError(w, wire, wireErrorf(CodeBadRequest, "%v", err))
+		return
+	}
+	resp, err := s.store.Invoke(r.PathValue("name"), inv)
+	if err != nil {
+		writeProgramError(w, wire, err)
+		return
+	}
+	writeWire(w, http.StatusOK, wire, resp)
+}
+
+// decodeWireInvoke sniffs the SPIV envelope magic vs JSON; an empty
+// body is a legitimate invoke with no bindings (a program of literal
+// inputs).
+func decodeWireInvoke(br *bufio.Reader) (*InvokeRequest, error) {
+	head, _ := br.Peek(4)
+	if len(head) == 0 {
+		return &InvokeRequest{}, nil
+	}
+	if string(head) == invokeMagic {
+		return DecodeInvokeRequestBinary(br)
+	}
+	var inv InvokeRequest
+	if err := json.NewDecoder(br).Decode(&inv); err != nil {
+		return nil, fmt.Errorf("spmspv: decoding invoke request: %w", err)
+	}
+	return &inv, nil
 }
 
 // do routes one request: through the coalescing batcher when it

@@ -69,6 +69,11 @@ type ShardedStore struct {
 	mu   sync.RWMutex
 	mats map[string]*shardedMatrix
 
+	// programs is the coordinator-side stored-procedure registry (see
+	// programs.go): programs compile and loop on the coordinator, and
+	// only the mult ops scatter.
+	programs programRegistry
+
 	shardStats []*perf.ServeStats
 }
 
@@ -652,7 +657,13 @@ func (ss *ShardedStore) DoContext(ctx context.Context, req *Request) (*Response,
 // StopOnEmpty) is the same code path the single-process Store runs, so
 // program semantics cannot drift between the two.
 func (ss *ShardedStore) Run(p *Program) (*ProgramResponse, error) {
-	return runProgramOps(p, func(k int, name string, xf *Frontier, d Desc) (*Frontier, error) {
+	return runProgramOps(p, ss.progMult())
+}
+
+// progMult returns the coordinator's program-multiply hook: each op is
+// one scattered request across the shards.
+func (ss *ShardedStore) progMult() progMultFunc {
+	return func(k int, name string, xf *Frontier, d Desc) (*Frontier, error) {
 		sm, err := ss.lookup(name)
 		if err != nil {
 			return nil, err
@@ -672,7 +683,7 @@ func (ss *ShardedStore) Run(p *Program) (*ProgramResponse, error) {
 			return nil, wireErrorf(we.Code, "op %d: %s", k, we.Message)
 		}
 		return NewFrontier(resp.Y), nil
-	})
+	}
 }
 
 // RunContext is Run with a pre-flight context check (see DoContext).

@@ -102,5 +102,46 @@ func TestLiveShardedServe(t *testing.T) {
 	if stat.Serve.Requests < levels {
 		t.Errorf("served requests %d < BFS levels %d", stat.Serve.Requests, levels)
 	}
-	fmt.Println("live sharded serve: OK,", len(shards), "shards,", stat.Serve.Requests, "requests")
+
+	// Stored procedures on the coordinator: register the loop BFS once,
+	// then invoke it by name over TCP in BOTH wire forms — only the
+	// seed rides per call, the loop runs coordinator-side with every
+	// body op scattered across the workers.
+	progStat, err := c.PutProgram("live-bfs", spmspv.BFSProgram(name, int(a.NumCols), nil))
+	if err != nil {
+		t.Fatalf("registering program: %v", err)
+	}
+	if progStat.Name != "live-bfs" {
+		t.Fatalf("put program stat = %+v", progStat)
+	}
+	defer func() {
+		if err := c.DeleteProgram("live-bfs"); err != nil {
+			t.Errorf("cleanup program delete: %v", err)
+		}
+	}()
+	seed := spmspv.NewVector(a.NumCols, 1)
+	seed.Append(0, 0)
+	for _, wire := range []string{spmspv.ContentTypeBinary, spmspv.ContentTypeJSON} {
+		cw := spmspv.NewClient(url, spmspv.WithWire(wire))
+		resp, err := cw.Invoke("live-bfs", &spmspv.InvokeRequest{
+			Args: map[string]*spmspv.Vector{"seed": seed},
+		})
+		if err != nil {
+			t.Fatalf("invoke (%s): %v", wire, err)
+		}
+		inv, err := spmspv.DecodeBFSProgramResponse(resp, a.NumCols, 0, int(a.NumCols))
+		if err != nil {
+			t.Fatalf("decoding invoke response (%s): %v", wire, err)
+		}
+		compareBFS(t, "live-invoke/"+wire, inv, want)
+	}
+	progs, err := c.Programs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(progs) != 1 || progs[0].Serve.Requests < 2 {
+		t.Errorf("program list = %+v, want one entry with >= 2 invokes", progs)
+	}
+	fmt.Println("live sharded serve: OK,", len(shards), "shards,", stat.Serve.Requests, "requests,",
+		progs[0].Serve.Requests, "invokes")
 }

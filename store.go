@@ -33,6 +33,9 @@ type Store struct {
 
 	mu      sync.RWMutex
 	entries map[string]*storeEntry
+
+	// programs is the stored-procedure registry (see programs.go).
+	programs programRegistry
 }
 
 // storeEntry pairs a registered matrix with its lazily-built
@@ -70,29 +73,32 @@ func NewStore(opts ...Option) *Store {
 	return &Store{opts: opts, entries: map[string]*storeEntry{}}
 }
 
-// validStoreName enforces the name charset: path-segment and
-// batch-key safe ([A-Za-z0-9._-], nonempty, ≤ 128 bytes, not "." or
-// "..").
-func validStoreName(name string) error {
+// validRegistryName enforces the name charset shared by every named
+// registry (matrices, stored programs): path-segment and batch-key
+// safe ([A-Za-z0-9._-], nonempty, ≤ 128 bytes, not "." or "..").
+func validRegistryName(kind, name string) error {
 	if name == "" {
-		return fmt.Errorf("spmspv: empty matrix name")
+		return fmt.Errorf("spmspv: empty %s name", kind)
 	}
 	if len(name) > 128 {
-		return fmt.Errorf("spmspv: matrix name longer than 128 bytes")
+		return fmt.Errorf("spmspv: %s name longer than 128 bytes", kind)
 	}
 	if name == "." || name == ".." {
-		return fmt.Errorf("spmspv: matrix name %q is reserved", name)
+		return fmt.Errorf("spmspv: %s name %q is reserved", kind, name)
 	}
 	for _, c := range name {
 		switch {
 		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
 			c == '.', c == '_', c == '-':
 		default:
-			return fmt.Errorf("spmspv: matrix name %q contains %q (allowed: letters, digits, '.', '_', '-')", name, c)
+			return fmt.Errorf("spmspv: %s name %q contains %q (allowed: letters, digits, '.', '_', '-')", kind, name, c)
 		}
 	}
 	return nil
 }
+
+// validStoreName is validRegistryName for the matrix registry.
+func validStoreName(name string) error { return validRegistryName("matrix", name) }
 
 // Put registers (or replaces) a matrix under name. Replacement swaps
 // in a fresh entry: the old multiplier keeps serving requests that

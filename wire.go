@@ -70,6 +70,8 @@ const (
 	CodeInvalidRequest = "invalid_request"
 	// CodeUnknownMatrix: the named matrix is not registered.
 	CodeUnknownMatrix = "unknown_matrix"
+	// CodeUnknownProgram: the named stored program is not registered.
+	CodeUnknownProgram = "unknown_program"
 	// CodeNotAcceptable: the Accept header named no wire form the
 	// server can produce (offer ContentTypeJSON or ContentTypeBinary).
 	CodeNotAcceptable = "not_acceptable"

@@ -7,6 +7,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -59,6 +60,7 @@ const (
 	responseMagic     = "SPRS"
 	programMagic      = "SPPG"
 	programRespMagic  = "SPPR"
+	invokeMagic       = "SPIV"
 	envelopeVersion   = 1
 	maxEnvelopeHeader = 1 << 26 // vectors ride in sections; a JSON header beyond 64 MiB is hostile
 )
@@ -77,6 +79,7 @@ const (
 	secOpX     = uint8(8)  // Program.Ops[idx].X
 	secOpMask  = uint8(9)  // Program.Ops[idx].Desc.Mask
 	secResultY = uint8(10) // ProgramResponse.Results[idx].Y
+	secArgX    = uint8(11) // InvokeRequest.Args, idx = rank in sorted-name order
 )
 
 // wireSection is one vector payload awaiting encode. Exactly one of
@@ -430,6 +433,60 @@ func DecodeProgramBinary(r io.Reader) (*Program, error) {
 		return nil, err
 	}
 	return &p, nil
+}
+
+// EncodeInvokeRequestBinary writes inv as the binary envelope: the
+// matrix override, scalar bindings and argument NAMES stay in the JSON
+// header (each arg's value nulled), and the argument vectors ride as
+// SPVB sections whose idx is the argument name's rank in sorted order —
+// the header itself declares how many sections are legitimate, so a
+// hostile section count cannot claim storage the bindings didn't.
+func EncodeInvokeRequestBinary(w io.Writer, inv *InvokeRequest) error {
+	if inv == nil {
+		return fmt.Errorf("spmspv: encoding nil invoke request")
+	}
+	hdr := *inv
+	var secs []wireSection
+	if len(inv.Args) > 0 {
+		names := make([]string, 0, len(inv.Args))
+		for name := range inv.Args {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		hdr.Args = make(map[string]*Vector, len(names))
+		for i, name := range names {
+			hdr.Args[name] = nil
+			secs = append(secs, wireSection{role: secArgX, idx: uint32(i), vec: inv.Args[name]})
+		}
+	}
+	return encodeEnvelope(w, invokeMagic, &hdr, secs)
+}
+
+// DecodeInvokeRequestBinary parses a binary-envelope invoke request.
+func DecodeInvokeRequestBinary(r io.Reader) (*InvokeRequest, error) {
+	var inv InvokeRequest
+	var names []string
+	err := decodeEnvelope(r, invokeMagic, &inv, func(role uint8, idx uint32, vec *Vector, bits *BitVector) error {
+		if role != secArgX {
+			return fmt.Errorf("spmspv: unexpected section role %d in invoke request", role)
+		}
+		if names == nil {
+			names = make([]string, 0, len(inv.Args))
+			for name := range inv.Args {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+		}
+		if int(idx) >= len(names) {
+			return fmt.Errorf("spmspv: section for arg %d but request binds %d args", idx, len(names))
+		}
+		inv.Args[names[idx]] = vec
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &inv, nil
 }
 
 // EncodeProgramResponseBinary writes resp as the binary envelope: the
