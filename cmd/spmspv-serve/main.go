@@ -14,14 +14,31 @@
 // in-process stores (-shards 3) or remote spmspv-serve workers
 // (-shards http://h1:8090,http://h2:8090). Uploads are row-sliced
 // across the backends and every multiply fans out in parallel, each
-// shard computing its row range of y; GET /v1/shards reports per-shard
-// counters. -shard-of i/n runs a worker that preloads only its own row
-// slice, so a coordinator pointed at the workers discovers the
-// decomposition without re-uploading:
+// shard computing its row range of y; GET /v1/shards reports
+// per-replica counters and health states. -shard-of i/n runs a worker
+// that preloads only its own row slice, so a coordinator pointed at
+// the workers discovers the decomposition without re-uploading:
 //
 //	spmspv-serve -addr :8091 -shard-of 0/2 -preload web=graph.mtx &
 //	spmspv-serve -addr :8092 -shard-of 1/2 -preload web=graph.mtx &
 //	spmspv-serve -addr :8090 -shards http://localhost:8091,http://localhost:8092
+//
+// Replication: each row band may be served by a group of identical
+// replicas. -replicas R folds the backend list into groups of R
+// consecutive backends; "|" inside the -shards URL list groups
+// replicas explicitly (and allows ragged groups):
+//
+//	spmspv-serve -addr :8090 -replicas 2 -shards 4           # 2 bands × 2 replicas, in-process
+//	spmspv-serve -addr :8090 -shards "http://a:1|http://a:2,http://b:1|http://b:2"
+//
+// Uploads fan every band's piece to all of its replicas; reads pick
+// the preferred alive replica and fail over WITHIN the same dispatch
+// round when one dies, so killing one replica of an R≥2 group costs a
+// counted failover and zero retry rounds. The coordinator
+// health-checks workers over GET /v1/health at -probe-interval,
+// classifying each alive → suspect → dead; /v1/shards reports the
+// states, and serving traffic feeds the same state machine even with
+// probing disabled.
 //
 // Preloaded matrices accept Matrix Market, JSON-wire or binary-wire
 // files (sniffed); more matrices can be uploaded at runtime:
@@ -89,13 +106,19 @@ func main() {
 		maxBitmap = flag.Int64("max-bitmap-dim", 0,
 			"largest bitmap (mask) dimension request decoding will materialize (0 = built-in default)")
 		shards = flag.String("shards", "",
-			"serve as a shard coordinator: an integer N for N in-process shards, or comma-separated worker base URLs")
+			"serve as a shard coordinator: an integer N for N in-process shards, or comma-separated worker base URLs ('|' groups replicas of one band)")
 		shardOf = flag.String("shard-of", "",
 			"serve as shard worker i of n (\"i/n\"): preloads are row-sliced to this worker's piece")
 		shardRetries = flag.Int("shard-retries", 2,
 			"retries per failed shard call before the request fails (coordinator mode)")
 		shardTimeout = flag.Duration("shard-timeout", 30*time.Second,
 			"per-attempt deadline for one shard call (coordinator mode, 0 disables)")
+		replicas = flag.Int("replicas", 1,
+			"replicas per row band: folds the -shards backend list into groups of this size (coordinator mode)")
+		probeInterval = flag.Duration("probe-interval", 2*time.Second,
+			"background health-probe period against shard workers (coordinator mode, 0 disables probing)")
+		probeTimeout = flag.Duration("probe-timeout", 2*time.Second,
+			"per-probe deadline for one worker health check (coordinator mode)")
 	)
 	flag.Var(&pre, "preload", "name=path matrix to load at boot (repeatable)")
 	flag.Parse()
@@ -133,10 +156,17 @@ func main() {
 	var backend spmspv.ServingStore
 	switch {
 	case *shards != "":
-		ss, err := buildCoordinator(*shards, storeOpts, *shardRetries, *shardTimeout)
+		ss, err := buildCoordinator(*shards, storeOpts, coordConfig{
+			retries:       *shardRetries,
+			timeout:       *shardTimeout,
+			replicas:      *replicas,
+			probeInterval: *probeInterval,
+			probeTimeout:  *probeTimeout,
+		})
 		if err != nil {
 			log.Fatalf("spmspv-serve: %v", err)
 		}
+		defer ss.Close()
 		for _, p := range pre {
 			a, err := spmspv.ReadMatrixFile(p.path)
 			if err != nil {
@@ -233,26 +263,65 @@ func main() {
 	if ss, ok := backend.(*spmspv.ShardedStore); ok {
 		for _, st := range ss.ShardStats() {
 			s := st.Serve
-			log.Printf("spmspv-serve: shard %d (%s): %d requests (%d failed), %d retries, avg %v max %v",
-				st.Shard, st.Addr, s.Requests, s.Failures, s.Retries,
+			log.Printf("spmspv-serve: shard %d replica %d (%s, %s, epoch %d): %d requests (%d failed), %d retries, %d failovers, %d probe failures, avg %v max %v",
+				st.Shard, st.Replica, st.Addr, st.State, st.MemberEpoch,
+				s.Requests, s.Failures, s.Retries, s.Failovers, st.ProbeFailures,
 				time.Duration(s.AvgLatencyNS), time.Duration(s.MaxLatencyNS))
 		}
 	}
 }
 
+// coordConfig carries the coordinator-mode flags into buildCoordinator.
+type coordConfig struct {
+	retries       int
+	timeout       time.Duration
+	replicas      int
+	probeInterval time.Duration
+	probeTimeout  time.Duration
+}
+
 // buildCoordinator interprets the -shards flag: a bare integer N spins
-// up N fresh in-process stores; anything else is a comma-separated list
-// of worker base URLs reached over HTTP.
-func buildCoordinator(spec string, storeOpts []spmspv.Option, retries int, timeout time.Duration) (*spmspv.ShardedStore, error) {
+// up N in-process bands (-replicas stores each); anything else is a
+// comma-separated list of worker base URLs reached over HTTP, where
+// "|" groups the replicas of one band (a flat list folds into groups
+// of -replicas consecutive URLs).
+func buildCoordinator(spec string, storeOpts []spmspv.Option, cfg coordConfig) (*spmspv.ShardedStore, error) {
 	shardOpts := []spmspv.ShardOption{
-		spmspv.WithShardRetries(retries),
-		spmspv.WithShardTimeout(timeout),
+		spmspv.WithShardRetries(cfg.retries),
+		spmspv.WithShardTimeout(cfg.timeout),
+		spmspv.WithReplication(cfg.replicas),
+		spmspv.WithProbeInterval(cfg.probeInterval),
+		spmspv.WithProbeTimeout(cfg.probeTimeout),
 	}
 	if n, err := strconv.Atoi(spec); err == nil {
 		if n < 1 {
 			return nil, fmt.Errorf("-shards %d: want at least one shard", n)
 		}
 		return spmspv.NewLocalShardedStore(n, storeOpts, shardOpts...)
+	}
+	if strings.Contains(spec, "|") {
+		// Explicit replica groups: bands split on ",", replicas on "|".
+		var groups [][]spmspv.ShardBackend
+		var labels []string
+		for _, band := range strings.Split(spec, ",") {
+			var g []spmspv.ShardBackend
+			for _, u := range strings.Split(band, "|") {
+				u = strings.TrimSpace(u)
+				if u == "" {
+					continue
+				}
+				g = append(g, spmspv.NewClient(u, spmspv.WithTimeout(cfg.timeout)))
+				labels = append(labels, u)
+			}
+			if len(g) > 0 {
+				groups = append(groups, g)
+			}
+		}
+		if len(groups) == 0 {
+			return nil, fmt.Errorf("-shards %q: no worker URLs", spec)
+		}
+		return spmspv.NewReplicatedShardedStore(groups,
+			append(shardOpts, spmspv.WithShardLabels(labels))...)
 	}
 	urls := strings.Split(spec, ",")
 	backends := make([]spmspv.ShardBackend, 0, len(urls))
@@ -262,7 +331,7 @@ func buildCoordinator(spec string, storeOpts []spmspv.Option, retries int, timeo
 		if u == "" {
 			continue
 		}
-		backends = append(backends, spmspv.NewClient(u, spmspv.WithTimeout(timeout)))
+		backends = append(backends, spmspv.NewClient(u, spmspv.WithTimeout(cfg.timeout)))
 		labels = append(labels, u)
 	}
 	if len(backends) == 0 {

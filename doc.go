@@ -79,14 +79,24 @@
 // service, in four pieces that stack on the wire contract:
 //
 //	Client ──HTTP──> Server (/v1/mult, /v1/program, /v1/programs/{name},
-//	   \    JSON or     |    /v1/matrices, /v1/shards)
+//	   \    JSON or     |    /v1/matrices, /v1/shards, /v1/health)
 //	    \   binary      |    Accept/Content-Type negotiation,
 //	     \  wire        |    request coalescing → MultBatch
 //	      \             v
 //	       +──same──> Store ──or── ShardedStore   row-split scatter/gather
-//	        Executor    |  \         | | |        coordinator: shard w owns
-//	        interface   |   \  Store/Client ×N    rows [bounds_w, bounds_w+1),
-//	                    |    \       |            gather is pure concat
+//	        Executor    |  \         |            coordinator; with
+//	        interface   |   \        |            WithReplication(R):
+//	                    |    \       v
+//	                    |     \   band 0: [replica 0 | replica 1 | …]
+//	                    |      \  band 1: [replica 0 | replica 1 | …]
+//	                    |       \    |    (each replica a Store/Client)
+//	                    |        \   v
+//	                    |     internal/cluster.Membership
+//	                    |         alive → suspect → dead per member,
+//	                    |         epoch-versioned Views, /v1/health probes;
+//	                    |         reads pick the preferred alive replica
+//	                    |         and fail over IN-ROUND on death
+//	                    |
 //	                    |   programRegistry       named stored procedures,
 //	                    v    (internal/dataflow)  compiled once at PUT
 //	                Multiplier.Do / Mult / MultBatch
@@ -141,6 +151,26 @@
 // forms and the Client work unchanged — spmspv-serve's -shards flag
 // serves a coordinator, -shard-of i/n a worker holding one preloaded
 // row slice that coordinators discover lazily.
+//
+// WithReplication(R) (or NewReplicatedShardedStore for explicit
+// groups) keeps R full copies of every row band behind a
+// health-checked membership subsystem (internal/cluster): each member
+// walks alive → suspect → dead on consecutive failures — reported
+// passively by every serving-path call and actively by a GET
+// /v1/health probe loop (WithProbeInterval) — any success restores it
+// to alive, and the epoch-versioned View advances only on state
+// transitions. Put fans each band's piece to all of its replicas (a
+// partial failure rolls back the copies that landed); reads take one
+// consistent View per scatter, send each band to its preferred alive
+// replica, and on a retryable failure fail over to the next replica
+// WITHIN the same dispatch round — a replica dying mid-BFS costs a
+// failover counter tick, zero retry rounds, and a bit-identical
+// result. Only a fully dead group falls back to the bounded
+// retry/backoff loop. Per-replica state, failovers, probe failures
+// and the membership epoch ride on ShardStats, GET /v1/shards and the
+// shutdown log; /v1/health answers on every server (JSON or the SPHL
+// binary frame) with engine, registry sizes and — on a coordinator —
+// the fleet shape.
 //
 // Both request endpoints speak two wire forms, negotiated per request:
 // JSON (the default for clients that express no preference) and a

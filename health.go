@@ -1,0 +1,131 @@
+package spmspv
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// HealthStatus is the reply of GET /v1/health — the lightweight
+// liveness probe the membership layer polls shard workers with. It is
+// deliberately cheap to serve (registry sizes and static identity, no
+// engine work) so probing at a short interval costs the worker
+// nothing.
+type HealthStatus struct {
+	// Status is "ok" whenever the server answers at all; the probe's
+	// real signal is the HTTP round trip succeeding.
+	Status string `json:"status"`
+	// Engine identifies the serving backend: the configured SpMSpV
+	// algorithm for a single-process store, "coordinator" for a shard
+	// coordinator.
+	Engine string `json:"engine"`
+	// Matrices and Programs are the registry sizes.
+	Matrices int `json:"matrices"`
+	Programs int `json:"programs"`
+	// UptimeNS is how long the serving process has been up.
+	UptimeNS int64 `json:"uptime_ns"`
+	// Shards and Replicas describe a coordinator's fleet (band count
+	// and largest replica-group size); zero on a plain store.
+	Shards   int `json:"shards,omitempty"`
+	Replicas int `json:"replicas,omitempty"`
+	// MemberEpoch is the coordinator's membership view version; it
+	// increments on every member health-state transition.
+	MemberEpoch uint64 `json:"member_epoch,omitempty"`
+}
+
+// healthMagic frames the binary wire form of a HealthStatus. The
+// payload is pure structure — no vector sections — so the frame is
+// just magic, version, and a length-prefixed JSON body, consistent
+// with the envelope headers of the other message types.
+const healthMagic = "SPHL"
+
+// EncodeHealthBinary writes h in the binary wire form:
+// "SPHL" magic, version uint32, length uint32, then the JSON body
+// (little-endian words, like every other envelope).
+func EncodeHealthBinary(w io.Writer, h *HealthStatus) error {
+	body, err := json.Marshal(h)
+	if err != nil {
+		return fmt.Errorf("spmspv: encoding health: %w", err)
+	}
+	var hdr [12]byte
+	copy(hdr[0:4], healthMagic)
+	binary.LittleEndian.PutUint32(hdr[4:8], envelopeVersion)
+	binary.LittleEndian.PutUint32(hdr[8:12], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(body)
+	return err
+}
+
+// DecodeHealthBinary reads the SPHL frame.
+func DecodeHealthBinary(r io.Reader) (*HealthStatus, error) {
+	var hdr [12]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("spmspv: reading health frame: %w", err)
+	}
+	if string(hdr[0:4]) != healthMagic {
+		return nil, fmt.Errorf("spmspv: bad health magic %q", hdr[0:4])
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:8]); v != envelopeVersion {
+		return nil, fmt.Errorf("spmspv: unsupported health frame version %d", v)
+	}
+	n := binary.LittleEndian.Uint32(hdr[8:12])
+	if n > maxEnvelopeHeader {
+		return nil, fmt.Errorf("spmspv: health frame claims %d body bytes", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, fmt.Errorf("spmspv: reading health body: %w", err)
+	}
+	var h HealthStatus
+	if err := json.Unmarshal(body, &h); err != nil {
+		return nil, fmt.Errorf("spmspv: decoding health: %w", err)
+	}
+	return &h, nil
+}
+
+// health reports the store's liveness summary for GET /v1/health: the
+// engine its entries build and the registry sizes. The server layer
+// fills Status and UptimeNS.
+func (st *Store) health() HealthStatus {
+	cfg := multiplierConfig{alg: Bucket}
+	for _, o := range st.opts {
+		o(&cfg)
+	}
+	st.mu.RLock()
+	n := len(st.entries)
+	st.mu.RUnlock()
+	return HealthStatus{
+		Engine:   cfg.alg.String(),
+		Matrices: n,
+		Programs: len(st.programs.list()),
+	}
+}
+
+// Health is the in-process probe surface (the form the sharded
+// coordinator's membership layer calls against local backends): always
+// healthy when the store exists, mirroring Client.Health's shape.
+func (st *Store) Health(ctx context.Context) (*HealthStatus, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, wireErrorf(CodeInternal, "%v", err)
+	}
+	h := st.health()
+	h.Status = "ok"
+	return &h, nil
+}
+
+// Health probes the server's liveness endpoint (GET /v1/health) — the
+// call the coordinator's membership layer issues per probe round. Any
+// transport or HTTP failure means "not healthy"; the decoded status is
+// informational.
+func (c *Client) Health(ctx context.Context) (*HealthStatus, error) {
+	var h HealthStatus
+	if err := c.roundTrip(ctx, http.MethodGet, "/v1/health", nil, "", &h, envelopeError); err != nil {
+		return nil, err
+	}
+	return &h, nil
+}

@@ -1,0 +1,58 @@
+package cluster
+
+// ReplicaGroup is the placement of one row band: the member ids of the
+// backends holding identical copies of the band's piece, in priority
+// order (position 0 is the primary — the replica reads prefer while it
+// is alive).
+type ReplicaGroup struct {
+	Members []int
+}
+
+// Groups places bands×r members contiguously: band b's replicas are
+// members b·r … b·r+r−1. This is the layout of the flat backend lists
+// NewShardedStore and the -shards URL list produce.
+func Groups(bands, r int) []ReplicaGroup {
+	gs := make([]ReplicaGroup, bands)
+	for b := range gs {
+		ms := make([]int, r)
+		for k := range ms {
+			ms[k] = b*r + k
+		}
+		gs[b] = ReplicaGroup{Members: ms}
+	}
+	return gs
+}
+
+// GroupsOf places ragged groups (per-band replica counts may differ,
+// as the explicit "a|b,c" CLI form allows), assigning member ids
+// sequentially in group order.
+func GroupsOf(sizes []int) []ReplicaGroup {
+	gs := make([]ReplicaGroup, len(sizes))
+	id := 0
+	for b, n := range sizes {
+		ms := make([]int, n)
+		for k := range ms {
+			ms[k] = id
+			id++
+		}
+		gs[b] = ReplicaGroup{Members: ms}
+	}
+	return gs
+}
+
+// Order returns the group's replica positions in read-preference order
+// under the view: alive replicas first, then suspect, then dead —
+// stable by position within each class, so the primary keeps priority
+// among equals. Every replica appears exactly once: a fully-dead group
+// is still tried (last-resort), it just cannot win over a living one.
+func (g ReplicaGroup) Order(v View) []int {
+	order := make([]int, 0, len(g.Members))
+	for _, class := range [...]State{Alive, Suspect, Dead} {
+		for pos, id := range g.Members {
+			if v.States[id] == class {
+				order = append(order, pos)
+			}
+		}
+	}
+	return order
+}

@@ -1,0 +1,296 @@
+// Package cluster is the health-checked membership layer the sharded
+// serving coordinator stands on: it tracks a fixed set of members (the
+// shard replica backends), drives each through the alive → suspect →
+// dead state machine from periodic health probes and request-path
+// feedback, and publishes epoch-versioned views so an in-flight
+// scatter reads one consistent snapshot of the fleet.
+//
+// The package is deliberately transport-free. Members are plain
+// indices; the owner supplies a Prober that knows how to reach member
+// i (an HTTP GET /v1/health for remote workers, a no-op for in-process
+// stores), and reads back View/Info. That keeps the state machine unit
+// testable with a fake clock and no sockets, and keeps the dependency
+// arrow pointing from the serving layer down into cluster, never back.
+//
+// State machine:
+//
+//	         failure ×SuspectAfter          failure ×DeadAfter
+//	ALIVE ───────────────────────► SUSPECT ───────────────────► DEAD
+//	  ▲                               │                           │
+//	  └───────────── success ─────────┴───────────────────────────┘
+//
+// Failures are consecutive: any success resets the count and returns
+// the member to ALIVE (bumping the epoch if the state changed). Both
+// probe results and request-path outcomes feed the same counters, so a
+// coordinator with no active prober (in-process shards, tests) still
+// health-flags members from the traffic it serves.
+package cluster
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// State is one member's health classification.
+type State int32
+
+const (
+	// Alive: the member's last probe or serving call succeeded.
+	Alive State = iota
+	// Suspect: at least SuspectAfter consecutive failures. Suspect
+	// members are deprioritized for reads but still reachable — a
+	// single dropped connection must not eject a healthy worker.
+	Suspect
+	// Dead: at least DeadAfter consecutive failures. Dead members are
+	// ordered last; they are only tried when every healthier replica
+	// of a group has already failed.
+	Dead
+)
+
+// String reports the state in the lowercase form the /v1/shards
+// endpoint serves.
+func (s State) String() string {
+	switch s {
+	case Alive:
+		return "alive"
+	case Suspect:
+		return "suspect"
+	case Dead:
+		return "dead"
+	}
+	return "unknown"
+}
+
+// Prober checks member i's health; nil means healthy. The Membership
+// calls it under the configured per-probe timeout.
+type Prober func(ctx context.Context, member int) error
+
+// Config parameterizes a Membership.
+type Config struct {
+	// Interval is the period of the background probe loop started by
+	// Start. Zero (the default) means passive membership: no probe
+	// goroutine, the state machine driven by request-path feedback and
+	// explicit ProbeAll calls only.
+	Interval time.Duration
+	// Timeout bounds each probe (default 2s).
+	Timeout time.Duration
+	// SuspectAfter is how many consecutive failures flag a member
+	// suspect (default 1).
+	SuspectAfter int
+	// DeadAfter is how many consecutive failures flag a member dead
+	// (default 3). Values ≤ SuspectAfter collapse the suspect state.
+	DeadAfter int
+	// Now is the clock (default time.Now) — injectable so the state
+	// machine's transition timestamps are testable without sleeping.
+	Now func() time.Time
+}
+
+func (c *Config) fill() {
+	if c.Timeout <= 0 {
+		c.Timeout = 2 * time.Second
+	}
+	if c.SuspectAfter <= 0 {
+		c.SuspectAfter = 1
+	}
+	if c.DeadAfter <= 0 {
+		c.DeadAfter = 3
+	}
+	if c.DeadAfter < c.SuspectAfter {
+		c.DeadAfter = c.SuspectAfter
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+}
+
+// memberCell is one member's guarded state.
+type memberCell struct {
+	state    State
+	fails    int   // consecutive failures
+	failures int64 // total failures ever (probe + request feedback)
+	since    time.Time
+}
+
+// Membership tracks the health of a fixed set of members. All methods
+// are safe for concurrent use.
+type Membership struct {
+	cfg   Config
+	probe Prober
+
+	mu      sync.Mutex
+	epoch   uint64
+	members []memberCell
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	stop      chan struct{}
+	done      chan struct{}
+}
+
+// New returns a membership over n members, all initially Alive at
+// epoch 0. probe may be nil when only request-path feedback drives the
+// state machine.
+func New(n int, probe Prober, cfg Config) *Membership {
+	cfg.fill()
+	m := &Membership{
+		cfg:     cfg,
+		probe:   probe,
+		members: make([]memberCell, n),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	now := cfg.Now()
+	for i := range m.members {
+		m.members[i].since = now
+	}
+	return m
+}
+
+// Len reports the member count.
+func (m *Membership) Len() int { return len(m.members) }
+
+// View is a consistent snapshot of every member's state: the epoch
+// and the states were read under one lock, so a scatter holding a View
+// routes all of its shard calls against the same version of the fleet.
+type View struct {
+	Epoch  uint64
+	States []State
+}
+
+// Alive reports whether member i is alive in this view.
+func (v View) Alive(i int) bool { return v.States[i] == Alive }
+
+// View snapshots the membership. The epoch increments on every state
+// transition, so two equal epochs guarantee identical states.
+func (m *Membership) View() View {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	states := make([]State, len(m.members))
+	for i := range m.members {
+		states[i] = m.members[i].state
+	}
+	return View{Epoch: m.epoch, States: states}
+}
+
+// Epoch reads the current view version without copying states.
+func (m *Membership) Epoch() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.epoch
+}
+
+// Info is one member's reportable state.
+type Info struct {
+	State State
+	// Failures is the total failed probes and serving calls ever
+	// observed against the member (the probe_failures counter).
+	Failures int64
+	// Since is when the member entered its current state.
+	Since time.Time
+}
+
+// Info reads member i's state for reporting.
+func (m *Membership) Info(i int) Info {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c := &m.members[i]
+	return Info{State: c.state, Failures: c.failures, Since: c.since}
+}
+
+// ReportSuccess records a successful probe or serving call against
+// member i: the failure streak resets and the member returns to Alive.
+func (m *Membership) ReportSuccess(i int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c := &m.members[i]
+	c.fails = 0
+	m.transition(c, Alive)
+}
+
+// ReportFailure records a failed probe or serving call against member
+// i, advancing it toward Suspect and Dead per the configured
+// thresholds.
+func (m *Membership) ReportFailure(i int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c := &m.members[i]
+	c.fails++
+	c.failures++
+	switch {
+	case c.fails >= m.cfg.DeadAfter:
+		m.transition(c, Dead)
+	case c.fails >= m.cfg.SuspectAfter:
+		m.transition(c, Suspect)
+	}
+}
+
+// transition moves c to state, bumping the epoch when the state
+// actually changes. Callers hold m.mu.
+func (m *Membership) transition(c *memberCell, state State) {
+	if c.state == state {
+		return
+	}
+	c.state = state
+	c.since = m.cfg.Now()
+	m.epoch++
+}
+
+// ProbeAll runs one synchronous probe round: every member probed in
+// parallel under the configured timeout, results fed to the state
+// machine. No-op without a prober. Probes are I/O-bound waits on
+// remote health endpoints, so plain goroutines — not the compute
+// executor — carry them.
+func (m *Membership) ProbeAll(ctx context.Context) {
+	if m.probe == nil {
+		return
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < len(m.members); i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			pctx, cancel := context.WithTimeout(ctx, m.cfg.Timeout)
+			defer cancel()
+			if err := m.probe(pctx, i); err != nil {
+				m.ReportFailure(i)
+			} else {
+				m.ReportSuccess(i)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+// Start launches the background probe loop at the configured interval;
+// it is a no-op when Interval is zero or no prober was supplied. Stop
+// terminates the loop. Both are idempotent.
+func (m *Membership) Start() {
+	m.startOnce.Do(func() {
+		if m.cfg.Interval <= 0 || m.probe == nil {
+			close(m.done)
+			return
+		}
+		go func() {
+			defer close(m.done)
+			t := time.NewTicker(m.cfg.Interval)
+			defer t.Stop()
+			for {
+				select {
+				case <-m.stop:
+					return
+				case <-t.C:
+					m.ProbeAll(context.Background())
+				}
+			}
+		}()
+	})
+}
+
+// Stop terminates the probe loop started by Start and waits for it to
+// exit. Safe to call even if Start never ran.
+func (m *Membership) Stop() {
+	m.stopOnce.Do(func() { close(m.stop) })
+	m.startOnce.Do(func() { close(m.done) }) // Start never called: unblock the wait
+	<-m.done
+}

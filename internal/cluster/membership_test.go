@@ -1,0 +1,257 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeClock is the injectable clock the state-machine tests drive, so
+// transition timestamps are exact rather than sleep-approximate.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func (f *fakeClock) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.now
+}
+
+func (f *fakeClock) Advance(d time.Duration) {
+	f.mu.Lock()
+	f.now = f.now.Add(d)
+	f.mu.Unlock()
+}
+
+func newFake() *fakeClock {
+	return &fakeClock{now: time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)}
+}
+
+// TestStateMachine walks one member through the full alive → suspect →
+// dead → alive cycle, pinning the transition thresholds, the epoch
+// bumps, and the fake-clock transition timestamps.
+func TestStateMachine(t *testing.T) {
+	clk := newFake()
+	m := New(2, nil, Config{SuspectAfter: 1, DeadAfter: 3, Now: clk.Now})
+
+	if v := m.View(); v.Epoch != 0 || !v.Alive(0) || !v.Alive(1) {
+		t.Fatalf("fresh membership: %+v", v)
+	}
+	t0 := clk.Now()
+
+	// First failure: alive → suspect, epoch 1.
+	clk.Advance(time.Second)
+	m.ReportFailure(0)
+	if v := m.View(); v.Epoch != 1 || v.States[0] != Suspect || v.States[1] != Alive {
+		t.Fatalf("after 1 failure: %+v", v)
+	}
+	if info := m.Info(0); info.Failures != 1 || !info.Since.Equal(t0.Add(time.Second)) {
+		t.Fatalf("suspect info: %+v", info)
+	}
+
+	// Second failure: still suspect — no state change, no epoch bump.
+	m.ReportFailure(0)
+	if v := m.View(); v.Epoch != 1 || v.States[0] != Suspect {
+		t.Fatalf("after 2 failures: %+v", v)
+	}
+
+	// Third consecutive failure: suspect → dead, epoch 2.
+	clk.Advance(time.Second)
+	m.ReportFailure(0)
+	if v := m.View(); v.Epoch != 2 || v.States[0] != Dead {
+		t.Fatalf("after 3 failures: %+v", v)
+	}
+	if info := m.Info(0); info.Failures != 3 || !info.Since.Equal(t0.Add(2*time.Second)) {
+		t.Fatalf("dead info: %+v", info)
+	}
+
+	// Recovery: one success returns the member straight to alive and
+	// resets the consecutive-failure streak (total failures persist).
+	clk.Advance(time.Second)
+	m.ReportSuccess(0)
+	if v := m.View(); v.Epoch != 3 || v.States[0] != Alive {
+		t.Fatalf("after recovery: %+v", v)
+	}
+	if info := m.Info(0); info.Failures != 3 {
+		t.Fatalf("recovered info lost total failures: %+v", info)
+	}
+
+	// The streak reset means death needs DeadAfter fresh failures.
+	m.ReportFailure(0)
+	m.ReportFailure(0)
+	if v := m.View(); v.States[0] != Suspect {
+		t.Fatalf("streak did not reset: %+v", m.View())
+	}
+	m.ReportFailure(0)
+	if v := m.View(); v.States[0] != Dead {
+		t.Fatalf("re-death: %+v", v)
+	}
+
+	// Member 1 was untouched throughout.
+	if info := m.Info(1); info.State != Alive || info.Failures != 0 || !info.Since.Equal(t0) {
+		t.Fatalf("bystander member mutated: %+v", info)
+	}
+}
+
+// TestSuccessKeepsEpoch pins that redundant reports do not version the
+// view: an alive member reporting success must not bump the epoch, so
+// warm traffic against a healthy fleet never invalidates snapshots.
+func TestSuccessKeepsEpoch(t *testing.T) {
+	m := New(3, nil, Config{Now: newFake().Now})
+	for i := 0; i < 100; i++ {
+		m.ReportSuccess(i % 3)
+	}
+	if e := m.Epoch(); e != 0 {
+		t.Fatalf("epoch %d after success-only traffic, want 0", e)
+	}
+}
+
+// TestViewConsistency pins the contract scatters rely on: a View is
+// one locked snapshot, never a torn read, and equal epochs imply equal
+// states even while another goroutine flips members.
+func TestViewConsistency(t *testing.T) {
+	m := New(4, nil, Config{SuspectAfter: 1, DeadAfter: 2, Now: newFake().Now})
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if i%2 == 0 {
+				m.ReportFailure(i % 4)
+			} else {
+				m.ReportSuccess(i % 4)
+			}
+		}
+	}()
+	last := View{}
+	for i := 0; i < 2000; i++ {
+		v := m.View()
+		if v.Epoch == last.Epoch && last.States != nil {
+			for k := range v.States {
+				if v.States[k] != last.States[k] {
+					t.Fatalf("same epoch %d, different states: %v vs %v", v.Epoch, v.States, last.States)
+				}
+			}
+		}
+		if v.Epoch < last.Epoch {
+			t.Fatalf("epoch went backward: %d then %d", last.Epoch, v.Epoch)
+		}
+		last = v
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestProbeAll drives the prober path: failing members decay, healthy
+// ones stay, and the per-probe context carries the configured timeout.
+func TestProbeAll(t *testing.T) {
+	var down atomic.Bool
+	probe := func(ctx context.Context, member int) error {
+		if _, ok := ctx.Deadline(); !ok {
+			t.Error("probe context has no deadline")
+		}
+		if member == 1 && down.Load() {
+			return errors.New("injected")
+		}
+		return nil
+	}
+	m := New(3, probe, Config{SuspectAfter: 1, DeadAfter: 2, Now: newFake().Now})
+
+	down.Store(true)
+	m.ProbeAll(context.Background())
+	if v := m.View(); v.States[1] != Suspect || v.States[0] != Alive || v.States[2] != Alive {
+		t.Fatalf("after 1 probe round: %+v", v)
+	}
+	m.ProbeAll(context.Background())
+	if v := m.View(); v.States[1] != Dead {
+		t.Fatalf("after 2 probe rounds: %+v", v)
+	}
+	if info := m.Info(1); info.Failures != 2 {
+		t.Fatalf("probe failures: %+v", info)
+	}
+
+	down.Store(false)
+	m.ProbeAll(context.Background())
+	if v := m.View(); v.States[1] != Alive {
+		t.Fatalf("after recovery probe: %+v", v)
+	}
+}
+
+// TestStartStop pins the probe-loop lifecycle: a started loop probes,
+// Stop terminates it, and Stop without Start (the passive coordinator,
+// every in-process test) does not hang.
+func TestStartStop(t *testing.T) {
+	var probes atomic.Int64
+	probe := func(ctx context.Context, member int) error {
+		probes.Add(1)
+		return nil
+	}
+	m := New(2, probe, Config{Interval: time.Millisecond})
+	m.Start()
+	deadline := time.Now().Add(5 * time.Second)
+	for probes.Load() < 4 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if probes.Load() < 4 {
+		t.Fatalf("probe loop made %d probes in 5s, want >= 4", probes.Load())
+	}
+	m.Stop()
+	n := probes.Load()
+	time.Sleep(10 * time.Millisecond)
+	if probes.Load() != n {
+		t.Fatalf("probe loop still running after Stop")
+	}
+
+	passive := New(2, nil, Config{})
+	passive.Stop() // must not block
+}
+
+// TestGroupOrder pins replica read-preference: alive before suspect
+// before dead, stable by position inside each class, every replica
+// present exactly once.
+func TestGroupOrder(t *testing.T) {
+	g := ReplicaGroup{Members: []int{3, 4, 5}}
+	v := View{States: []State{Alive, Alive, Alive, Dead, Alive, Suspect}}
+	got := g.Order(v)
+	want := []int{1, 2, 0} // member 4 alive, 5 suspect, 3 dead
+	if len(got) != len(want) {
+		t.Fatalf("order %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order %v, want %v", got, want)
+		}
+	}
+
+	// All-dead group: still fully tried, original priority preserved.
+	v = View{States: []State{Alive, Alive, Alive, Dead, Dead, Dead}}
+	got = g.Order(v)
+	for i, r := range got {
+		if r != i {
+			t.Fatalf("all-dead order %v, want [0 1 2]", got)
+		}
+	}
+}
+
+// TestPlacements pins the contiguous and ragged member-id layouts.
+func TestPlacements(t *testing.T) {
+	gs := Groups(3, 2)
+	if len(gs) != 3 || gs[1].Members[0] != 2 || gs[1].Members[1] != 3 || gs[2].Members[1] != 5 {
+		t.Fatalf("Groups(3,2) = %+v", gs)
+	}
+	rg := GroupsOf([]int{2, 1, 3})
+	if rg[0].Members[1] != 1 || rg[1].Members[0] != 2 || rg[2].Members[2] != 5 {
+		t.Fatalf("GroupsOf = %+v", rg)
+	}
+}

@@ -17,6 +17,7 @@ type ServeStats struct {
 	coalesced atomic.Int64
 	batches   atomic.Int64
 	retries   atomic.Int64
+	failovers atomic.Int64
 	latencyNS atomic.Int64
 	maxLatNS  atomic.Int64
 }
@@ -57,6 +58,18 @@ func (s *ServeStats) ObserveRetries(n int) {
 	}
 }
 
+// ObserveFailovers records n in-round replica failovers — a shard call
+// abandoning one replica and moving to the next inside the same
+// dispatch round. On the matrix's counters it measures how often
+// replication absorbed a fault without burning a retry round; on a
+// replica's counters it measures how often traffic failed over AWAY
+// from that replica.
+func (s *ServeStats) ObserveFailovers(n int) {
+	if n > 0 {
+		s.failovers.Add(int64(n))
+	}
+}
+
 // ServeSnapshot is the JSON-ready reading of a ServeStats.
 type ServeSnapshot struct {
 	// Requests is the number of multiplies served (mult endpoint hits
@@ -72,6 +85,9 @@ type ServeSnapshot struct {
 	// Retries is the number of calls re-issued after a retryable
 	// failure (the sharded coordinator's requeue rounds).
 	Retries int64 `json:"retries,omitempty"`
+	// Failovers is the number of in-round replica failovers (replicated
+	// shard groups absorbing a fault without a retry round).
+	Failovers int64 `json:"failovers,omitempty"`
 	// AvgLatencyNS / MaxLatencyNS summarize request wall-clock latency.
 	AvgLatencyNS int64 `json:"avg_latency_ns"`
 	MaxLatencyNS int64 `json:"max_latency_ns"`
@@ -87,6 +103,7 @@ func (s *ServeStats) Snapshot() ServeSnapshot {
 		Coalesced:    s.coalesced.Load(),
 		Batches:      s.batches.Load(),
 		Retries:      s.retries.Load(),
+		Failovers:    s.failovers.Load(),
 		MaxLatencyNS: s.maxLatNS.Load(),
 	}
 	if snap.Requests > 0 {

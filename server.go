@@ -43,6 +43,7 @@ type Server struct {
 	maxBody  int64
 	wire     string   // response form when the client expresses no preference
 	batchers sync.Map // batch key (string) → *multBatcher
+	start    time.Time
 }
 
 // ServerOption configures NewServer.
@@ -106,6 +107,7 @@ type ServingStore interface {
 
 	resolveMult(name string) (nrows, ncols Index, stats *perf.ServeStats, err error)
 	multBatch(name string, xs []*Vector, masks []*BitVector, d Desc) ([]*Vector, error)
+	health() HealthStatus
 }
 
 // NewServer returns the HTTP handler serving st — a *Store for one
@@ -117,6 +119,7 @@ func NewServer(st ServingStore, opts ...ServerOption) *Server {
 		maxBatch: 8,
 		maxBody:  1 << 30,
 		wire:     ContentTypeJSON,
+		start:    time.Now(),
 	}
 	for _, o := range opts {
 		o(s)
@@ -134,7 +137,32 @@ func NewServer(st ServingStore, opts ...ServerOption) *Server {
 	s.mux.HandleFunc("DELETE /v1/programs/{name}", s.handleDeleteProgram)
 	s.mux.HandleFunc("POST /v1/programs/{name}/invoke", s.handleInvoke)
 	s.mux.HandleFunc("GET /v1/shards", s.handleShards)
+	s.mux.HandleFunc("GET /v1/health", s.handleHealth)
 	return s
+}
+
+// handleHealth serves the liveness probe: registry sizes, engine
+// identity and uptime, in the negotiated wire form (JSON or the SPHL
+// binary frame). It must stay cheap — the membership layer polls it at
+// the probe interval against every worker.
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	wire, ok := s.acceptedWire(r)
+	if !ok {
+		writeError(w, wireErrorf(CodeNotAcceptable,
+			"no supported type in Accept %q (offer %s or %s)",
+			r.Header.Get("Accept"), ContentTypeJSON, ContentTypeBinary))
+		return
+	}
+	h := s.store.health()
+	h.Status = "ok"
+	h.UptimeNS = time.Since(s.start).Nanoseconds()
+	if wire == ContentTypeBinary {
+		w.Header().Set("Content-Type", ContentTypeBinary)
+		w.WriteHeader(http.StatusOK)
+		EncodeHealthBinary(w, &h)
+		return
+	}
+	writeJSON(w, http.StatusOK, &h)
 }
 
 // handleShards reports the coordinator's per-shard counters; a

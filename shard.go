@@ -8,21 +8,35 @@ import (
 	"sync"
 	"time"
 
+	"spmspv/internal/cluster"
 	"spmspv/internal/par"
 	"spmspv/internal/perf"
 	"spmspv/internal/sparse"
 )
 
 // ShardBackend is the surface the shard coordinator drives on each
-// shard: an Executor that also manages named matrices. Both *Store
-// (in-process shards) and *Client (remote spmspv-serve shards over the
-// binary wire) satisfy it, so a coordinator mixes local and remote
-// backends freely.
+// shard replica: an Executor that also manages named matrices. Both
+// *Store (in-process shards) and *Client (remote spmspv-serve shards
+// over the binary wire) satisfy it, so a coordinator mixes local and
+// remote backends freely. A backend that additionally implements
+//
+//	Health(ctx context.Context) (*HealthStatus, error)
+//
+// (as *Store and *Client both do) is health-probed by the membership
+// layer; one without it is assumed alive until serving calls say
+// otherwise.
 type ShardBackend interface {
 	Executor
 	PutMatrix(name string, a *Matrix) (*StoreStat, error)
 	DeleteMatrix(name string) error
 	Matrix(name string) (*StoreStat, error)
+}
+
+// healthProber is the optional probe surface of a ShardBackend: the
+// membership layer's periodic liveness check (GET /v1/health for
+// remote workers).
+type healthProber interface {
+	Health(ctx context.Context) (*HealthStatus, error)
 }
 
 // contextExecutor is the optional cancellable form of Executor. When a
@@ -34,37 +48,56 @@ type contextExecutor interface {
 	RunContext(ctx context.Context, p *Program) (*ProgramResponse, error)
 }
 
-// ShardedStore distributes named matrices across shard backends by row
-// range and serves multiplies as parallel scatter/gather — the
-// paper's row-split decomposition (sparse.RowSplit's PieceBounds,
-// CombBLAS's 1D distribution) promoted from an intra-process trick to
-// the unit of service. Put slices an uploaded matrix with
-// sparse.RowSlice and uploads piece w to backend w; Do and Run fan each
-// multiply out on the internal/par executor, every shard computing its
-// row range of y against the full x, and because row ranges are
-// disjoint the gather is a pure concatenation — no merge semiring, no
-// accumulation pass. Transposed multiplies are the one shape this
-// decomposition cannot serve (row pieces of A are column pieces of Aᵀ,
-// whose partial products overlap and would need a semiring merge); they
-// are rejected with invalid_request.
+// ShardedStore distributes named matrices across replicated shard
+// groups by row range and serves multiplies as parallel
+// scatter/gather — the paper's row-split decomposition
+// (sparse.RowSplit's PieceBounds, CombBLAS's 1D distribution) promoted
+// from an intra-process trick to the unit of service. Put slices an
+// uploaded matrix with sparse.RowSlice and uploads band w's piece to
+// EVERY replica of group w; Do and Run fan each multiply out on the
+// internal/par executor, every band computing its row range of y
+// against the full x, and because row ranges are disjoint the gather
+// is a pure concatenation — no merge semiring, no accumulation pass.
+// Transposed multiplies are the one shape this decomposition cannot
+// serve (row pieces of A are column pieces of Aᵀ, whose partial
+// products overlap and would need a semiring merge); they are rejected
+// with invalid_request.
+//
+// Replication (WithReplication, NewReplicatedShardedStore) sits UNDER
+// the retry loop: the backends of one band form a
+// cluster.ReplicaGroup, tracked by a health-checked
+// cluster.Membership. Reads pick the preferred alive replica and fail
+// over to the next replica within the same dispatch round on transport
+// error or health-flagged death, so killing one replica of an R≥2
+// group costs a failover (counted) and ZERO retry rounds — only a band
+// whose replicas ALL fail falls back to the bounded retry/backoff
+// below. The membership view is epoch-versioned: one scatter routes
+// every shard call against one consistent snapshot of the fleet.
 //
 // A ShardedStore is an Executor and a ServingStore: Client code,
 // Store.Run programs, internal/algorithms and the HTTP Server all work
 // against it unchanged, coalescing included.
 //
-// Shard calls that fail retryably — transport faults, server-side
-// internal errors, unknown_matrix from a worker that rebooted and is
-// re-preloading — are requeued in bounded backoff rounds (see
-// WithShardRetries), so a shard death mid-BFS degrades to a retried
-// round, not a failed request.
+// Shard calls that fail retryably on every replica — transport faults,
+// server-side internal errors, unknown_matrix from a worker that
+// rebooted and is re-preloading — are requeued in bounded backoff
+// rounds (see WithShardRetries), so a whole-group death mid-BFS
+// degrades to a retried round, not a failed request.
 type ShardedStore struct {
-	backends []ShardBackend
-	labels   []string
-	exec     *par.Executor
+	groups  [][]ShardBackend       // band → replicas
+	labels  [][]string             // parallel to groups
+	rgroups []cluster.ReplicaGroup // band → member ids
+	flat    []ShardBackend         // members in id order
+	members *cluster.Membership
+	exec    *par.Executor
 
-	attempts int           // tries per shard call, ≥ 1
-	backoff  time.Duration // sleep before the first retry round, doubling
-	timeout  time.Duration // per-attempt deadline for cancellable backends
+	attempts      int           // tries per shard call, ≥ 1
+	backoff       time.Duration // sleep before the first retry round, doubling
+	timeout       time.Duration // per-attempt deadline for cancellable backends
+	replication   int           // group size NewShardedStore folds a flat backend list into
+	probeInterval time.Duration // background probe period (0 = passive membership)
+	probeTimeout  time.Duration // per-probe deadline
+	flatLabels    []string      // WithShardLabels input, regrouped at construction
 
 	mu   sync.RWMutex
 	mats map[string]*shardedMatrix
@@ -74,11 +107,11 @@ type ShardedStore struct {
 	// only the mult ops scatter.
 	programs programRegistry
 
-	shardStats []*perf.ServeStats
+	replStats [][]*perf.ServeStats // per (band, replica) serving counters
 }
 
 // shardedMatrix is the coordinator's registry entry: the global shape
-// and the row bounds assigning piece w rows [bounds[w], bounds[w+1]).
+// and the row bounds assigning band w rows [bounds[w], bounds[w+1]).
 type shardedMatrix struct {
 	rows, cols Index
 	nnz        int64
@@ -90,8 +123,9 @@ type shardedMatrix struct {
 type ShardOption func(*ShardedStore)
 
 // WithShardRetries sets how many times one shard call is retried after
-// a retryable failure (default 2, so 3 attempts total). 0 disables
-// retry.
+// every replica of its group failed retryably (default 2, so 3 rounds
+// total). 0 disables retry. In-round replica failover is NOT a retry
+// and is always on; this bounds the rounds a fully-failed group burns.
 func WithShardRetries(n int) ShardOption {
 	return func(ss *ShardedStore) {
 		if n < 0 {
@@ -116,83 +150,236 @@ func WithShardTimeout(d time.Duration) ShardOption {
 	return func(ss *ShardedStore) { ss.timeout = d }
 }
 
-// WithShardLabels names the backends for ShardStats reporting (e.g.
-// their URLs). Unlabeled shards report as "shard/i".
-func WithShardLabels(labels []string) ShardOption {
+// WithReplication folds NewShardedStore's flat backend list into
+// groups of r consecutive backends, each group serving one row band as
+// r identical replicas (default 1: every backend its own band). The
+// backend count must be a multiple of r.
+func WithReplication(r int) ShardOption {
 	return func(ss *ShardedStore) {
-		copy(ss.labels, labels)
+		if r < 1 {
+			r = 1
+		}
+		ss.replication = r
 	}
 }
 
-// NewShardedStore returns a coordinator over the given backends. The
-// shard count — and so the row decomposition of every matrix it serves
-// — is fixed at construction.
+// WithProbeInterval sets the period of the membership layer's
+// background health probe (GET /v1/health against probe-capable
+// backends). Zero — the default — runs the membership passively: no
+// probe goroutine, member states driven by serving-call outcomes and
+// explicit ProbeNow calls. spmspv-serve coordinators enable it via
+// -probe-interval.
+func WithProbeInterval(d time.Duration) ShardOption {
+	return func(ss *ShardedStore) { ss.probeInterval = d }
+}
+
+// WithProbeTimeout bounds each health probe (default 2s).
+func WithProbeTimeout(d time.Duration) ShardOption {
+	return func(ss *ShardedStore) { ss.probeTimeout = d }
+}
+
+// WithShardLabels names the backends for ShardStats reporting (e.g.
+// their URLs), in the same flat band-major order as the backend list.
+// Unlabeled replicas report as "shard/w/r".
+func WithShardLabels(labels []string) ShardOption {
+	return func(ss *ShardedStore) {
+		ss.flatLabels = labels
+	}
+}
+
+// NewShardedStore returns a coordinator over the given backends,
+// grouped into row bands of WithReplication(r) consecutive replicas
+// each (one band per backend by default). The band count — and so the
+// row decomposition of every matrix served — is fixed at construction.
 func NewShardedStore(backends []ShardBackend, opts ...ShardOption) (*ShardedStore, error) {
 	if len(backends) == 0 {
 		return nil, fmt.Errorf("spmspv: sharded store needs at least one backend")
 	}
-	ss := &ShardedStore{
-		backends:   backends,
-		labels:     make([]string, len(backends)),
-		exec:       par.Default(),
-		attempts:   3,
-		backoff:    20 * time.Millisecond,
-		timeout:    30 * time.Second,
-		mats:       map[string]*shardedMatrix{},
-		shardStats: make([]*perf.ServeStats, len(backends)),
+	scratch := &ShardedStore{replication: 1}
+	for _, o := range opts {
+		o(scratch)
 	}
-	for w := range ss.labels {
-		ss.labels[w] = fmt.Sprintf("shard/%d", w)
-		ss.shardStats[w] = &perf.ServeStats{}
+	r := scratch.replication
+	if len(backends)%r != 0 {
+		return nil, fmt.Errorf("spmspv: %d backends do not fold into replica groups of %d", len(backends), r)
+	}
+	groups := make([][]ShardBackend, len(backends)/r)
+	for w := range groups {
+		groups[w] = backends[w*r : (w+1)*r]
+	}
+	return NewReplicatedShardedStore(groups, opts...)
+}
+
+// NewReplicatedShardedStore returns a coordinator over explicit
+// replica groups: groups[w] lists the backends holding identical
+// copies of row band w (group sizes may differ, matching the
+// "a|b,c" CLI form). Every group needs at least one backend.
+func NewReplicatedShardedStore(groups [][]ShardBackend, opts ...ShardOption) (*ShardedStore, error) {
+	if len(groups) == 0 {
+		return nil, fmt.Errorf("spmspv: sharded store needs at least one replica group")
+	}
+	sizes := make([]int, len(groups))
+	nmembers := 0
+	for w, g := range groups {
+		if len(g) == 0 {
+			return nil, fmt.Errorf("spmspv: replica group %d is empty", w)
+		}
+		sizes[w] = len(g)
+		nmembers += len(g)
+	}
+	ss := &ShardedStore{
+		groups:       groups,
+		rgroups:      cluster.GroupsOf(sizes),
+		flat:         make([]ShardBackend, 0, nmembers),
+		exec:         par.Default(),
+		attempts:     3,
+		backoff:      20 * time.Millisecond,
+		timeout:      30 * time.Second,
+		replication:  1,
+		probeTimeout: 2 * time.Second,
+		mats:         map[string]*shardedMatrix{},
+		labels:       make([][]string, len(groups)),
+		replStats:    make([][]*perf.ServeStats, len(groups)),
+	}
+	for w, g := range groups {
+		ss.flat = append(ss.flat, g...)
+		ss.labels[w] = make([]string, len(g))
+		ss.replStats[w] = make([]*perf.ServeStats, len(g))
+		for r := range g {
+			ss.labels[w][r] = fmt.Sprintf("shard/%d/%d", w, r)
+			ss.replStats[w][r] = &perf.ServeStats{}
+		}
 	}
 	for _, o := range opts {
 		o(ss)
 	}
+	if ss.flatLabels != nil {
+		i := 0
+		for w := range ss.labels {
+			for r := range ss.labels[w] {
+				if i < len(ss.flatLabels) && ss.flatLabels[i] != "" {
+					ss.labels[w][r] = ss.flatLabels[i]
+				}
+				i++
+			}
+		}
+	}
+	ss.members = cluster.New(nmembers, ss.probeMember, cluster.Config{
+		Interval: ss.probeInterval,
+		Timeout:  ss.probeTimeout,
+	})
+	if ss.probeInterval > 0 {
+		ss.members.Start()
+	}
 	return ss, nil
 }
 
-// NewLocalShardedStore is the in-process form: n fresh *Store shards
-// (each built with storeOpts) behind one coordinator — the single-box
-// configuration the shard benchmarks measure, and a drop-in *Store
-// replacement for testing the scatter/gather path without sockets.
+// NewLocalShardedStore is the in-process form: n fresh *Store bands
+// (each with WithReplication(r) replica Stores, each built with
+// storeOpts) behind one coordinator — the single-box configuration the
+// shard benchmarks measure, and a drop-in *Store replacement for
+// testing the scatter/gather and failover paths without sockets.
 func NewLocalShardedStore(n int, storeOpts []Option, opts ...ShardOption) (*ShardedStore, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("spmspv: sharded store needs at least one shard, got %d", n)
 	}
-	backends := make([]ShardBackend, n)
-	labels := make([]string, n)
-	for w := range backends {
-		backends[w] = NewStore(storeOpts...)
-		labels[w] = fmt.Sprintf("local/%d", w)
+	scratch := &ShardedStore{replication: 1}
+	for _, o := range opts {
+		o(scratch)
+	}
+	r := scratch.replication
+	backends := make([]ShardBackend, n*r)
+	labels := make([]string, n*r)
+	for i := range backends {
+		backends[i] = NewStore(storeOpts...)
+		labels[i] = fmt.Sprintf("local/%d/%d", i/r, i%r)
 	}
 	return NewShardedStore(backends, append([]ShardOption{WithShardLabels(labels)}, opts...)...)
 }
 
-// Shards reports the number of shard backends.
-func (ss *ShardedStore) Shards() int { return len(ss.backends) }
-
-// ShardStat is one shard backend's coordinator-side serving counters:
-// every scatter call issued to the shard lands here, with retried
-// calls counted under Serve.Retries.
-type ShardStat struct {
-	Shard int                `json:"shard"`
-	Addr  string             `json:"addr"`
-	Serve perf.ServeSnapshot `json:"serve"`
+// probeMember is the membership layer's Prober: member i's backend is
+// health-checked through its optional Health method; backends without
+// one (custom in-process implementations) count as healthy.
+func (ss *ShardedStore) probeMember(ctx context.Context, i int) error {
+	hp, ok := ss.flat[i].(healthProber)
+	if !ok {
+		return nil
+	}
+	_, err := hp.Health(ctx)
+	return err
 }
 
-// ShardStats reports the per-shard counters, in shard order.
+// ProbeNow runs one synchronous membership probe round — every
+// replica's health endpoint checked in parallel — independent of the
+// background probe loop. Useful for tests and for operators who want a
+// fresh view before reading ShardStats.
+func (ss *ShardedStore) ProbeNow(ctx context.Context) {
+	ss.members.ProbeAll(ctx)
+}
+
+// MemberEpoch reports the membership view version; it increments on
+// every member state transition.
+func (ss *ShardedStore) MemberEpoch() uint64 { return ss.members.Epoch() }
+
+// Close stops the background membership prober (if one was started).
+// Serving through a closed coordinator keeps working; member states
+// just stop refreshing on their own.
+func (ss *ShardedStore) Close() { ss.members.Stop() }
+
+// Shards reports the number of row bands (replica groups).
+func (ss *ShardedStore) Shards() int { return len(ss.groups) }
+
+// Replicas reports band w's replica count.
+func (ss *ShardedStore) Replicas(w int) int { return len(ss.groups[w]) }
+
+// ShardStat is one shard replica's coordinator-side serving counters
+// and membership state: every scatter call issued to the replica lands
+// in Serve (failed-over calls under Serve.Failovers, requeue rounds
+// under Serve.Retries), and the membership layer contributes the
+// health-state fields.
+type ShardStat struct {
+	Shard   int    `json:"shard"`
+	Replica int    `json:"replica"`
+	Addr    string `json:"addr"`
+	// State is the membership classification: alive, suspect or dead.
+	State string `json:"state"`
+	// MemberEpoch is the membership view version at snapshot time; it
+	// increments on every member state transition anywhere in the
+	// fleet.
+	MemberEpoch uint64 `json:"member_epoch"`
+	// ProbeFailures counts the replica's failed health probes plus
+	// failed serving calls — the membership layer's failure feed.
+	ProbeFailures int64              `json:"probe_failures"`
+	Serve         perf.ServeSnapshot `json:"serve"`
+}
+
+// ShardStats reports the per-replica counters in band-major order (so
+// with replication 1 the index is the shard index, as before).
 func (ss *ShardedStore) ShardStats() []ShardStat {
-	out := make([]ShardStat, len(ss.backends))
-	for w := range out {
-		out[w] = ShardStat{Shard: w, Addr: ss.labels[w], Serve: ss.shardStats[w].Snapshot()}
+	epoch := ss.members.Epoch()
+	out := make([]ShardStat, 0, len(ss.flat))
+	for w := range ss.groups {
+		for r := range ss.groups[w] {
+			info := ss.members.Info(ss.rgroups[w].Members[r])
+			out = append(out, ShardStat{
+				Shard:         w,
+				Replica:       r,
+				Addr:          ss.labels[w][r],
+				State:         info.State.String(),
+				MemberEpoch:   epoch,
+				ProbeFailures: info.Failures,
+				Serve:         ss.replStats[w][r].Snapshot(),
+			})
+		}
 	}
 	return out
 }
 
-// Put slices a into len(backends) row-range pieces and uploads piece w
-// to backend w under the same name — empty pieces (more shards than
-// rows) are simply not uploaded. A failed upload rolls back the pieces
-// that landed, so a failed Put leaves no stragglers.
+// Put slices a into len(groups) row-range pieces and uploads band w's
+// piece to EVERY replica of group w under the same name — empty pieces
+// (more bands than rows) are simply not uploaded. A failed upload
+// rolls back the pieces that landed, so a failed Put leaves no
+// stragglers. Replica uploads run in parallel on the executor.
 func (ss *ShardedStore) Put(name string, a *Matrix) error {
 	if err := validStoreName(name); err != nil {
 		return err
@@ -203,24 +390,46 @@ func (ss *ShardedStore) Put(name string, a *Matrix) error {
 	if err := a.Validate(); err != nil {
 		return err
 	}
-	n := len(ss.backends)
+	n := len(ss.groups)
 	bounds := sparse.PieceBounds(a.NumRows, n)
-	errs := make([]error, n)
+
+	// Slice once per band, then fan each piece out to all its replicas.
+	pieces := make([]*Matrix, n)
 	ss.exec.Run(n, n, func(_, w int) {
-		lo, hi := bounds[w], bounds[w+1]
-		if hi <= lo {
-			return
+		if lo, hi := bounds[w], bounds[w+1]; hi > lo {
+			pieces[w] = sparse.RowSlice(a, lo, hi)
 		}
-		_, errs[w] = ss.backends[w].PutMatrix(name, sparse.RowSlice(a, lo, hi))
 	}, nil)
-	for w, err := range errs {
-		if err != nil {
-			for v := range ss.backends {
-				if bounds[v+1] > bounds[v] && errs[v] == nil {
-					ss.backends[v].DeleteMatrix(name)
+
+	type upload struct {
+		w, r int
+		err  error
+	}
+	var ups []*upload
+	for w := range ss.groups {
+		if pieces[w] == nil {
+			continue
+		}
+		for r := range ss.groups[w] {
+			ups = append(ups, &upload{w: w, r: r})
+		}
+	}
+	if len(ups) > 0 {
+		ss.exec.Run(len(ups), len(ups), func(_, q int) {
+			u := ups[q]
+			_, u.err = ss.groups[u.w][u.r].PutMatrix(name, pieces[u.w])
+			ss.reportOutcome(u.w, u.r, u.err)
+		}, nil)
+	}
+	for _, u := range ups {
+		if u.err != nil {
+			for _, v := range ups {
+				if v.err == nil {
+					ss.groups[v.w][v.r].DeleteMatrix(name)
 				}
 			}
-			return wireErrorf(CodeInternal, "uploading shard %d of %q: %v", w, name, err)
+			return wireErrorf(CodeInternal, "uploading shard %d replica %d (%s) of %q: %v",
+				u.w, u.r, ss.labels[u.w][u.r], name, u.err)
 		}
 	}
 	ss.mu.Lock()
@@ -232,8 +441,23 @@ func (ss *ShardedStore) Put(name string, a *Matrix) error {
 	return nil
 }
 
+// reportOutcome feeds one serving-call outcome to the membership state
+// machine — the passive half of health checking, so even a coordinator
+// with no probe loop flags members from the traffic it serves. Only
+// transport-ish failures count against health: a deterministic
+// validation error says nothing about liveness.
+func (ss *ShardedStore) reportOutcome(w, r int, err error) {
+	m := ss.rgroups[w].Members[r]
+	switch {
+	case err == nil:
+		ss.members.ReportSuccess(m)
+	case retryableShardErr(err):
+		ss.members.ReportFailure(m)
+	}
+}
+
 // Delete unregisters a matrix and best-effort removes its pieces from
-// the shards; it reports whether the name was registered.
+// every replica; it reports whether the name was registered.
 func (ss *ShardedStore) Delete(name string) bool {
 	ss.mu.Lock()
 	sm, ok := ss.mats[name]
@@ -242,13 +466,24 @@ func (ss *ShardedStore) Delete(name string) bool {
 	if !ok {
 		return false
 	}
-	n := len(ss.backends)
-	ss.exec.Run(n, n, func(_, w int) {
-		if sm.bounds[w+1] > sm.bounds[w] {
-			ss.backends[w].DeleteMatrix(name)
+	n := len(ss.flat)
+	ss.exec.Run(n, n, func(_, i int) {
+		if w, _ := ss.bandOf(i); sm.bounds[w+1] > sm.bounds[w] {
+			ss.flat[i].DeleteMatrix(name)
 		}
 	}, nil)
 	return true
+}
+
+// bandOf maps a flat member id back to its (band, replica) position.
+func (ss *ShardedStore) bandOf(member int) (w, r int) {
+	for w := range ss.rgroups {
+		ms := ss.rgroups[w].Members
+		if member >= ms[0] && member <= ms[len(ms)-1] {
+			return w, member - ms[0]
+		}
+	}
+	return -1, -1
 }
 
 // List returns the registered names in sorted order.
@@ -321,16 +556,21 @@ func (ss *ShardedStore) lookup(name string) (*shardedMatrix, error) {
 
 // discover reconstructs the registry entry for a matrix the shards
 // already hold — the -shard-of deployment, where worker w preloads its
-// own row slice and the coordinator boots with an empty registry. The
-// per-shard row counts must reproduce PieceBounds of the summed total
-// (workers whose piece is empty hold nothing), which pins the
+// own row slice and the coordinator boots with an empty registry. Each
+// band is probed through its replicas in membership-preference order
+// (see probeBand) rather than the PR 8 one-shot probe, so a band with
+// one suspect member still resolves through a healthy replica, and a
+// worker rebooted mid-discovery is retried on the next lookup. The
+// per-band row counts must reproduce PieceBounds of the summed total
+// (bands whose piece is empty hold nothing), which pins the
 // decomposition before any multiply is served against it.
 func (ss *ShardedStore) discover(name string) (*shardedMatrix, error) {
-	n := len(ss.backends)
+	n := len(ss.groups)
+	view := ss.members.View()
 	stats := make([]*StoreStat, n)
 	errs := make([]error, n)
 	ss.exec.Run(n, n, func(_, w int) {
-		stats[w], errs[w] = ss.backends[w].Matrix(name)
+		stats[w], errs[w] = ss.probeBand(w, name, view)
 	}, nil)
 	var rows Index
 	cols := Index(-1)
@@ -378,11 +618,45 @@ func (ss *ShardedStore) discover(name string) (*shardedMatrix, error) {
 	return sm, nil
 }
 
-// shardCall is one shard's slice of a scatter: the per-shard request
-// (masks sliced to the shard's row range) and, once dispatched, its
+// probeBand asks band w's replicas for their piece of name in
+// membership-preference order: the first replica holding the piece
+// answers. A replica that answers unknown_matrix is healthy (it spoke)
+// but lacks the piece — a later replica may still hold it (a worker
+// that rebooted without its preload does not hide a sibling's copy).
+// Only when every replica failed transport-wise does the band report a
+// probe failure.
+func (ss *ShardedStore) probeBand(w int, name string, view cluster.View) (*StoreStat, error) {
+	g := ss.rgroups[w]
+	var lastErr error
+	unknown := false
+	for _, r := range g.Order(view) {
+		stat, err := ss.groups[w][r].Matrix(name)
+		if err == nil {
+			ss.members.ReportSuccess(g.Members[r])
+			return stat, nil
+		}
+		if AsWireError(err).Code == CodeUnknownMatrix {
+			ss.members.ReportSuccess(g.Members[r])
+			unknown = true
+			continue
+		}
+		ss.reportOutcome(w, r, err)
+		lastErr = err
+	}
+	if lastErr != nil {
+		return nil, lastErr
+	}
+	if unknown {
+		return nil, wireErrorf(CodeUnknownMatrix, "matrix %q is not registered", name)
+	}
+	return nil, wireErrorf(CodeInternal, "shard %d has no probeable replicas", w)
+}
+
+// shardCall is one band's slice of a scatter: the per-band request
+// (masks sliced to the band's row range) and, once dispatched, its
 // response or error.
 type shardCall struct {
-	w    int
+	band int
 	req  *Request
 	resp *Response
 	err  error
@@ -393,7 +667,8 @@ type shardCall struct {
 // restarting), and so is unknown_matrix — a rebooted -shard-of worker
 // that re-preloaded its slice answers the retry. Validation errors are
 // deterministic: retrying cannot change them, so they fail the request
-// immediately.
+// immediately (and failing over to a replica holding the identical
+// piece cannot change them either).
 func retryableShardErr(err error) bool {
 	var we *WireError
 	if !errors.As(err, &we) {
@@ -406,12 +681,12 @@ func retryableShardErr(err error) bool {
 	return false
 }
 
-// call issues one shard request, under the per-attempt timeout when
-// the backend supports cancellation. In-process stores skip the
+// call issues one shard-replica request, under the per-attempt timeout
+// when the backend supports cancellation. In-process stores skip the
 // context: they cannot hang on a transport, so the deadline timer
 // would be pure per-call overhead on the hot path.
-func (ss *ShardedStore) call(w int, req *Request) (*Response, error) {
-	b := ss.backends[w]
+func (ss *ShardedStore) call(w, r int, req *Request) (*Response, error) {
+	b := ss.groups[w][r]
 	if _, local := b.(*Store); !local && ss.timeout > 0 {
 		if ce, ok := b.(contextExecutor); ok {
 			ctx, cancel := context.WithTimeout(context.Background(), ss.timeout)
@@ -422,24 +697,58 @@ func (ss *ShardedStore) call(w int, req *Request) (*Response, error) {
 	return b.Do(req)
 }
 
-// dispatch executes every call in parallel on the executor — one
-// attempt per call per round — then requeues the retryable failures in
-// bounded backoff rounds. The backoff sleep runs here, on the
-// coordinating goroutine, so executor workers are never parked under a
-// timer. A non-retryable failure, or a call still failing after the
-// attempt budget, fails the whole scatter with the shard identified in
-// the error.
+// tryReplicas executes one dispatch round for one band call: the
+// band's replicas are walked in the view's read-preference order
+// (alive → suspect → dead), failing over to the next replica WITHIN
+// this round on any retryable error. Each abandonment counts one
+// failover on the abandoned replica's counters and on the matrix's;
+// membership is fed every outcome. The call only remains failed — and
+// so eligible for a retry round — when every replica failed.
+func (ss *ShardedStore) tryReplicas(c *shardCall, view cluster.View, stats *perf.ServeStats) {
+	g := ss.rgroups[c.band]
+	order := g.Order(view)
+	var lastErr error
+	for k, r := range order {
+		t := time.Now()
+		resp, err := ss.call(c.band, r, c.req)
+		rs := ss.replStats[c.band][r]
+		rs.Observe(time.Since(t), err != nil)
+		ss.reportOutcome(c.band, r, err)
+		if err == nil {
+			c.resp, c.err = resp, nil
+			return
+		}
+		if !retryableShardErr(err) {
+			c.err = err
+			return
+		}
+		if k < len(order)-1 {
+			rs.ObserveFailovers(1)
+			stats.ObserveFailovers(1)
+		}
+		lastErr = err
+	}
+	c.err = lastErr
+}
+
+// dispatch executes every band call in parallel on the executor — one
+// replica-failover round per call per dispatch round — then requeues
+// calls whose whole group failed retryably in bounded backoff rounds.
+// The first round routes every call against one consistent membership
+// view (taken here, at scatter start); each retry round refreshes the
+// view, so a replica flagged dead between rounds is deprioritized. The
+// backoff sleep runs here, on the coordinating goroutine, so executor
+// workers are never parked under a timer. A non-retryable failure, or
+// a call still failing after the attempt budget, fails the whole
+// scatter with the shard identified in the error.
 func (ss *ShardedStore) dispatch(calls []*shardCall, stats *perf.ServeStats) error {
 	pending := calls
 	backoff := ss.backoff
+	view := ss.members.View()
 	for attempt := 1; ; attempt++ {
-		one := func(c *shardCall) {
-			t := time.Now()
-			c.resp, c.err = ss.call(c.w, c.req)
-			ss.shardStats[c.w].Observe(time.Since(t), c.err != nil)
-		}
+		one := func(c *shardCall) { ss.tryReplicas(c, view, stats) }
 		if len(pending) == 1 {
-			// A single shard needs no fan-out; keep the one-shard
+			// A single band needs no fan-out; keep the one-shard
 			// configuration's dispatch cost at a plain call.
 			one(pending[0])
 		} else {
@@ -454,7 +763,8 @@ func (ss *ShardedStore) dispatch(calls []*shardCall, stats *perf.ServeStats) err
 			}
 			if attempt >= ss.attempts || !retryableShardErr(c.err) {
 				we := AsWireError(c.err)
-				return wireErrorf(we.Code, "shard %d (%s): %s", c.w, ss.labels[c.w], we.Message)
+				return wireErrorf(we.Code, "shard %d (%s): %s",
+					c.band, ss.labels[c.band][0], we.Message)
 			}
 			retry = append(retry, c)
 		}
@@ -462,17 +772,20 @@ func (ss *ShardedStore) dispatch(calls []*shardCall, stats *perf.ServeStats) err
 			return nil
 		}
 		for _, c := range retry {
-			ss.shardStats[c.w].ObserveRetries(1)
+			for r := range ss.replStats[c.band] {
+				ss.replStats[c.band][r].ObserveRetries(1)
+			}
 		}
 		stats.ObserveRetries(len(retry))
 		time.Sleep(backoff)
 		backoff *= 2
+		view = ss.members.View()
 		pending = retry
 	}
 }
 
 // doSharded validates req against the matrix's global shape, scatters
-// it across the shards owning nonempty row ranges, and gathers the
+// it across the bands owning nonempty row ranges, and gathers the
 // row-disjoint results by concatenation (list form) or offset bitmap
 // merge (bitmap form).
 func (ss *ShardedStore) doSharded(sm *shardedMatrix, name string, req *Request) (*Response, error) {
@@ -485,8 +798,8 @@ func (ss *ShardedStore) doSharded(sm *shardedMatrix, name string, req *Request) 
 				"row pieces of A are column pieces of Aᵀ, whose partial products overlap")
 	}
 
-	calls := make([]*shardCall, 0, len(ss.backends))
-	for w := range ss.backends {
+	calls := make([]*shardCall, 0, len(ss.groups))
+	for w := range ss.groups {
 		lo, hi := sm.bounds[w], sm.bounds[w+1]
 		if hi <= lo {
 			continue
@@ -505,8 +818,8 @@ func (ss *ShardedStore) doSharded(sm *shardedMatrix, name string, req *Request) 
 			d.Masks = ms
 		}
 		calls = append(calls, &shardCall{
-			w:   w,
-			req: &Request{Matrix: name, X: req.X, Xs: req.Xs, Desc: d},
+			band: w,
+			req:  &Request{Matrix: name, X: req.X, Xs: req.Xs, Desc: d},
 		})
 	}
 
@@ -523,10 +836,10 @@ func (ss *ShardedStore) doSharded(sm *shardedMatrix, name string, req *Request) 
 		return nil, err
 	}
 
-	// Single nonempty shard owning every row: its response IS the
+	// Single nonempty band owning every row: its response IS the
 	// global answer — pass it through with no gather copy, so the
 	// 1-shard configuration costs dispatch alone over a direct Store.
-	if len(calls) == 1 && sm.bounds[calls[0].w] == 0 && sm.bounds[calls[0].w+1] == sm.rows {
+	if len(calls) == 1 && sm.bounds[calls[0].band] == 0 && sm.bounds[calls[0].band+1] == sm.rows {
 		return calls[0].resp, nil
 	}
 	return ss.gather(sm, req, calls, wantBits, rep)
@@ -555,11 +868,11 @@ func emptyShardResponse(req *Request, wantBits bool, rep OutputMode) *Response {
 	return resp
 }
 
-// gather concatenates the shards' row-disjoint results into the global
-// response. List outputs append with the shard's row offset (values
+// gather concatenates the bands' row-disjoint results into the global
+// response. List outputs append with the band's row offset (values
 // are NOT shifted — they carry whatever the semiring computed, e.g.
 // global parent ids under select2nd); bitmap outputs merge by OrAt.
-// Because calls are in ascending shard order and row ranges are
+// Because calls are in ascending band order and row ranges are
 // disjoint, a concatenation of sorted pieces is itself sorted.
 func (ss *ShardedStore) gather(sm *shardedMatrix, req *Request, calls []*shardCall, wantBits bool, rep OutputMode) (*Response, error) {
 	resp := &Response{OutputRep: rep.String()}
@@ -577,9 +890,9 @@ func (ss *ShardedStore) gather(sm *shardedMatrix, req *Request, calls []*shardCa
 				}
 				if pb == nil {
 					return nil, wireErrorf(CodeInternal,
-						"shard %d answered without a bitmap payload", c.w)
+						"shard %d answered without a bitmap payload", c.band)
 				}
-				yb.OrAt(pb, sm.bounds[c.w])
+				yb.OrAt(pb, sm.bounds[c.band])
 			}
 			if req.X != nil {
 				resp.YBits = yb
@@ -596,7 +909,7 @@ func (ss *ShardedStore) gather(sm *shardedMatrix, req *Request, calls []*shardCa
 			}
 			if py == nil {
 				return nil, wireErrorf(CodeInternal,
-					"shard %d answered without a list payload", c.w)
+					"shard %d answered without a list payload", c.band)
 			}
 			nnz += py.NNZ()
 		}
@@ -607,7 +920,7 @@ func (ss *ShardedStore) gather(sm *shardedMatrix, req *Request, calls []*shardCa
 			if req.Xs != nil {
 				py = c.resp.Ys[slot]
 			}
-			off := sm.bounds[c.w]
+			off := sm.bounds[c.band]
 			for k, i := range py.Ind {
 				y.Append(i+off, py.Val[k])
 			}
@@ -706,9 +1019,9 @@ func (ss *ShardedStore) resolveMult(name string) (Index, Index, *perf.ServeStats
 }
 
 // multBatch executes one coalesced flush as a single batched scatter:
-// the whole window rides one request per shard, so coalescing
-// amortizes the per-shard dispatch exactly as it amortizes the
-// engine's sizing pass in-process.
+// the whole window rides one request per band, so coalescing amortizes
+// the per-shard dispatch exactly as it amortizes the engine's sizing
+// pass in-process.
 func (ss *ShardedStore) multBatch(name string, xs []*Vector, masks []*BitVector, d Desc) ([]*Vector, error) {
 	sm, err := ss.lookup(name)
 	if err != nil {
@@ -736,4 +1049,25 @@ func (ss *ShardedStore) multBatch(name string, xs []*Vector, masks []*BitVector,
 	}
 	sm.stats.ObserveBatch(len(xs))
 	return resp.Ys, nil
+}
+
+// health reports the coordinator's liveness summary for GET /v1/health.
+func (ss *ShardedStore) health() HealthStatus {
+	ss.mu.RLock()
+	n := len(ss.mats)
+	ss.mu.RUnlock()
+	maxR := 0
+	for _, g := range ss.groups {
+		if len(g) > maxR {
+			maxR = len(g)
+		}
+	}
+	return HealthStatus{
+		Engine:      "coordinator",
+		Matrices:    n,
+		Programs:    len(ss.programs.list()),
+		Shards:      len(ss.groups),
+		Replicas:    maxR,
+		MemberEpoch: ss.members.Epoch(),
+	}
 }

@@ -1,0 +1,79 @@
+// Replication benchmarks. BenchmarkReplicatedDo prices the read path
+// as the replica count grows: reads always land on ONE replica per
+// band (the preferred alive one), so R=2/R=3 must cost within noise of
+// R=1 — replication buys fault absorption with memory, not read
+// latency. BenchmarkReplicaOverhead is the CI gate's form of the same
+// measurement: one benchmark name, the replica count injected through
+// SPMSPV_BENCH_REPLICAS, so cmd/benchcmp (which matches series by
+// name) can compare an R=1 run against an R=2 run and enforce the
+// ≤1.10x read-path bound.
+package spmspv_test
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"testing"
+
+	spmspv "spmspv"
+	"spmspv/internal/testutil"
+)
+
+// newReplicatedBench builds a 2-band × r-replica in-process
+// coordinator preloaded with the serving benchmark matrix.
+func newReplicatedBench(b *testing.B, a *spmspv.Matrix, r int) *spmspv.ShardedStore {
+	b.Helper()
+	ss, err := spmspv.NewLocalShardedStore(2,
+		[]spmspv.Option{spmspv.WithEngineOptions(engineOptions(0))},
+		spmspv.WithReplication(r))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := ss.Put("g", a); err != nil {
+		b.Fatal(err)
+	}
+	return ss
+}
+
+func benchReplicatedDo(b *testing.B, ss *spmspv.ShardedStore, a *spmspv.Matrix) {
+	rng := rand.New(rand.NewSource(7))
+	const nVecs = 64
+	reqs := make([]*spmspv.Request, nVecs)
+	for i := range reqs {
+		reqs[i] = &spmspv.Request{
+			Matrix: "g",
+			X:      testutil.RandomVector(rng, a.NumCols, 16, true),
+			Desc:   spmspv.Desc{Semiring: "arithmetic"},
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; b.Loop(); i++ {
+		if _, err := ss.Do(reqs[i%nVecs]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReplicatedDo(b *testing.B) {
+	a := spmspv.ErdosRenyi(1<<14, 8, 99)
+	for _, r := range []int{1, 2, 3} {
+		b.Run(fmt.Sprintf("replicas%d", r), func(b *testing.B) {
+			benchReplicatedDo(b, newReplicatedBench(b, a, r), a)
+		})
+	}
+}
+
+func BenchmarkReplicaOverhead(b *testing.B) {
+	r := 1
+	if s := os.Getenv("SPMSPV_BENCH_REPLICAS"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil || v < 1 {
+			b.Fatalf("SPMSPV_BENCH_REPLICAS=%q: want a positive integer", s)
+		}
+		r = v
+	}
+	a := spmspv.ErdosRenyi(1<<14, 8, 99)
+	benchReplicatedDo(b, newReplicatedBench(b, a, r), a)
+}

@@ -1,0 +1,155 @@
+// TestLiveReplicatedServe drives a REAL replicated deployment — an
+// spmspv-serve coordinator over 2 row bands × 2 replicas, five
+// processes on separate TCP listeners — and kills one replica with
+// SIGKILL mid-run: the BFS after the kill must be bit-identical to the
+// one before it with ZERO retry rounds consumed (in-round failover
+// absorbs the death), the failover must be visible on the new
+// counters, and the membership must flag the killed worker. Skipped
+// unless SPMSPV_REPL_COORD_URL points at such a coordinator and
+// SPMSPV_REPL_KILL_PID names a band-0 replica's pid; CI boots exactly
+// this topology:
+//
+//	spmspv-serve -addr 127.0.0.1:18101 & # band 0, replica 0 (killed)
+//	spmspv-serve -addr 127.0.0.1:18102 & # band 0, replica 1
+//	spmspv-serve -addr 127.0.0.1:18103 & # band 1, replica 0
+//	spmspv-serve -addr 127.0.0.1:18104 & # band 1, replica 1
+//	spmspv-serve -addr 127.0.0.1:18100 -probe-interval 500ms \
+//	  -shards "http://127.0.0.1:18101|http://127.0.0.1:18102,http://127.0.0.1:18103|http://127.0.0.1:18104" &
+//	SPMSPV_REPL_COORD_URL=http://127.0.0.1:18100 SPMSPV_REPL_KILL_PID=<pid of :18101> \
+//	  go test -run TestLiveReplicatedServe .
+package spmspv_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"strconv"
+	"syscall"
+	"testing"
+	"time"
+
+	spmspv "spmspv"
+)
+
+func TestLiveReplicatedServe(t *testing.T) {
+	url := os.Getenv("SPMSPV_REPL_COORD_URL")
+	if url == "" {
+		t.Skip("SPMSPV_REPL_COORD_URL not set; run against a live replicated coordinator to enable")
+	}
+	killPid, err := strconv.Atoi(os.Getenv("SPMSPV_REPL_KILL_PID"))
+	if err != nil || killPid <= 0 {
+		t.Fatalf("SPMSPV_REPL_KILL_PID must name a replica worker pid: %v", err)
+	}
+	const name = "live-replicated-grid"
+	c := spmspv.NewClient(url)
+
+	// The coordinator must present as a 2-band replicated fleet.
+	h, err := c.Health(context.Background())
+	if err != nil {
+		t.Fatalf("coordinator health: %v", err)
+	}
+	if h.Engine != "coordinator" || h.Shards != 2 || h.Replicas != 2 {
+		t.Fatalf("coordinator health = %+v, want 2 shards x 2 replicas", h)
+	}
+
+	a := spmspv.Grid2D(24, 24)
+	if _, err := c.PutMatrix(name, a); err != nil {
+		t.Fatalf("uploading to %s: %v", url, err)
+	}
+	defer func() {
+		if err := c.DeleteMatrix(name); err != nil {
+			t.Errorf("cleanup delete: %v", err)
+		}
+	}()
+
+	mu, err := spmspv.NewMultiplier(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := spmspv.BFS(mu, 0)
+	if len(want.FrontierSizes) < 10 {
+		t.Fatalf("grid BFS only had %d levels; test graph too easy", len(want.FrontierSizes))
+	}
+
+	// BFS against the healthy fleet first.
+	before, err := c.BFS(name, 0)
+	if err != nil {
+		t.Fatalf("BFS before kill: %v", err)
+	}
+	compareBFS(t, "live-replicated/before", before, want)
+
+	// SIGKILL one replica of band 0 — no drain, no goodbye.
+	if err := syscall.Kill(killPid, syscall.SIGKILL); err != nil {
+		t.Fatalf("killing replica pid %d: %v", killPid, err)
+	}
+	time.Sleep(200 * time.Millisecond) // let the process actually die
+
+	// The same BFS must still be answered bit-identically: band 0's
+	// reads fail over to the surviving replica within the dispatch
+	// round.
+	after, err := c.BFS(name, 0)
+	if err != nil {
+		t.Fatalf("BFS after kill: %v", err)
+	}
+	compareBFS(t, "live-replicated/after", after, want)
+
+	// Zero retry rounds: replication absorbed the death in-round.
+	stat, err := c.Matrix(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stat.Serve.Retries != 0 {
+		t.Errorf("replica death burned %d retry rounds, want 0", stat.Serve.Retries)
+	}
+	if stat.Serve.Failovers == 0 {
+		t.Errorf("matrix counters report no failovers after a replica kill: %+v", stat.Serve)
+	}
+
+	// The membership must flag the killed worker (the serving-path
+	// feedback flags it immediately; the 500ms probe loop confirms).
+	// Poll /v1/shards until it reports non-alive.
+	deadline := time.Now().Add(10 * time.Second)
+	var shards []spmspv.ShardStat
+	for {
+		resp, err := http.Get(url + "/v1/shards")
+		if err != nil {
+			t.Fatal(err)
+		}
+		shards = nil
+		err = json.NewDecoder(resp.Body).Decode(&shards)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(shards) != 4 {
+			t.Fatalf("coordinator reports %d replicas, want 4", len(shards))
+		}
+		if shards[0].State != "alive" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("killed replica still reported alive: %+v", shards[0])
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+	var failovers int64
+	epoch := uint64(0)
+	for _, sh := range shards {
+		failovers += sh.Serve.Failovers
+		epoch = sh.MemberEpoch
+	}
+	if failovers == 0 {
+		t.Errorf("no replica reports failovers after the kill")
+	}
+	if epoch == 0 {
+		t.Errorf("member epoch never advanced despite a death transition")
+	}
+	if shards[1].State != "alive" || shards[1].Serve.Requests == 0 {
+		t.Errorf("surviving band-0 replica did not carry the traffic: %+v", shards[1])
+	}
+
+	fmt.Println("live replicated serve: OK,", len(shards), "replicas,",
+		failovers, "failovers,", stat.Serve.Requests, "requests, epoch", epoch)
+}
